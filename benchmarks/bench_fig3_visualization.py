@@ -1,0 +1,31 @@
+"""Figure 3: visualization of NEAT clustering results on ATL500.
+
+Runs the full three-phase pipeline on the ATL500-equivalent workload,
+writes the three SVG panels (input trajectories, flow clusters, final
+clusters) to ``benchmarks/output/`` and reports the headline counts the
+paper quotes (31 flows at minCard = average cardinality; 2 final clusters
+at the hotspot-merging eps).
+"""
+
+from __future__ import annotations
+
+from conftest import OUTPUT_DIR
+
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.experiments.figures import FIG3_EPS, run_fig3
+from repro.experiments.workloads import WorkloadSpec, build_dataset, build_network
+
+
+def bench_fig3_opt_neat_atl500(benchmark, emit):
+    """Time opt-NEAT on ATL500; write the three Figure 3 SVG panels."""
+    network = build_network("ATL")
+    dataset = build_dataset(network, WorkloadSpec("ATL", 500))
+    neat = NEAT(network, NEATConfig(eps=FIG3_EPS))
+    result = benchmark.pedantic(
+        lambda: neat.run_opt(dataset), rounds=3, iterations=1
+    )
+    assert result.cluster_count >= 1
+
+    fig = run_fig3(out_dir=OUTPUT_DIR)
+    emit("fig3_visualization", fig.render())

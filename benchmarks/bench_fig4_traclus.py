@@ -1,0 +1,30 @@
+"""Figure 4: TraClus on the ATL workload under two parameterizations.
+
+The paper contrasts a tuned TraClus (eps=10 m, MinLns=30 -> 81 clusters)
+with a degenerate one (eps=1 m, MinLns=1 -> 460 discrete clusters); both
+produce short, discontinuous clusters compared to NEAT's flows.
+"""
+
+from __future__ import annotations
+
+from conftest import TRACLUS_COUNTS
+
+from repro.experiments.figures import run_fig4
+from repro.experiments.workloads import WorkloadSpec, build_dataset, build_network
+from repro.traclus.grouping import TraClusParams
+from repro.traclus.traclus import TraClus
+
+
+def bench_fig4_traclus_tuned(benchmark, emit):
+    """Time a tuned TraClus run; report both parameterizations' counts."""
+    object_count = TRACLUS_COUNTS[len(TRACLUS_COUNTS) // 2]
+    network = build_network("ATL")
+    dataset = build_dataset(network, WorkloadSpec("ATL", object_count))
+    clusterer = TraClus(TraClusParams(eps=10.0, min_lns=8))
+    result = benchmark.pedantic(
+        lambda: clusterer.run(dataset), rounds=1, iterations=1
+    )
+    assert result.segment_count > 0
+
+    fig = run_fig4(object_count=object_count)
+    emit("fig4_traclus", fig.render())

@@ -1,0 +1,71 @@
+"""Figure 5: flow-NEAT vs TraClus across ATL dataset sizes.
+
+The paper's four panels in one table per size: average representative
+route length (5a), maximum route length (5b), resulting cluster count
+(5c) and running time (5d, the semi-log orders-of-magnitude gap).
+
+TraClus's grouping is O(n^2) in line segments, so the default sweep uses
+the ``REPRO_BENCH_TRACLUS_COUNTS`` sizes; the speedup only grows with
+scale (the measured column shows it climbing already).
+"""
+
+from __future__ import annotations
+
+from conftest import TRACLUS_COUNTS
+
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.experiments.figures import DEFAULT_EPS, run_fig5
+from repro.experiments.workloads import build_suite
+
+
+def bench_fig5_flow_neat_largest(benchmark, emit):
+    """Time flow-NEAT on the largest compared size; report the sweep."""
+    network, datasets = build_suite("ATL", TRACLUS_COUNTS)
+    neat = NEAT(network, NEATConfig(eps=DEFAULT_EPS["ATL"]))
+    result = benchmark.pedantic(
+        lambda: neat.run_flow(datasets[-1]), rounds=3, iterations=1
+    )
+    assert result.flow_count > 0
+
+    fig = run_fig5(object_counts=TRACLUS_COUNTS)
+    emit("fig5_comparison", fig.render())
+    _emit_charts(fig)
+
+    # Shape assertions mirroring the paper's claims.
+    for row in fig.rows:
+        assert row.neat_avg_route_m > row.traclus_avg_route_m, "Fig 5a shape"
+        assert row.neat_clusters < row.traclus_clusters, "Fig 5c shape"
+        assert row.speedup > 10.0, "Fig 5d shape"
+
+
+def _emit_charts(fig) -> None:
+    """Regenerate Figure 5's plots as SVG next to the text table."""
+    from conftest import OUTPUT_DIR
+
+    from repro.analysis.charts import LineChart
+
+    runtime = LineChart(
+        "Figure 5(d): running time, flow-NEAT vs TraClus",
+        x_label="points in dataset",
+        y_label="seconds (log scale)",
+        log_y=True,
+    )
+    runtime.add_series("NEAT", [(r.points, r.neat_seconds) for r in fig.rows])
+    runtime.add_series(
+        "TraClus", [(r.points, r.traclus_seconds) for r in fig.rows]
+    )
+    runtime.save(OUTPUT_DIR / "fig5d_runtime.svg")
+
+    routes = LineChart(
+        "Figure 5(a): average representative route length",
+        x_label="points in dataset",
+        y_label="metres",
+    )
+    routes.add_series(
+        "NEAT", [(r.points, r.neat_avg_route_m) for r in fig.rows]
+    )
+    routes.add_series(
+        "TraClus", [(r.points, r.traclus_avg_route_m) for r in fig.rows]
+    )
+    routes.save(OUTPUT_DIR / "fig5a_route_length.svg")

@@ -1,0 +1,62 @@
+"""Figure 6: scaling of base-/flow-/opt-NEAT and the Phase 1/2 split.
+
+(a) all three NEAT variants scale near-linearly with dataset size, with
+the opt-NEAT curve close to flow-NEAT (Phase 3 is cheap thanks to ELB);
+(b) Phase 1 (point-scanning) costs more than Phase 2 (base-cluster
+merging) because it touches every location sample.
+"""
+
+from __future__ import annotations
+
+from conftest import NEAT_COUNTS
+
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.experiments.figures import DEFAULT_EPS, run_fig6
+from repro.experiments.workloads import build_suite
+
+
+def bench_fig6_opt_neat_mia(benchmark, emit):
+    """Time opt-NEAT on the largest MIA dataset; report the sweep."""
+    network, datasets = build_suite("MIA", NEAT_COUNTS)
+    neat = NEAT(network, NEATConfig(eps=DEFAULT_EPS["MIA"]))
+    result = benchmark.pedantic(
+        lambda: neat.run_opt(datasets[-1]), rounds=3, iterations=1
+    )
+    assert result.base_clusters
+
+    fig = run_fig6("MIA", object_counts=NEAT_COUNTS)
+    emit("fig6_scaling", fig.render())
+    _emit_chart(fig)
+
+    # Shape assertion: Phase 1 dominates Phase 2 on the larger datasets
+    # (Figure 6b), where fixed overheads no longer mask the point scan.
+    large_rows = fig.rows[len(fig.rows) // 2:]
+    assert sum(r[5] for r in large_rows) > sum(r[6] for r in large_rows)
+
+
+def _emit_chart(fig) -> None:
+    """Regenerate Figure 6(a)'s scaling plot as SVG."""
+    from conftest import OUTPUT_DIR
+
+    from repro.analysis.charts import LineChart
+
+    chart = LineChart(
+        "Figure 6(a): NEAT variant scaling (MIA)",
+        x_label="points in dataset",
+        y_label="seconds",
+    )
+    chart.add_series("base-NEAT", [(r[1], r[2]) for r in fig.rows])
+    chart.add_series("flow-NEAT", [(r[1], r[3]) for r in fig.rows])
+    chart.add_series("opt-NEAT", [(r[1], r[4]) for r in fig.rows])
+    chart.save(OUTPUT_DIR / "fig6a_scaling.svg")
+
+
+def bench_fig6_base_neat_mia(benchmark):
+    """Phase 1 alone on the largest MIA dataset (the 6(b) numerator)."""
+    network, datasets = build_suite("MIA", NEAT_COUNTS)
+    neat = NEAT(network, NEATConfig(eps=DEFAULT_EPS["MIA"]))
+    result = benchmark.pedantic(
+        lambda: neat.run_base(datasets[-1]), rounds=3, iterations=1
+    )
+    assert result.base_clusters

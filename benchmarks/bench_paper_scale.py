@@ -1,0 +1,52 @@
+"""Paper-scale feasibility run (opt-in: set REPRO_PAPER_SCALE=1).
+
+Runs opt-NEAT at the paper's actual scale — the full-size ATL network
+(~7k junctions, ~9.2k segments) with 5000 objects (~0.8M points) and the
+paper's eps = 6500 m — to confirm the implementation handles Table II's
+magnitudes, not just the scaled bench workloads.  Skipped by default:
+trace generation alone takes ~1 minute.
+
+Reference measurement on this repository's development machine:
+dataset generation 54.6 s; opt-NEAT 13.3 s total (Phase 1: 9.9 s,
+Phase 2: 1.2 s, Phase 3: 2.2 s with ELB) — the same order of magnitude
+as the paper's 59.7 s for ATL5000 on 2008-era Java.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.experiments.harness import format_seconds
+from repro.experiments.workloads import WorkloadSpec, build_dataset, build_network
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PAPER_SCALE") != "1",
+    reason="paper-scale run is opt-in (REPRO_PAPER_SCALE=1)",
+)
+
+
+def bench_paper_scale_atl5000(benchmark, emit):
+    """opt-NEAT over the full-size ATL network with 5000 objects."""
+    network = build_network("ATL", network_scale=1.0)
+    dataset = build_dataset(
+        network, WorkloadSpec("ATL", 5000, network_scale=1.0)
+    )
+    neat = NEAT(network, NEATConfig(eps=6500.0))
+    result = benchmark.pedantic(
+        lambda: neat.run_opt(dataset), rounds=1, iterations=1
+    )
+    emit(
+        "paper_scale",
+        "Paper-scale run: full ATL network, ATL5000\n"
+        f"  network: {network.junction_count} junctions, "
+        f"{network.segment_count} segments (paper: 6979 / 9187)\n"
+        f"  dataset: {dataset.total_points} points (paper: 1,277,521)\n"
+        f"  opt-NEAT: {format_seconds(result.timings.total)} "
+        f"(paper: 59.7 s on 2008 Java) -> {result.flow_count} flows, "
+        f"{result.cluster_count} clusters",
+    )
+    assert result.flows

@@ -1,0 +1,30 @@
+"""Table I: road-network statistics of the three region networks.
+
+Regenerates the paper's Table I for the calibrated synthetic stand-ins and
+benchmarks network generation itself (the substrate cost every other
+experiment pays first).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_table1
+from repro.roadnet.generators import atlanta_like
+from repro.roadnet.stats import network_stats
+
+
+def bench_table1_network_generation(benchmark, emit):
+    """Time ATL-like generation; report all three regions' Table I rows."""
+    network = benchmark(lambda: atlanta_like(scale=0.1))
+    stats = network_stats(network)
+    assert stats.segment_count > 0
+
+    result = run_table1()
+    emit("table1_networks", result.render())
+
+
+def bench_table1_full_scale_generation(benchmark):
+    """Generation cost at a larger scale (shows linear growth)."""
+    network = benchmark.pedantic(
+        lambda: atlanta_like(scale=0.5), rounds=2, iterations=1
+    )
+    assert network.junction_count > 3000

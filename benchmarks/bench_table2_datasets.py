@@ -1,0 +1,26 @@
+"""Table II: trajectory dataset sizes (total location points).
+
+Regenerates the dataset grid of the paper's Table II on the scaled
+workloads and benchmarks trace simulation (the GTMobiSIM-equivalent
+substrate).
+"""
+
+from __future__ import annotations
+
+from conftest import NEAT_COUNTS
+
+from repro.experiments.figures import run_table2
+from repro.experiments.workloads import WorkloadSpec, build_dataset, build_network
+
+
+def bench_table2_dataset_generation(benchmark, emit):
+    """Time ATL500-equivalent simulation; report the full Table II grid."""
+    network = build_network("ATL")
+    spec = WorkloadSpec("ATL", NEAT_COUNTS[-1])
+    dataset = benchmark.pedantic(
+        lambda: build_dataset(network, spec), rounds=3, iterations=1
+    )
+    assert dataset.total_points > 0
+
+    result = run_table2(object_counts=NEAT_COUNTS)
+    emit("table2_datasets", result.render())

@@ -1,0 +1,28 @@
+"""Table III: number of flow clusters produced by opt-NEAT on SJ datasets.
+
+The paper's point (read with Figure 7): the flow count is set by workload
+structure, not dataset size, and Phase 3's cost follows it.
+"""
+
+from __future__ import annotations
+
+from conftest import NEAT_COUNTS
+
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.experiments.figures import DEFAULT_EPS, run_table3
+from repro.experiments.workloads import build_suite
+
+
+def bench_table3_flow_counts(benchmark, emit):
+    """Time opt-NEAT on the largest SJ dataset; report all flow counts."""
+    network, datasets = build_suite("SJ", NEAT_COUNTS)
+    largest = datasets[-1]
+    neat = NEAT(network, NEATConfig(eps=DEFAULT_EPS["SJ"]))
+    result = benchmark.pedantic(
+        lambda: neat.run_opt(largest), rounds=3, iterations=1
+    )
+    assert result.flow_count > 0
+
+    table = run_table3(object_counts=NEAT_COUNTS)
+    emit("table3_flow_counts", table.render())

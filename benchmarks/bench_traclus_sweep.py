@@ -1,0 +1,61 @@
+"""TraClus parameter sensitivity (the Section IV-C tuning story).
+
+The paper had to sweep TraClus's eps over 1-50 m and pick MinLns "by
+visual inspection" — i.e. the baseline's output quality hinges on manual
+tuning.  This bench performs that sweep on one workload and reports how
+wildly the cluster count swings, next to NEAT's parameter story (minCard
+defaults to the mean flow cardinality; weights have presets).
+"""
+
+from __future__ import annotations
+
+from conftest import TRACLUS_COUNTS
+
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.experiments.figures import DEFAULT_EPS
+from repro.experiments.harness import format_seconds, format_table, timed
+from repro.experiments.workloads import WorkloadSpec, build_dataset, build_network
+from repro.traclus.grouping import TraClusParams
+from repro.traclus.traclus import TraClus
+
+
+def bench_traclus_parameter_sweep(benchmark, emit):
+    """Sweep (eps, MinLns) over the paper's ranges on one ATL workload."""
+    object_count = TRACLUS_COUNTS[0]
+    network = build_network("ATL")
+    dataset = build_dataset(network, WorkloadSpec("ATL", object_count))
+
+    rows = []
+    for eps in (1.0, 5.0, 10.0, 25.0, 50.0):
+        for min_lns in (2, 5, 10):
+            result, seconds = timed(
+                lambda e=eps, m=min_lns: TraClus(
+                    TraClusParams(eps=e, min_lns=m)
+                ).run(dataset)
+            )
+            rows.append(
+                (f"{eps:g}", min_lns, result.cluster_count,
+                 format_seconds(seconds))
+            )
+
+    neat_result, neat_seconds = timed(
+        lambda: NEAT(network, NEATConfig(eps=DEFAULT_EPS["ATL"])).run_flow(dataset)
+    )
+    counts = [row[2] for row in rows]
+
+    benchmark.pedantic(
+        lambda: TraClus(TraClusParams(eps=10.0, min_lns=5)).run(dataset),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "traclus_sweep",
+        "TraClus parameter sensitivity (paper swept eps 1-50 m, MinLns by "
+        "visual inspection)\n"
+        + format_table(("eps(m)", "MinLns", "clusters", "time"), rows)
+        + f"\nCluster count swings {min(counts)} .. {max(counts)} across the "
+        f"grid; NEAT with defaults: {neat_result.flow_count} flows in "
+        f"{format_seconds(neat_seconds)} (minCard auto = mean cardinality).",
+    )
+    assert max(counts) > 2 * max(1, min(c for c in counts if c > 0))

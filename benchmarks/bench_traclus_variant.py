@@ -1,0 +1,36 @@
+"""Section IV-C's strengthened baseline: network-aware TraClus variant.
+
+The paper hands TraClus every advantage — map-matched input, NEAT's base
+clusters as units, the modified Hausdorff network distance — and it still
+loses by orders of magnitude (SJ2000: 6396.79 s vs NEAT's 11.68 s) while
+producing discrete density patches instead of continuous flows.
+"""
+
+from __future__ import annotations
+
+from conftest import TRACLUS_COUNTS
+
+from repro.core.base_cluster import form_base_clusters
+from repro.experiments.figures import run_variant
+from repro.experiments.workloads import WorkloadSpec, build_dataset, build_network
+from repro.traclus.network_variant import network_traclus
+
+
+def bench_variant_grouping(benchmark, emit):
+    """Time the variant's grouping phase; report the full comparison."""
+    object_count = TRACLUS_COUNTS[-1]
+    network = build_network("SJ")
+    dataset = build_dataset(network, WorkloadSpec("SJ", object_count))
+    base_clusters = form_base_clusters(network, dataset.trajectories)
+
+    result = benchmark.pedantic(
+        lambda: network_traclus(network, base_clusters, eps=150.0, min_lns=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.base_cluster_count == len(base_clusters)
+
+    comparison = run_variant(object_count=object_count)
+    emit("traclus_variant", comparison.render())
+    # The paper's shape: the variant is far slower than full NEAT.
+    assert comparison.variant_seconds > comparison.neat_seconds

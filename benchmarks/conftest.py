@@ -1,0 +1,52 @@
+"""Shared benchmark plumbing.
+
+Every bench module regenerates one table/figure of the paper and reports a
+"paper vs measured" text block.  The block is written to
+``benchmarks/output/<name>.txt`` (so results survive the run) and echoed
+to the terminal past pytest's capture, alongside pytest-benchmark's own
+timing table.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_COUNTS`` — comma-separated object counts for the NEAT
+  sweeps (default ``50,100,200,300,500``).
+* ``REPRO_BENCH_TRACLUS_COUNTS`` — counts for sweeps that include the
+  O(n^2) TraClus baseline (default ``50,100,200``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def _counts(name: str, default: tuple[int, ...]) -> tuple[int, ...]:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+#: Object counts for NEAT-only sweeps (Figures 6, 7; Tables II, III).
+NEAT_COUNTS = _counts("REPRO_BENCH_COUNTS", (50, 100, 200, 300, 500))
+
+#: Object counts for sweeps including TraClus (Figures 4, 5, variant).
+TRACLUS_COUNTS = _counts("REPRO_BENCH_TRACLUS_COUNTS", (50, 100, 200))
+
+
+@pytest.fixture
+def emit(capsys):
+    """Write an experiment report to disk and the terminal."""
+
+    def _emit(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+
+    return _emit

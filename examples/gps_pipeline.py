@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The full field pipeline: raw GPS fixes -> map matching -> NEAT.
+
+The paper assumes map-matched input and cites SLAMM [14] for the
+preprocessing.  This example shows the whole chain a deployment would
+run: ground-truth traces are degraded into noisy GPS fixes, the SLAMM
+matcher snaps them back onto the network, and NEAT clusters the result.
+It then quantifies how much the noise perturbed the clustering.
+
+Run:  python examples/gps_pipeline.py
+"""
+
+from repro.core import NEAT, NEATConfig
+from repro.mapmatch import MatchConfig, SlammMatcher
+from repro.mobisim import SimulationConfig, degrade_dataset, simulate_dataset
+from repro.roadnet import atlanta_like
+
+GPS_SIGMA = 5.0  # metres; typical consumer GPS
+
+network = atlanta_like(scale=0.1)
+dataset = simulate_dataset(
+    network, SimulationConfig(object_count=300, sample_interval=5.0, name="field")
+)
+print(f"Ground truth: {len(dataset)} trajectories, {dataset.total_points} points")
+
+# 1. Degrade to raw GPS (strip segment ids, add Gaussian noise).
+raw_traces = degrade_dataset(dataset, sigma=GPS_SIGMA, seed=13)
+
+# 2. Map-match back onto the network.
+matcher = SlammMatcher(network, MatchConfig(sigma=GPS_SIGMA, lookahead=3))
+matched = []
+correct = total = 0
+for truth, raw in zip(dataset, raw_traces):
+    trajectory = matcher.match_trace(raw)
+    matched.append(trajectory)
+    for a, b in zip(truth.locations, trajectory.locations):
+        total += 1
+        correct += a.sid == b.sid
+print(f"Map matching: {100.0 * correct / total:.1f}% of samples on the true segment")
+
+# 3. Cluster both the ground truth and the matched traces.
+config = NEATConfig(eps=800.0)
+clean = NEAT(network, config).run_opt(dataset)
+noisy = NEAT(network, config).run_opt(matched)
+
+print(f"\nGround-truth clustering: {clean.summary()}")
+print(f"Matched-GPS clustering:  {noisy.summary()}")
+
+# 4. How similar are the discovered flows?  Compare segment coverage.
+clean_segments = {sid for flow in clean.flows for sid in flow.sids}
+noisy_segments = {sid for flow in noisy.flows for sid in flow.sids}
+overlap = clean_segments & noisy_segments
+union = clean_segments | noisy_segments
+print(
+    f"\nFlow segment agreement (Jaccard): {len(overlap)}/{len(union)} "
+    f"= {len(overlap) / len(union):.2f}"
+)
+print(
+    "Interpretation: NEAT's junction-based fragmentation absorbs GPS noise "
+    "as long as map matching assigns the right segment, because fragments "
+    "snap to whole road segments rather than raw coordinates."
+)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Location-based advertising: pick billboard/offer placements.
+
+The paper's second motivating application (Section I): "It would be
+beneficial for local stores to place advertisements ... to mobile devices
+taking path in major traffic flows passing by their stores."
+
+This example clusters a city's traffic with NEAT, then, for a set of
+candidate store locations, scores each by the traffic volume of the flow
+clusters passing within walking distance, and recommends which stores
+should buy mobile ads on which traffic stream.
+
+Run:  python examples/location_advertising.py
+"""
+
+import random
+
+from repro.core import NEAT, NEATConfig
+from repro.mobisim import SimulationConfig, simulate_dataset
+from repro.roadnet import SegmentGridIndex, atlanta_like
+
+WALKING_DISTANCE = 120.0  # metres from a flow to count as "passing by"
+
+network = atlanta_like(scale=0.1)
+dataset = simulate_dataset(
+    network, SimulationConfig(object_count=500, sample_interval=5.0, name="ads")
+)
+print(f"Traffic sample: {len(dataset)} trips, {dataset.total_points} points")
+
+# Flow-emphasising weights: advertisers care about how many *distinct*
+# devices ride a stream end to end.
+result = NEAT(network, NEATConfig(wq=1.0, wk=0.0, wv=0.0, eps=800.0)).run_flow(
+    dataset
+)
+print(f"{result.flow_count} major traffic flows discovered\n")
+
+# Candidate store locations: a geocoded store list would go here.  For
+# the demo, half the candidates sit on major corridors (the realistic
+# case — retail clusters along traffic) and half at random junctions.
+rng = random.Random(4)
+on_corridor = [
+    node
+    for flow in result.flows[:3]
+    for node in flow.route_nodes()[1:-1]
+]
+stores = {}
+for i in range(6):
+    if i % 2 == 0 and on_corridor:
+        stores[f"store-{chr(65 + i)}"] = rng.choice(on_corridor)
+    else:
+        stores[f"store-{chr(65 + i)}"] = rng.choice(network.node_ids())
+
+index = SegmentGridIndex(network)
+
+
+def flows_near(node_id):
+    """Flows with at least one segment within walking distance."""
+    point = network.node_point(node_id)
+    nearby_segments = {
+        sid for sid, _d in index.segments_within(point, WALKING_DISTANCE)
+    }
+    return [
+        (flow_id, flow)
+        for flow_id, flow in enumerate(result.flows)
+        if nearby_segments & set(flow.sids)
+    ]
+
+
+print(f"{'store':>8}  {'junction':>8}  {'impressions/trip-set':>20}  streams")
+recommendations = []
+for store, node_id in sorted(stores.items()):
+    hits = flows_near(node_id)
+    impressions = len(
+        {trid for _fid, flow in hits for trid in flow.participants}
+    )
+    streams = ", ".join(f"flow {fid}" for fid, _ in hits) or "-"
+    recommendations.append((impressions, store))
+    print(f"{store:>8}  {node_id:>8}  {impressions:>20}  {streams}")
+
+best = max(recommendations)
+print(
+    f"\nBest placement: {best[1]} "
+    f"(reaches {best[0]} of {len(dataset)} travellers)"
+)
+
+# A store off the main flows gets a concrete, data-backed "don't buy".
+worst = min(recommendations)
+if worst[0] == 0:
+    print(f"Skip: {worst[1]} sees no major flow within {WALKING_DISTANCE:.0f} m")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A NEAT server session: ingest, query, serve (Section II-C).
+
+The paper's system sketch: clients send trajectories to a NEAT server
+and "make requests to the server to get trajectory clustering results".
+This example drives the in-process server facade through a session —
+three clients submitting batches, then queries for flow summaries and
+the full validated clustering document a map UI would consume.
+
+Run:  python examples/neat_server.py
+"""
+
+import json
+
+from repro.core import NEATConfig
+from repro.distributed import NeatService
+from repro.mobisim import SimulationConfig, simulate_dataset
+from repro.roadnet import san_jose_like
+
+network = san_jose_like(scale=0.1)
+service = NeatService(network, NEATConfig(eps=800.0, min_card=5))
+
+# Three "clients" (e.g. taxi fleets) each upload their day of traces.
+for client in range(3):
+    fleet = simulate_dataset(
+        network,
+        SimulationConfig(object_count=120, seed=500 + client,
+                         name=f"fleet-{client}"),
+    )
+    ack = service.submit(list(fleet))
+    print(
+        f"client {client}: accepted {ack['accepted']} trips -> "
+        f"+{ack['new_flows']} flows (pool {ack['total_flows']}, "
+        f"{ack['clusters']} clusters)"
+    )
+
+stats = service.stats()
+print(
+    f"\nserver state: {stats.batches_ingested} batches, "
+    f"{stats.trajectories_ingested} trips, {stats.flow_count} flows, "
+    f"{stats.cluster_count} clusters, "
+    f"{stats.shortest_path_computations} Dijkstra searches so far"
+)
+
+# A lightweight query a map UI would poll.
+print("\ntop flows by ridership:")
+summaries = sorted(
+    service.get_flow_summaries(), key=lambda s: -s["cardinality"]
+)
+for summary in summaries[:5]:
+    print(
+        f"  flow {summary['flow']}: {summary['cardinality']} trips, "
+        f"{summary['route_length_m'] / 1000:.1f} km, "
+        f"endpoints {summary['endpoints']}"
+    )
+
+# The full clustering document (validated server-side before serving).
+document = service.get_clustering()
+payload = json.dumps(document)
+print(
+    f"\nfull clustering document: {len(document['flows'])} flows, "
+    f"{len(document['clusters'])} clusters, {len(payload) / 1024:.0f} KiB "
+    "of JSON"
+)
+print("document keys:", sorted(document.keys()))

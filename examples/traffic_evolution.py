@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Traffic evolution: how the major flows change across the day.
+
+Extends the paper's traffic-monitoring application with a temporal axis:
+morning commuters flood one direction, evening commuters the other, and
+a persistent midday trickle connects both.  Time-sliced flow-NEAT shows
+the churn, and `persistent_segments` extracts the all-day corridors —
+the strongest candidates for fixed infrastructure (bus lanes, sensors).
+
+Run:  python examples/traffic_evolution.py
+"""
+
+from repro.core import (
+    NEATConfig,
+    flow_stability,
+    persistent_segments,
+    time_sliced_clustering,
+)
+from repro.mobisim import DemandProfile, simulate_demand
+from repro.roadnet import atlanta_like
+
+WINDOW = 3600.0  # one-hour windows
+
+network = atlanta_like(scale=0.1)
+
+# Three traffic regimes over three hours: morning rush, midday lull,
+# evening rush — each window with its own hotspot layout (the evening
+# commute mirrors the morning's, it doesn't replay it).
+profile = DemandProfile.commuter_day(
+    peak_objects=250, offpeak_objects=60, window_seconds=WINDOW, seed=100
+)
+dataset = simulate_demand(network, profile, name="commuter-day")
+trajectories = list(dataset)
+print(f"{len(trajectories)} trips over {len(profile.windows)} hours\n")
+
+slices = time_sliced_clustering(
+    network, trajectories, window=WINDOW, config=NEATConfig(min_card=5)
+)
+
+print(f"{'window':>6}  {'trips':>5}  {'flows':>5}  {'covered segments':>16}")
+for timeslice in slices:
+    print(
+        f"{timeslice.index:>6}  {timeslice.trajectory_count:>5}  "
+        f"{len(timeslice.result.flows):>5}  "
+        f"{len(timeslice.covered_segments):>16}"
+    )
+
+stabilities = flow_stability(slices)
+print("\nFlow stability between consecutive windows (Jaccard):")
+for index, stability in enumerate(stabilities):
+    print(f"  window {index} -> {index + 1}: {stability:.2f}")
+
+persistent = persistent_segments(slices, min_fraction=1.0)
+print(
+    f"\n{len(persistent)} road segments carry a major flow in EVERY window "
+    "- the all-day corridors worth permanent infrastructure."
+)

@@ -1,0 +1,64 @@
+"""Analysis utilities: comparison metrics, accuracy, SVG visualization."""
+
+from .accuracy import (
+    SegmentAccuracy,
+    co_clustering_agreement,
+    flow_purity,
+    segment_accuracy,
+    true_segment_usage,
+)
+from .charts import LineChart, Series
+from .geojson import (
+    clusters_geojson,
+    flows_geojson,
+    network_geojson,
+    save_geojson,
+    trajectories_geojson,
+)
+from .hotspot_detection import HotspotArea, detect_hotspots
+from .metrics import (
+    ComparisonRow,
+    RouteLengthSummary,
+    cluster_summary,
+    compare_results,
+    flow_continuity,
+    flow_route_lengths,
+    fragment_coverage,
+    traclus_route_lengths,
+    trajectory_coverage,
+)
+from .odmatrix import ODMatrix, format_od_matrix, od_matrix
+from .visualize import PALETTE, SEQUENTIAL_BLUE, SvgScene, render_svg
+
+__all__ = [
+    "ComparisonRow",
+    "HotspotArea",
+    "LineChart",
+    "ODMatrix",
+    "PALETTE",
+    "RouteLengthSummary",
+    "SEQUENTIAL_BLUE",
+    "SegmentAccuracy",
+    "Series",
+    "SvgScene",
+    "cluster_summary",
+    "clusters_geojson",
+    "co_clustering_agreement",
+    "compare_results",
+    "detect_hotspots",
+    "flow_continuity",
+    "flow_purity",
+    "flow_route_lengths",
+    "flows_geojson",
+    "format_od_matrix",
+    "fragment_coverage",
+    "network_geojson",
+    "od_matrix",
+    "render_svg",
+    "save_geojson",
+    "segment_accuracy",
+    "traclus_route_lengths",
+    "trajectories_geojson",
+    "trajectory_coverage",
+    "true_segment_usage",
+]

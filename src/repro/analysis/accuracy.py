@@ -1,0 +1,158 @@
+"""Clustering accuracy against simulator ground truth.
+
+The paper claims NEAT is "highly accurate" but can only argue it visually
+(Figures 3-4): real traces have no labelled clusters.  Our simulator
+*does* know the truth — every trajectory's planned route — so this module
+quantifies accuracy directly:
+
+* **segment recall/precision** — how much of the truly-busy road surface
+  the kept flows cover, and how much of what they cover is truly busy;
+* **flow purity** — whether each flow's fragments come from trajectories
+  that genuinely travelled its representative route together;
+* **pairwise co-clustering** agreement — for trajectory pairs, does
+  "shared flow" predict "shared ground-truth route segments"?
+
+These metrics drive the accuracy experiment in
+``benchmarks/bench_accuracy.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.model import Trajectory
+from ..core.result import NEATResult
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentAccuracy:
+    """Coverage of the truly-busy road surface by the kept flows.
+
+    Attributes:
+        recall: Share of busy segments covered by flows.
+        precision: Share of flow segments that are truly busy.
+        f1: Harmonic mean of the two.
+        busy_threshold: Trajectory count above which a segment counts as
+            "truly busy".
+    """
+
+    recall: float
+    precision: float
+    busy_threshold: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of recall and precision."""
+        if self.recall + self.precision == 0.0:
+            return 0.0
+        return 2.0 * self.recall * self.precision / (self.recall + self.precision)
+
+
+def true_segment_usage(trajectories: Sequence[Trajectory]) -> dict[int, int]:
+    """Ground truth: distinct trajectories per road segment."""
+    usage: dict[int, set[int]] = {}
+    for trajectory in trajectories:
+        for sid in trajectory.segment_ids():
+            usage.setdefault(sid, set()).add(trajectory.trid)
+    return {sid: len(trids) for sid, trids in usage.items()}
+
+
+def segment_accuracy(
+    result: NEATResult,
+    trajectories: Sequence[Trajectory],
+    busy_threshold: int | None = None,
+) -> SegmentAccuracy:
+    """Recall/precision of flow coverage over truly-busy segments.
+
+    Args:
+        result: A flow- or opt-NEAT result.
+        trajectories: The ground-truth input trajectories.
+        busy_threshold: Minimum distinct-trajectory count for a segment to
+            count as busy.  Defaults to the resolved ``minCard`` of the
+            run (flows and busy segments then answer the same question:
+            "carries at least minCard objects").
+    """
+    if busy_threshold is None:
+        busy_threshold = max(1, result.min_card_used)
+    usage = true_segment_usage(trajectories)
+    busy = {sid for sid, count in usage.items() if count >= busy_threshold}
+    covered = {sid for flow in result.flows for sid in flow.sids}
+    if not busy:
+        return SegmentAccuracy(
+            recall=1.0 if not covered else 0.0,
+            precision=0.0 if covered else 1.0,
+            busy_threshold=busy_threshold,
+        )
+    true_positive = len(busy & covered)
+    recall = true_positive / len(busy)
+    precision = true_positive / len(covered) if covered else 1.0
+    return SegmentAccuracy(recall, precision, busy_threshold)
+
+
+def flow_purity(result: NEATResult) -> float:
+    """Mean share of each flow's fragments backed by route-faithful traffic.
+
+    For each flow, the fraction of its t-fragments whose trajectory also
+    participates in the *adjacent* member base clusters (i.e. genuinely
+    travels the route rather than merely crossing one segment of it).
+    Single-member flows are trivially pure.
+    """
+    if not result.flows:
+        return 1.0
+    purities = []
+    for flow in result.flows:
+        members = flow.members
+        if len(members) < 2:
+            purities.append(1.0)
+            continue
+        faithful = 0
+        total = 0
+        for index, cluster in enumerate(members):
+            neighbors: set[int] = set()
+            if index > 0:
+                neighbors |= members[index - 1].participants
+            if index + 1 < len(members):
+                neighbors |= members[index + 1].participants
+            for fragment in cluster.fragments:
+                total += 1
+                faithful += fragment.trid in neighbors
+        purities.append(faithful / total if total else 1.0)
+    return sum(purities) / len(purities)
+
+
+def co_clustering_agreement(
+    result: NEATResult,
+    trajectories: Sequence[Trajectory],
+    min_shared_segments: int = 3,
+    max_pairs: int = 20000,
+) -> float:
+    """Agreement between flow co-membership and route co-travel.
+
+    Samples trajectory pairs and checks whether "both participate in some
+    common flow" agrees with the ground truth "their routes share at least
+    ``min_shared_segments`` road segments".  Returns the fraction of
+    agreeing pairs (1.0 = clustering mirrors true co-travel exactly).
+    """
+    flow_members: dict[int, set[int]] = {}
+    for flow_id, flow in enumerate(result.flows):
+        for trid in flow.participants:
+            flow_members.setdefault(trid, set()).add(flow_id)
+
+    routes = {tr.trid: set(tr.segment_ids()) for tr in trajectories}
+    trids = sorted(routes)
+    agree = total = 0
+    for i in range(len(trids)):
+        for j in range(i + 1, len(trids)):
+            if total >= max_pairs:
+                break
+            a, b = trids[i], trids[j]
+            together_truth = len(routes[a] & routes[b]) >= min_shared_segments
+            together_found = bool(
+                flow_members.get(a, set()) & flow_members.get(b, set())
+            )
+            agree += together_truth == together_found
+            total += 1
+        if total >= max_pairs:
+            break
+    return agree / total if total else 1.0

@@ -1,0 +1,277 @@
+"""Standalone SVG line charts for the figure benchmarks.
+
+Regenerates the paper's *plots* (Figure 5(d)'s semi-log runtime curves,
+Figure 6's scaling curves, Figure 7's ELB comparison) as self-contained
+SVG files, with no plotting library.
+
+Styling follows a fixed spec: 2px round-capped lines, >=8px end markers
+with a 2px surface ring, hairline solid gridlines one step off the
+surface, a legend row for two or more series plus direct end labels, and
+text in ink tokens (never the series color).  The categorical palette is
+assigned in fixed slot order and was validated for colour-vision-deficiency
+separation on the light surface; every chart ships next to its text-table
+twin in ``benchmarks/output/``, which doubles as the table view.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+#: Validated categorical palette (light surface), fixed slot order.
+SERIES_COLORS = (
+    "#2a78d6",  # blue
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+SURFACE = "#fcfcfb"
+GRID = "#e7e6e3"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+
+
+@dataclass(frozen=True, slots=True)
+class Series:
+    """One line: a name and its ``(x, y)`` points (y > 0 for log scales)."""
+
+    name: str
+    points: tuple[tuple[float, float], ...]
+
+
+@dataclass
+class LineChart:
+    """A minimal line-chart builder targeting standalone SVG.
+
+    Attributes:
+        title: Chart title (primary ink).
+        x_label: X-axis caption.
+        y_label: Y-axis caption.
+        log_y: Use a log10 y scale (the paper's Figure 5(d) semi-log form).
+        width/height: Canvas size in px.
+    """
+
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    log_y: bool = False
+    width: int = 660
+    height: int = 420
+    series: list[Series] = field(default_factory=list)
+
+    #: Margins: top leaves room for title+legend, right for end labels.
+    _top: int = 78
+    _right: int = 150
+    _bottom: int = 52
+    _left: int = 70
+
+    def add_series(self, name: str, points: Sequence[tuple[float, float]]) -> None:
+        """Add a line; points are sorted by x."""
+        cleaned = tuple(sorted((float(x), float(y)) for x, y in points))
+        if self.log_y and any(y <= 0.0 for _x, y in cleaned):
+            raise ValueError(f"series {name!r}: log scale needs positive y")
+        self.series.append(Series(name, cleaned))
+
+    # ------------------------------------------------------------------
+    def _x_range(self) -> tuple[float, float]:
+        xs = [x for s in self.series for x, _y in s.points]
+        lo, hi = min(xs), max(xs)
+        if lo == hi:
+            lo, hi = lo - 1.0, hi + 1.0
+        return lo, hi
+
+    def _y_range(self) -> tuple[float, float]:
+        ys = [y for s in self.series for _x, y in s.points]
+        if self.log_y:
+            lo = 10 ** math.floor(math.log10(min(ys)))
+            hi = 10 ** math.ceil(math.log10(max(ys)))
+            if lo == hi:
+                hi *= 10.0
+            return lo, hi
+        lo, hi = 0.0, max(ys)
+        if hi <= 0.0:
+            hi = 1.0
+        return lo, hi * 1.05
+
+    def _tx(self, x: float) -> float:
+        lo, hi = self._x_range()
+        plot_width = self.width - self._left - self._right
+        return self._left + (x - lo) / (hi - lo) * plot_width
+
+    def _ty(self, y: float) -> float:
+        lo, hi = self._y_range()
+        plot_height = self.height - self._top - self._bottom
+        if self.log_y:
+            fraction = (math.log10(y) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        else:
+            fraction = (y - lo) / (hi - lo)
+        return self.height - self._bottom - fraction * plot_height
+
+    def _y_ticks(self) -> list[float]:
+        lo, hi = self._y_range()
+        if self.log_y:
+            low = int(math.log10(lo))
+            high = int(math.log10(hi))
+            return [10.0 ** k for k in range(low, high + 1)]
+        step = _nice_step(hi / 5.0)
+        ticks = []
+        value = 0.0
+        while value <= hi + 1e-9:
+            ticks.append(value)
+            value += step
+        return ticks
+
+    def _x_ticks(self) -> list[float]:
+        lo, hi = self._x_range()
+        step = _nice_step((hi - lo) / 5.0)
+        first = math.ceil(lo / step) * step
+        ticks = []
+        value = first
+        while value <= hi + 1e-9:
+            ticks.append(value)
+            value += step
+        return ticks
+
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        """Render the chart as a standalone SVG document."""
+        if not self.series:
+            raise ValueError("chart has no series")
+        parts: list[str] = []
+        parts.append(
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            'font-family="system-ui, sans-serif">'
+        )
+        parts.append(f'<rect width="100%" height="100%" fill="{SURFACE}"/>')
+        parts.append(
+            f'<text x="{self._left}" y="26" font-size="15" font-weight="600" '
+            f'fill="{TEXT_PRIMARY}">{_esc(self.title)}</text>'
+        )
+        self._render_legend(parts)
+        self._render_grid_and_axes(parts)
+        self._render_lines(parts)
+        parts.append("</svg>")
+        return "\n".join(parts) + "\n"
+
+    def _render_legend(self, parts: list[str]) -> None:
+        if len(self.series) < 2:
+            return  # a single series is named by the title
+        x = self._left
+        y = 48
+        for index, series in enumerate(self.series):
+            color = SERIES_COLORS[index % len(SERIES_COLORS)]
+            parts.append(
+                f'<line x1="{x}" y1="{y - 4}" x2="{x + 18}" y2="{y - 4}" '
+                f'stroke="{color}" stroke-width="2" stroke-linecap="round"/>'
+            )
+            label_x = x + 24
+            parts.append(
+                f'<text x="{label_x}" y="{y}" font-size="12" '
+                f'fill="{TEXT_SECONDARY}">{_esc(series.name)}</text>'
+            )
+            x = label_x + 8 * len(series.name) + 24
+
+    def _render_grid_and_axes(self, parts: list[str]) -> None:
+        plot_right = self.width - self._right
+        baseline = self.height - self._bottom
+        for tick in self._y_ticks():
+            y = self._ty(tick) if (not self.log_y or tick > 0) else baseline
+            parts.append(
+                f'<line x1="{self._left}" y1="{y:.1f}" x2="{plot_right}" '
+                f'y2="{y:.1f}" stroke="{GRID}" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{self._left - 8}" y="{y + 4:.1f}" font-size="11" '
+                f'text-anchor="end" fill="{TEXT_SECONDARY}" '
+                f'font-variant-numeric="tabular-nums">{_fmt(tick)}</text>'
+            )
+        for tick in self._x_ticks():
+            x = self._tx(tick)
+            parts.append(
+                f'<text x="{x:.1f}" y="{baseline + 18}" font-size="11" '
+                f'text-anchor="middle" fill="{TEXT_SECONDARY}" '
+                f'font-variant-numeric="tabular-nums">{_fmt(tick)}</text>'
+            )
+        # Axis captions.
+        if self.x_label:
+            parts.append(
+                f'<text x="{(self._left + plot_right) / 2:.1f}" '
+                f'y="{baseline + 38}" font-size="12" text-anchor="middle" '
+                f'fill="{TEXT_SECONDARY}">{_esc(self.x_label)}</text>'
+            )
+        if self.y_label:
+            y_mid = (self._top + baseline) / 2
+            parts.append(
+                f'<text x="18" y="{y_mid:.1f}" font-size="12" '
+                f'text-anchor="middle" fill="{TEXT_SECONDARY}" '
+                f'transform="rotate(-90 18 {y_mid:.1f})">'
+                f"{_esc(self.y_label)}</text>"
+            )
+
+    def _render_lines(self, parts: list[str]) -> None:
+        for index, series in enumerate(self.series):
+            color = SERIES_COLORS[index % len(SERIES_COLORS)]
+            coords = " ".join(
+                f"{self._tx(x):.1f},{self._ty(y):.1f}" for x, y in series.points
+            )
+            parts.append(
+                f'<polyline points="{coords}" fill="none" stroke="{color}" '
+                'stroke-width="2" stroke-linecap="round" '
+                'stroke-linejoin="round"/>'
+            )
+            end_x, end_y = series.points[-1]
+            cx, cy = self._tx(end_x), self._ty(end_y)
+            # End marker: r=4 plus a 2px surface ring.
+            parts.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="6" fill="{SURFACE}"/>'
+            )
+            parts.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="4" fill="{color}"/>'
+            )
+            # Direct end label in ink (identity comes from the marker).
+            parts.append(
+                f'<text x="{cx + 10:.1f}" y="{cy + 4:.1f}" font-size="12" '
+                f'fill="{TEXT_PRIMARY}">{_esc(series.name)}</text>'
+            )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the SVG to disk and return the path."""
+        target = Path(path)
+        target.write_text(self.to_svg())
+        return target
+
+
+def _nice_step(raw: float) -> float:
+    """Round a raw step up to 1/2/5 x 10^k."""
+    if raw <= 0.0:
+        return 1.0
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for multiplier in (1.0, 2.0, 5.0, 10.0):
+        if raw <= multiplier * magnitude:
+            return multiplier * magnitude
+    return 10.0 * magnitude
+
+
+def _fmt(value: float) -> str:
+    """Clean tick label: thousands-comma'd ints, compact decimals."""
+    if value == 0.0:
+        return "0"
+    if abs(value) >= 1000 and float(value).is_integer():
+        return f"{int(value):,}"
+    if abs(value) >= 1:
+        return f"{value:g}"
+    # Sub-1 values (seconds on log scales): fixed decimals, no exponent.
+    return f"{value:.10f}".rstrip("0").rstrip(".")
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -1,0 +1,126 @@
+"""GeoJSON export of networks, trajectories and clustering results.
+
+GeoJSON (RFC 7946) is the lingua franca of GIS tooling; exporting to it
+lets NEAT's output drop straight into QGIS/kepler.gl/deck.gl.  All
+geometry in this library is planar metres in a local projected frame, so
+the documents declare no CRS; consumers reproject as needed (RFC 7946
+technically mandates WGS84 — for synthetic maps the planar frame is the
+only meaningful one, and every GIS accepts it).
+
+Feature properties carry the clustering semantics: flows have their
+cardinality, route length and member segments; final clusters nest their
+flow ids; network segments carry class and speed limit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..core.flow_cluster import FlowCluster
+from ..core.model import Trajectory
+from ..core.refinement import TrajectoryCluster
+from ..roadnet.network import RoadNetwork
+
+
+def _feature(geometry: dict, properties: dict) -> dict[str, Any]:
+    return {"type": "Feature", "geometry": geometry, "properties": properties}
+
+
+def _line(points) -> dict[str, Any]:
+    return {
+        "type": "LineString",
+        "coordinates": [[round(p.x, 2), round(p.y, 2)] for p in points],
+    }
+
+
+def network_geojson(network: RoadNetwork) -> dict[str, Any]:
+    """The road network as a FeatureCollection of segment LineStrings."""
+    features = []
+    for segment in network.segments():
+        a, b = network.segment_endpoints(segment.sid)
+        features.append(
+            _feature(
+                _line((a, b)),
+                {
+                    "sid": segment.sid,
+                    "road_class": segment.road_class,
+                    "speed_limit": segment.speed_limit,
+                    "length_m": round(segment.length, 2),
+                    "bidirectional": segment.bidirectional,
+                },
+            )
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def trajectories_geojson(trajectories: Sequence[Trajectory]) -> dict[str, Any]:
+    """Trajectories as LineStrings with per-trip timing properties."""
+    features = []
+    for trajectory in trajectories:
+        features.append(
+            _feature(
+                _line([location.point for location in trajectory.locations]),
+                {
+                    "trid": trajectory.trid,
+                    "samples": len(trajectory),
+                    "start_t": trajectory.start.t,
+                    "end_t": trajectory.end.t,
+                },
+            )
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def flows_geojson(
+    network: RoadNetwork, flows: Sequence[FlowCluster]
+) -> dict[str, Any]:
+    """Flow clusters as LineStrings along their representative routes."""
+    features = []
+    for index, flow in enumerate(flows):
+        points = [network.node_point(node) for node in flow.route_nodes()]
+        features.append(
+            _feature(
+                _line(points),
+                {
+                    "flow": index,
+                    "segments": list(flow.sids),
+                    "cardinality": flow.trajectory_cardinality,
+                    "density": flow.density,
+                    "route_length_m": round(flow.route_length, 2),
+                },
+            )
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def clusters_geojson(
+    network: RoadNetwork, clusters: Sequence[TrajectoryCluster]
+) -> dict[str, Any]:
+    """Final clusters as MultiLineStrings (one line per member flow)."""
+    features = []
+    for cluster in clusters:
+        lines = []
+        for flow in cluster.flows:
+            points = [network.node_point(node) for node in flow.route_nodes()]
+            lines.append([[round(p.x, 2), round(p.y, 2)] for p in points])
+        features.append(
+            _feature(
+                {"type": "MultiLineString", "coordinates": lines},
+                {
+                    "cluster": cluster.cluster_id,
+                    "flows": len(cluster.flows),
+                    "cardinality": cluster.trajectory_cardinality,
+                    "total_route_m": round(cluster.total_route_length, 2),
+                },
+            )
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def save_geojson(document: dict[str, Any], path: str | Path) -> Path:
+    """Write a GeoJSON document to disk and return the path."""
+    target = Path(path)
+    target.write_text(json.dumps(document))
+    return target

@@ -1,0 +1,147 @@
+"""Cluster-quality and comparison metrics.
+
+The quantities Figures 4 and 5 of the paper compare between flow-NEAT and
+TraClus: representative-route lengths (average and maximum), resulting
+cluster counts, and running times; plus coverage/continuity diagnostics
+useful when exploring parameter settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.flow_cluster import FlowCluster
+from ..core.refinement import TrajectoryCluster
+from ..core.result import NEATResult
+from ..traclus.traclus import TraClusResult
+
+
+@dataclass(frozen=True, slots=True)
+class RouteLengthSummary:
+    """Average/maximum representative route lengths, in metres."""
+
+    count: int
+    average_m: float
+    maximum_m: float
+
+
+def flow_route_lengths(flows: Sequence[FlowCluster]) -> RouteLengthSummary:
+    """Route-length summary of a set of flow clusters (Figure 5a/5b)."""
+    lengths = [flow.route_length for flow in flows]
+    return RouteLengthSummary(
+        count=len(lengths),
+        average_m=(sum(lengths) / len(lengths)) if lengths else 0.0,
+        maximum_m=max(lengths, default=0.0),
+    )
+
+
+def traclus_route_lengths(result: TraClusResult) -> RouteLengthSummary:
+    """Representative-trajectory length summary of a TraClus result."""
+    lengths = result.representative_lengths()
+    return RouteLengthSummary(
+        count=len(lengths),
+        average_m=(sum(lengths) / len(lengths)) if lengths else 0.0,
+        maximum_m=max(lengths, default=0.0),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonRow:
+    """One row of the Figure 5 comparison (one dataset size)."""
+
+    dataset: str
+    points: int
+    neat_avg_route_m: float
+    neat_max_route_m: float
+    neat_clusters: int
+    neat_seconds: float
+    traclus_avg_route_m: float
+    traclus_max_route_m: float
+    traclus_clusters: int
+    traclus_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """TraClus time divided by NEAT time."""
+        return self.traclus_seconds / self.neat_seconds if self.neat_seconds else 0.0
+
+
+def compare_results(
+    dataset_name: str,
+    points: int,
+    neat: NEATResult,
+    traclus: TraClusResult,
+) -> ComparisonRow:
+    """Assemble a Figure 5 row from a NEAT run and a TraClus run."""
+    neat_summary = flow_route_lengths(neat.flows)
+    traclus_summary = traclus_route_lengths(traclus)
+    return ComparisonRow(
+        dataset=dataset_name,
+        points=points,
+        neat_avg_route_m=neat_summary.average_m,
+        neat_max_route_m=neat_summary.maximum_m,
+        neat_clusters=len(neat.flows),
+        neat_seconds=neat.timings.total,
+        traclus_avg_route_m=traclus_summary.average_m,
+        traclus_max_route_m=traclus_summary.maximum_m,
+        traclus_clusters=traclus.cluster_count,
+        traclus_seconds=traclus.total_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Quality diagnostics
+# ----------------------------------------------------------------------
+
+def fragment_coverage(result: NEATResult) -> float:
+    """Fraction of all t-fragments absorbed into kept flows.
+
+    The remainder sits in noise flows (sub-``minCard`` traffic).
+    """
+    kept = sum(flow.density for flow in result.flows)
+    noise = sum(flow.density for flow in result.noise_flows)
+    total = kept + noise
+    return kept / total if total else 0.0
+
+
+def trajectory_coverage(result: NEATResult, trajectory_count: int) -> float:
+    """Fraction of input trajectories participating in some kept flow."""
+    if trajectory_count <= 0:
+        return 0.0
+    covered: set[int] = set()
+    for flow in result.flows:
+        covered.update(flow.participants)
+    return len(covered) / trajectory_count
+
+
+def flow_continuity(flow: FlowCluster) -> float:
+    """Mean consecutive-member netflow, normalized by flow cardinality.
+
+    1.0 means every trajectory in the flow traverses every consecutive
+    segment pair — a perfectly continuous stream; values near 0 flag flows
+    stitched together from barely-overlapping traffic.
+    """
+    members = flow.members
+    if len(members) < 2 or flow.trajectory_cardinality == 0:
+        return 1.0
+    from ..core.base_cluster import netflow as base_netflow
+
+    total = sum(
+        base_netflow(members[i], members[i + 1]) for i in range(len(members) - 1)
+    )
+    return total / ((len(members) - 1) * flow.trajectory_cardinality)
+
+
+def cluster_summary(clusters: Sequence[TrajectoryCluster]) -> list[dict[str, object]]:
+    """Per-cluster digest rows for reports and examples."""
+    return [
+        {
+            "cluster_id": cluster.cluster_id,
+            "flows": len(cluster.flows),
+            "segments": sum(len(flow) for flow in cluster.flows),
+            "cardinality": cluster.trajectory_cardinality,
+            "total_route_m": round(cluster.total_route_length, 1),
+        }
+        for cluster in clusters
+    ]

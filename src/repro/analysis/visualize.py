@@ -1,0 +1,197 @@
+"""SVG visualization of networks, trajectories and clusters.
+
+Regenerates the *kind* of pictures in Figures 3 and 4 of the paper: the
+road network in light gray, input trajectories in green, flow clusters /
+final clusters as coloured polylines over the map.  Output is plain SVG
+with no third-party dependencies, written by :func:`render_svg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..core.flow_cluster import FlowCluster
+from ..core.model import Trajectory
+from ..core.refinement import TrajectoryCluster
+from ..roadnet.network import RoadNetwork
+
+#: Qualitative palette for cluster polylines (colour-blind-safe-ish).
+PALETTE = (
+    "#c23b22", "#1f6f8b", "#e08e29", "#5a7d2a", "#7b4b94",
+    "#b0508e", "#2a9d8f", "#8a5a44", "#4059ad", "#97872b",
+)
+
+#: Sequential blue ramp (light -> dark) for magnitude encodings such as
+#: the base-cluster density map; one hue, monotone lightness.
+SEQUENTIAL_BLUE = (
+    "#cde2fb", "#9ec5f4", "#6da7ec", "#3987e5", "#256abf", "#184f95",
+    "#0d366b",
+)
+
+
+@dataclass
+class SvgScene:
+    """An SVG document under construction, in network coordinates.
+
+    The scene flips the y-axis (SVG grows downward, maps grow upward) and
+    fits the viewport to the network bounds plus a margin.
+    """
+
+    network: RoadNetwork
+    width: int = 1000
+    margin: float = 30.0
+    _elements: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        min_x, min_y, max_x, max_y = self.network.bounds()
+        self._min_x, self._min_y = min_x, min_y
+        span_x = max(max_x - min_x, 1.0)
+        span_y = max(max_y - min_y, 1.0)
+        self._scale = (self.width - 2 * self.margin) / span_x
+        self.height = int(span_y * self._scale + 2 * self.margin)
+        self._max_y = max_y
+
+    # ------------------------------------------------------------------
+    def _tx(self, x: float) -> float:
+        return (x - self._min_x) * self._scale + self.margin
+
+    def _ty(self, y: float) -> float:
+        return (self._max_y - y) * self._scale + self.margin
+
+    def _polyline(self, points, color: str, width: float, opacity: float) -> None:
+        coords = " ".join(
+            f"{self._tx(p.x):.1f},{self._ty(p.y):.1f}" for p in points
+        )
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}" stroke-opacity="{opacity}" '
+            'stroke-linecap="round" stroke-linejoin="round"/>'
+        )
+
+    # ------------------------------------------------------------------
+    def draw_network(self, color: str = "#cccccc", width: float = 0.8) -> None:
+        """Draw every road segment as a light backdrop."""
+        for segment in self.network.segments():
+            a, b = self.network.segment_endpoints(segment.sid)
+            self._polyline((a, b), color, width, 1.0)
+
+    def draw_trajectories(
+        self,
+        trajectories: Sequence[Trajectory],
+        color: str = "#3a7d44",
+        width: float = 1.0,
+        opacity: float = 0.35,
+    ) -> None:
+        """Draw raw trajectories (Figure 3a's green traces)."""
+        for trajectory in trajectories:
+            self._polyline(
+                [loc.point for loc in trajectory.locations], color, width, opacity
+            )
+
+    def draw_flow(
+        self, flow: FlowCluster, color: str, width: float = 3.0, label: str | None = None
+    ) -> None:
+        """Draw one flow cluster's representative route."""
+        points = [self.network.node_point(n) for n in flow.route_nodes()]
+        self._polyline(points, color, width, 0.9)
+        if label and points:
+            mid = points[len(points) // 2]
+            self._elements.append(
+                f'<text x="{self._tx(mid.x):.1f}" y="{self._ty(mid.y):.1f}" '
+                f'font-size="11" fill="{color}">{label}</text>'
+            )
+
+    def draw_flows(self, flows: Sequence[FlowCluster], numbered: bool = True) -> None:
+        """Draw flows in palette colours (Figure 3b)."""
+        for index, flow in enumerate(flows):
+            self.draw_flow(
+                flow,
+                PALETTE[index % len(PALETTE)],
+                label=str(index) if numbered else None,
+            )
+
+    def draw_clusters(self, clusters: Sequence[TrajectoryCluster]) -> None:
+        """Draw final clusters, one colour per cluster (Figure 3c)."""
+        for cluster in clusters:
+            color = PALETTE[cluster.cluster_id % len(PALETTE)]
+            for flow in cluster.flows:
+                self.draw_flow(flow, color)
+
+    def draw_density(
+        self,
+        base_clusters,
+        min_density: int = 1,
+        width: float = 2.5,
+    ) -> None:
+        """Shade road segments by base-cluster density (base-NEAT view).
+
+        The paper notes (Section IV-C) that thresholded base clusters
+        already show where traffic concentrates; this renders that view:
+        each segment carrying at least ``min_density`` t-fragments is
+        drawn in the sequential blue ramp, light for sparse, dark for
+        dense.  Draw the plain network first for context.
+        """
+        clusters = [c for c in base_clusters if c.density >= min_density]
+        if not clusters:
+            return
+        top = max(c.density for c in clusters)
+        ramp = SEQUENTIAL_BLUE
+        for cluster in clusters:
+            fraction = cluster.density / top
+            step = min(len(ramp) - 1, int(fraction * len(ramp)))
+            a, b = self.network.segment_endpoints(cluster.sid)
+            self._polyline((a, b), ramp[step], width, 0.95)
+
+    def draw_markers(
+        self, node_ids: Sequence[int], color: str = "#d00000", size: float = 6.0
+    ) -> None:
+        """Draw X markers at junctions (the paper's destination X-signs)."""
+        for node_id in node_ids:
+            p = self.network.node_point(node_id)
+            x, y = self._tx(p.x), self._ty(p.y)
+            s = size / 2.0
+            self._elements.append(
+                f'<path d="M {x - s} {y - s} L {x + s} {y + s} '
+                f'M {x - s} {y + s} L {x + s} {y - s}" stroke="{color}" '
+                'stroke-width="2" fill="none"/>'
+            )
+
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        """The finished SVG document."""
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n{body}\n</svg>\n'
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the SVG to disk and return the path."""
+        target = Path(path)
+        target.write_text(self.to_svg())
+        return target
+
+
+def render_svg(
+    network: RoadNetwork,
+    path: str | Path,
+    trajectories: Sequence[Trajectory] = (),
+    flows: Sequence[FlowCluster] = (),
+    clusters: Sequence[TrajectoryCluster] = (),
+    markers: Sequence[int] = (),
+) -> Path:
+    """One-call rendering of the usual map + overlay combination."""
+    scene = SvgScene(network)
+    scene.draw_network()
+    if trajectories:
+        scene.draw_trajectories(trajectories)
+    if flows:
+        scene.draw_flows(flows)
+    if clusters:
+        scene.draw_clusters(clusters)
+    if markers:
+        scene.draw_markers(markers)
+    return scene.save(path)

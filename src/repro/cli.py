@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the full workflow without writing Python:
+
+* ``generate-network`` — build a calibrated synthetic map, save as JSON;
+* ``stats``            — print a network's Table-I-style statistics;
+* ``simulate``         — generate mobility traces on a saved network;
+* ``cluster``          — run base-/flow-/opt-NEAT over saved traces;
+* ``experiment``       — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.config import NEATConfig
+from .core.pipeline import MODES, NEAT
+from .mobisim.io import load_dataset, save_dataset
+from .mobisim.simulator import SimulationConfig, simulate_dataset
+from .roadnet.generators import REGION_PRESETS
+from .roadnet.io import load_network, save_network
+from .roadnet.stats import format_table1, network_stats
+
+EXPERIMENTS = (
+    "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "variant", "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NEAT road-network-aware trajectory clustering (ICDCS 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-network", help="build a synthetic road network")
+    gen.add_argument("--region", choices=sorted(REGION_PRESETS), default="ATL")
+    gen.add_argument("--scale", type=float, default=0.1,
+                     help="fraction of the paper's map size (default 0.1)")
+    gen.add_argument("--seed", type=int, default=71)
+    gen.add_argument("--out", required=True, type=Path, help="output JSON path")
+
+    stats = sub.add_parser("stats", help="print Table-I statistics of a network")
+    stats.add_argument("network", type=Path, help="network JSON file")
+
+    sim = sub.add_parser("simulate", help="generate mobility traces")
+    sim.add_argument("--network", required=True, type=Path)
+    sim.add_argument("--objects", type=int, default=500)
+    sim.add_argument("--interval", type=float, default=5.0,
+                     help="sampling interval in seconds")
+    sim.add_argument("--hotspots", type=int, default=2)
+    sim.add_argument("--destinations", type=int, default=3)
+    sim.add_argument("--seed", type=int, default=23)
+    sim.add_argument("--name", default=None, help="dataset name")
+    sim.add_argument("--out", required=True, type=Path)
+
+    cluster = sub.add_parser("cluster", help="run NEAT over saved traces")
+    cluster.add_argument("--network", required=True, type=Path)
+    cluster.add_argument("--traces", required=True, type=Path)
+    cluster.add_argument("--mode", choices=MODES, default="opt")
+    cluster.add_argument("--eps", type=float, default=1000.0,
+                         help="Phase 3 distance threshold in metres")
+    cluster.add_argument("--min-card", type=int, default=None,
+                         help="minCard (default: mean flow cardinality)")
+    cluster.add_argument("--wq", type=float, default=1.0 / 3.0)
+    cluster.add_argument("--wk", type=float, default=1.0 / 3.0)
+    cluster.add_argument("--wv", type=float, default=1.0 / 3.0)
+    cluster.add_argument("--no-elb", action="store_true",
+                         help="disable Euclidean-lower-bound pruning")
+    cluster.add_argument("--svg", type=Path, default=None,
+                         help="render flows/clusters to this SVG")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a table/figure of the paper"
+    )
+    experiment.add_argument("id", choices=EXPERIMENTS)
+    experiment.add_argument("--out-dir", type=Path, default=Path("experiment-output"))
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate-network": _cmd_generate,
+        "stats": _cmd_stats,
+        "simulate": _cmd_simulate,
+        "cluster": _cmd_cluster,
+        "experiment": _cmd_experiment,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    network = REGION_PRESETS[args.region](scale=args.scale, seed=args.seed)
+    save_network(network, args.out)
+    stats = network_stats(network)
+    print(f"wrote {args.out}: {stats.junction_count} junctions, "
+          f"{stats.segment_count} segments, {stats.total_length_km:.1f} km")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    print(format_table1([network_stats(network)]))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    name = args.name or f"{network.name}-{args.objects}"
+    dataset = simulate_dataset(
+        network,
+        SimulationConfig(
+            object_count=args.objects,
+            sample_interval=args.interval,
+            hotspot_count=args.hotspots,
+            destination_count=args.destinations,
+            seed=args.seed,
+            name=name,
+        ),
+    )
+    save_dataset(dataset, args.out)
+    print(f"wrote {args.out}: {len(dataset)} trajectories, "
+          f"{dataset.total_points} points")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    dataset = load_dataset(args.traces)
+    config = NEATConfig(
+        wq=args.wq, wk=args.wk, wv=args.wv,
+        eps=args.eps, min_card=args.min_card, use_elb=not args.no_elb,
+    )
+    result = NEAT(network, config).run(dataset, mode=args.mode)
+    print(result.summary())
+    for index, flow in enumerate(result.flows[:10]):
+        print(f"  flow {index}: {len(flow)} segments, "
+              f"{flow.trajectory_cardinality} trajectories, "
+              f"{flow.route_length:.0f} m")
+    if args.svg is not None:
+        from .analysis.visualize import render_svg
+
+        render_svg(
+            network, args.svg,
+            flows=result.flows, clusters=result.clusters,
+        )
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import figures
+
+    out_dir = args.out_dir
+    out_dir.mkdir(parents=True, exist_ok=True)
+    runners = {
+        "table1": lambda: figures.run_table1(),
+        "table2": lambda: figures.run_table2(),
+        "table3": lambda: figures.run_table3(),
+        "fig3": lambda: figures.run_fig3(out_dir=out_dir),
+        "fig4": lambda: figures.run_fig4(),
+        "fig5": lambda: figures.run_fig5(),
+        "fig6": lambda: figures.run_fig6(),
+        "fig7": lambda: figures.run_fig7(),
+        "variant": lambda: figures.run_variant(),
+    }
+    selected = list(runners) if args.id == "all" else [args.id]
+    for experiment_id in selected:
+        result = runners[experiment_id]()
+        text = result.render()
+        print(f"===== {experiment_id} =====")
+        print(text)
+        print()
+        (out_dir / f"{experiment_id}.txt").write_text(text + "\n")
+    print(f"wrote {len(selected)} report(s) to {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

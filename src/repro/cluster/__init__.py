@@ -1,0 +1,5 @@
+"""Generic clustering building blocks shared by NEAT and TraClus."""
+
+from .dbscan import NOISE, clusters_from_labels, dbscan
+
+__all__ = ["NOISE", "clusters_from_labels", "dbscan"]

@@ -1,0 +1,97 @@
+"""Generic DBSCAN with pluggable neighborhood function.
+
+Both consumers in this library — TraClus's line-segment grouping phase and
+NEAT's Phase 3 flow-cluster refinement — are "DBSCAN with a custom distance
+and a custom processing order".  This module implements the classic
+algorithm (Ester et al., KDD'96) over abstract item indices so each
+consumer only supplies its region query.
+
+Labels follow the usual convention: cluster ids are ``0, 1, 2, ...`` and
+``NOISE`` (= -1) marks unclustered items.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Sequence
+
+#: Label of items not assigned to any cluster.
+NOISE = -1
+
+#: A region query: item index -> indices of items within eps (self optional).
+RegionQuery = Callable[[int], Sequence[int]]
+
+
+def dbscan(
+    item_count: int,
+    region_query: RegionQuery,
+    min_pts: int,
+    order: Sequence[int] | None = None,
+) -> list[int]:
+    """Cluster ``item_count`` items with DBSCAN.
+
+    Args:
+        item_count: Number of items, addressed ``0..item_count-1``.
+        region_query: Returns the eps-neighborhood of an item as indices.
+            The item itself may or may not be included; it is counted as
+            part of its own neighborhood either way (standard DBSCAN).
+        min_pts: Minimum neighborhood size (including the item itself) for
+            an item to be a core item.  ``min_pts=1`` makes every item a
+            core item, so clusters become the connected components of the
+            eps-graph and nothing is noise.
+        order: Seed processing order (item indices).  DBSCAN's cluster
+            *membership* for core points is order-independent, but ids and
+            border-point assignment follow this order; NEAT passes
+            longest-route-first to make Phase 3 deterministic.
+
+    Returns:
+        A label per item: cluster id or :data:`NOISE`.
+    """
+    if min_pts < 1:
+        raise ValueError(f"min_pts must be >= 1, got {min_pts}")
+    if order is None:
+        order = range(item_count)
+
+    labels = [NOISE] * item_count
+    visited = [False] * item_count
+    next_cluster = 0
+
+    for seed in order:
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        neighbors = _with_self(seed, region_query(seed))
+        if len(neighbors) < min_pts:
+            continue  # stays NOISE unless adopted as a border item later
+        cluster_id = next_cluster
+        next_cluster += 1
+        labels[seed] = cluster_id
+        queue = deque(n for n in neighbors if n != seed)
+        while queue:
+            item = queue.popleft()
+            if labels[item] == NOISE:
+                labels[item] = cluster_id  # border or core, it joins
+            if visited[item]:
+                continue
+            visited[item] = True
+            item_neighbors = _with_self(item, region_query(item))
+            if len(item_neighbors) >= min_pts:
+                queue.extend(n for n in item_neighbors if not visited[n] or labels[n] == NOISE)
+    return labels
+
+
+def _with_self(item: int, neighbors: Sequence[int]) -> list[int]:
+    """Neighborhood including the item itself exactly once."""
+    result = list(neighbors)
+    if item not in result:
+        result.append(item)
+    return result
+
+
+def clusters_from_labels(labels: Sequence[int]) -> list[list[int]]:
+    """Group item indices by cluster label, ascending id; noise dropped."""
+    by_id: dict[int, list[int]] = {}
+    for index, label in enumerate(labels):
+        if label != NOISE:
+            by_id.setdefault(label, []).append(index)
+    return [by_id[cluster_id] for cluster_id in sorted(by_id)]

@@ -1,0 +1,93 @@
+"""NEAT algorithm configuration.
+
+Gathers every knob of the three-phase framework in one validated dataclass:
+the merging-selectivity weights of Definition 10, the domination threshold
+``β`` of Section III-B2, the flow-cardinality filter ``minCard``, and the
+Phase 3 refinement distance ``ε`` with its ELB switch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class NEATConfig:
+    """Parameters of the NEAT three-phase clustering framework.
+
+    Attributes:
+        wq: Weight of the flow factor ``q`` (Definition 9/10).
+        wk: Weight of the density factor ``k``.
+        wv: Weight of the speed-limit factor ``v``.  The three weights must
+            be non-negative and sum to 1.
+        beta: Domination threshold ``β``.  A netflow ``f1`` dominates ``f2``
+            when both are positive and ``f1/f2 >= beta``; ``math.inf``
+            disables domination handling, making selection purely
+            SF/maxFlow-driven (Section III-B2).
+        min_card: Minimum trajectory cardinality for a flow cluster to
+            survive Phase 2.  ``None`` (the default) uses the paper's
+            choice for Figure 3: the mean cardinality over all formed
+            flows (= 5 for ATL500 in the paper).
+        eps: Phase 3 distance threshold ``ε`` in metres for merging flow
+            clusters (the paper uses 6500 m for ATL500).
+        min_pts: Minimum neighbour count in the adapted DBSCAN.  The paper
+            sets "no minimum cardinality", i.e. 1: every flow belongs to a
+            final cluster, singletons included.
+        use_elb: Apply the Euclidean-lower-bound filter before shortest
+            path computations in Phase 3 (Section III-C3).
+        keep_interior_points: Keep original interior samples inside
+            t-fragments.  The paper drops them ("only the first and the
+            last point in the original trajectory are kept, together with
+            the newly inserted road junction points"); keeping them is
+            useful for visualization and diagnostics.
+    """
+
+    wq: float = 1.0 / 3.0
+    wk: float = 1.0 / 3.0
+    wv: float = 1.0 / 3.0
+    beta: float = math.inf
+    min_card: int | None = None
+    eps: float = 1000.0
+    min_pts: int = 1
+    use_elb: bool = True
+    keep_interior_points: bool = False
+
+    def __post_init__(self) -> None:
+        for name, weight in (("wq", self.wq), ("wk", self.wk), ("wv", self.wv)):
+            if weight < 0.0:
+                raise ConfigError(f"{name} must be non-negative, got {weight}")
+        total = self.wq + self.wk + self.wv
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+            raise ConfigError(
+                f"weights must sum to 1 (wq + wk + wv = {total})"
+            )
+        if self.beta <= 1.0:
+            raise ConfigError(
+                f"beta must exceed 1 (a flow cannot dominate a larger one), "
+                f"got {self.beta}"
+            )
+        if self.min_card is not None and self.min_card < 0:
+            raise ConfigError(f"min_card must be >= 0, got {self.min_card}")
+        if self.eps < 0.0:
+            raise ConfigError(f"eps must be >= 0, got {self.eps}")
+        if self.min_pts < 1:
+            raise ConfigError(f"min_pts must be >= 1, got {self.min_pts}")
+
+    def with_weights(self, wq: float, wk: float, wv: float) -> "NEATConfig":
+        """A copy with different merging-selectivity weights."""
+        return replace(self, wq=wq, wk=wk, wv=wv)
+
+    def with_eps(self, eps: float) -> "NEATConfig":
+        """A copy with a different Phase 3 distance threshold."""
+        return replace(self, eps=eps)
+
+
+#: Application presets discussed under Definition 10 in the paper.
+PRESET_BALANCED = NEATConfig(wq=1.0 / 3.0, wk=1.0 / 3.0, wv=1.0 / 3.0)
+PRESET_DENSEST = NEATConfig(wq=0.0, wk=1.0, wv=0.0)
+PRESET_FASTEST = NEATConfig(wq=0.0, wk=0.0, wv=1.0)
+PRESET_TRAFFIC_MONITORING = NEATConfig(wq=0.5, wk=0.5, wv=0.0)
+PRESET_MAX_FLOW = NEATConfig(wq=1.0, wk=0.0, wv=0.0)

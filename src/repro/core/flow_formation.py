@@ -1,0 +1,201 @@
+"""Phase 2: flow cluster formation.
+
+Implements Section III-B of the paper.  Starting from the dense-core of
+the base-cluster list, flows are grown by repeatedly selecting, at each
+open end, the f-neighbor with the highest *merging selectivity*
+``SF = wq*q + wk*k + wv*v`` (Definitions 9/10), subject to the domination
+rule of Section III-B2: when the netflow between two f-neighbors of the
+frontier cluster dominates its maxFlow by a factor ``β``, those two
+neighbors are withheld (they will anchor their own, stronger flow later)
+and selection restarts with the reduced neighborhood.  Exhausted seeds are
+followed by the next densest unassigned cluster until the pool empties;
+flows under the ``minCard`` trajectory-cardinality threshold are split off
+as noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..roadnet.network import RoadNetwork
+from .base_cluster import BaseCluster, netflow
+from .config import NEATConfig
+from .flow_cluster import FlowCluster
+from .neighborhood import BaseClusterPool
+
+
+@dataclass
+class FlowFormationResult:
+    """Output of Phase 2.
+
+    Attributes:
+        flows: Flow clusters meeting the ``minCard`` threshold, in
+            formation order (densest seed first).
+        noise_flows: Flows filtered out by ``minCard``.
+        min_card_used: The threshold actually applied (resolved from the
+            config, or the mean cardinality when the config leaves it
+            automatic).
+    """
+
+    flows: list[FlowCluster] = field(default_factory=list)
+    noise_flows: list[FlowCluster] = field(default_factory=list)
+    min_card_used: int = 0
+
+    @property
+    def all_flows(self) -> list[FlowCluster]:
+        """Every formed flow, kept and noise alike, in formation order."""
+        combined = self.flows + self.noise_flows
+        return combined
+
+
+def form_flow_clusters(
+    network: RoadNetwork,
+    base_clusters: Sequence[BaseCluster],
+    config: NEATConfig | None = None,
+    seed_strategy: str = "density",
+    seed_rng=None,
+) -> FlowFormationResult:
+    """Run Phase 2 over a base-cluster list.
+
+    Args:
+        network: The road network.
+        base_clusters: Phase 1 output (any order; the pool re-sorts).
+        config: NEAT parameters; defaults to :class:`NEATConfig`'s defaults.
+        seed_strategy: ``"density"`` (the paper's dense-core-first order,
+            deterministic) or ``"random"`` (ablation only; requires
+            ``seed_rng``).
+        seed_rng: ``random.Random`` driving the ``"random"`` strategy.
+
+    Returns:
+        The formed flows partitioned by the ``minCard`` filter.
+    """
+    if config is None:
+        config = NEATConfig()
+    if seed_strategy not in ("density", "random"):
+        raise ValueError(f"unknown seed strategy {seed_strategy!r}")
+    if seed_strategy == "random" and seed_rng is None:
+        raise ValueError("seed_strategy='random' requires seed_rng")
+    pool = BaseClusterPool(network, base_clusters)
+    formed: list[FlowCluster] = []
+    while pool:
+        if seed_strategy == "density":
+            seed = pool.pop_densest()
+        else:
+            seed = pool.pop_random(seed_rng)
+        flow = FlowCluster(network, seed)
+        _expand(flow, pool, config, at_end=True)
+        _expand(flow, pool, config, at_end=False)
+        formed.append(flow)
+
+    min_card = config.min_card
+    if min_card is None:
+        if formed:
+            mean = sum(f.trajectory_cardinality for f in formed) / len(formed)
+            min_card = max(1, round(mean))
+        else:
+            min_card = 0
+
+    result = FlowFormationResult(min_card_used=min_card)
+    for flow in formed:
+        if flow.trajectory_cardinality >= min_card:
+            result.flows.append(flow)
+        else:
+            result.noise_flows.append(flow)
+    return result
+
+
+def _expand(
+    flow: FlowCluster, pool: BaseClusterPool, config: NEATConfig, at_end: bool
+) -> None:
+    """Grow one end of ``flow`` until its frontier has no f-neighbor."""
+    while True:
+        frontier = flow.members[-1] if at_end else flow.members[0]
+        node = flow.end_node if at_end else flow.front_node
+        candidates = pool.f_neighbors_at(frontier, node)
+        candidates = _apply_domination(frontier, candidates, config.beta)
+        if not candidates:
+            return
+        chosen = _select_candidate(frontier, flow, candidates, config)
+        pool.remove(chosen)
+        if at_end:
+            flow.append(chosen)
+        else:
+            flow.prepend(chosen)
+
+
+def _apply_domination(
+    frontier: BaseCluster, candidates: list[BaseCluster], beta: float
+) -> list[BaseCluster]:
+    """Remove f-neighbor pairs whose mutual netflow dominates the maxFlow.
+
+    Section III-B2: if ``f(S_i, S_j) / maxFlow(S) >= β`` for two
+    f-neighbors ``S_i, S_j`` of the frontier ``S``, both are removed and
+    the check restarts on the reduced neighborhood.  With ``β = inf`` the
+    neighborhood is returned untouched.
+    """
+    if math.isinf(beta) or len(candidates) < 2:
+        return candidates
+    remaining = list(candidates)
+    while len(remaining) >= 2:
+        max_flow = max(netflow(frontier, c) for c in remaining)
+        if max_flow <= 0:
+            break
+        dominated_pair: tuple[BaseCluster, BaseCluster] | None = None
+        for i in range(len(remaining)):
+            for j in range(i + 1, len(remaining)):
+                mutual = netflow(remaining[i], remaining[j])
+                if mutual > 0 and mutual / max_flow >= beta:
+                    dominated_pair = (remaining[i], remaining[j])
+                    break
+            if dominated_pair:
+                break
+        if dominated_pair is None:
+            break
+        remaining = [c for c in remaining if c not in dominated_pair]
+    return remaining
+
+
+def _select_candidate(
+    frontier: BaseCluster,
+    flow: FlowCluster,
+    candidates: list[BaseCluster],
+    config: NEATConfig,
+) -> BaseCluster:
+    """Pick the candidate with the highest merging selectivity (Def. 10).
+
+    The factor denominators follow Definition 9, computed over the current
+    (post-domination) neighborhood.  Ties break on the netflow with the
+    whole flow cluster (the paper's "consider the netflows between the flow
+    cluster under consideration ... and the candidate base clusters"), then
+    on netflow with the frontier, density, and finally sid.
+    """
+    network = flow.network
+    cardinality = max(1, frontier.trajectory_cardinality)
+    density_denominator = frontier.density + sum(c.density for c in candidates)
+    speed_denominator = sum(network.segment(c.sid).speed_limit for c in candidates)
+
+    best: BaseCluster | None = None
+    best_key: tuple[float, int, int, int, int] | None = None
+    for candidate in candidates:
+        q = netflow(frontier, candidate) / cardinality
+        k = candidate.density / density_denominator if density_denominator else 0.0
+        v = (
+            network.segment(candidate.sid).speed_limit / speed_denominator
+            if speed_denominator
+            else 0.0
+        )
+        selectivity = config.wq * q + config.wk * k + config.wv * v
+        key = (
+            selectivity,
+            flow.netflow_with(candidate),
+            netflow(frontier, candidate),
+            candidate.density,
+            -candidate.sid,
+        )
+        if best_key is None or key > best_key:
+            best = candidate
+            best_key = key
+    assert best is not None
+    return best

@@ -1,0 +1,129 @@
+"""f-neighborhood operators over the active base-cluster pool.
+
+Implements Definitions 6 and 7 of the paper.  Phase 2 repeatedly asks,
+for the base cluster at the open end of a growing flow, "which *unassigned*
+base clusters are its f-neighbors at this junction, and which carries the
+maximum netflow?".  :class:`BaseClusterPool` maintains the shrinking set
+``B`` of unassigned clusters and answers those queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..roadnet.network import RoadNetwork
+from .base_cluster import BaseCluster, netflow
+
+
+class BaseClusterPool:
+    """The set ``B`` of base clusters not yet merged into a flow cluster.
+
+    Iterating Phase 2 pops the densest remaining cluster as the next seed
+    (Section III-B1's deterministic order) and removes clusters as flows
+    absorb them.
+
+    Args:
+        network: The road network (for segment adjacency).
+        clusters: Initial base clusters; any order (re-sorted internally).
+    """
+
+    def __init__(self, network: RoadNetwork, clusters: Iterable[BaseCluster]) -> None:
+        self._network = network
+        self._by_sid: dict[int, BaseCluster] = {}
+        for cluster in clusters:
+            if cluster.sid in self._by_sid:
+                raise ValueError(f"duplicate base cluster for segment {cluster.sid}")
+            self._by_sid[cluster.sid] = cluster
+        # Density-descending seed order, sid ascending on ties; consumed
+        # lazily by pop_densest (removed entries are skipped).
+        self._seed_order = sorted(
+            self._by_sid.values(), key=lambda s: (-s.density, s.sid)
+        )
+        self._seed_cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._by_sid)
+
+    def __bool__(self) -> bool:
+        return bool(self._by_sid)
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._by_sid
+
+    def remove(self, cluster: BaseCluster) -> None:
+        """Remove a cluster that has been merged into a flow."""
+        del self._by_sid[cluster.sid]
+
+    def pop_densest(self) -> BaseCluster:
+        """Remove and return the densest remaining cluster (the next seed)."""
+        while self._seed_cursor < len(self._seed_order):
+            candidate = self._seed_order[self._seed_cursor]
+            self._seed_cursor += 1
+            if candidate.sid in self._by_sid:
+                del self._by_sid[candidate.sid]
+                return candidate
+        raise IndexError("pop_densest from empty pool")
+
+    def pop_random(self, rng) -> BaseCluster:
+        """Remove and return a uniformly random remaining cluster.
+
+        Exists for the seeding ablation: the paper argues (Section
+        III-B1) that random seeds can grow flows describing negligible
+        streams and lose determinism; this method lets the benchmark
+        demonstrate it.
+        """
+        if not self._by_sid:
+            raise IndexError("pop_random from empty pool")
+        sid = rng.choice(sorted(self._by_sid))
+        cluster = self._by_sid.pop(sid)
+        return cluster
+
+    # ------------------------------------------------------------------
+    # Definitions 6 and 7
+    # ------------------------------------------------------------------
+    def f_neighbors_at(self, cluster: BaseCluster, node_id: int) -> list[BaseCluster]:
+        """``N_f(S, n_u)`` restricted to unassigned clusters (Definition 6).
+
+        Active base clusters whose segment is adjacent to ``cluster``'s at
+        ``node_id`` and which share at least one participating trajectory.
+        Sorted by sid for determinism.
+        """
+        neighbors = []
+        for sid in self._network.adjacent_segments_at(cluster.sid, node_id):
+            candidate = self._by_sid.get(sid)
+            if candidate is not None and netflow(cluster, candidate) > 0:
+                neighbors.append(candidate)
+        neighbors.sort(key=lambda s: s.sid)
+        return neighbors
+
+    def f_neighbors(self, cluster: BaseCluster) -> list[BaseCluster]:
+        """``N_f(S)``: f-neighbors at either endpoint (Definition 6)."""
+        segment = self._network.segment(cluster.sid)
+        at_u = self.f_neighbors_at(cluster, segment.node_u)
+        seen = {s.sid for s in at_u}
+        combined = list(at_u)
+        for neighbor in self.f_neighbors_at(cluster, segment.node_v):
+            if neighbor.sid not in seen:
+                combined.append(neighbor)
+        combined.sort(key=lambda s: s.sid)
+        return combined
+
+
+def maxflow_neighbor(
+    cluster: BaseCluster, neighbors: Sequence[BaseCluster]
+) -> tuple[BaseCluster | None, int]:
+    """``maxFlow(S, n_u)``: the neighbor with the largest netflow (Def. 7).
+
+    Ties break on lower sid for determinism.  Returns ``(None, 0)`` for an
+    empty neighborhood.
+    """
+    best: BaseCluster | None = None
+    best_flow = 0
+    for neighbor in neighbors:
+        flow = netflow(cluster, neighbor)
+        if flow > best_flow or (
+            flow == best_flow and best is not None and neighbor.sid < best.sid
+        ):
+            best = neighbor
+            best_flow = flow
+    return best, best_flow

@@ -1,0 +1,146 @@
+"""The NEAT pipeline: base-NEAT, flow-NEAT and opt-NEAT.
+
+Section IV of the paper names three usable variants of the framework:
+
+* **base-NEAT** — Phase 1 only: trajectories become density-sorted base
+  clusters (already useful: thresholding them shows where traffic is
+  densest, matching what TraClus finds — Section IV-C);
+* **flow-NEAT** — Phases 1+2: base clusters merge into flow clusters
+  describing dense *and continuous* traffic streams;
+* **opt-NEAT** — all three phases: flows within network proximity ``ε`` are
+  merged into final trajectory clusters.
+
+:class:`NEAT` runs any of the three over a trajectory set and returns a
+:class:`~repro.core.result.NEATResult` with outputs, timings and counters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from ..roadnet.network import RoadNetwork
+from ..roadnet.shortest_path import ShortestPathEngine
+from .base_cluster import form_base_clusters
+from .config import NEATConfig
+from .flow_formation import form_flow_clusters
+from .model import Trajectory, TrajectoryDataset
+from .refinement import RefinementStats, refine_flow_clusters
+from .result import NEATResult, PhaseTimings
+
+#: The three framework variants, in increasing phase count.
+MODES = ("base", "flow", "opt")
+
+
+class NEAT:
+    """Road-network-aware trajectory clustering (the paper's contribution).
+
+    Args:
+        network: The road network the trajectories travel on.
+        config: Algorithm parameters; defaults to :class:`NEATConfig`.
+
+    Example:
+        >>> from repro.roadnet import line_network
+        >>> from repro.core import NEAT, Trajectory, Location
+        >>> net = line_network(3)
+        >>> trs = [Trajectory(i, (
+        ...     Location(0, 10.0, 0.0, 0.0), Location(2, 250.0, 0.0, 60.0),
+        ... )) for i in range(4)]
+        >>> result = NEAT(net).run(trs, mode="flow")
+        >>> result.flow_count
+        1
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: NEATConfig | None = None,
+        engine: ShortestPathEngine | None = None,
+    ) -> None:
+        self.network = network
+        self.config = config if config is not None else NEATConfig()
+        # Shared across runs so Phase 3 amortizes shortest-path work the
+        # way a long-lived NEAT server would (Section III-C's incremental
+        # online clustering discussion).  Callers can inject an engine,
+        # e.g. one backed by a LandmarkOracle for ALT acceleration.
+        if engine is not None and engine.directed:
+            raise ValueError("Phase 3 needs an undirected engine")
+        self.engine = (
+            engine if engine is not None
+            else ShortestPathEngine(network, directed=False)
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trajectories: TrajectoryDataset | Sequence[Trajectory] | Iterable[Trajectory],
+        mode: str = "opt",
+    ) -> NEATResult:
+        """Cluster ``trajectories`` with the requested framework variant.
+
+        Args:
+            trajectories: A dataset or any iterable of trajectories.
+            mode: ``"base"``, ``"flow"`` or ``"opt"``.
+
+        Returns:
+            The phase outputs, timings and counters of this run.
+        """
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        trajectory_list = self._as_list(trajectories)
+
+        timings = PhaseTimings()
+        result = NEATResult(mode=mode, timings=timings)
+
+        started = time.perf_counter()
+        result.base_clusters = form_base_clusters(
+            self.network,
+            trajectory_list,
+            keep_interior_points=self.config.keep_interior_points,
+        )
+        timings.base = time.perf_counter() - started
+        if mode == "base":
+            return result
+
+        started = time.perf_counter()
+        formation = form_flow_clusters(
+            self.network, result.base_clusters, self.config
+        )
+        timings.flow = time.perf_counter() - started
+        result.flows = formation.flows
+        result.noise_flows = formation.noise_flows
+        result.min_card_used = formation.min_card_used
+        if mode == "flow":
+            return result
+
+        started = time.perf_counter()
+        stats = RefinementStats()
+        result.clusters = refine_flow_clusters(
+            self.network,
+            result.flows,
+            self.config,
+            engine=self.engine,
+            stats=stats,
+        )
+        timings.refine = time.perf_counter() - started
+        result.refinement_stats = stats
+        return result
+
+    # Convenience wrappers matching the paper's naming -----------------
+    def run_base(self, trajectories) -> NEATResult:
+        """Phase 1 only (base-NEAT)."""
+        return self.run(trajectories, mode="base")
+
+    def run_flow(self, trajectories) -> NEATResult:
+        """Phases 1-2 (flow-NEAT)."""
+        return self.run(trajectories, mode="flow")
+
+    def run_opt(self, trajectories) -> NEATResult:
+        """All three phases (opt-NEAT)."""
+        return self.run(trajectories, mode="opt")
+
+    @staticmethod
+    def _as_list(trajectories) -> list[Trajectory]:
+        if isinstance(trajectories, TrajectoryDataset):
+            return list(trajectories.trajectories)
+        return list(trajectories)

@@ -1,0 +1,173 @@
+"""Trajectory preprocessing: from device logs to clusterable trips.
+
+The paper defines a trajectory as one *trip* with a beginning and a
+destination (Section II-B).  Raw device logs are messier: multi-day
+location streams, dwell periods (parked cars), duplicate fixes and
+oversampled straightaways.  This module provides the standard cleaning
+steps a NEAT deployment runs before Phase 1:
+
+* :func:`split_by_time_gap` — cut a log into trips at recording gaps;
+* :func:`remove_stay_points` — collapse dwell periods into single points;
+* :func:`deduplicate` — drop consecutive identical fixes;
+* :func:`simplify` — Douglas-Peucker thinning of oversampled geometry
+  (sid-aware: never simplifies across a segment change, so Phase 1's
+  junction detection is unaffected).
+"""
+
+from __future__ import annotations
+
+from ..roadnet.geometry import point_segment_distance
+from .model import Location, Trajectory
+
+
+def split_by_time_gap(
+    trajectory: Trajectory, max_gap: float, next_trid: int | None = None
+) -> list[Trajectory]:
+    """Split a location stream into trips at gaps longer than ``max_gap``.
+
+    Args:
+        trajectory: The raw stream.
+        max_gap: Maximum seconds between consecutive samples of one trip.
+        next_trid: First id for the resulting trips; defaults to the
+            stream's own id (trips then get ``trid, trid+1, ...``).
+
+    Returns:
+        The trips in temporal order.  Singleton runs (one sample between
+        two gaps) are dropped — a trip needs at least two samples.
+    """
+    if max_gap <= 0.0:
+        raise ValueError(f"max_gap must be positive, got {max_gap}")
+    base_id = trajectory.trid if next_trid is None else next_trid
+    runs: list[list[Location]] = [[trajectory.locations[0]]]
+    for previous, current in zip(trajectory.locations, trajectory.locations[1:]):
+        if current.t - previous.t > max_gap:
+            runs.append([])
+        runs[-1].append(current)
+    trips = []
+    for run in runs:
+        if len(run) >= 2:
+            trips.append(Trajectory(base_id + len(trips), tuple(run)))
+    return trips
+
+
+def remove_stay_points(
+    trajectory: Trajectory, radius: float = 25.0, min_duration: float = 120.0
+) -> Trajectory:
+    """Collapse dwell periods into their first sample.
+
+    A *stay* is a maximal run of samples all within ``radius`` metres of
+    the run's first sample and spanning at least ``min_duration`` seconds
+    (a parked vehicle jittering in GPS noise).  Each stay contributes its
+    first sample only.
+
+    Returns the cleaned trajectory; if fewer than two samples survive,
+    the original first and last samples are kept so the result stays a
+    valid trajectory.
+    """
+    locations = trajectory.locations
+    kept: list[Location] = []
+    index = 0
+    while index < len(locations):
+        anchor = locations[index]
+        end = index
+        while (
+            end + 1 < len(locations)
+            and anchor.point.distance_to(locations[end + 1].point) <= radius
+        ):
+            end += 1
+        if end > index and locations[end].t - anchor.t >= min_duration:
+            kept.append(anchor)  # the stay collapses to its anchor
+            index = end + 1
+        else:
+            kept.append(anchor)
+            index += 1
+    if len(kept) < 2:
+        kept = [locations[0], locations[-1]]
+    return Trajectory(trajectory.trid, tuple(kept))
+
+
+def deduplicate(trajectory: Trajectory) -> Trajectory:
+    """Drop consecutive samples with identical position and segment."""
+    kept = [trajectory.locations[0]]
+    for location in trajectory.locations[1:]:
+        last = kept[-1]
+        if (
+            location.sid == last.sid
+            and location.x == last.x
+            and location.y == last.y
+        ):
+            continue
+        kept.append(location)
+    if len(kept) < 2:
+        kept = [trajectory.locations[0], trajectory.locations[-1]]
+    return Trajectory(trajectory.trid, tuple(kept))
+
+
+def simplify(trajectory: Trajectory, epsilon: float = 5.0) -> Trajectory:
+    """Douglas-Peucker thinning, applied per same-segment run.
+
+    Never removes the first or last sample of a run, and never merges
+    across a segment-id change — the samples Phase 1 needs to detect
+    junction crossings always survive.
+
+    Args:
+        trajectory: Input trajectory (network-matched).
+        epsilon: Maximum allowed perpendicular deviation in metres.
+    """
+    if epsilon < 0.0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    locations = trajectory.locations
+    kept: list[Location] = []
+    run_start = 0
+    for index in range(1, len(locations) + 1):
+        if index == len(locations) or locations[index].sid != locations[run_start].sid:
+            run = list(locations[run_start:index])
+            kept.extend(_douglas_peucker(run, epsilon))
+            run_start = index
+    return Trajectory(trajectory.trid, tuple(kept))
+
+
+def _douglas_peucker(run: list[Location], epsilon: float) -> list[Location]:
+    """Classic recursive simplification of one same-segment run."""
+    if len(run) <= 2:
+        return run
+    first, last = run[0], run[-1]
+    worst_index = 0
+    worst_distance = -1.0
+    for index in range(1, len(run) - 1):
+        distance = point_segment_distance(
+            run[index].point, first.point, last.point
+        )
+        if distance > worst_distance:
+            worst_distance = distance
+            worst_index = index
+    if worst_distance <= epsilon:
+        return [first, last]
+    left = _douglas_peucker(run[: worst_index + 1], epsilon)
+    right = _douglas_peucker(run[worst_index:], epsilon)
+    return left[:-1] + right
+
+
+def preprocess_stream(
+    stream: Trajectory,
+    max_gap: float = 300.0,
+    stay_radius: float = 25.0,
+    stay_duration: float = 120.0,
+    simplify_epsilon: float | None = 5.0,
+    next_trid: int | None = None,
+) -> list[Trajectory]:
+    """The full cleaning pipeline: split, de-dwell, dedupe, simplify.
+
+    Returns the cleaned trips, ids assigned from ``next_trid`` (or the
+    stream's id).
+    """
+    trips = split_by_time_gap(stream, max_gap, next_trid=next_trid)
+    cleaned = []
+    for trip in trips:
+        trip = remove_stay_points(trip, stay_radius, stay_duration)
+        trip = deduplicate(trip)
+        if simplify_epsilon is not None:
+            trip = simplify(trip, simplify_epsilon)
+        if len(trip) >= 2:
+            cleaned.append(trip)
+    return cleaned

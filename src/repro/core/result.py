@@ -1,0 +1,74 @@
+"""Result containers for NEAT runs.
+
+A :class:`NEATResult` carries the output of every phase that ran — base
+clusters, flow clusters (kept and noise), final trajectory clusters — plus
+per-phase wall-clock timings and Phase 3 instrumentation, so benchmarks can
+report the exact quantities the paper's figures plot without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .base_cluster import BaseCluster
+from .flow_cluster import FlowCluster
+from .refinement import RefinementStats, TrajectoryCluster
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each NEAT phase."""
+
+    base: float = 0.0
+    flow: float = 0.0
+    refine: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total clustering time across the phases that ran."""
+        return self.base + self.flow + self.refine
+
+
+@dataclass
+class NEATResult:
+    """Everything produced by one NEAT run.
+
+    Attributes:
+        mode: ``"base"``, ``"flow"`` or ``"opt"`` — which variant ran.
+        base_clusters: Phase 1 output, density-descending.
+        flows: Phase 2 flows meeting ``minCard`` (empty in base mode).
+        noise_flows: Phase 2 flows filtered by ``minCard``.
+        clusters: Phase 3 final clusters (empty unless mode is ``"opt"``).
+        min_card_used: The resolved ``minCard`` threshold.
+        timings: Per-phase wall-clock times.
+        refinement_stats: Phase 3 instrumentation (ELB counters).
+    """
+
+    mode: str
+    base_clusters: list[BaseCluster] = field(default_factory=list)
+    flows: list[FlowCluster] = field(default_factory=list)
+    noise_flows: list[FlowCluster] = field(default_factory=list)
+    clusters: list[TrajectoryCluster] = field(default_factory=list)
+    min_card_used: int = 0
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    refinement_stats: RefinementStats = field(default_factory=RefinementStats)
+
+    @property
+    def flow_count(self) -> int:
+        """Number of kept flow clusters (the Table III quantity)."""
+        return len(self.flows)
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of final trajectory clusters."""
+        return len(self.clusters)
+
+    def summary(self) -> str:
+        """One-line human-readable run summary."""
+        return (
+            f"NEAT[{self.mode}] base={len(self.base_clusters)} "
+            f"flows={len(self.flows)} (+{len(self.noise_flows)} noise, "
+            f"minCard={self.min_card_used}) clusters={len(self.clusters)} "
+            f"in {self.timings.total:.3f}s"
+        )

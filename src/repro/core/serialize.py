@@ -1,0 +1,161 @@
+"""JSON (de)serialization of NEAT clustering results.
+
+The paper's system sketch (Section II-C) has clients requesting
+"trajectory clustering results for a particular road network" from a NEAT
+server — which needs a wire format.  This module round-trips a
+:class:`~repro.core.result.NEATResult` through a JSON-compatible dict:
+base clusters with their fragments, flows as ordered member references,
+final clusters as flow references.
+
+Schema (version 1)::
+
+    {
+      "format": "repro-clustering", "version": 1,
+      "mode": "opt", "min_card_used": 5, "network_name": "...",
+      "base_clusters": [
+        {"sid": 3, "fragments": [
+            {"trid": 0, "locations": [[sid, x, y, t, node_id|null], ...]},
+        ]},
+      ],
+      "flows": [{"member_sids": [3, 5, 8]}],
+      "noise_flows": [{"member_sids": [9]}],
+      "clusters": [{"cluster_id": 0, "flow_indices": [0, 2]}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import ClusteringError
+from ..roadnet.network import RoadNetwork
+from .base_cluster import BaseCluster
+from .flow_cluster import FlowCluster
+from .model import Location, TFragment
+from .refinement import TrajectoryCluster
+from .result import NEATResult
+
+FORMAT_TAG = "repro-clustering"
+FORMAT_VERSION = 1
+
+
+def _fragment_to_list(fragment: TFragment) -> dict[str, Any]:
+    return {
+        "trid": fragment.trid,
+        "locations": [
+            [l.sid, l.x, l.y, l.t, l.node_id] for l in fragment.locations
+        ],
+    }
+
+
+def _fragment_from_dict(data: dict[str, Any]) -> TFragment:
+    locations = tuple(
+        Location(int(sid), float(x), float(y), float(t),
+                 None if node_id is None else int(node_id))
+        for sid, x, y, t, node_id in data["locations"]
+    )
+    return TFragment(int(data["trid"]), locations[0].sid, locations)
+
+
+def result_to_dict(result: NEATResult, network_name: str = "") -> dict[str, Any]:
+    """Serialize a NEAT result to a JSON-compatible dictionary."""
+    flow_index = {id(flow): i for i, flow in enumerate(result.flows)}
+    return {
+        "format": FORMAT_TAG,
+        "version": FORMAT_VERSION,
+        "mode": result.mode,
+        "min_card_used": result.min_card_used,
+        "network_name": network_name,
+        "base_clusters": [
+            {
+                "sid": cluster.sid,
+                "fragments": [_fragment_to_list(f) for f in cluster.fragments],
+            }
+            for cluster in result.base_clusters
+        ],
+        # Flows reference their member base clusters by *index* into the
+        # base_clusters list (the redundant member_sids are kept for human
+        # readability): incremental/service snapshots can hold several
+        # base clusters for the same segment, so sids alone are ambiguous.
+        "flows": [
+            _flow_to_dict(flow, result.base_clusters) for flow in result.flows
+        ],
+        "noise_flows": [
+            _flow_to_dict(flow, result.base_clusters)
+            for flow in result.noise_flows
+        ],
+        "clusters": [
+            {
+                "cluster_id": cluster.cluster_id,
+                "flow_indices": [flow_index[id(flow)] for flow in cluster.flows],
+            }
+            for cluster in result.clusters
+        ],
+    }
+
+
+def _flow_to_dict(flow: FlowCluster, base_clusters: list[BaseCluster]) -> dict:
+    index_of = {id(cluster): i for i, cluster in enumerate(base_clusters)}
+    return {
+        "members": [index_of[id(member)] for member in flow.members],
+        "member_sids": list(flow.sids),
+    }
+
+
+def result_from_dict(data: dict[str, Any], network: RoadNetwork) -> NEATResult:
+    """Rebuild a NEAT result against its road network.
+
+    The network must contain every referenced segment (i.e. be the same
+    network, or a superset, of the one the result was computed on).
+    """
+    if data.get("format") != FORMAT_TAG:
+        raise ClusteringError(f"not a clustering document: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ClusteringError(f"unsupported version: {data.get('version')!r}")
+
+    base_by_sid: dict[int, BaseCluster] = {}
+    base_clusters: list[BaseCluster] = []
+    for entry in data["base_clusters"]:
+        cluster = BaseCluster(int(entry["sid"]))
+        for fragment in entry["fragments"]:
+            cluster.add(_fragment_from_dict(fragment))
+        base_by_sid[cluster.sid] = cluster
+        base_clusters.append(cluster)
+
+    def rebuild_flow(entry: dict[str, Any]) -> FlowCluster:
+        if "members" in entry:
+            members = [base_clusters[int(i)] for i in entry["members"]]
+        else:  # legacy sid-keyed documents
+            members = [base_by_sid[int(sid)] for sid in entry["member_sids"]]
+        return FlowCluster.from_members(network, members)
+
+    flows = [rebuild_flow(entry) for entry in data["flows"]]
+    noise_flows = [rebuild_flow(entry) for entry in data["noise_flows"]]
+    clusters = [
+        TrajectoryCluster(
+            int(entry["cluster_id"]),
+            [flows[i] for i in entry["flow_indices"]],
+        )
+        for entry in data["clusters"]
+    ]
+    result = NEATResult(mode=data.get("mode", "opt"))
+    result.base_clusters = base_clusters
+    result.flows = flows
+    result.noise_flows = noise_flows
+    result.clusters = clusters
+    result.min_card_used = int(data.get("min_card_used", 0))
+    return result
+
+
+def save_result(
+    result: NEATResult, path: str | Path, network_name: str = ""
+) -> None:
+    """Write a clustering result to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result, network_name)))
+
+
+def load_result(path: str | Path, network: RoadNetwork) -> NEATResult:
+    """Read a clustering result from a JSON file."""
+    return result_from_dict(json.loads(Path(path).read_text()), network)

@@ -1,0 +1,160 @@
+"""Structural validation of NEAT results.
+
+An independent checker for every invariant the three-phase framework
+guarantees — useful to users consuming serialized results from a NEAT
+server, and used by this repository's property-based tests as the single
+source of truth for "is this output well-formed?".
+
+Checked invariants:
+
+1. base clusters are keyed by distinct, existing road segments and
+   contain only matching-sid fragments;
+2. Phase 1 output is density-sorted (dense-core first);
+3. every base cluster belongs to exactly one flow (kept or noise) when
+   Phase 2 ran — the partition is lossless;
+4. every flow's representative segments form a network route;
+5. every kept flow meets the resolved ``minCard``, every noise flow
+   misses it;
+6. final clusters partition the kept flows (when Phase 3 ran).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..roadnet.network import RoadNetwork
+from .result import NEATResult
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_result`.
+
+    Attributes:
+        errors: Human-readable invariant violations (empty = valid).
+    """
+
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every invariant held."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``ValueError`` listing the violations, if any."""
+        if self.errors:
+            raise ValueError(
+                "invalid NEAT result:\n  " + "\n  ".join(self.errors)
+            )
+
+
+def validate_result(
+    result: NEATResult,
+    network: RoadNetwork,
+    allow_shared_segments: bool = False,
+) -> ValidationReport:
+    """Check every structural invariant of a NEAT result.
+
+    Args:
+        result: The result to check.
+        network: The road network it was computed on.
+        allow_shared_segments: A single NEAT run assigns each road segment
+            to exactly one base cluster and one flow; *incremental*
+            snapshots (batched ingestion) legitimately hold one base
+            cluster per (segment, batch), so multiple flows may cover the
+            same segment.  Set this to relax the uniqueness/partition
+            checks while keeping route, ``minCard``, ordering and cluster-
+            partition checks.
+    """
+    report = ValidationReport()
+    _check_base_clusters(result, network, report, allow_shared_segments)
+    if result.flows or result.noise_flows:
+        _check_flows(result, network, report, allow_shared_segments)
+    if result.clusters:
+        _check_clusters(result, report)
+    return report
+
+
+def _check_base_clusters(
+    result: NEATResult,
+    network: RoadNetwork,
+    report: ValidationReport,
+    allow_shared_segments: bool = False,
+) -> None:
+    seen: set[int] = set()
+    previous_density: int | None = None
+    for cluster in result.base_clusters:
+        if cluster.sid in seen and not allow_shared_segments:
+            report.errors.append(f"duplicate base cluster for segment {cluster.sid}")
+        seen.add(cluster.sid)
+        if not network.has_segment(cluster.sid):
+            report.errors.append(f"base cluster on unknown segment {cluster.sid}")
+        for fragment in cluster.fragments:
+            if fragment.sid != cluster.sid:
+                report.errors.append(
+                    f"fragment of trajectory {fragment.trid} on segment "
+                    f"{fragment.sid} filed under base cluster {cluster.sid}"
+                )
+        if previous_density is not None and cluster.density > previous_density:
+            report.errors.append(
+                "base clusters not density-sorted "
+                f"(density {cluster.density} after {previous_density})"
+            )
+        previous_density = cluster.density
+
+
+def _check_flows(
+    result: NEATResult,
+    network: RoadNetwork,
+    report: ValidationReport,
+    allow_shared_segments: bool = False,
+) -> None:
+    assigned: dict[int, int] = {}
+    for kind, flows in (("flow", result.flows), ("noise", result.noise_flows)):
+        for flow in flows:
+            if len(flow.sids) > 1 and not network.is_route(flow.sids):
+                report.errors.append(
+                    f"{kind} cluster route is not a network path: {flow.sids}"
+                )
+            for sid in flow.sids:
+                if sid in assigned and not allow_shared_segments:
+                    report.errors.append(
+                        f"segment {sid} assigned to two flows"
+                    )
+                assigned[sid] = flow.trajectory_cardinality
+            if kind == "flow" and flow.trajectory_cardinality < result.min_card_used:
+                report.errors.append(
+                    f"kept flow below minCard: {flow.trajectory_cardinality} "
+                    f"< {result.min_card_used}"
+                )
+            if kind == "noise" and flow.trajectory_cardinality >= max(
+                1, result.min_card_used
+            ):
+                report.errors.append(
+                    f"noise flow meets minCard: {flow.trajectory_cardinality} "
+                    f">= {result.min_card_used}"
+                )
+    base_sids = {cluster.sid for cluster in result.base_clusters}
+    if set(assigned) != base_sids:
+        missing = base_sids - set(assigned)
+        extra = set(assigned) - base_sids
+        if missing:
+            report.errors.append(f"base clusters not in any flow: {sorted(missing)[:5]}")
+        if extra:
+            report.errors.append(f"flows reference unknown base clusters: {sorted(extra)[:5]}")
+
+
+def _check_clusters(result: NEATResult, report: ValidationReport) -> None:
+    clustered = [id(flow) for cluster in result.clusters for flow in cluster.flows]
+    if len(clustered) != len(set(clustered)):
+        report.errors.append("a flow appears in two final clusters")
+    kept = {id(flow) for flow in result.flows}
+    if set(clustered) != kept:
+        report.errors.append(
+            "final clusters do not partition the kept flows "
+            f"({len(clustered)} clustered vs {len(kept)} kept)"
+        )
+    for index, cluster in enumerate(result.clusters):
+        if not cluster.flows:
+            report.errors.append(f"final cluster {index} is empty")

@@ -1,0 +1,21 @@
+"""Distributed preprocessing substrate (the paper's Section II-C sketch).
+
+The NEAT system "distributes trajectory datasets across multiple nodes in
+a cluster.  These data nodes can perform some data preprocessing tasks."
+This package simulates that 3-tier deployment in-process: data nodes run
+Phase 1 over their trajectory shards, the coordinator merges the partial
+base clusters (base-cluster formation is a group-by, so the merge is
+exact) and runs Phases 2-3 centrally.
+"""
+
+from .nodes import DataNode, NeatCoordinator, merge_base_clusters, shard_round_robin
+from .service import NeatService, ServiceStats
+
+__all__ = [
+    "DataNode",
+    "NeatCoordinator",
+    "NeatService",
+    "ServiceStats",
+    "merge_base_clusters",
+    "shard_round_robin",
+]

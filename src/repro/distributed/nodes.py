@@ -1,0 +1,152 @@
+"""Data nodes and coordinator for distributed Phase 1.
+
+Base-cluster formation (Phase 1) is a *distributive* aggregation: a base
+cluster is "all t-fragments with this sid", so fragments extracted on any
+shard can be merged by sid without loss.  That makes the paper's data-node
+preprocessing exact:
+
+1. each :class:`DataNode` fragments its trajectory shard and groups the
+   fragments into partial base clusters;
+2. :func:`merge_base_clusters` unions the partial clusters by sid;
+3. the :class:`NeatCoordinator` runs Phases 2-3 on the merged clusters,
+   producing bit-identical results to a centralized run.
+
+Everything is synchronous and in-process — the point is the dataflow
+decomposition the paper sketches, not an RPC stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.base_cluster import BaseCluster, form_base_clusters
+from ..core.config import NEATConfig
+from ..core.flow_formation import form_flow_clusters
+from ..core.model import Trajectory
+from ..core.refinement import RefinementStats, refine_flow_clusters
+from ..core.result import NEATResult, PhaseTimings
+from ..roadnet.network import RoadNetwork
+from ..roadnet.shortest_path import ShortestPathEngine
+
+
+def shard_round_robin(
+    trajectories: Sequence[Trajectory], shard_count: int
+) -> list[list[Trajectory]]:
+    """Partition trajectories across ``shard_count`` shards round-robin."""
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    shards: list[list[Trajectory]] = [[] for _ in range(shard_count)]
+    for index, trajectory in enumerate(trajectories):
+        shards[index % shard_count].append(trajectory)
+    return shards
+
+
+@dataclass
+class DataNode:
+    """One data node: holds a trajectory shard, runs Phase 1 locally.
+
+    Attributes:
+        node_id: Identifier within the cluster.
+        network: The (replicated) road network.
+        trajectories: The node's trajectory shard.
+    """
+
+    node_id: int
+    network: RoadNetwork
+    trajectories: list[Trajectory] = field(default_factory=list)
+
+    def ingest(self, trajectories: Iterable[Trajectory]) -> None:
+        """Add trajectories to this node's shard."""
+        self.trajectories.extend(trajectories)
+
+    def preprocess(self, keep_interior_points: bool = False) -> list[BaseCluster]:
+        """Run Phase 1 over the local shard (the paper's node-side task)."""
+        return form_base_clusters(
+            self.network, self.trajectories,
+            keep_interior_points=keep_interior_points,
+        )
+
+
+def merge_base_clusters(
+    partials: Iterable[Sequence[BaseCluster]],
+) -> list[BaseCluster]:
+    """Union partial base clusters by sid (exact, order-independent).
+
+    Returns the merged clusters sorted density-descending, sid ascending —
+    the same contract as centralized Phase 1 output.
+    """
+    merged: dict[int, BaseCluster] = {}
+    for partial in partials:
+        for cluster in partial:
+            target = merged.get(cluster.sid)
+            if target is None:
+                target = BaseCluster(cluster.sid)
+                merged[cluster.sid] = target
+            for fragment in cluster.fragments:
+                target.add(fragment)
+    return sorted(merged.values(), key=lambda s: (-s.density, s.sid))
+
+
+class NeatCoordinator:
+    """The server tier: shards input, gathers Phase 1, runs Phases 2-3.
+
+    Args:
+        network: The road network (replicated to every node).
+        config: NEAT parameters.
+        node_count: Number of data nodes to simulate.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: NEATConfig | None = None,
+        node_count: int = 4,
+    ) -> None:
+        if node_count < 1:
+            raise ValueError("node_count must be >= 1")
+        self.network = network
+        self.config = config if config is not None else NEATConfig()
+        self.nodes = [DataNode(i, network) for i in range(node_count)]
+        self.engine = ShortestPathEngine(network, directed=False)
+
+    def run(self, trajectories: Sequence[Trajectory], mode: str = "opt") -> NEATResult:
+        """Distribute, preprocess on nodes, merge, finish centrally.
+
+        Produces exactly the result of ``NEAT(network, config).run(...)``
+        — the tests assert bit-equality of flow routes.
+        """
+        if mode not in ("base", "flow", "opt"):
+            raise ValueError(f"unknown mode {mode!r}")
+        for node in self.nodes:
+            node.trajectories.clear()
+        for shard, node in zip(
+            shard_round_robin(trajectories, len(self.nodes)), self.nodes
+        ):
+            node.ingest(shard)
+
+        partials = [
+            node.preprocess(self.config.keep_interior_points)
+            for node in self.nodes
+        ]
+        result = NEATResult(mode=mode, timings=PhaseTimings())
+        result.base_clusters = merge_base_clusters(partials)
+        if mode == "base":
+            return result
+
+        formation = form_flow_clusters(
+            self.network, result.base_clusters, self.config
+        )
+        result.flows = formation.flows
+        result.noise_flows = formation.noise_flows
+        result.min_card_used = formation.min_card_used
+        if mode == "flow":
+            return result
+
+        stats = RefinementStats()
+        result.clusters = refine_flow_clusters(
+            self.network, result.flows, self.config,
+            engine=self.engine, stats=stats,
+        )
+        result.refinement_stats = stats
+        return result

@@ -1,0 +1,145 @@
+"""The NEAT server facade (Section II-C, in-process).
+
+The paper sketches a 3-tier system: clients "send trajectories to a NEAT
+server and make requests to the server to get trajectory clustering
+results for a particular road network".  :class:`NeatService` is that
+server tier as a library object, composing the pieces built elsewhere:
+
+* ingestion goes through :class:`~repro.core.incremental.IncrementalNEAT`
+  (batched Phases 1-2, warm Phase 3 refreshes);
+* query responses are the serialized wire format of
+  :mod:`repro.core.serialize`;
+* every response is checked by :mod:`repro.core.validate` before leaving
+  the service (a malformed answer is a bug, not a payload).
+
+Everything is synchronous and in-process; transports (HTTP, gRPC) would
+wrap this object without changing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..core.config import NEATConfig
+from ..core.incremental import IncrementalNEAT
+from ..core.model import Trajectory
+from ..core.result import NEATResult
+from ..core.serialize import result_to_dict
+from ..core.validate import validate_result
+from ..roadnet.network import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceStats:
+    """Operational counters of a service instance."""
+
+    batches_ingested: int
+    trajectories_ingested: int
+    flow_count: int
+    cluster_count: int
+    shortest_path_computations: int
+
+
+class NeatService:
+    """An in-process NEAT server for one road network.
+
+    Args:
+        network: The road network clients' trajectories travel on.
+        config: NEAT parameters applied to every ingest/refresh.
+
+    Example:
+        >>> from repro.roadnet import line_network
+        >>> service = NeatService(line_network(3))
+    """
+
+    def __init__(self, network: RoadNetwork, config: NEATConfig | None = None) -> None:
+        self.network = network
+        self.config = config if config is not None else NEATConfig()
+        self._incremental = IncrementalNEAT(network, self.config)
+        self._batches = 0
+        self._trajectories = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion (the client -> server direction)
+    # ------------------------------------------------------------------
+    def submit(self, trajectories: Sequence[Trajectory]) -> dict[str, Any]:
+        """Ingest a trajectory batch; returns an acknowledgement summary.
+
+        Trajectory ids are re-assigned server-side (clients should not
+        need to coordinate id spaces).
+        """
+        batch = self._incremental.add_batch(
+            list(trajectories), auto_offset_ids=True
+        )
+        self._batches += 1
+        self._trajectories += len(trajectories)
+        return {
+            "batch": batch.batch_index,
+            "accepted": len(trajectories),
+            "new_flows": len(batch.new_flows),
+            "total_flows": len(self._incremental.flows),
+            "clusters": len(batch.clusters),
+        }
+
+    # ------------------------------------------------------------------
+    # Queries (the server -> client direction)
+    # ------------------------------------------------------------------
+    def get_clustering(self) -> dict[str, Any]:
+        """The current global clustering as a serialized document.
+
+        The response is validated against the framework invariants before
+        being returned.
+        """
+        result = self._snapshot()
+        validate_result(
+            result, self.network, allow_shared_segments=True
+        ).raise_if_invalid()
+        return result_to_dict(result, network_name=self.network.name)
+
+    def get_flow_summaries(self) -> list[dict[str, Any]]:
+        """Lightweight per-flow digests (for map UIs / previews)."""
+        return [
+            {
+                "flow": index,
+                "segments": list(flow.sids),
+                "endpoints": list(flow.endpoints),
+                "cardinality": flow.trajectory_cardinality,
+                "route_length_m": round(flow.route_length, 1),
+            }
+            for index, flow in enumerate(self._incremental.flows)
+        ]
+
+    def stats(self) -> ServiceStats:
+        """Operational counters."""
+        return ServiceStats(
+            batches_ingested=self._batches,
+            trajectories_ingested=self._trajectories,
+            flow_count=len(self._incremental.flows),
+            cluster_count=len(self._incremental.clusters),
+            shortest_path_computations=self._incremental.engine.computations,
+        )
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> NEATResult:
+        """Assemble a NEATResult view of the service's current state.
+
+        The document covers the *retained* flows only: noise flows were
+        filtered per batch (possibly under different auto thresholds), so
+        including them could not satisfy a single global ``minCard`` — the
+        served clustering is the kept-flow world, self-consistent by
+        construction.
+        """
+        incremental = self._incremental
+        result = NEATResult(mode="opt")
+        members = [
+            member for flow in incremental.flows for member in flow.members
+        ]
+        result.base_clusters = sorted(
+            members, key=lambda cluster: (-cluster.density, cluster.sid)
+        )
+        result.flows = incremental.flows
+        result.clusters = incremental.clusters
+        cards = [flow.trajectory_cardinality for flow in result.flows]
+        result.min_card_used = min(cards) if cards else 0
+        return result

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the NEAT reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause
+while still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class RoadNetworkError(ReproError):
+    """Structural problem in a road network (unknown node, segment, ...)."""
+
+
+class UnknownNodeError(RoadNetworkError):
+    """A node id was referenced that does not exist in the network."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"unknown junction node: {node_id!r}")
+        self.node_id = node_id
+
+
+class UnknownSegmentError(RoadNetworkError):
+    """A segment id was referenced that does not exist in the network."""
+
+    def __init__(self, sid: int) -> None:
+        super().__init__(f"unknown road segment: {sid!r}")
+        self.sid = sid
+
+
+class DuplicateSegmentError(RoadNetworkError):
+    """Attempted to register a segment id twice."""
+
+    def __init__(self, sid: int) -> None:
+        super().__init__(f"duplicate road segment id: {sid!r}")
+        self.sid = sid
+
+
+class NoPathError(RoadNetworkError):
+    """No route exists between two network locations."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"no path from {source!r} to {target!r}")
+        self.source = source
+        self.target = target
+
+
+class TrajectoryError(ReproError):
+    """Malformed trajectory input (too few points, bad ordering, ...)."""
+
+
+class MapMatchError(ReproError):
+    """Map matching failed to assign a location to any road segment."""
+
+
+class ClusteringError(ReproError):
+    """A clustering phase received inconsistent input."""
+
+
+class ConfigError(ReproError):
+    """Invalid algorithm configuration (weights, thresholds, ...)."""

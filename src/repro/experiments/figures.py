@@ -1,0 +1,530 @@
+"""One driver per paper table/figure.
+
+Each ``run_*`` function regenerates the data behind one table or figure of
+the paper's evaluation (Section IV) on the scaled synthetic workloads and
+returns a result object whose ``render()`` produces the "paper vs
+measured" text the benchmark modules print.  ``EXPERIMENTS.md`` records
+one captured rendering per experiment.
+
+Absolute numbers differ from the paper by design (CPython vs Java, scaled
+synthetic maps vs USGS/TIGER extracts); the *shapes* — who wins, scaling
+curves, crossovers — are the reproduction targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.metrics import ComparisonRow, compare_results
+from ..analysis.visualize import render_svg
+from ..core.config import NEATConfig
+from ..core.pipeline import NEAT
+from ..roadnet.stats import NetworkStats, format_table1, network_stats
+from ..traclus.network_variant import network_traclus
+from ..traclus.traclus import TraClus, TraClusParams
+from .harness import format_seconds, format_table, timed
+from .workloads import (
+    BENCH_OBJECT_COUNTS,
+    PAPER_TABLE2_POINTS,
+    REGIONS,
+    WorkloadSpec,
+    build_dataset,
+    build_network,
+    build_suite,
+)
+
+#: Phase 3 distance thresholds per region at the default network scales.
+#: Chosen small relative to the scaled maps' extent so the ELB filter has
+#: real pruning power (as on the paper's full-size maps); Figure 3's
+#: hotspot-merging visualization passes its own larger radius, mirroring
+#: the paper's eps = 6500 m choice there.
+DEFAULT_EPS = {"ATL": 800.0, "SJ": 800.0, "MIA": 1000.0}
+
+#: Figure 3 merges flows between hotspot areas, which needs a generous
+#: radius (the paper uses 6500 m on full-size ATL).  1600 m at the 0.1
+#: default scale reproduces the paper's two-cluster outcome.
+FIG3_EPS = 1600.0
+
+
+def _neat_config(region: str, eps: float | None = None, use_elb: bool = True) -> NEATConfig:
+    """The experiment-default NEAT configuration for a region."""
+    return NEATConfig(
+        eps=eps if eps is not None else DEFAULT_EPS[region],
+        use_elb=use_elb,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table I — road networks
+# ----------------------------------------------------------------------
+
+PAPER_TABLE1 = (
+    ("North West Atlanta, GA", "1384.4km", 9187, 6979, "150.7m", "avg: 2.6, max: 6"),
+    ("West San Jose, CA", "1821.2km", 14600, 10929, "124.7m", "avg: 2.7, max: 6"),
+    ("Miami-Dade, FL", "26148.3km", 154681, 103377, "169.0m", "avg: 3.0, max: 9"),
+)
+
+
+@dataclass
+class Table1Result:
+    """Measured network statistics next to the paper's Table I."""
+
+    stats: list[NetworkStats]
+
+    def render(self) -> str:
+        lines = ["Paper (Table I):"]
+        lines.append(
+            format_table(
+                ("Regions", "Total length", "# Segments", "# Junctions",
+                 "Avg. seg len", "Junction degree"),
+                PAPER_TABLE1,
+            )
+        )
+        lines.append("")
+        lines.append("Measured (synthetic, scaled):")
+        lines.append(format_table1(self.stats))
+        return "\n".join(lines)
+
+
+def run_table1(network_scale: float | None = None, seed: int = 7) -> Table1Result:
+    """Regenerate Table I for the three synthetic region networks."""
+    stats = [
+        network_stats(build_network(region, network_scale, seed))
+        for region in REGIONS
+    ]
+    return Table1Result(stats)
+
+
+# ----------------------------------------------------------------------
+# Table II — dataset sizes
+# ----------------------------------------------------------------------
+
+@dataclass
+class Table2Result:
+    """Measured dataset point counts next to the paper's Table II."""
+
+    object_counts: tuple[int, ...]
+    points: dict[str, list[int]]
+
+    def render(self) -> str:
+        header = ["Datasets"] + list(self.points)
+        rows = []
+        for i, count in enumerate(self.object_counts):
+            rows.append(
+                [f"*{count}"] + [str(self.points[r][i]) for r in self.points]
+            )
+        paper_rows = [
+            [f"*{count}"] + [str(PAPER_TABLE2_POINTS[r][i]) for r in PAPER_TABLE2_POINTS]
+            for i, count in enumerate((500, 1000, 2000, 3000, 5000))
+        ]
+        return (
+            "Paper (Table II, # points):\n"
+            + format_table(["Datasets", "ATL", "SJ", "MIA"], paper_rows)
+            + "\n\nMeasured (scaled workloads, # points):\n"
+            + format_table(header, rows)
+        )
+
+
+def run_table2(
+    object_counts: tuple[int, ...] = BENCH_OBJECT_COUNTS, seed: int = 7
+) -> Table2Result:
+    """Regenerate Table II: total points per (region, object count)."""
+    points: dict[str, list[int]] = {}
+    for region in REGIONS:
+        _network, datasets = build_suite(region, object_counts, seed=seed)
+        points[region] = [ds.total_points for ds in datasets]
+    return Table2Result(object_counts, points)
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — visualization of NEAT results on ATL500
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig3Result:
+    """ATL500 clustering visualization artifacts and headline counts."""
+
+    dataset_name: str
+    trajectory_count: int
+    flow_count: int
+    noise_flow_count: int
+    min_card_used: int
+    cluster_count: int
+    svg_paths: list[Path] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            "Paper (Figure 3, ATL500): 500 trajectories -> 31 flow clusters "
+            "(minCard = 5 = avg cardinality) -> 2 final clusters (eps = 6500 m)",
+            f"Measured ({self.dataset_name}): {self.trajectory_count} trajectories -> "
+            f"{self.flow_count} flow clusters (minCard = {self.min_card_used} = "
+            f"avg cardinality, +{self.noise_flow_count} filtered) -> "
+            f"{self.cluster_count} final clusters",
+        ]
+        for path in self.svg_paths:
+            lines.append(f"  wrote {path}")
+        return "\n".join(lines)
+
+
+def run_fig3(
+    out_dir: str | Path | None = None,
+    object_count: int = 500,
+    eps: float | None = None,
+    seed: int = 7,
+) -> Fig3Result:
+    """Regenerate Figure 3: input, flow clusters, refined clusters (SVG)."""
+    spec = WorkloadSpec("ATL", object_count, seed=seed)
+    network = build_network("ATL", seed=seed)
+    dataset = build_dataset(network, spec)
+    neat = NEAT(network, _neat_config("ATL", FIG3_EPS if eps is None else eps))
+    result = neat.run_opt(dataset)
+
+    fig = Fig3Result(
+        dataset_name=spec.name,
+        trajectory_count=len(dataset),
+        flow_count=result.flow_count,
+        noise_flow_count=len(result.noise_flows),
+        min_card_used=result.min_card_used,
+        cluster_count=result.cluster_count,
+    )
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        destinations = dataset.metadata.get("destinations", [])
+        fig.svg_paths = [
+            render_svg(network, out / "fig3a_input.svg",
+                       trajectories=dataset.trajectories, markers=destinations),
+            render_svg(network, out / "fig3b_flows.svg",
+                       flows=result.flows, markers=destinations),
+            render_svg(network, out / "fig3c_clusters.svg",
+                       clusters=result.clusters, markers=destinations),
+        ]
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — TraClus on ATL500 under two parameterizations
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig4Result:
+    """TraClus cluster counts for the paper's two parameter choices."""
+
+    rows: list[tuple[str, float, int, int, float]]  # label, eps, min_lns, clusters, secs
+    svg_paths: list[Path] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            "Paper (Figure 4, ATL500): eps=10m/MinLns=30 -> 81 clusters; "
+            "eps=1m/MinLns=1 -> 460 discrete clusters",
+            format_table(
+                ("setting", "eps", "MinLns", "clusters", "time"),
+                [
+                    (label, eps, min_lns, clusters, format_seconds(seconds))
+                    for label, eps, min_lns, clusters, seconds in self.rows
+                ],
+            ),
+        ]
+        for path in self.svg_paths:
+            lines.append(f"  wrote {path}")
+        return "\n".join(lines)
+
+
+def run_fig4(
+    object_count: int = 100,
+    tuned: tuple[float, int] = (10.0, 8),
+    degenerate: tuple[float, int] = (1.0, 1),
+    seed: int = 7,
+) -> Fig4Result:
+    """Regenerate Figure 4: TraClus under tuned vs degenerate parameters.
+
+    The degenerate setting (tiny eps, MinLns=1) shatters the data into
+    many short discrete clusters, the tuned one finds fewer, denser ones —
+    and neither captures route continuity.  ``MinLns`` scales with the
+    (scaled-down) object count.
+    """
+    spec = WorkloadSpec("ATL", object_count, seed=seed)
+    network = build_network("ATL", seed=seed)
+    dataset = build_dataset(network, spec)
+
+    rows = []
+    for label, (eps, min_lns) in (("tuned", tuned), ("degenerate", degenerate)):
+        result, seconds = timed(
+            lambda e=eps, m=min_lns: TraClus(TraClusParams(eps=e, min_lns=m)).run(dataset)
+        )
+        rows.append((label, eps, min_lns, result.cluster_count, seconds))
+    return Fig4Result(rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — flow-NEAT vs TraClus across ATL dataset sizes
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig5Result:
+    """The four panels of Figure 5 as one row per dataset size."""
+
+    rows: list[ComparisonRow]
+
+    def render(self) -> str:
+        header = (
+            "dataset", "points",
+            "NEAT avg rt(m)", "TraClus avg rt(m)",
+            "NEAT max rt(m)", "TraClus max rt(m)",
+            "NEAT #cl", "TraClus #cl",
+            "NEAT time", "TraClus time", "speedup",
+        )
+        body = [
+            (
+                row.dataset, row.points,
+                f"{row.neat_avg_route_m:.0f}", f"{row.traclus_avg_route_m:.0f}",
+                f"{row.neat_max_route_m:.0f}", f"{row.traclus_max_route_m:.0f}",
+                row.neat_clusters, row.traclus_clusters,
+                format_seconds(row.neat_seconds),
+                format_seconds(row.traclus_seconds),
+                f"{row.speedup:.0f}x",
+            )
+            for row in self.rows
+        ]
+        return (
+            "Paper (Figure 5, ATL): flow-NEAT routes are longer (5a/5b), "
+            "clusters fewer (5c), and NEAT runs >1000x faster (5d, semi-log)\n"
+            + format_table(header, body)
+        )
+
+
+def run_fig5(
+    object_counts: tuple[int, ...] = (50, 100, 200),
+    traclus_params: TraClusParams | None = None,
+    seed: int = 7,
+) -> Fig5Result:
+    """Regenerate Figure 5: flow-NEAT vs TraClus on growing ATL datasets.
+
+    TraClus is O(n^2) in line segments, so the default sweep stops at 200
+    objects; pass larger counts to push the gap further (it only grows).
+    """
+    network, datasets = build_suite("ATL", object_counts, seed=seed)
+    params = traclus_params if traclus_params is not None else TraClusParams(
+        eps=10.0, min_lns=5
+    )
+    rows = []
+    for dataset in datasets:
+        neat = NEAT(network, _neat_config("ATL"))
+        neat_result = neat.run_flow(dataset)
+        traclus_result = TraClus(params).run(dataset)
+        row = compare_results(
+            dataset.name, dataset.total_points, neat_result, traclus_result
+        )
+        rows.append(row)
+    return Fig5Result(rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — NEAT phase scaling
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig6Result:
+    """Runtimes of base/flow/opt-NEAT and the Phase1:Phase2 ratio."""
+
+    region: str
+    rows: list[tuple[str, int, float, float, float, float, float]]
+    # (dataset, points, base_s, flow_s, opt_s, phase1_s, phase2_s)
+
+    def render(self) -> str:
+        header = (
+            "dataset", "points", "base-NEAT", "flow-NEAT", "opt-NEAT",
+            "phase1", "phase2", "p1/p2",
+        )
+        body = [
+            (
+                name, points,
+                format_seconds(base_s), format_seconds(flow_s),
+                format_seconds(opt_s), format_seconds(p1), format_seconds(p2),
+                f"{(p1 / p2):.1f}" if p2 > 0 else "inf",
+            )
+            for name, points, base_s, flow_s, opt_s, p1, p2 in self.rows
+        ]
+        return (
+            f"Paper (Figure 6, {self.region}): near-linear scaling; opt-NEAT "
+            "curve nearly overlaps flow-NEAT (Phase 3 cheap); Phase 1 "
+            "dominates Phase 2\n" + format_table(header, body)
+        )
+
+
+def run_fig6(
+    region: str = "MIA",
+    object_counts: tuple[int, ...] = BENCH_OBJECT_COUNTS,
+    seed: int = 7,
+) -> Fig6Result:
+    """Regenerate Figure 6: per-variant runtimes across dataset sizes."""
+    network, datasets = build_suite(region, object_counts, seed=seed)
+    rows = []
+    for dataset in datasets:
+        neat = NEAT(network, _neat_config(region))
+        base_result, base_seconds = timed(lambda: neat.run_base(dataset))
+        flow_result, flow_seconds = timed(lambda: neat.run_flow(dataset))
+        opt_result, opt_seconds = timed(lambda: neat.run_opt(dataset))
+        rows.append(
+            (
+                dataset.name,
+                dataset.total_points,
+                base_seconds,
+                flow_seconds,
+                opt_seconds,
+                opt_result.timings.base,
+                opt_result.timings.flow,
+            )
+        )
+    return Fig6Result(region, rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 7 + Table III — ELB effectiveness and flow counts
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig7Result:
+    """opt-NEAT with ELB vs with exhaustive Dijkstra, per dataset size."""
+
+    region: str
+    rows: list[tuple[str, int, int, float, float, int, int]]
+    # (dataset, points, flows, elb_total_s, dijkstra_total_s, sp_elb, sp_dijkstra)
+
+    def render(self) -> str:
+        header = (
+            "dataset", "points", "#flows", "opt-NEAT-ELB", "opt-NEAT-Dijkstra",
+            "SP(ELB)", "SP(Dijkstra)",
+        )
+        body = [
+            (
+                name, points, flows,
+                format_seconds(elb_s), format_seconds(dij_s), sp_elb, sp_dij,
+            )
+            for name, points, flows, elb_s, dij_s, sp_elb, sp_dij in self.rows
+        ]
+        return (
+            f"Paper (Figure 7, {self.region}): ELB prunes most shortest-path "
+            "computations; Phase 3 cost tracks the number of flows, not the "
+            "data size (Table III)\n" + format_table(header, body)
+        )
+
+    def flow_counts(self) -> list[tuple[str, int]]:
+        """The Table III series: flows per dataset."""
+        return [(name, flows) for name, _p, flows, *_rest in self.rows]
+
+
+def run_fig7(
+    region: str = "SJ",
+    object_counts: tuple[int, ...] = BENCH_OBJECT_COUNTS,
+    seed: int = 7,
+) -> Fig7Result:
+    """Regenerate Figure 7: ELB on vs off, plus Table III flow counts."""
+    network, datasets = build_suite(region, object_counts, seed=seed)
+    rows = []
+    for dataset in datasets:
+        neat_elb = NEAT(network, _neat_config(region, use_elb=True))
+        elb_result, elb_seconds = timed(lambda: neat_elb.run_opt(dataset))
+        neat_dij = NEAT(network, _neat_config(region, use_elb=False))
+        dij_result, dij_seconds = timed(lambda: neat_dij.run_opt(dataset))
+        rows.append(
+            (
+                dataset.name,
+                dataset.total_points,
+                elb_result.flow_count,
+                elb_seconds,
+                dij_seconds,
+                elb_result.refinement_stats.shortest_path_computations,
+                dij_result.refinement_stats.shortest_path_computations,
+            )
+        )
+    return Fig7Result(region, rows)
+
+
+@dataclass
+class Table3Result:
+    """Flow-cluster counts of opt-NEAT on SJ datasets (Table III)."""
+
+    rows: list[tuple[str, int]]
+
+    def render(self) -> str:
+        paper = (("SJ500", 73), ("SJ1000", 156), ("SJ2000", 55),
+                 ("SJ3000", 52), ("SJ5000", 180))
+        return (
+            "Paper (Table III): "
+            + ", ".join(f"{name}={count}" for name, count in paper)
+            + "\nMeasured: "
+            + ", ".join(f"{name}={count}" for name, count in self.rows)
+            + "\n(The paper's point: flow count is workload-dependent and "
+            "non-monotonic in dataset size; Phase 3 cost follows it.)"
+        )
+
+
+def run_table3(
+    object_counts: tuple[int, ...] = BENCH_OBJECT_COUNTS, seed: int = 7
+) -> Table3Result:
+    """Regenerate Table III from the Figure 7 sweep on SJ."""
+    fig7 = run_fig7("SJ", object_counts, seed=seed)
+    return Table3Result(fig7.flow_counts())
+
+
+# ----------------------------------------------------------------------
+# Section IV-C text experiment — the network-aware TraClus variant
+# ----------------------------------------------------------------------
+
+@dataclass
+class VariantResult:
+    """Network-aware TraClus variant vs NEAT on one dataset."""
+
+    dataset_name: str
+    t_fragments: int
+    base_clusters: int
+    variant_clusters: int
+    variant_seconds: float
+    variant_sp: int
+    neat_flows: int
+    neat_clusters: int
+    neat_seconds: float
+
+    def render(self) -> str:
+        return (
+            "Paper (Sec IV-C, SJ2000): variant TraClus on 901 base clusters -> "
+            "117 clusters in 6396.79s; NEAT -> 42 flows + 14 clusters in 11.68s\n"
+            f"Measured ({self.dataset_name}): {self.base_clusters} base clusters "
+            f"({self.t_fragments} t-fragments); variant -> "
+            f"{self.variant_clusters} clusters in "
+            f"{format_seconds(self.variant_seconds)} ({self.variant_sp} shortest "
+            f"paths); NEAT -> {self.neat_flows} flows + {self.neat_clusters} "
+            f"clusters in {format_seconds(self.neat_seconds)}"
+        )
+
+
+def run_variant(
+    object_count: int = 200, eps: float = 150.0, seed: int = 7
+) -> VariantResult:
+    """Regenerate the Section IV-C network-aware TraClus comparison."""
+    spec = WorkloadSpec("SJ", object_count, seed=seed)
+    network = build_network("SJ", seed=seed)
+    dataset = build_dataset(network, spec)
+
+    neat = NEAT(network, _neat_config("SJ"))
+    neat_result, neat_seconds = timed(lambda: neat.run_opt(dataset))
+
+    fragments = sum(len(flow) for flow in neat_result.flows) + sum(
+        len(flow) for flow in neat_result.noise_flows
+    )
+    variant, variant_seconds = timed(
+        lambda: network_traclus(network, neat_result.base_clusters, eps=eps, min_lns=2)
+    )
+    return VariantResult(
+        dataset_name=spec.name,
+        t_fragments=sum(bc.density for bc in neat_result.base_clusters),
+        base_clusters=len(neat_result.base_clusters),
+        variant_clusters=variant.cluster_count,
+        variant_seconds=variant_seconds,
+        variant_sp=variant.shortest_path_computations,
+        neat_flows=neat_result.flow_count,
+        neat_clusters=neat_result.cluster_count,
+        neat_seconds=neat_seconds,
+    )

@@ -1,0 +1,53 @@
+"""Experiment harness helpers: timing and text-table rendering.
+
+Every benchmark module regenerates one of the paper's tables/figures and
+prints a "paper vs measured" text table; the helpers here keep that output
+consistent and the timing methodology in one place.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def timed(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once, returning ``(result, wall_seconds)``."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table with a separator under the header."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    all_rows = [list(header)] + text_rows
+    widths = [
+        max(len(row[i]) for row in all_rows) for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(all_rows[0])),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in text_rows
+    )
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly duration with sensible precision."""
+    if seconds < 0.01:
+        return f"{seconds * 1000:.2f}ms"
+    if seconds < 10.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds:.1f}s"
+
+
+def banner(title: str) -> str:
+    """A section banner for benchmark output."""
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"

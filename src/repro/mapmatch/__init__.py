@@ -1,0 +1,22 @@
+"""Map-matching substrate: snapping raw GPS traces onto the road network.
+
+Implements a SLAMM-style selective look-ahead matcher (the preprocessing
+step the NEAT paper relies on, reference [14]) plus the junction-crossing
+inference Phase 1 uses to split trajectories at intersections.
+"""
+
+from .candidates import Candidate, CandidateFinder
+from .hmm import HmmConfig, HmmMatcher
+from .path_inference import Crossing, infer_crossings
+from .slamm import MatchConfig, SlammMatcher
+
+__all__ = [
+    "Candidate",
+    "CandidateFinder",
+    "Crossing",
+    "HmmConfig",
+    "HmmMatcher",
+    "MatchConfig",
+    "SlammMatcher",
+    "infer_crossings",
+]

@@ -1,0 +1,76 @@
+"""Candidate road segments for a GPS fix.
+
+The first stage of any map matcher: given a raw fix, find the nearby road
+segments that could have produced it, with their projection distances and
+positions.  Candidate search is backed by the uniform-grid spatial index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..roadnet.geometry import Point, project_onto_segment
+from ..roadnet.network import RoadNetwork
+from ..roadnet.spatial_index import SegmentGridIndex
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One possible match of a fix onto a segment.
+
+    Attributes:
+        sid: Candidate segment id.
+        distance: Perpendicular (projection) distance fix -> segment, m.
+        snapped: The projected position on the segment chord.
+        fraction: Projection parameter in [0, 1] from the segment's
+            ``node_u`` end.
+    """
+
+    sid: int
+    distance: float
+    snapped: Point
+    fraction: float
+
+
+class CandidateFinder:
+    """Finds candidate segments around fixes on one network.
+
+    Args:
+        network: Road network to match against.
+        index: Optional pre-built spatial index (built on demand otherwise).
+        search_radius: Initial search radius in metres; doubled until at
+            least one candidate is found or ``max_radius`` is exceeded.
+        max_radius: Give-up radius.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        index: SegmentGridIndex | None = None,
+        search_radius: float = 40.0,
+        max_radius: float = 640.0,
+    ) -> None:
+        self._network = network
+        self._index = index if index is not None else SegmentGridIndex(network)
+        self.search_radius = float(search_radius)
+        self.max_radius = float(max_radius)
+
+    def candidates(self, point: Point, limit: int = 8) -> list[Candidate]:
+        """Up to ``limit`` nearest candidate segments for ``point``.
+
+        Sorted by projection distance; empty when nothing lies within
+        ``max_radius``.
+        """
+        radius = self.search_radius
+        hits: list[tuple[int, float]] = []
+        while radius <= self.max_radius:
+            hits = self._index.segments_within(point, radius)
+            if hits:
+                break
+            radius *= 2.0
+        results: list[Candidate] = []
+        for sid, _distance in hits[:limit]:
+            a, b = self._network.segment_endpoints(sid)
+            snapped, fraction, distance = project_onto_segment(point, a, b)
+            results.append(Candidate(sid, distance, snapped, fraction))
+        return results

@@ -1,0 +1,196 @@
+"""HMM map matching (Newson-Krumm style Viterbi decoding).
+
+An alternative to the SLAMM matcher: hidden states are candidate
+segments per fix, emission likelihood falls off with projection distance
+(Gaussian), and transition likelihood falls off with the discrepancy
+between the fix-to-fix straight-line distance and the corresponding
+network route distance (exponential).  Viterbi decoding then yields the
+globally most likely segment sequence, where SLAMM commits greedily with
+a bounded look-ahead.
+
+Included as a substrate extension: the paper only needs *a* bulk matcher
+([14]); having two lets the tests and benches quantify the trade-off
+(HMM is more robust on dense ambiguous grids, SLAMM is faster).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.model import Location, Trajectory
+from ..errors import MapMatchError
+from ..roadnet.geometry import Point
+from ..roadnet.network import RoadNetwork
+from ..roadnet.shortest_path import INFINITY, ShortestPathEngine
+from ..roadnet.spatial_index import SegmentGridIndex
+from .candidates import Candidate, CandidateFinder
+
+
+@dataclass(frozen=True, slots=True)
+class HmmConfig:
+    """Tuning knobs of the HMM matcher.
+
+    Attributes:
+        sigma: GPS noise standard deviation in metres (emission model).
+        beta: Scale of the exponential transition model in metres —
+            tolerated discrepancy between great-circle and route distance.
+        max_candidates: Candidate states kept per fix.
+        max_route_factor: Transitions whose route distance exceeds the
+            straight-line distance by more than this factor are pruned
+            (an object cannot detour arbitrarily between two fixes).
+    """
+
+    sigma: float = 5.0
+    beta: float = 15.0
+    max_candidates: int = 6
+    max_route_factor: float = 8.0
+    heading_weight: float = 2.0
+    min_heading_displacement: float = 2.0
+
+
+class HmmMatcher:
+    """Viterbi map matcher over per-fix candidate segments.
+
+    Args:
+        network: Road network to match against.
+        config: HMM parameters.
+        index: Optional shared spatial index.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: HmmConfig | None = None,
+        index: SegmentGridIndex | None = None,
+    ) -> None:
+        self._network = network
+        self.config = config if config is not None else HmmConfig()
+        self._finder = CandidateFinder(network, index=index)
+        self._engine = ShortestPathEngine(network, directed=False)
+
+    # ------------------------------------------------------------------
+    def match_fixes(
+        self, trid: int, fixes: list[tuple[float, float, float]]
+    ) -> Trajectory:
+        """Match ``(x, y, t)`` fixes via Viterbi decoding.
+
+        Raises:
+            MapMatchError: when a fix has no candidates, or no transition
+                survives pruning anywhere (fully broken trace).
+        """
+        if len(fixes) < 2:
+            raise MapMatchError(f"trace {trid}: needs at least 2 fixes")
+        points = [Point(x, y) for x, y, _t in fixes]
+        layers = [
+            self._finder.candidates(p, limit=self.config.max_candidates)
+            for p in points
+        ]
+        for i, layer in enumerate(layers):
+            if not layer:
+                raise MapMatchError(f"trace {trid}: fix {i} matches no segment")
+
+        # Viterbi over log-probabilities.
+        scores = [self._emission(c) for c in layers[0]]
+        parents: list[list[int]] = [[-1] * len(layers[0])]
+        for i in range(1, len(layers)):
+            straight = points[i - 1].distance_to(points[i])
+            layer_scores: list[float] = []
+            layer_parents: list[int] = []
+            for candidate in layers[i]:
+                best_score = -INFINITY
+                best_parent = 0
+                for j, previous in enumerate(layers[i - 1]):
+                    transition = self._transition(previous, candidate, straight)
+                    total = scores[j] + transition
+                    if total > best_score:
+                        best_score = total
+                        best_parent = j
+                emission = self._emission(candidate) + self._heading_bonus(
+                    points[i - 1], points[i], candidate
+                )
+                layer_scores.append(best_score + emission)
+                layer_parents.append(best_parent)
+            scores = layer_scores
+            parents.append(layer_parents)
+
+        if all(score == -INFINITY for score in scores):
+            raise MapMatchError(f"trace {trid}: no feasible segment path")
+
+        # Backtrack.
+        best_index = max(range(len(scores)), key=scores.__getitem__)
+        chosen_indices = [best_index]
+        for i in range(len(layers) - 1, 0, -1):
+            chosen_indices.append(parents[i][chosen_indices[-1]])
+        chosen_indices.reverse()
+
+        locations = []
+        for i, index in enumerate(chosen_indices):
+            candidate = layers[i][index]
+            locations.append(
+                Location(candidate.sid, candidate.snapped.x, candidate.snapped.y,
+                         fixes[i][2])
+            )
+        return Trajectory(trid, tuple(locations))
+
+    def match_trace(self, trace) -> Trajectory:
+        """Match a :class:`~repro.mobisim.noise.RawTrace`."""
+        return self.match_fixes(trace.trid, [(f.x, f.y, f.t) for f in trace.fixes])
+
+    # ------------------------------------------------------------------
+    def _emission(self, candidate: Candidate) -> float:
+        """Log of the Gaussian emission likelihood (constants dropped)."""
+        z = candidate.distance / max(self.config.sigma, 1e-9)
+        return -0.5 * z * z
+
+    def _heading_bonus(self, a: Point, b: Point, candidate: Candidate) -> float:
+        """Log-penalty for candidates misaligned with the fix heading.
+
+        Breaks the junction ties pure distance emission cannot: at an
+        intersection both roads are equally close, but only one points
+        the way the object is moving.
+        """
+        displacement = a.distance_to(b)
+        if displacement < self.config.min_heading_displacement:
+            return 0.0
+        from ..roadnet.geometry import angle_between, heading
+
+        seg_a, seg_b = self._network.segment_endpoints(candidate.sid)
+        mismatch = angle_between(heading(a, b), heading(seg_a, seg_b))
+        if self._network.segment(candidate.sid).bidirectional:
+            mismatch = min(mismatch, math.pi - mismatch)
+        return -self.config.heading_weight * (mismatch / (math.pi / 2.0))
+
+    def _transition(
+        self, previous: Candidate, candidate: Candidate, straight: float
+    ) -> float:
+        """Log of the exponential transition likelihood.
+
+        Route distance between the two snapped positions is approximated
+        by the shortest junction-to-junction path between the segments'
+        nearest endpoints plus the on-segment offsets; same-segment
+        transitions use the on-segment displacement directly.
+        """
+        route = self._route_distance(previous, candidate)
+        if route > self.config.max_route_factor * max(straight, 25.0):
+            return -INFINITY
+        discrepancy = abs(route - straight)
+        return -discrepancy / max(self.config.beta, 1e-9)
+
+    def _route_distance(self, previous: Candidate, candidate: Candidate) -> float:
+        if previous.sid == candidate.sid:
+            return previous.snapped.distance_to(candidate.snapped)
+        seg_a = self._network.segment(previous.sid)
+        seg_b = self._network.segment(candidate.sid)
+        best = INFINITY
+        for exit_node in seg_a.endpoints:
+            exit_offset = previous.snapped.distance_to(
+                self._network.node_point(exit_node)
+            )
+            for entry_node in seg_b.endpoints:
+                entry_offset = candidate.snapped.distance_to(
+                    self._network.node_point(entry_node)
+                )
+                between = self._engine.distance(exit_node, entry_node)
+                best = min(best, exit_offset + between + entry_offset)
+        return best

@@ -1,0 +1,69 @@
+"""Inferring the junctions crossed between two matched segments.
+
+When two consecutive trajectory samples lie on different road segments, the
+object crossed one or more junctions between them (Section III-A1).  For
+contiguous segments the crossing is simply their shared junction
+``I(e_i, e_j)``; otherwise the crossing sequence is recovered from the
+shortest path between the segments' endpoints — the "map-matching approach"
+the paper defers to.
+
+The result is a list of :class:`Crossing` records, each saying "the object
+crossed junction ``node_id`` and entered segment ``sid``"; the final
+crossing always enters the destination segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NoPathError
+from ..roadnet.network import RoadNetwork
+from ..roadnet.shortest_path import shortest_route
+
+
+@dataclass(frozen=True, slots=True)
+class Crossing:
+    """One junction crossing: the object enters ``sid`` at ``node_id``."""
+
+    node_id: int
+    sid: int
+
+
+def infer_crossings(
+    network: RoadNetwork, sid_from: int, sid_to: int
+) -> list[Crossing]:
+    """The junction crossings between segment ``sid_from`` and ``sid_to``.
+
+    For adjacent segments this is the single shared junction.  For
+    non-adjacent segments, the cheapest endpoint-to-endpoint shortest route
+    supplies the intermediate segments; each intermediate junction becomes
+    a crossing.
+
+    Raises:
+        NoPathError: when the two segments are not connected at all.
+    """
+    if sid_from == sid_to:
+        return []
+    junction = network.common_junction(sid_from, sid_to)
+    if junction is not None:
+        return [Crossing(junction, sid_to)]
+
+    seg_from = network.segment(sid_from)
+    seg_to = network.segment(sid_to)
+    best = None
+    for exit_node in seg_from.endpoints:
+        for entry_node in seg_to.endpoints:
+            try:
+                route = shortest_route(network, exit_node, entry_node, directed=False)
+            except NoPathError:
+                continue
+            if best is None or route.length < best.length:
+                best = route
+    if best is None:
+        raise NoPathError(sid_from, sid_to)
+
+    crossings = []
+    for i, sid in enumerate(best.sids):
+        crossings.append(Crossing(best.nodes[i], sid))
+    crossings.append(Crossing(best.nodes[-1], sid_to))
+    return crossings

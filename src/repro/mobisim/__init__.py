@@ -1,0 +1,40 @@
+"""Mobility-trace simulation substrate (GTMobiSIM equivalent).
+
+Generates network-constrained trajectory datasets with hotspot starts,
+predefined destinations, shortest-path routes and speed-limit travel —
+the trace recipe of Section IV-A of the NEAT paper.
+"""
+
+from .agents import RouteWalk, WalkSample
+from .dataset import dataset_summary, format_table2
+from .demand import DemandProfile, DemandWindow, simulate_demand
+from .hotspots import HotspotLayout, choose_layout
+from .io import dataset_from_dict, dataset_to_dict, load_dataset, save_dataset
+from .noise import GpsFix, RawTrace, degrade_dataset, degrade_trajectory
+from .simulator import SimulationConfig, SimulationReport, simulate_dataset
+from .trips import TripPlan, TripPlanner
+
+__all__ = [
+    "DemandProfile",
+    "DemandWindow",
+    "GpsFix",
+    "HotspotLayout",
+    "RawTrace",
+    "RouteWalk",
+    "SimulationConfig",
+    "SimulationReport",
+    "TripPlan",
+    "TripPlanner",
+    "WalkSample",
+    "choose_layout",
+    "dataset_from_dict",
+    "dataset_summary",
+    "dataset_to_dict",
+    "degrade_dataset",
+    "degrade_trajectory",
+    "format_table2",
+    "load_dataset",
+    "save_dataset",
+    "simulate_dataset",
+    "simulate_demand",
+]

@@ -1,0 +1,54 @@
+"""Dataset summaries: the rows of Table II in the paper.
+
+Table II reports the total number of location points per (region, object
+count) dataset.  :func:`format_table2` renders the same table for any set
+of generated datasets.
+"""
+
+from __future__ import annotations
+
+from ..core.model import TrajectoryDataset
+
+
+def dataset_summary(dataset: TrajectoryDataset) -> dict[str, object]:
+    """Key statistics of one dataset."""
+    lengths = [len(tr) for tr in dataset.trajectories]
+    return {
+        "name": dataset.name,
+        "trajectories": len(dataset),
+        "total_points": dataset.total_points,
+        "min_points": min(lengths, default=0),
+        "max_points": max(lengths, default=0),
+        "avg_points": (sum(lengths) / len(lengths)) if lengths else 0.0,
+    }
+
+
+def format_table2(datasets_by_region: dict[str, list[TrajectoryDataset]]) -> str:
+    """Render Table II: rows = object counts, columns = regions.
+
+    Args:
+        datasets_by_region: Mapping such as ``{"ATL": [atl500, atl1000],
+            "SJ": [...]}``; lists must be aligned by object count.
+    """
+    regions = list(datasets_by_region)
+    if not regions:
+        return "(no datasets)"
+    row_count = max(len(v) for v in datasets_by_region.values())
+    header = ["Datasets"] + regions
+    rows: list[list[str]] = [header]
+    for i in range(row_count):
+        label_parts = []
+        cells = []
+        for region in regions:
+            datasets = datasets_by_region[region]
+            if i < len(datasets):
+                label_parts.append(datasets[i].name)
+                cells.append(str(datasets[i].total_points))
+            else:
+                cells.append("-")
+        rows.append(["/".join(label_parts)] + cells)
+    widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row))
+        for row in rows
+    )

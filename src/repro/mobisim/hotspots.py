@@ -1,0 +1,73 @@
+"""Hotspot and destination placement for trace generation.
+
+The paper's traces (Section IV-A, Figure 3) place mobile objects at a small
+number of *hotspots* and send each to a destination "chosen randomly from a
+predefined set of locations as in real life traveling".  This module picks
+those anchor junctions deterministically from a seeded RNG, and samples
+per-object start junctions in a radius around their hotspot so starts are
+dense but not identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..roadnet.network import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class HotspotLayout:
+    """The chosen anchor junctions for a trace workload.
+
+    Attributes:
+        hotspot_nodes: Junctions around which objects begin their trips.
+        destination_nodes: The predefined destination set.
+        start_pool: For each hotspot, the junctions within the start radius
+            (including the hotspot itself) that objects may start from.
+    """
+
+    hotspot_nodes: tuple[int, ...]
+    destination_nodes: tuple[int, ...]
+    start_pool: tuple[tuple[int, ...], ...]
+
+
+def choose_layout(
+    network: RoadNetwork,
+    hotspot_count: int = 2,
+    destination_count: int = 3,
+    start_radius: float = 800.0,
+    seed: int = 11,
+) -> HotspotLayout:
+    """Pick hotspots, destinations and start pools on ``network``.
+
+    Hotspots and destinations are sampled without replacement from all
+    junctions, with destinations forced to be distinct from hotspots so
+    trips have non-trivial routes.  The start pool of a hotspot contains
+    every junction whose Euclidean distance from it is at most
+    ``start_radius``.
+
+    Raises:
+        ValueError: when the network has too few junctions for the request.
+    """
+    node_ids = network.node_ids()
+    needed = hotspot_count + destination_count
+    if len(node_ids) < needed:
+        raise ValueError(
+            f"network has {len(node_ids)} junctions, need at least {needed}"
+        )
+    rng = random.Random(seed)
+    chosen = rng.sample(node_ids, needed)
+    hotspot_nodes = tuple(chosen[:hotspot_count])
+    destination_nodes = tuple(chosen[hotspot_count:])
+
+    pools: list[tuple[int, ...]] = []
+    for hotspot in hotspot_nodes:
+        center = network.node_point(hotspot)
+        pool = tuple(
+            node_id
+            for node_id in node_ids
+            if network.node_point(node_id).distance_to(center) <= start_radius
+        )
+        pools.append(pool if pool else (hotspot,))
+    return HotspotLayout(hotspot_nodes, destination_nodes, tuple(pools))

@@ -1,0 +1,80 @@
+"""JSON (de)serialization of trajectory datasets.
+
+Schema (version 1)::
+
+    {
+      "format": "repro-trajectories", "version": 1,
+      "name": "...", "network_name": "...", "metadata": {...},
+      "trajectories": [
+        {"trid": 0, "locations": [[sid, x, y, t, node_id|null], ...]},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.model import Location, Trajectory, TrajectoryDataset
+from ..errors import TrajectoryError
+
+FORMAT_TAG = "repro-trajectories"
+FORMAT_VERSION = 1
+
+
+def dataset_to_dict(dataset: TrajectoryDataset) -> dict[str, Any]:
+    """Serialize a dataset to a JSON-compatible dictionary."""
+    return {
+        "format": FORMAT_TAG,
+        "version": FORMAT_VERSION,
+        "name": dataset.name,
+        "network_name": dataset.network_name,
+        "metadata": dict(dataset.metadata),
+        "trajectories": [
+            {
+                "trid": tr.trid,
+                "locations": [
+                    [loc.sid, loc.x, loc.y, loc.t, loc.node_id]
+                    for loc in tr.locations
+                ],
+            }
+            for tr in dataset.trajectories
+        ],
+    }
+
+
+def dataset_from_dict(data: dict[str, Any]) -> TrajectoryDataset:
+    """Deserialize a dataset from :func:`dataset_to_dict` output."""
+    if data.get("format") != FORMAT_TAG:
+        raise TrajectoryError(f"not a trajectory document: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise TrajectoryError(f"unsupported version: {data.get('version')!r}")
+    trajectories = []
+    for entry in data["trajectories"]:
+        locations = tuple(
+            Location(
+                int(sid), float(x), float(y), float(t),
+                None if node_id is None else int(node_id),
+            )
+            for sid, x, y, t, node_id in entry["locations"]
+        )
+        trajectories.append(Trajectory(int(entry["trid"]), locations))
+    return TrajectoryDataset(
+        name=data.get("name", "dataset"),
+        trajectories=tuple(trajectories),
+        network_name=data.get("network_name", ""),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def save_dataset(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Write a dataset to a JSON file."""
+    Path(path).write_text(json.dumps(dataset_to_dict(dataset)))
+
+
+def load_dataset(path: str | Path) -> TrajectoryDataset:
+    """Read a dataset from a JSON file produced by :func:`save_dataset`."""
+    return dataset_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,66 @@
+"""GPS noise model: turn ground-truth traces into raw GPS fixes.
+
+The simulator produces network-constrained samples that already carry the
+road segment id.  Real GPS receivers do not: they report noisy ``(x, y, t)``
+fixes that a map matcher must snap back onto the network (the paper uses
+the SLAMM matcher [14] as a preprocessing step).  This module strips the
+segment ids and perturbs the coordinates so the map-matching substrate has
+realistic input to chew on, and exists primarily to exercise/evaluate
+:mod:`repro.mapmatch`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.model import Trajectory, TrajectoryDataset
+
+
+@dataclass(frozen=True, slots=True)
+class GpsFix:
+    """A raw GPS fix: position and time, no network knowledge."""
+
+    x: float
+    y: float
+    t: float
+
+
+@dataclass(frozen=True, slots=True)
+class RawTrace:
+    """A raw GPS trace: one trajectory's fixes before map matching."""
+
+    trid: int
+    fixes: tuple[GpsFix, ...]
+
+    def __len__(self) -> int:
+        return len(self.fixes)
+
+
+def degrade_trajectory(
+    trajectory: Trajectory, sigma: float, rng: random.Random
+) -> RawTrace:
+    """Strip segment ids and add isotropic Gaussian noise of ``sigma`` m."""
+    fixes = tuple(
+        GpsFix(
+            location.x + rng.gauss(0.0, sigma),
+            location.y + rng.gauss(0.0, sigma),
+            location.t,
+        )
+        for location in trajectory.locations
+    )
+    return RawTrace(trajectory.trid, fixes)
+
+
+def degrade_dataset(
+    dataset: TrajectoryDataset, sigma: float = 5.0, seed: int = 97
+) -> list[RawTrace]:
+    """Degrade every trajectory of a dataset into raw GPS traces.
+
+    Args:
+        dataset: Ground-truth dataset from the simulator.
+        sigma: Noise standard deviation in metres (consumer GPS is ~5 m).
+        seed: RNG seed for reproducible noise.
+    """
+    rng = random.Random(seed)
+    return [degrade_trajectory(tr, sigma, rng) for tr in dataset.trajectories]

@@ -1,0 +1,96 @@
+"""Trip planning: start/destination selection and route computation.
+
+One trip = one trajectory in the generated dataset.  The planner draws a
+start junction from a hotspot's pool and a destination from the predefined
+destination set, then routes via shortest path on the directed network —
+exactly the recipe of Section IV-A ("following shortest paths to a final
+destination chosen randomly from a predefined set of locations").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import NoPathError
+from ..roadnet.network import RoadNetwork
+from ..roadnet.shortest_path import Route, shortest_route
+from .hotspots import HotspotLayout
+
+
+@dataclass(frozen=True, slots=True)
+class TripPlan:
+    """A planned trip: route plus departure metadata."""
+
+    trid: int
+    route: Route
+    start_time: float
+    speed_factor: float
+
+
+class TripPlanner:
+    """Plans trips for a population of objects over a hotspot layout.
+
+    Args:
+        network: Road network to route on.
+        layout: Hotspot/destination layout (see :func:`choose_layout`).
+        rng: Seeded RNG; all randomness flows through it so trip plans are
+            reproducible.
+        start_window: Departure times are uniform in ``[0, start_window]``
+            seconds.
+        min_speed_factor: Lower bound of the per-object speed factor
+            (upper bound is 1.0 — the speed limit).
+    """
+
+    #: How many times to re-draw endpoints when routing fails before
+    #: giving up on an object.
+    MAX_ATTEMPTS = 25
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        layout: HotspotLayout,
+        rng: random.Random,
+        start_window: float = 300.0,
+        min_speed_factor: float = 0.75,
+    ) -> None:
+        if not (0.0 < min_speed_factor <= 1.0):
+            raise ValueError(
+                f"min_speed_factor must be in (0, 1], got {min_speed_factor}"
+            )
+        self._network = network
+        self._layout = layout
+        self._rng = rng
+        self._start_window = float(start_window)
+        self._min_speed_factor = float(min_speed_factor)
+
+    def plan_trip(self, trid: int) -> TripPlan:
+        """Plan one trip, re-drawing endpoints if routing fails.
+
+        Raises:
+            NoPathError: when no routable start/destination pair is found
+                after :data:`MAX_ATTEMPTS` draws (disconnected network).
+        """
+        rng = self._rng
+        layout = self._layout
+        last_pair: tuple[int, int] | None = None
+        for _ in range(self.MAX_ATTEMPTS):
+            hotspot_index = rng.randrange(len(layout.hotspot_nodes))
+            start = rng.choice(layout.start_pool[hotspot_index])
+            destination = rng.choice(layout.destination_nodes)
+            last_pair = (start, destination)
+            if start == destination:
+                continue
+            try:
+                route = shortest_route(self._network, start, destination, directed=True)
+            except NoPathError:
+                continue
+            if not route.sids:
+                continue
+            return TripPlan(
+                trid=trid,
+                route=route,
+                start_time=rng.uniform(0.0, self._start_window),
+                speed_factor=rng.uniform(self._min_speed_factor, 1.0),
+            )
+        raise NoPathError(*last_pair) if last_pair else NoPathError(None, None)

@@ -1,0 +1,26 @@
+"""OPTICS and Trajectory-OPTICS: the whole-trajectory baseline [24].
+
+The second baseline family the NEAT paper positions against (Section V):
+density-based clustering of *entire* trajectories under a synchronized
+Euclidean distance.  Included to make the paper's "whole-trajectory
+clustering misses partial co-movement" argument measurable.
+"""
+
+from .optics import OpticsPoint, UNDEFINED, extract_dbscan, optics_ordering
+from .trajectory_optics import (
+    TrajectoryOptics,
+    TrajectoryOpticsResult,
+    position_at,
+    trajectory_distance,
+)
+
+__all__ = [
+    "OpticsPoint",
+    "TrajectoryOptics",
+    "TrajectoryOpticsResult",
+    "UNDEFINED",
+    "extract_dbscan",
+    "optics_ordering",
+    "position_at",
+    "trajectory_distance",
+]

@@ -1,0 +1,154 @@
+"""Generic OPTICS (Ankerst et al., SIGMOD'99) over abstract items.
+
+OPTICS computes a *reachability ordering*: items are visited in a
+density-driven order, each annotated with the reachability distance at
+which it joins its neighbourhood.  Clusters at any density level fall out
+of the ordering by thresholding the reachability plot — the
+``extract_dbscan`` routine below, which yields DBSCAN-equivalent clusters
+for a given eps'.
+
+Like the generic DBSCAN in :mod:`repro.cluster`, the algorithm is
+distance-function-agnostic: callers supply a symmetric pairwise distance.
+The NEAT paper's related work uses OPTICS via Trajectory-OPTICS (Nanni &
+Pedreschi [24]); see :mod:`repro.optics.trajectory_optics`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: Reachability value of items never reachable within max_eps.
+UNDEFINED = math.inf
+
+#: A symmetric pairwise distance over item indices.
+DistanceFn = Callable[[int, int], float]
+
+
+@dataclass(frozen=True, slots=True)
+class OpticsPoint:
+    """One entry of the OPTICS ordering.
+
+    Attributes:
+        index: The item's index in the input.
+        reachability: Reachability distance when the item was reached
+            (:data:`UNDEFINED` for each density peak's first item).
+        core_distance: The item's core distance (:data:`UNDEFINED` when
+            it is not a core item at ``max_eps``).
+    """
+
+    index: int
+    reachability: float
+    core_distance: float
+
+
+def optics_ordering(
+    item_count: int,
+    distance: DistanceFn,
+    min_pts: int,
+    max_eps: float = math.inf,
+) -> list[OpticsPoint]:
+    """Compute the OPTICS reachability ordering.
+
+    Args:
+        item_count: Number of items, addressed ``0..item_count-1``.
+        distance: Symmetric pairwise distance.
+        min_pts: Core-item neighbourhood size (the item itself included).
+        max_eps: Neighbourhood cut-off; ``inf`` reproduces exact OPTICS
+            at the cost of all-pairs distances.
+
+    Returns:
+        One :class:`OpticsPoint` per item, in visit order.
+    """
+    if min_pts < 1:
+        raise ValueError(f"min_pts must be >= 1, got {min_pts}")
+    ordering: list[OpticsPoint] = []
+    processed = [False] * item_count
+    reachability = [UNDEFINED] * item_count
+
+    def neighbors_of(index: int) -> list[tuple[float, int]]:
+        found = []
+        for other in range(item_count):
+            if other == index:
+                continue
+            d = distance(index, other)
+            if d <= max_eps:
+                found.append((d, other))
+        found.sort()
+        return found
+
+    def core_distance(neighbor_distances: list[tuple[float, int]]) -> float:
+        # min_pts includes the item itself, so min_pts - 1 neighbours.
+        needed = min_pts - 1
+        if needed == 0:
+            return 0.0
+        if len(neighbor_distances) < needed:
+            return UNDEFINED
+        return neighbor_distances[needed - 1][0]
+
+    for start in range(item_count):
+        if processed[start]:
+            continue
+        start_neighbors = neighbors_of(start)
+        start_core = core_distance(start_neighbors)
+        processed[start] = True
+        ordering.append(OpticsPoint(start, UNDEFINED, start_core))
+        if start_core is UNDEFINED or math.isinf(start_core):
+            continue
+        # Seed list keyed by current reachability; lazy-delete heap.
+        heap: list[tuple[float, int]] = []
+        _update_seeds(start_neighbors, start_core, reachability, processed, heap)
+        while heap:
+            r, item = heapq.heappop(heap)
+            if processed[item] or r > reachability[item]:
+                continue
+            processed[item] = True
+            item_neighbors = neighbors_of(item)
+            item_core = core_distance(item_neighbors)
+            ordering.append(OpticsPoint(item, reachability[item], item_core))
+            if not math.isinf(item_core):
+                _update_seeds(
+                    item_neighbors, item_core, reachability, processed, heap
+                )
+    return ordering
+
+
+def _update_seeds(
+    neighbor_distances: list[tuple[float, int]],
+    core: float,
+    reachability: list[float],
+    processed: list[bool],
+    heap: list[tuple[float, int]],
+) -> None:
+    """Relax reachability of unprocessed neighbours through a core item."""
+    for d, neighbor in neighbor_distances:
+        if processed[neighbor]:
+            continue
+        new_reach = max(core, d)
+        if new_reach < reachability[neighbor]:
+            reachability[neighbor] = new_reach
+            heapq.heappush(heap, (new_reach, neighbor))
+
+
+def extract_dbscan(
+    ordering: Sequence[OpticsPoint], eps: float
+) -> list[int]:
+    """DBSCAN-equivalent labels from an OPTICS ordering at ``eps``.
+
+    Returns one label per *item index* (not per ordering position);
+    -1 marks noise.  Standard extraction: walking the ordering, an item
+    with reachability > eps starts a new cluster if it is core at eps,
+    else is noise.
+    """
+    labels = [-1] * len(ordering)
+    cluster_id = -1
+    for point in ordering:
+        if point.reachability > eps:
+            if point.core_distance <= eps:
+                cluster_id += 1
+                labels[point.index] = cluster_id
+        else:
+            labels[point.index] = cluster_id if cluster_id >= 0 else -1
+    return labels

@@ -1,0 +1,151 @@
+"""Trajectory-OPTICS: whole-trajectory density clustering (Nanni [24]).
+
+The related-work baseline the NEAT paper contrasts with (Section V):
+trajectories are clustered *as wholes* under the time-synchronized
+average Euclidean distance, with OPTICS as the density engine.  Its two
+structural weaknesses — whole-trajectory granularity (no partial
+clusters) and Euclidean, network-oblivious geometry — are exactly what
+NEAT's t-fragments and network proximity fix, and the comparison bench
+(`bench_optics_baseline.py`) measures both.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.model import Trajectory
+from .optics import extract_dbscan, optics_ordering
+
+
+def position_at(trajectory: Trajectory, t: float) -> tuple[float, float]:
+    """Linearly interpolated position at time ``t`` (clamped to the trip)."""
+    locations = trajectory.locations
+    if t <= locations[0].t:
+        return (locations[0].x, locations[0].y)
+    if t >= locations[-1].t:
+        return (locations[-1].x, locations[-1].y)
+    # Linear scan is fine: trajectories are short and calls sequential.
+    for earlier, later in zip(locations, locations[1:]):
+        if earlier.t <= t <= later.t:
+            span = later.t - earlier.t
+            fraction = (t - earlier.t) / span if span > 0 else 0.0
+            return (
+                earlier.x + (later.x - earlier.x) * fraction,
+                earlier.y + (later.y - earlier.y) * fraction,
+            )
+    return (locations[-1].x, locations[-1].y)
+
+
+def trajectory_distance(
+    a: Trajectory, b: Trajectory, sample_count: int = 16
+) -> float:
+    """Time-synchronized average Euclidean distance between two trips.
+
+    The distance of [24]: average over timestamps of the Euclidean
+    distance between the objects' synchronized positions, evaluated at
+    ``sample_count`` uniform times in the trips' temporal overlap.
+    Trips that never coexist in time are infinitely distant.
+    """
+    start = max(a.start.t, b.start.t)
+    end = min(a.end.t, b.end.t)
+    if end < start:
+        return math.inf
+    if sample_count < 1:
+        raise ValueError("sample_count must be >= 1")
+    total = 0.0
+    for k in range(sample_count):
+        t = start + (end - start) * (k / max(1, sample_count - 1))
+        ax, ay = position_at(a, t)
+        bx, by = position_at(b, t)
+        total += math.hypot(ax - bx, ay - by)
+    return total / sample_count
+
+
+@dataclass
+class TrajectoryOpticsResult:
+    """Output of a Trajectory-OPTICS run.
+
+    Attributes:
+        labels: Cluster id per trajectory (aligned with the input order),
+            -1 for noise.
+        clusters: Trajectory indices grouped by cluster id.
+        ordering_seconds: Time spent computing the OPTICS ordering.
+        distance_evaluations: Pairwise distance computations performed.
+    """
+
+    labels: list[int] = field(default_factory=list)
+    clusters: list[list[int]] = field(default_factory=list)
+    ordering_seconds: float = 0.0
+    distance_evaluations: int = 0
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of discovered clusters (noise excluded)."""
+        return len(self.clusters)
+
+    @property
+    def noise_count(self) -> int:
+        """Trajectories labelled as noise."""
+        return sum(1 for label in self.labels if label == -1)
+
+
+class TrajectoryOptics:
+    """Whole-trajectory OPTICS clustering.
+
+    Args:
+        eps: Extraction threshold on the reachability plot, metres.
+        min_pts: OPTICS core-size parameter.
+        max_eps: Neighbourhood cut-off during ordering (defaults to
+            ``4 * eps``, ample for extraction while bounding work).
+        sample_count: Temporal samples per distance evaluation.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int = 3,
+        max_eps: float | None = None,
+        sample_count: int = 16,
+    ) -> None:
+        if eps <= 0.0:
+            raise ValueError("eps must be positive")
+        self.eps = eps
+        self.min_pts = min_pts
+        self.max_eps = max_eps if max_eps is not None else 4.0 * eps
+        self.sample_count = sample_count
+
+    def run(self, trajectories: Sequence[Trajectory]) -> TrajectoryOpticsResult:
+        """Cluster the trajectories; see :class:`TrajectoryOpticsResult`."""
+        trajectory_list = list(trajectories)
+        result = TrajectoryOpticsResult()
+        if not trajectory_list:
+            return result
+
+        cache: dict[tuple[int, int], float] = {}
+
+        def distance(i: int, j: int) -> float:
+            key = (i, j) if i < j else (j, i)
+            cached = cache.get(key)
+            if cached is None:
+                cached = trajectory_distance(
+                    trajectory_list[i], trajectory_list[j], self.sample_count
+                )
+                cache[key] = cached
+                result.distance_evaluations += 1
+            return cached
+
+        started = time.perf_counter()
+        ordering = optics_ordering(
+            len(trajectory_list), distance, self.min_pts, self.max_eps
+        )
+        result.ordering_seconds = time.perf_counter() - started
+        result.labels = extract_dbscan(ordering, self.eps)
+        by_id: dict[int, list[int]] = {}
+        for index, label in enumerate(result.labels):
+            if label >= 0:
+                by_id.setdefault(label, []).append(index)
+        result.clusters = [by_id[label] for label in sorted(by_id)]
+        return result

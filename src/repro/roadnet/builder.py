@@ -1,0 +1,81 @@
+"""Convenience builders for constructing road networks from plain data.
+
+These helpers cover the common patterns tests and examples need: building a
+network from coordinate/edge lists, and small canned topologies used in the
+paper's figures (e.g. the star junction of Figure 1(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .geometry import Point
+from .network import RoadNetwork
+from .segment import DEFAULT_SPEED_LIMIT
+
+
+def network_from_edges(
+    coordinates: Sequence[tuple[float, float]],
+    edges: Iterable[tuple[int, int]],
+    speed_limit: float = DEFAULT_SPEED_LIMIT,
+    name: str = "road-network",
+) -> RoadNetwork:
+    """Build a network from a coordinate list and ``(u, v)`` index pairs.
+
+    Node ids are assigned ``0..len(coordinates)-1`` in order; segment ids
+    are assigned in edge order.  Segment lengths default to the Euclidean
+    distance between endpoints.
+
+    Example:
+        >>> net = network_from_edges(
+        ...     [(0, 0), (100, 0), (200, 0)], [(0, 1), (1, 2)]
+        ... )
+        >>> net.segment_count
+        2
+    """
+    network = RoadNetwork(name=name)
+    for x, y in coordinates:
+        network.add_junction(Point(float(x), float(y)))
+    for u, v in edges:
+        network.add_segment(u, v, speed_limit=speed_limit)
+    return network
+
+
+def line_network(
+    segment_count: int,
+    segment_length: float = 100.0,
+    speed_limit: float = DEFAULT_SPEED_LIMIT,
+    name: str = "line",
+) -> RoadNetwork:
+    """A straight chain of ``segment_count`` equal-length segments."""
+    if segment_count < 1:
+        raise ValueError("segment_count must be >= 1")
+    coordinates = [(i * segment_length, 0.0) for i in range(segment_count + 1)]
+    edges = [(i, i + 1) for i in range(segment_count)]
+    return network_from_edges(coordinates, edges, speed_limit=speed_limit, name=name)
+
+
+def star_network(
+    branch_count: int = 4,
+    branch_length: float = 100.0,
+    speed_limit: float = DEFAULT_SPEED_LIMIT,
+    name: str = "star",
+) -> RoadNetwork:
+    """One central junction with ``branch_count`` radiating segments.
+
+    This is the topology of Figure 1(b) in the paper (junction ``n2`` with
+    segments to ``n1``, ``n3``, ``n4``, ``n5``) and is heavily used by unit
+    tests of the f-neighborhood operators.
+    """
+    if branch_count < 1:
+        raise ValueError("branch_count must be >= 1")
+    import math
+
+    coordinates = [(0.0, 0.0)]
+    for i in range(branch_count):
+        angle = 2.0 * math.pi * i / branch_count
+        coordinates.append(
+            (branch_length * math.cos(angle), branch_length * math.sin(angle))
+        )
+    edges = [(0, i + 1) for i in range(branch_count)]
+    return network_from_edges(coordinates, edges, speed_limit=speed_limit, name=name)

@@ -1,0 +1,340 @@
+"""Synthetic road-network generators calibrated to the paper's Table I.
+
+The paper evaluates on three real maps (North-West Atlanta, West San Jose,
+Miami-Dade) obtained from USGS/TIGER data, which is unavailable offline.
+NEAT's behaviour depends on the *structure* of the map — junction/segment
+counts, segment lengths, junction degrees, connectivity — not on geographic
+fidelity, so this module generates networks matching those structural
+statistics (see ``DESIGN.md`` Section 3 for the substitution rationale).
+
+The construction is a jittered grid: junctions sit on a perturbed lattice
+(so segment lengths vary realistically), a random spanning tree keeps the
+network connected, non-tree lattice edges are thinned to hit the target
+segment/junction ratio (which fixes the average degree), and a few "hub"
+junctions receive extra diagonal links to reach the target maximum degree.
+Arterial rows/columns get higher speed limits, giving the speed-limit
+factor ``v`` of Definition 9 something meaningful to weigh.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from .geometry import Point
+from .network import RoadNetwork
+
+#: Speed limits in metres/second by road class.
+SPEEDS = {"local": 13.9, "arterial": 22.2, "highway": 29.1}
+
+
+@dataclass(frozen=True, slots=True)
+class GridConfig:
+    """Parameters for :func:`generate_grid_network`.
+
+    Attributes:
+        rows: Lattice rows (junctions per column).
+        cols: Lattice columns (junctions per row).
+        spacing: Target average segment length in metres.
+        jitter: Maximum junction displacement as a fraction of ``spacing``
+            (kept below 0.5 so neighbouring junctions never swap order).
+        avg_degree: Target mean junction degree; controls how many non-tree
+            lattice edges survive thinning.
+        max_degree: Target maximum junction degree; reached by adding
+            diagonal links at hub junctions.
+        hub_count: Number of hub junctions receiving extra links.
+        arterial_every: Every ``k``-th row/column is an arterial road.
+        highway_rows: Number of highway corridors crossing the map.
+        seed: RNG seed; the generator is fully deterministic given a seed.
+        name: Name for the resulting network.
+    """
+
+    rows: int
+    cols: int
+    spacing: float = 150.0
+    jitter: float = 0.25
+    avg_degree: float = 2.6
+    max_degree: int = 6
+    hub_count: int = 3
+    arterial_every: int = 5
+    highway_rows: int = 1
+    seed: int = 7
+    name: str = "synthetic-grid"
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 2:
+            raise ValueError("grid must be at least 2x2")
+        if not (0.0 <= self.jitter < 0.5):
+            raise ValueError("jitter must be in [0, 0.5)")
+        if self.avg_degree < 2.0:
+            raise ValueError("avg_degree below 2 cannot stay connected on a lattice")
+
+
+def generate_grid_network(config: GridConfig) -> RoadNetwork:
+    """Generate a connected road network from a jittered lattice.
+
+    The result is deterministic for a given config (including seed).
+    """
+    rng = random.Random(config.seed)
+    network = RoadNetwork(name=config.name)
+
+    node_ids: dict[tuple[int, int], int] = {}
+    for r in range(config.rows):
+        for c in range(config.cols):
+            dx = rng.uniform(-config.jitter, config.jitter) * config.spacing
+            dy = rng.uniform(-config.jitter, config.jitter) * config.spacing
+            point = Point(c * config.spacing + dx, r * config.spacing + dy)
+            node_ids[(r, c)] = network.add_junction(point)
+
+    lattice_edges = _lattice_edges(config)
+    tree_edges = _random_spanning_tree(config, lattice_edges, rng)
+    extra_pool = [edge for edge in lattice_edges if edge not in tree_edges]
+    rng.shuffle(extra_pool)
+
+    junctions = config.rows * config.cols
+    target_segments = max(junctions - 1, round(config.avg_degree * junctions / 2.0))
+    chosen = list(tree_edges)
+    chosen.extend(extra_pool[: max(0, target_segments - len(chosen))])
+
+    for (ra, ca), (rb, cb) in sorted(chosen):
+        road_class = _road_class(config, (ra, ca), (rb, cb))
+        network.add_segment(
+            node_ids[(ra, ca)],
+            node_ids[(rb, cb)],
+            speed_limit=SPEEDS[road_class],
+            road_class=road_class,
+        )
+
+    _add_hub_links(config, network, node_ids, rng)
+    return network
+
+
+def _lattice_edges(
+    config: GridConfig,
+) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+    """All horizontal/vertical neighbour pairs of the lattice."""
+    edges = []
+    for r in range(config.rows):
+        for c in range(config.cols):
+            if c + 1 < config.cols:
+                edges.append(((r, c), (r, c + 1)))
+            if r + 1 < config.rows:
+                edges.append(((r, c), (r + 1, c)))
+    return edges
+
+
+def _random_spanning_tree(
+    config: GridConfig,
+    edges: list[tuple[tuple[int, int], tuple[int, int]]],
+    rng: random.Random,
+) -> set[tuple[tuple[int, int], tuple[int, int]]]:
+    """A uniform-ish random spanning tree over the lattice (randomized DFS)."""
+    adjacency: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+        adjacency.setdefault(b, []).append(a)
+    start = (0, 0)
+    visited = {start}
+    tree: set[tuple[tuple[int, int], tuple[int, int]]] = set()
+    stack = [start]
+    while stack:
+        node = stack[-1]
+        neighbors = [n for n in adjacency[node] if n not in visited]
+        if not neighbors:
+            stack.pop()
+            continue
+        nxt = rng.choice(neighbors)
+        visited.add(nxt)
+        a, b = min(node, nxt), max(node, nxt)
+        tree.add((a, b))
+        stack.append(nxt)
+    return tree
+
+
+def _road_class(
+    config: GridConfig, a: tuple[int, int], b: tuple[int, int]
+) -> str:
+    """Classify a lattice edge as highway, arterial or local."""
+    highway_rows = {
+        round((i + 1) * config.rows / (config.highway_rows + 1))
+        for i in range(config.highway_rows)
+    }
+    if a[0] == b[0] and a[0] in highway_rows:
+        return "highway"
+    if a[0] == b[0] and a[0] % config.arterial_every == 0:
+        return "arterial"
+    if a[1] == b[1] and a[1] % config.arterial_every == 0:
+        return "arterial"
+    return "local"
+
+
+def _add_hub_links(
+    config: GridConfig,
+    network: RoadNetwork,
+    node_ids: dict[tuple[int, int], int],
+    rng: random.Random,
+) -> None:
+    """Add diagonal links at hub junctions to reach the target max degree."""
+    interior = [
+        (r, c)
+        for r in range(1, config.rows - 1)
+        for c in range(1, config.cols - 1)
+    ]
+    if not interior:
+        return
+    hubs = rng.sample(interior, min(config.hub_count, len(interior)))
+    for r, c in hubs:
+        hub_id = node_ids[(r, c)]
+        diagonals = [(r - 1, c - 1), (r - 1, c + 1), (r + 1, c - 1), (r + 1, c + 1)]
+        extra_targets = diagonals + [(r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)]
+        for target in extra_targets:
+            if network.degree(hub_id) >= config.max_degree:
+                break
+            target_id = node_ids.get(target)
+            if target_id is None:
+                continue
+            already = any(
+                network.segment(sid).has_endpoint(target_id)
+                for sid in network.incident_segments(hub_id)
+            )
+            if not already:
+                network.add_segment(
+                    hub_id, target_id, speed_limit=SPEEDS["arterial"],
+                    road_class="arterial",
+                )
+
+
+# ----------------------------------------------------------------------
+# Presets calibrated to Table I of the paper
+# ----------------------------------------------------------------------
+
+#: Target structural statistics from Table I: (junctions, segments,
+#: avg segment length in metres, max degree).
+TABLE1_TARGETS = {
+    "ATL": (6979, 9187, 150.7, 6),
+    "SJ": (10929, 14600, 124.7, 6),
+    "MIA": (103377, 154681, 169.0, 9),
+}
+
+
+def _preset(region: str, scale: float, seed: int) -> RoadNetwork:
+    """Build a region preset scaled by ``scale`` (1.0 = paper size)."""
+    junctions, segments, avg_len, max_degree = TABLE1_TARGETS[region]
+    target_junctions = max(4, round(junctions * scale))
+    side = max(2, round(math.sqrt(target_junctions)))
+    avg_degree = 2.0 * segments / junctions
+    config = GridConfig(
+        rows=side,
+        cols=max(2, round(target_junctions / side)),
+        spacing=avg_len,
+        avg_degree=avg_degree,
+        max_degree=max_degree,
+        hub_count=max(1, round(3 * math.sqrt(scale * 10))),
+        seed=seed,
+        name=f"{region}(x{scale:g})",
+    )
+    return generate_grid_network(config)
+
+
+def atlanta_like(scale: float = 0.1, seed: int = 71) -> RoadNetwork:
+    """North-West-Atlanta-like network (Table I row 1), scaled."""
+    return _preset("ATL", scale, seed)
+
+
+def san_jose_like(scale: float = 0.1, seed: int = 72) -> RoadNetwork:
+    """West-San-Jose-like network (Table I row 2), scaled."""
+    return _preset("SJ", scale, seed)
+
+
+def miami_like(scale: float = 0.02, seed: int = 73) -> RoadNetwork:
+    """Miami-Dade-like network (Table I row 3), scaled.
+
+    Miami-Dade is ~15x larger than the other two maps, so its default
+    scale is smaller to keep bench runtimes proportionate.
+    """
+    return _preset("MIA", scale, seed)
+
+
+REGION_PRESETS = {
+    "ATL": atlanta_like,
+    "SJ": san_jose_like,
+    "MIA": miami_like,
+}
+
+
+# ----------------------------------------------------------------------
+# Radial (ring-and-spoke) topology
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class RadialConfig:
+    """Parameters for :func:`generate_radial_network`.
+
+    A ring-and-spoke city: a centre junction, ``rings`` concentric rings
+    of ``spokes`` junctions each, radial arterials along the spokes and
+    local roads along the rings.  European-style topologies stress NEAT
+    differently from the grid presets: junction degrees are uniform but
+    route choice between two points is much richer.
+    """
+
+    rings: int = 5
+    spokes: int = 8
+    ring_spacing: float = 300.0
+    jitter: float = 0.1
+    ring_keep_fraction: float = 0.9
+    seed: int = 7
+    name: str = "radial"
+
+    def __post_init__(self) -> None:
+        if self.rings < 1 or self.spokes < 3:
+            raise ValueError("need at least 1 ring and 3 spokes")
+        if not (0.0 <= self.jitter < 0.5):
+            raise ValueError("jitter must be in [0, 0.5)")
+        if not (0.0 < self.ring_keep_fraction <= 1.0):
+            raise ValueError("ring_keep_fraction must be in (0, 1]")
+
+
+def generate_radial_network(config: RadialConfig) -> RoadNetwork:
+    """Generate a ring-and-spoke road network.
+
+    Spokes are always complete (keeping the network connected); ring
+    segments are randomly thinned to ``ring_keep_fraction``.
+    """
+    rng = random.Random(config.seed)
+    network = RoadNetwork(name=config.name)
+    center = network.add_junction(Point(0.0, 0.0))
+
+    node_ids: dict[tuple[int, int], int] = {}
+    for ring in range(1, config.rings + 1):
+        radius = ring * config.ring_spacing
+        for spoke in range(config.spokes):
+            angle = 2.0 * math.pi * spoke / config.spokes
+            wobble = rng.uniform(-config.jitter, config.jitter) * config.ring_spacing
+            point = Point(
+                (radius + wobble) * math.cos(angle),
+                (radius + wobble) * math.sin(angle),
+            )
+            node_ids[(ring, spoke)] = network.add_junction(point)
+
+    # Spokes: centre out to the last ring (arterial).
+    for spoke in range(config.spokes):
+        previous = center
+        for ring in range(1, config.rings + 1):
+            network.add_segment(
+                previous, node_ids[(ring, spoke)],
+                speed_limit=SPEEDS["arterial"], road_class="arterial",
+            )
+            previous = node_ids[(ring, spoke)]
+
+    # Rings: neighbours along each ring, thinned (local roads).
+    for ring in range(1, config.rings + 1):
+        for spoke in range(config.spokes):
+            if rng.random() > config.ring_keep_fraction:
+                continue
+            network.add_segment(
+                node_ids[(ring, spoke)],
+                node_ids[(ring, (spoke + 1) % config.spokes)],
+                speed_limit=SPEEDS["local"], road_class="local",
+            )
+    return network

@@ -1,0 +1,137 @@
+"""Planar geometry primitives used throughout the library.
+
+The paper models road-network locations with geometric ``(x, y)`` coordinates
+(Section II-A).  All geometry in this reproduction is planar Cartesian with
+distances in metres, which matches the projected road maps the paper uses.
+
+The module provides a small, allocation-light toolkit: a :class:`Point`
+value type, segment projection (used by map matching and by the simulator),
+polyline measures and interpolation (used to place sampled locations along a
+road segment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable planar point in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between ``self`` and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+def euclidean(ax: float, ay: float, bx: float, by: float) -> float:
+    """Euclidean distance between two coordinate pairs."""
+    return math.hypot(ax - bx, ay - by)
+
+
+def dot(ax: float, ay: float, bx: float, by: float) -> float:
+    """2-D dot product."""
+    return ax * bx + ay * by
+
+
+def cross(ax: float, ay: float, bx: float, by: float) -> float:
+    """2-D cross product magnitude (z component)."""
+    return ax * by - ay * bx
+
+
+def interpolate(a: Point, b: Point, t: float) -> Point:
+    """The point at parameter ``t`` in [0, 1] along the segment ``a -> b``."""
+    return Point(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t)
+
+
+def project_onto_segment(p: Point, a: Point, b: Point) -> tuple[Point, float, float]:
+    """Project point ``p`` onto the segment ``a -> b``.
+
+    Returns ``(closest_point, t, distance)`` where ``t`` is the clamped
+    parameter in [0, 1] of the projection along the segment and ``distance``
+    is the Euclidean distance from ``p`` to the closest point.
+    """
+    vx, vy = b.x - a.x, b.y - a.y
+    seg_len_sq = vx * vx + vy * vy
+    if seg_len_sq <= 0.0:
+        return a, 0.0, p.distance_to(a)
+    t = ((p.x - a.x) * vx + (p.y - a.y) * vy) / seg_len_sq
+    t = min(1.0, max(0.0, t))
+    closest = Point(a.x + vx * t, a.y + vy * t)
+    return closest, t, p.distance_to(closest)
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Shortest Euclidean distance from ``p`` to the segment ``a -> b``."""
+    return project_onto_segment(p, a, b)[2]
+
+
+def polyline_length(points: Sequence[Point]) -> float:
+    """Total length of a polyline given as a point sequence."""
+    return sum(points[i].distance_to(points[i + 1]) for i in range(len(points) - 1))
+
+
+def point_along_polyline(points: Sequence[Point], offset: float) -> Point:
+    """The point at arc-length ``offset`` along a polyline.
+
+    Offsets below zero clamp to the first point; offsets beyond the total
+    length clamp to the last point.
+    """
+    if not points:
+        raise ValueError("empty polyline")
+    if offset <= 0.0:
+        return points[0]
+    remaining = offset
+    for i in range(len(points) - 1):
+        step = points[i].distance_to(points[i + 1])
+        if remaining <= step and step > 0.0:
+            return interpolate(points[i], points[i + 1], remaining / step)
+        remaining -= step
+    return points[-1]
+
+
+def heading(a: Point, b: Point) -> float:
+    """Heading of the vector ``a -> b`` in radians in ``(-pi, pi]``."""
+    return math.atan2(b.y - a.y, b.x - a.x)
+
+
+def angle_between(h1: float, h2: float) -> float:
+    """Smallest absolute angle between two headings, in ``[0, pi]``."""
+    diff = (h2 - h1) % (2.0 * math.pi)
+    if diff > math.pi:
+        diff = 2.0 * math.pi - diff
+    return diff
+
+
+def bounding_box(points: Iterable[Point]) -> tuple[float, float, float, float]:
+    """Axis-aligned bounding box ``(min_x, min_y, max_x, max_y)``."""
+    iterator = iter(points)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError("bounding_box of empty point set") from None
+    min_x = max_x = first.x
+    min_y = max_y = first.y
+    for p in iterator:
+        min_x = min(min_x, p.x)
+        max_x = max(max_x, p.x)
+        min_y = min(min_y, p.y)
+        max_y = max(max_y, p.y)
+    return (min_x, min_y, max_x, max_y)

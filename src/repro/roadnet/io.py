@@ -1,0 +1,81 @@
+"""JSON (de)serialization of road networks.
+
+The paper loads USGS/TIGER map extracts; this reproduction persists its
+synthetic networks in a simple JSON schema so experiment workloads can be
+cached on disk and shared between benchmark runs.
+
+Schema (version 1)::
+
+    {
+      "format": "repro-roadnet", "version": 1, "name": "...",
+      "junctions": [[node_id, x, y], ...],
+      "segments": [[sid, node_u, node_v, length, speed_limit,
+                    bidirectional, road_class], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import RoadNetworkError
+from .geometry import Point
+from .network import RoadNetwork
+
+FORMAT_TAG = "repro-roadnet"
+FORMAT_VERSION = 1
+
+
+def network_to_dict(network: RoadNetwork) -> dict[str, Any]:
+    """Serialize a network to a JSON-compatible dictionary."""
+    return {
+        "format": FORMAT_TAG,
+        "version": FORMAT_VERSION,
+        "name": network.name,
+        "junctions": [
+            [j.node_id, j.point.x, j.point.y] for j in network.junctions()
+        ],
+        "segments": [
+            [
+                s.sid, s.node_u, s.node_v, s.length, s.speed_limit,
+                s.bidirectional, s.road_class,
+            ]
+            for s in network.segments()
+        ],
+    }
+
+
+def network_from_dict(data: dict[str, Any]) -> RoadNetwork:
+    """Deserialize a network from :func:`network_to_dict` output."""
+    if data.get("format") != FORMAT_TAG:
+        raise RoadNetworkError(f"not a road-network document: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise RoadNetworkError(f"unsupported version: {data.get('version')!r}")
+    network = RoadNetwork(name=data.get("name", "road-network"))
+    for node_id, x, y in data["junctions"]:
+        network.add_junction(Point(float(x), float(y)), node_id=int(node_id))
+    for sid, node_u, node_v, length, speed_limit, bidirectional, road_class in data[
+        "segments"
+    ]:
+        network.add_segment(
+            int(node_u),
+            int(node_v),
+            length=float(length),
+            speed_limit=float(speed_limit),
+            bidirectional=bool(bidirectional),
+            road_class=str(road_class),
+            sid=int(sid),
+        )
+    return network
+
+
+def save_network(network: RoadNetwork, path: str | Path) -> None:
+    """Write a network to a JSON file."""
+    Path(path).write_text(json.dumps(network_to_dict(network)))
+
+
+def load_network(path: str | Path) -> RoadNetwork:
+    """Read a network from a JSON file produced by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,166 @@
+"""ALT (A*, Landmarks, Triangle inequality) distance acceleration.
+
+Phase 3 of NEAT repeatedly computes node-pair network distances.  The
+paper prunes *whole computations* with the Euclidean lower bound; this
+module additionally accelerates the computations that remain: distances
+to a few precomputed *landmark* nodes give, via the triangle inequality,
+a lower bound ``|d(L, t) - d(L, s)| <= d(s, t)`` that is usually much
+tighter than the Euclidean bound on road networks, and drives a goal-
+directed A* (Goldberg & Harrelson, SODA'05).
+
+Landmarks are chosen by farthest-point sampling, the standard heuristic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from ..errors import UnknownNodeError
+from .network import RoadNetwork
+from .shortest_path import INFINITY, dijkstra_single_source
+
+
+class LandmarkOracle:
+    """Precomputed landmark distances and the ALT lower bound / search.
+
+    Args:
+        network: The road network (undirected view; Phase 3's setting).
+        landmark_count: Number of landmarks to select.
+        seed_node: Starting node for farthest-point sampling; defaults to
+            the lowest node id for determinism.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        landmark_count: int = 8,
+        seed_node: int | None = None,
+    ) -> None:
+        if landmark_count < 1:
+            raise ValueError("landmark_count must be >= 1")
+        self._network = network
+        node_ids = network.node_ids()
+        if not node_ids:
+            raise ValueError("cannot build landmarks on an empty network")
+        start = seed_node if seed_node is not None else node_ids[0]
+        if not network.has_node(start):
+            raise UnknownNodeError(start)
+        self.landmarks: list[int] = []
+        self._tables: list[dict[int, float]] = []
+        self._select_landmarks(start, min(landmark_count, len(node_ids)))
+
+    def _select_landmarks(self, start: int, count: int) -> None:
+        """Farthest-point sampling: each landmark maximizes the minimum
+        distance to the ones already chosen."""
+        current = start
+        best_min: dict[int, float] = {}
+        for _ in range(count):
+            table = dijkstra_single_source(self._network, current, directed=False)
+            self.landmarks.append(current)
+            self._tables.append(table)
+            for node, distance in table.items():
+                previous = best_min.get(node, INFINITY)
+                if distance < previous:
+                    best_min[node] = distance
+            # Next landmark: reachable node farthest from all landmarks.
+            current = max(
+                best_min, key=lambda n: (best_min[n], -n), default=current
+            )
+            if current in self.landmarks:
+                break
+
+    # ------------------------------------------------------------------
+    def lower_bound(self, source: int, target: int) -> float:
+        """ALT lower bound on ``d(source, target)``.
+
+        The maximum over landmarks of ``|d(L, target) - d(L, source)|``;
+        0.0 when neither side is covered (disconnected components).
+        """
+        best = 0.0
+        for table in self._tables:
+            ds = table.get(source)
+            dt = table.get(target)
+            if ds is None or dt is None:
+                continue
+            bound = abs(dt - ds)
+            if bound > best:
+                best = bound
+        return best
+
+    def distance(self, source: int, target: int) -> float:
+        """Exact distance via ALT-guided A* (undirected).
+
+        Optimal because the ALT bound is a consistent heuristic.
+        """
+        if source == target:
+            return 0.0
+        network = self._network
+        if not network.has_node(source):
+            raise UnknownNodeError(source)
+        if not network.has_node(target):
+            raise UnknownNodeError(target)
+        dist: dict[int, float] = {source: 0.0}
+        done: set[int] = set()
+        heap: list[tuple[float, float, int]] = [
+            (self.lower_bound(source, target), 0.0, source)
+        ]
+        while heap:
+            _f, d, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            if node == target:
+                return d
+            done.add(node)
+            for neighbor, _sid, length in network.undirected_neighbors(node):
+                nd = d + length
+                if nd < dist.get(neighbor, INFINITY):
+                    dist[neighbor] = nd
+                    heapq.heappush(
+                        heap, (nd + self.lower_bound(neighbor, target), nd, neighbor)
+                    )
+        return INFINITY
+
+    def settled_estimate(self, source: int, target: int) -> int:
+        """Nodes settled by the ALT search (for the acceleration bench)."""
+        if source == target:
+            return 0
+        network = self._network
+        dist: dict[int, float] = {source: 0.0}
+        done: set[int] = set()
+        heap: list[tuple[float, float, int]] = [
+            (self.lower_bound(source, target), 0.0, source)
+        ]
+        while heap:
+            _f, d, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            if node == target:
+                return len(done)
+            done.add(node)
+            for neighbor, _sid, length in network.undirected_neighbors(node):
+                nd = d + length
+                if nd < dist.get(neighbor, INFINITY):
+                    dist[neighbor] = nd
+                    heapq.heappush(
+                        heap, (nd + self.lower_bound(neighbor, target), nd, neighbor)
+                    )
+        return len(done)
+
+
+def many_to_many_distances(
+    network: RoadNetwork, sources: Sequence[int], targets: Sequence[int]
+) -> dict[tuple[int, int], float]:
+    """All source-target distances via one Dijkstra per source.
+
+    The bulk primitive behind batched Phase 3 refreshes: with ``S``
+    sources it costs ``S`` single-source searches instead of ``S*T``
+    point queries.
+    """
+    target_set = set(targets)
+    results: dict[tuple[int, int], float] = {}
+    for source in sources:
+        table = dijkstra_single_source(network, source, directed=False)
+        for target in target_set:
+            results[(source, target)] = table.get(target, INFINITY)
+    return results

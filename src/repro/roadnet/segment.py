@@ -1,0 +1,113 @@
+"""Road segment and junction value types.
+
+A road network (Section II-A of the paper) is a directed graph whose nodes
+are junctions and whose edges are road segments labelled with a segment
+identifier ``sid``.  A bidirectional road is represented by two directed
+edges sharing the same ``sid``; this module stores one :class:`RoadSegment`
+record per ``sid`` with a ``bidirectional`` flag, and the owning
+:class:`~repro.roadnet.network.RoadNetwork` derives the directed edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .geometry import Point
+
+#: Default speed limit in metres/second when none is supplied (~50 km/h).
+DEFAULT_SPEED_LIMIT = 13.9
+
+
+@dataclass(frozen=True, slots=True)
+class Junction:
+    """A road junction (intersection or dead end).
+
+    Attributes:
+        node_id: Unique integer identifier within a network.
+        point: Planar position of the junction in metres.
+    """
+
+    node_id: int
+    point: Point
+
+
+@dataclass(frozen=True, slots=True)
+class RoadSegment:
+    """A road segment connecting two junctions.
+
+    Attributes:
+        sid: Unique road-segment identifier.  Both travel directions of a
+            bidirectional road share this identifier (paper, Section II-A).
+        node_u: Identifier of the start junction (direction ``u -> v``).
+        node_v: Identifier of the end junction.
+        length: Length of the segment in metres.  May exceed the straight
+            chord between the junctions to model curved streets.
+        speed_limit: Speed limit in metres/second.
+        bidirectional: Whether travel is permitted in both directions.
+        road_class: Free-form class label (e.g. ``"highway"``, ``"local"``)
+            used by generators and visualization; not interpreted by NEAT.
+    """
+
+    sid: int
+    node_u: int
+    node_v: int
+    length: float
+    speed_limit: float = DEFAULT_SPEED_LIMIT
+    bidirectional: bool = True
+    road_class: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.length <= 0.0:
+            raise ValueError(f"segment {self.sid}: non-positive length {self.length}")
+        if self.speed_limit <= 0.0:
+            raise ValueError(
+                f"segment {self.sid}: non-positive speed limit {self.speed_limit}"
+            )
+        if self.node_u == self.node_v:
+            raise ValueError(f"segment {self.sid}: self-loop at node {self.node_u}")
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        """The ``(node_u, node_v)`` junction pair."""
+        return (self.node_u, self.node_v)
+
+    def other_endpoint(self, node_id: int) -> int:
+        """The endpoint opposite to ``node_id``.
+
+        Raises:
+            ValueError: if ``node_id`` is not an endpoint of this segment.
+        """
+        if node_id == self.node_u:
+            return self.node_v
+        if node_id == self.node_v:
+            return self.node_u
+        raise ValueError(f"node {node_id} is not an endpoint of segment {self.sid}")
+
+    def has_endpoint(self, node_id: int) -> bool:
+        """Whether ``node_id`` is one of this segment's junctions."""
+        return node_id == self.node_u or node_id == self.node_v
+
+    @property
+    def travel_time(self) -> float:
+        """Traversal time in seconds at the speed limit."""
+        return self.length / self.speed_limit
+
+
+@dataclass(frozen=True, slots=True)
+class DirectedEdge:
+    """A directed edge ``(sid, tail -> head)`` derived from a road segment.
+
+    The paper writes an edge as ``e = (sid, n_i n_j)``; this type is its
+    in-memory equivalent, produced by the network for routing.
+    """
+
+    sid: int
+    tail: int
+    head: int
+    length: float
+    speed_limit: float = DEFAULT_SPEED_LIMIT
+
+    @property
+    def travel_time(self) -> float:
+        """Traversal time in seconds at the speed limit."""
+        return self.length / self.speed_limit

@@ -1,0 +1,272 @@
+"""Shortest-path algorithms on road networks.
+
+Provides plain Dijkstra (the paper's reference algorithm for network
+expansion), an A* variant using the Euclidean lower bound as an admissible
+heuristic, and a caching :class:`ShortestPathEngine` that counts expansions
+so the ELB experiments (Figure 7) can report exactly how many shortest-path
+computations a clustering run performed.
+
+Directed searches respect one-way segments (used by the trip simulator);
+undirected searches ignore direction (used by Phase 3's network proximity,
+per Section III-C3 of the paper: "we consider undirected graphs").
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..errors import NoPathError, UnknownNodeError
+from .network import RoadNetwork
+
+#: Sentinel distance for unreachable nodes.
+INFINITY = math.inf
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A network path: node sequence plus the segments joining them.
+
+    Attributes:
+        nodes: Junction ids ``n_0 .. n_k`` along the path.
+        sids: Segment ids ``e_0 .. e_{k-1}``; ``sids[i]`` joins
+            ``nodes[i]`` and ``nodes[i+1]``.
+        length: Total path length in metres.
+    """
+
+    nodes: tuple[int, ...]
+    sids: tuple[int, ...]
+    length: float
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.sids) + 1:
+            raise ValueError(
+                f"route shape mismatch: {len(self.nodes)} nodes, "
+                f"{len(self.sids)} segments"
+            )
+
+    @property
+    def source(self) -> int:
+        """First junction of the route."""
+        return self.nodes[0]
+
+    @property
+    def target(self) -> int:
+        """Last junction of the route."""
+        return self.nodes[-1]
+
+    def reversed(self) -> "Route":
+        """The same route traversed in the opposite direction."""
+        return Route(tuple(reversed(self.nodes)), tuple(reversed(self.sids)), self.length)
+
+
+def _neighbor_fn(
+    network: RoadNetwork, directed: bool
+) -> Callable[[int], Iterable[tuple[int, int, float]]]:
+    """Adapter returning ``(neighbor, sid, length)`` triples for a node."""
+    if directed:
+        def neighbors(node_id: int) -> Iterable[tuple[int, int, float]]:
+            return [
+                (edge.head, edge.sid, edge.length)
+                for edge in network.out_edges(node_id)
+            ]
+        return neighbors
+    return network.undirected_neighbors
+
+
+def dijkstra_single_source(
+    network: RoadNetwork,
+    source: int,
+    directed: bool = False,
+    max_distance: float = INFINITY,
+) -> dict[int, float]:
+    """Distances from ``source`` to every node within ``max_distance``.
+
+    Args:
+        network: The road network.
+        source: Start junction id.
+        directed: Respect one-way segments when ``True``.
+        max_distance: Stop expanding once the frontier exceeds this bound.
+
+    Returns:
+        Mapping of reachable node id to shortest-path distance in metres.
+    """
+    if not network.has_node(source):
+        raise UnknownNodeError(source)
+    neighbors = _neighbor_fn(network, directed)
+    dist: dict[int, float] = {source: 0.0}
+    done: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        if d > max_distance:
+            break
+        done.add(node)
+        for neighbor, _sid, length in neighbors(node):
+            nd = d + length
+            if nd < dist.get(neighbor, INFINITY) and nd <= max_distance:
+                dist[neighbor] = nd
+                heapq.heappush(heap, (nd, neighbor))
+    return {node: d for node, d in dist.items() if node in done}
+
+
+def dijkstra_distance(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    directed: bool = False,
+) -> float:
+    """Shortest-path distance between two junctions.
+
+    Returns :data:`INFINITY` when no path exists.
+    """
+    if not network.has_node(source):
+        raise UnknownNodeError(source)
+    if not network.has_node(target):
+        raise UnknownNodeError(target)
+    if source == target:
+        return 0.0
+    neighbors = _neighbor_fn(network, directed)
+    dist: dict[int, float] = {source: 0.0}
+    done: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        if node == target:
+            return d
+        done.add(node)
+        for neighbor, _sid, length in neighbors(node):
+            nd = d + length
+            if nd < dist.get(neighbor, INFINITY):
+                dist[neighbor] = nd
+                heapq.heappush(heap, (nd, neighbor))
+    return INFINITY
+
+
+def shortest_route(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    directed: bool = True,
+) -> Route:
+    """The shortest route between two junctions, with path recovery.
+
+    Uses A* with the Euclidean distance to the target as heuristic.  Since
+    every segment's length is at least the straight chord between its
+    junctions, the heuristic is admissible and the result optimal.
+
+    Raises:
+        NoPathError: when ``target`` is unreachable from ``source``.
+    """
+    if not network.has_node(source):
+        raise UnknownNodeError(source)
+    if not network.has_node(target):
+        raise UnknownNodeError(target)
+    if source == target:
+        return Route((source,), (), 0.0)
+    neighbors = _neighbor_fn(network, directed)
+    target_point = network.node_point(target)
+
+    def heuristic(node_id: int) -> float:
+        return network.node_point(node_id).distance_to(target_point)
+
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, tuple[int, int]] = {}  # node -> (previous node, sid)
+    done: set[int] = set()
+    heap: list[tuple[float, float, int]] = [(heuristic(source), 0.0, source)]
+    while heap:
+        _f, d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        if node == target:
+            return _recover_route(parent, source, target, d)
+        done.add(node)
+        for neighbor, sid, length in neighbors(node):
+            nd = d + length
+            if nd < dist.get(neighbor, INFINITY):
+                dist[neighbor] = nd
+                parent[neighbor] = (node, sid)
+                heapq.heappush(heap, (nd + heuristic(neighbor), nd, neighbor))
+    raise NoPathError(source, target)
+
+
+def _recover_route(
+    parent: dict[int, tuple[int, int]], source: int, target: int, length: float
+) -> Route:
+    """Rebuild a :class:`Route` from the A*/Dijkstra parent table."""
+    nodes = [target]
+    sids: list[int] = []
+    node = target
+    while node != source:
+        node, sid = parent[node]
+        nodes.append(node)
+        sids.append(sid)
+    nodes.reverse()
+    sids.reverse()
+    return Route(tuple(nodes), tuple(sids), length)
+
+
+@dataclass
+class ShortestPathEngine:
+    """A caching, instrumented shortest-path oracle for one network.
+
+    Phase 3 of NEAT repeatedly asks for network distances between flow
+    cluster endpoints.  This engine memoizes node-pair distances (symmetric
+    in the undirected case) and counts how many actual searches ran, which
+    is the quantity the ELB optimization of Figure 7 reduces.
+
+    Attributes:
+        network: The road network queried.
+        directed: Whether searches respect one-way segments.
+        computations: Number of searches actually executed (cache hits are
+            free and not counted).
+        oracle: Optional accelerated backend (e.g.
+            :class:`~repro.roadnet.landmarks.LandmarkOracle`) — any object
+            with a ``distance(source, target) -> float`` method.  Only
+            valid for undirected engines; results must equal Dijkstra's.
+    """
+
+    network: RoadNetwork
+    directed: bool = False
+    computations: int = 0
+    oracle: object | None = None
+    _cache: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.oracle is not None and self.directed:
+            raise ValueError("accelerated oracles are undirected-only")
+
+    def distance(self, source: int, target: int) -> float:
+        """Memoized shortest-path distance between two junctions."""
+        if source == target:
+            return 0.0
+        key = (source, target)
+        if not self.directed and source > target:
+            key = (target, source)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.computations += 1
+        if self.oracle is not None:
+            distance = self.oracle.distance(key[0], key[1])
+        else:
+            distance = dijkstra_distance(
+                self.network, key[0], key[1], directed=self.directed
+            )
+        self._cache[key] = distance
+        return distance
+
+    def reset_counters(self) -> None:
+        """Zero the computation counter (cache contents are kept)."""
+        self.computations = 0
+
+    def clear(self) -> None:
+        """Drop the memo table and zero counters."""
+        self._cache.clear()
+        self.computations = 0

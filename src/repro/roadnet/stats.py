@@ -1,0 +1,81 @@
+"""Road-network statistics (the columns of Table I in the paper).
+
+Table I reports, per network: total length, number of segments, number of
+junctions, average segment length, and the average/maximum junction degree.
+:func:`network_stats` computes the same summary for any
+:class:`~repro.roadnet.network.RoadNetwork` so Table I can be regenerated
+for the synthetic networks this reproduction uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .network import RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkStats:
+    """Summary statistics of a road network (Table I schema).
+
+    Attributes:
+        name: Network name.
+        total_length_km: Sum of segment lengths in kilometres.
+        segment_count: Number of road segments.
+        junction_count: Number of junction nodes.
+        avg_segment_length_m: Mean segment length in metres.
+        avg_degree: Mean junction degree.
+        max_degree: Maximum junction degree.
+    """
+
+    name: str
+    total_length_km: float
+    segment_count: int
+    junction_count: int
+    avg_segment_length_m: float
+    avg_degree: float
+    max_degree: int
+
+    def as_row(self) -> tuple[str, str, str, str, str, str]:
+        """Formatted strings matching Table I's column layout."""
+        return (
+            self.name,
+            f"{self.total_length_km:.1f}km",
+            str(self.segment_count),
+            str(self.junction_count),
+            f"{self.avg_segment_length_m:.1f}m",
+            f"avg: {self.avg_degree:.1f}, max: {self.max_degree}",
+        )
+
+
+def network_stats(network: RoadNetwork) -> NetworkStats:
+    """Compute Table I statistics for ``network``."""
+    segment_count = network.segment_count
+    junction_count = network.junction_count
+    total_length = network.total_length()
+    degrees = [network.degree(node_id) for node_id in network.node_ids()]
+    return NetworkStats(
+        name=network.name,
+        total_length_km=total_length / 1000.0,
+        segment_count=segment_count,
+        junction_count=junction_count,
+        avg_segment_length_m=(total_length / segment_count) if segment_count else 0.0,
+        avg_degree=(sum(degrees) / junction_count) if junction_count else 0.0,
+        max_degree=max(degrees, default=0),
+    )
+
+
+TABLE1_HEADER = (
+    "Regions", "Total length", "# Segments", "# Junctions",
+    "Avg. segment length", "Junction degree",
+)
+
+
+def format_table1(stats_rows: list[NetworkStats]) -> str:
+    """Render a list of stats as a Table-I-style fixed-width text table."""
+    rows = [TABLE1_HEADER] + [stats.as_row() for stats in stats_rows]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(TABLE1_HEADER))]
+    lines = []
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

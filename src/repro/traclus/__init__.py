@@ -1,0 +1,45 @@
+"""TraClus baseline (Lee et al., SIGMOD'07) and its network-aware variant.
+
+The density-based partial trajectory clustering approach the NEAT paper
+compares against: MDL partitioning into line segments, DBSCAN-style
+grouping under a three-component Euclidean distance, and representative
+trajectory extraction.
+"""
+
+from .distance import (
+    angular_distance,
+    parallel_distance,
+    perpendicular_distance,
+    segment_distance,
+)
+from .grouping import TraClusParams, group_segments
+from .model import LineSegment, SegmentCluster
+from .network_variant import (
+    NetworkTraClusResult,
+    base_cluster_distance,
+    network_traclus,
+)
+from .partition import characteristic_points, partition_all, partition_trajectory
+from .representative import average_direction, representative_trajectory
+from .traclus import TraClus, TraClusResult
+
+__all__ = [
+    "LineSegment",
+    "NetworkTraClusResult",
+    "SegmentCluster",
+    "TraClus",
+    "TraClusParams",
+    "TraClusResult",
+    "angular_distance",
+    "average_direction",
+    "base_cluster_distance",
+    "characteristic_points",
+    "group_segments",
+    "network_traclus",
+    "parallel_distance",
+    "partition_all",
+    "partition_trajectory",
+    "perpendicular_distance",
+    "representative_trajectory",
+    "segment_distance",
+]

@@ -1,0 +1,65 @@
+"""Data types for the TraClus baseline (Lee et al., SIGMOD'07).
+
+TraClus operates on *line segments* obtained by partitioning trajectories
+at characteristic points, then groups them with a DBSCAN-style pass under
+a three-component Euclidean distance.  These types are deliberately
+independent from the NEAT core model: TraClus is road-network-oblivious,
+so its segments are plain geometry plus the owning trajectory id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..roadnet.geometry import Point
+
+
+@dataclass(frozen=True, slots=True)
+class LineSegment:
+    """A directed trajectory line segment between two characteristic points.
+
+    Attributes:
+        trid: Identifier of the trajectory this segment was cut from.
+        start: Segment start point.
+        end: Segment end point.
+    """
+
+    trid: int
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.start.distance_to(self.end)
+
+
+@dataclass(frozen=True)
+class SegmentCluster:
+    """One TraClus cluster: a set of line segments plus its representative.
+
+    Attributes:
+        cluster_id: Dense 0-based cluster identifier.
+        segments: Member line segments.
+        representative: The representative trajectory (polyline) computed
+            by the sweep of Lee et al., Section 4.3; may be empty when the
+            sweep finds fewer than two valid average points.
+    """
+
+    cluster_id: int
+    segments: tuple[LineSegment, ...]
+    representative: tuple[Point, ...]
+
+    @property
+    def trajectory_cardinality(self) -> int:
+        """Number of distinct trajectories contributing segments."""
+        return len({segment.trid for segment in self.segments})
+
+    @property
+    def representative_length(self) -> float:
+        """Length of the representative polyline in metres."""
+        points = self.representative
+        return sum(points[i].distance_to(points[i + 1]) for i in range(len(points) - 1))
+
+    def __len__(self) -> int:
+        return len(self.segments)

@@ -1,0 +1,92 @@
+"""TraClus representative trajectories (Lee et al., Section 4.3).
+
+A cluster of line segments is summarized by a *representative trajectory*:
+rotate the plane so the cluster's average direction vector lies on the
+x-axis, sweep a vertical line across the rotated segment endpoints, and at
+every sweep position crossed by at least ``min_lns`` segments emit the
+average of the crossing segments' y-values.  Consecutive sweep positions
+closer than a smoothing distance ``gamma`` are skipped.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..roadnet.geometry import Point
+from .model import LineSegment
+
+
+def average_direction(segments: list[LineSegment]) -> tuple[float, float]:
+    """The (normalized) average direction vector of a segment set.
+
+    Segments pointing against the emerging majority direction are flipped
+    before averaging so anti-parallel flows do not cancel out.
+    """
+    if not segments:
+        return (1.0, 0.0)
+    # Seed with the longest segment's direction, flip others to agree.
+    seed = max(segments, key=lambda s: s.length)
+    seed_dx, seed_dy = seed.end.x - seed.start.x, seed.end.y - seed.start.y
+    sum_dx = sum_dy = 0.0
+    for segment in segments:
+        dx, dy = segment.end.x - segment.start.x, segment.end.y - segment.start.y
+        if dx * seed_dx + dy * seed_dy < 0.0:
+            dx, dy = -dx, -dy
+        sum_dx += dx
+        sum_dy += dy
+    norm = math.hypot(sum_dx, sum_dy)
+    if norm <= 0.0:
+        return (1.0, 0.0)
+    return (sum_dx / norm, sum_dy / norm)
+
+
+def representative_trajectory(
+    segments: list[LineSegment],
+    min_lns: int,
+    gamma: float = 25.0,
+) -> tuple[Point, ...]:
+    """Compute the representative polyline of a segment cluster.
+
+    Args:
+        segments: Member line segments of the cluster.
+        min_lns: Minimum number of segments that must cross a sweep
+            position for it to contribute a representative point.
+        gamma: Minimum spacing in metres between consecutive sweep
+            positions (the paper's smoothing parameter).
+
+    Returns:
+        The representative polyline, possibly empty when no sweep position
+        gathers ``min_lns`` crossings.
+    """
+    if not segments:
+        return ()
+    ux, uy = average_direction(segments)
+
+    def rotate(p: Point) -> tuple[float, float]:
+        return (p.x * ux + p.y * uy, -p.x * uy + p.y * ux)
+
+    def unrotate(x: float, y: float) -> Point:
+        return Point(x * ux - y * uy, x * uy + y * ux)
+
+    rotated = [
+        tuple(sorted((rotate(s.start), rotate(s.end)), key=lambda q: q[0]))
+        for s in segments
+    ]
+    sweep_xs = sorted({q[0] for pair in rotated for q in pair})
+
+    points: list[Point] = []
+    last_x: float | None = None
+    for x in sweep_xs:
+        if last_x is not None and x - last_x < gamma:
+            continue
+        ys = []
+        for (x1, y1), (x2, y2) in rotated:
+            if x1 <= x <= x2:
+                if x2 > x1:
+                    ys.append(y1 + (y2 - y1) * (x - x1) / (x2 - x1))
+                else:
+                    ys.append((y1 + y2) / 2.0)
+        if len(ys) >= min_lns:
+            points.append(unrotate(x, sum(ys) / len(ys)))
+            last_x = x
+    return tuple(points)

@@ -1,0 +1,88 @@
+"""The TraClus pipeline: partition-and-group trajectory clustering.
+
+The paper's baseline (Section IV-C).  TraClus knows nothing about road
+networks: it cuts trajectories at MDL characteristic points and groups the
+resulting line segments under a Euclidean three-component distance.  The
+result objects expose representative-trajectory lengths and cluster counts
+— the quantities Figures 4 and 5 compare against flow-NEAT.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.model import Trajectory, TrajectoryDataset
+from .grouping import TraClusParams, group_segments
+from .model import LineSegment, SegmentCluster
+from .partition import partition_all
+
+
+@dataclass
+class TraClusResult:
+    """Output of a TraClus run.
+
+    Attributes:
+        clusters: The discovered segment clusters with representatives.
+        segment_count: Number of line segments produced by partitioning.
+        partition_seconds: Wall-clock time of the partitioning phase.
+        grouping_seconds: Wall-clock time of the grouping phase.
+    """
+
+    clusters: list[SegmentCluster] = field(default_factory=list)
+    segment_count: int = 0
+    partition_seconds: float = 0.0
+    grouping_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total clustering time."""
+        return self.partition_seconds + self.grouping_seconds
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of discovered clusters."""
+        return len(self.clusters)
+
+    def representative_lengths(self) -> list[float]:
+        """Lengths of all non-empty representative trajectories, metres."""
+        return [
+            c.representative_length for c in self.clusters if len(c.representative) >= 2
+        ]
+
+
+class TraClus:
+    """Partition-and-group trajectory clustering (Lee et al., SIGMOD'07).
+
+    Args:
+        params: Clustering parameters (``eps``, ``min_lns``, ...).
+
+    Example:
+        >>> from repro.traclus import TraClus, TraClusParams
+        >>> clusterer = TraClus(TraClusParams(eps=10.0, min_lns=3))
+    """
+
+    def __init__(self, params: TraClusParams | None = None) -> None:
+        self.params = params if params is not None else TraClusParams()
+
+    def run(
+        self,
+        trajectories: TrajectoryDataset | Sequence[Trajectory] | Iterable[Trajectory],
+    ) -> TraClusResult:
+        """Cluster ``trajectories`` and return clusters with representatives."""
+        if isinstance(trajectories, TrajectoryDataset):
+            trajectory_list = list(trajectories.trajectories)
+        else:
+            trajectory_list = list(trajectories)
+
+        result = TraClusResult()
+        started = time.perf_counter()
+        segments: list[LineSegment] = partition_all(trajectory_list)
+        result.partition_seconds = time.perf_counter() - started
+        result.segment_count = len(segments)
+
+        started = time.perf_counter()
+        result.clusters = group_segments(segments, self.params)
+        result.grouping_seconds = time.perf_counter() - started
+        return result

@@ -1,0 +1,103 @@
+"""Tests for the ground-truth accuracy metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.accuracy import (
+    co_clustering_agreement,
+    flow_purity,
+    segment_accuracy,
+    true_segment_usage,
+)
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+
+from conftest import trajectory_through
+
+
+class TestTrueSegmentUsage:
+    def test_counts_distinct_trajectories(self, line3):
+        trs = [
+            trajectory_through(line3, 0, [0, 1]),
+            trajectory_through(line3, 1, [0]),
+        ]
+        usage = true_segment_usage(trs)
+        assert usage == {0: 2, 1: 1}
+
+    def test_repeat_visits_count_once(self, paper_example):
+        usage = true_segment_usage(paper_example.trajectories)
+        # T3 visits s1 twice but counts once.
+        assert usage[paper_example.s1] == 3
+
+
+class TestSegmentAccuracy:
+    def test_perfect_on_single_corridor(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(5)]
+        result = NEAT(line3, NEATConfig(min_card=2)).run_flow(trs)
+        accuracy = segment_accuracy(result, trs)
+        assert accuracy.recall == pytest.approx(1.0)
+        assert accuracy.precision == pytest.approx(1.0)
+        assert accuracy.f1 == pytest.approx(1.0)
+
+    def test_busy_threshold_defaults_to_min_card(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(5)]
+        result = NEAT(line3, NEATConfig(min_card=3)).run_flow(trs)
+        accuracy = segment_accuracy(result, trs)
+        assert accuracy.busy_threshold == 3
+
+    def test_missing_busy_segments_lower_recall(self, star4):
+        # Two equally busy corridors; minCard filters one flow away.
+        trs = [trajectory_through(star4, i, [0, 1]) for i in range(4)]
+        trs += [trajectory_through(star4, 10 + i, [2, 3]) for i in range(2)]
+        result = NEAT(star4, NEATConfig(min_card=4)).run_flow(trs)
+        accuracy = segment_accuracy(result, trs, busy_threshold=2)
+        assert accuracy.recall == pytest.approx(0.5)
+        assert accuracy.precision == pytest.approx(1.0)
+
+    def test_high_accuracy_on_simulated_workload(self, small_workload):
+        """The paper's 'highly accurate' claim, quantified."""
+        network, dataset = small_workload
+        result = NEAT(network, NEATConfig(eps=500.0)).run_flow(dataset)
+        accuracy = segment_accuracy(result, list(dataset))
+        assert accuracy.f1 > 0.7
+
+
+class TestFlowPurity:
+    def test_pure_corridor(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(4)]
+        result = NEAT(line3, NEATConfig(min_card=0)).run_flow(trs)
+        assert flow_purity(result) == pytest.approx(1.0)
+
+    def test_empty_result(self, line3):
+        result = NEAT(line3, NEATConfig(min_card=0)).run_flow(
+            [trajectory_through(line3, 0, [0])]
+        )
+        assert 0.0 <= flow_purity(result) <= 1.0
+
+    def test_stitched_flow_less_pure(self, line3):
+        # Segment 1 carries one through-trajectory plus local-only traffic
+        # on segments 0 and 2: the flow stitches them; purity < 1.
+        trs = [trajectory_through(line3, 0, [0, 1, 2])]
+        trs += [trajectory_through(line3, 10 + i, [0]) for i in range(3)]
+        trs += [trajectory_through(line3, 20 + i, [2]) for i in range(3)]
+        result = NEAT(line3, NEATConfig(min_card=0)).run_flow(trs)
+        purity = flow_purity(result)
+        assert purity < 1.0
+
+
+class TestCoClustering:
+    def test_perfect_agreement_two_corridors(self, star4):
+        trs = [trajectory_through(star4, i, [0, 1]) for i in range(3)]
+        trs += [trajectory_through(star4, 10 + i, [2, 3]) for i in range(3)]
+        result = NEAT(star4, NEATConfig(min_card=0)).run_flow(trs)
+        agreement = co_clustering_agreement(
+            result, trs, min_shared_segments=2
+        )
+        assert agreement == pytest.approx(1.0)
+
+    def test_agreement_bounded(self, small_workload):
+        network, dataset = small_workload
+        result = NEAT(network, NEATConfig(eps=500.0)).run_flow(dataset)
+        agreement = co_clustering_agreement(result, list(dataset))
+        assert 0.0 <= agreement <= 1.0

@@ -1,0 +1,93 @@
+"""Unit tests for route-walk kinematics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mobisim.agents import RouteWalk
+from repro.roadnet.builder import line_network
+from repro.roadnet.shortest_path import Route, shortest_route
+
+
+@pytest.fixture
+def walk3():
+    net = line_network(3, segment_length=100.0, speed_limit=10.0)
+    route = shortest_route(net, 0, 3)
+    return net, RouteWalk(net, route, start_time=100.0)
+
+
+class TestConstruction:
+    def test_rejects_empty_route(self, line3):
+        with pytest.raises(ValueError):
+            RouteWalk(line3, Route((0,), (), 0.0))
+
+    def test_rejects_bad_speed_factor(self, line3):
+        route = shortest_route(line3, 0, 1)
+        with pytest.raises(ValueError):
+            RouteWalk(line3, route, speed_factor=0.0)
+        with pytest.raises(ValueError):
+            RouteWalk(line3, route, speed_factor=1.5)
+
+
+class TestTiming:
+    def test_duration_at_speed_limit(self, walk3):
+        _net, walk = walk3
+        # 300 m at 10 m/s = 30 s.
+        assert walk.duration == pytest.approx(30.0)
+        assert walk.arrival_time == pytest.approx(130.0)
+
+    def test_speed_factor_slows_travel(self):
+        net = line_network(1, segment_length=100.0, speed_limit=10.0)
+        route = shortest_route(net, 0, 1)
+        walk = RouteWalk(net, route, speed_factor=0.5)
+        assert walk.duration == pytest.approx(20.0)
+
+
+class TestPositions:
+    def test_before_departure_clamps_to_start(self, walk3):
+        net, walk = walk3
+        sample = walk.position_at(0.0)
+        assert sample.point == net.node_point(0)
+        assert sample.sid == 0
+
+    def test_after_arrival_clamps_to_destination(self, walk3):
+        net, walk = walk3
+        sample = walk.position_at(1e9)
+        assert sample.point == net.node_point(3)
+        assert sample.sid == 2
+
+    def test_midway_position(self, walk3):
+        _net, walk = walk3
+        # 15 s in: 150 m along, i.e. middle of the second segment.
+        sample = walk.position_at(115.0)
+        assert sample.sid == 1
+        assert sample.point.x == pytest.approx(150.0)
+
+    def test_positions_progress_monotonically(self, walk3):
+        _net, walk = walk3
+        xs = [walk.position_at(100.0 + t).point.x for t in range(0, 31, 3)]
+        assert xs == sorted(xs)
+
+    def test_position_at_segment_boundary(self, walk3):
+        _net, walk = walk3
+        sample = walk.position_at(110.0)  # exactly at node 1
+        assert sample.point.x == pytest.approx(100.0)
+
+
+class TestSampleTimes:
+    def test_includes_departure_and_arrival(self, walk3):
+        _net, walk = walk3
+        times = walk.sample_times(10.0)
+        assert times[0] == pytest.approx(100.0)
+        assert times[-1] == pytest.approx(130.0)
+
+    def test_interval_spacing(self, walk3):
+        _net, walk = walk3
+        times = walk.sample_times(7.0)
+        for a, b in zip(times[:-2], times[1:-1]):
+            assert b - a == pytest.approx(7.0)
+
+    def test_rejects_non_positive_interval(self, walk3):
+        _net, walk = walk3
+        with pytest.raises(ValueError):
+            walk.sample_times(0.0)

@@ -1,0 +1,113 @@
+"""Unit tests for base-cluster formation (Phase 1, step 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_cluster import (
+    BaseCluster,
+    densecore,
+    form_base_clusters,
+    group_fragments,
+    netflow,
+)
+from repro.core.model import Location, TFragment
+
+from conftest import trajectory_through
+
+
+def frag(trid: int, sid: int) -> TFragment:
+    return TFragment(
+        trid, sid, (Location(sid, 0.0, 0.0, 0.0), Location(sid, 1.0, 0.0, 1.0))
+    )
+
+
+class TestBaseCluster:
+    def test_add_checks_sid(self):
+        cluster = BaseCluster(5)
+        with pytest.raises(ValueError):
+            cluster.add(frag(0, 6))
+
+    def test_density_counts_fragments(self):
+        cluster = BaseCluster(0)
+        cluster.add(frag(1, 0))
+        cluster.add(frag(1, 0))  # same trajectory, second fragment
+        assert cluster.density == 2
+        assert cluster.trajectory_cardinality == 1
+
+    def test_participants_cache_invalidated_on_add(self):
+        cluster = BaseCluster(0)
+        cluster.add(frag(1, 0))
+        assert cluster.participants == frozenset({1})
+        cluster.add(frag(2, 0))
+        assert cluster.participants == frozenset({1, 2})
+
+
+class TestNetflow:
+    def test_counts_shared_trajectories(self):
+        a = BaseCluster(0)
+        b = BaseCluster(1)
+        for trid in (1, 2, 3):
+            a.add(frag(trid, 0))
+        for trid in (2, 3, 4):
+            b.add(frag(trid, 1))
+        assert netflow(a, b) == 2
+
+    def test_disjoint_is_zero(self):
+        a = BaseCluster(0)
+        a.add(frag(1, 0))
+        b = BaseCluster(1)
+        b.add(frag(2, 1))
+        assert netflow(a, b) == 0
+
+    def test_multiple_fragments_count_once(self):
+        # Netflow counts common *trajectories*, not fragments.
+        a = BaseCluster(0)
+        a.add(frag(1, 0))
+        a.add(frag(1, 0))
+        b = BaseCluster(1)
+        b.add(frag(1, 1))
+        assert netflow(a, b) == 1
+
+
+class TestGroupFragments:
+    def test_groups_by_sid(self):
+        fragments = [frag(0, 0), frag(1, 0), frag(0, 1)]
+        clusters = group_fragments(fragments)
+        assert {c.sid: c.density for c in clusters} == {0: 2, 1: 1}
+
+    def test_sorted_by_density_then_sid(self):
+        fragments = [frag(0, 2), frag(0, 1), frag(1, 1), frag(0, 3), frag(1, 3)]
+        clusters = group_fragments(fragments)
+        assert [c.sid for c in clusters] == [1, 3, 2]
+
+    def test_empty(self):
+        assert group_fragments([]) == []
+
+
+class TestFormBaseClusters:
+    def test_end_to_end(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(3)]
+        trs.append(trajectory_through(line3, 3, [2]))
+        clusters = form_base_clusters(line3, trs)
+        assert {c.sid: c.density for c in clusters} == {0: 3, 1: 3, 2: 1}
+
+    def test_head_is_densecore(self, line3):
+        trs = [trajectory_through(line3, i, [1]) for i in range(4)]
+        trs.append(trajectory_through(line3, 9, [0]))
+        clusters = form_base_clusters(line3, trs)
+        assert clusters[0].sid == 1
+        assert densecore(clusters).sid == 1
+
+
+class TestDensecore:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            densecore([])
+
+    def test_tie_breaks_on_sid(self):
+        a = BaseCluster(3)
+        a.add(frag(0, 3))
+        b = BaseCluster(1)
+        b.add(frag(0, 1))
+        assert densecore([a, b]).sid == 1

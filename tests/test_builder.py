@@ -1,0 +1,55 @@
+"""Unit tests for network builders and canned topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.roadnet.builder import line_network, network_from_edges, star_network
+
+
+class TestNetworkFromEdges:
+    def test_node_and_segment_ids(self):
+        net = network_from_edges([(0, 0), (100, 0), (200, 0)], [(0, 1), (1, 2)])
+        assert net.node_ids() == [0, 1, 2]
+        assert net.segment_ids() == [0, 1]
+
+    def test_lengths_default_to_chords(self):
+        net = network_from_edges([(0, 0), (30, 40)], [(0, 1)])
+        assert net.segment(0).length == pytest.approx(50.0)
+
+    def test_speed_limit_applied(self):
+        net = network_from_edges([(0, 0), (10, 0)], [(0, 1)], speed_limit=5.0)
+        assert net.segment(0).speed_limit == 5.0
+
+
+class TestLineNetwork:
+    def test_shape(self):
+        net = line_network(5, segment_length=50.0)
+        assert net.junction_count == 6
+        assert net.segment_count == 5
+        assert net.total_length() == pytest.approx(250.0)
+
+    def test_chain_is_route(self):
+        net = line_network(4)
+        assert net.is_route([0, 1, 2, 3])
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValueError):
+            line_network(0)
+
+
+class TestStarNetwork:
+    def test_shape(self):
+        net = star_network(5, branch_length=80.0)
+        assert net.junction_count == 6
+        assert net.segment_count == 5
+        assert net.degree(0) == 5
+
+    def test_all_leaves_are_dead_ends(self):
+        net = star_network(3)
+        for leaf in (1, 2, 3):
+            assert net.degree(leaf) == 1
+
+    def test_rejects_zero_branches(self):
+        with pytest.raises(ValueError):
+            star_network(0)

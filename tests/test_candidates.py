@@ -1,0 +1,53 @@
+"""Unit tests for map-matching candidate search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapmatch.candidates import CandidateFinder
+from repro.roadnet.geometry import Point
+
+
+class TestCandidates:
+    def test_on_segment_candidate_first(self, grid3x3):
+        finder = CandidateFinder(grid3x3)
+        candidates = finder.candidates(Point(50.0, 2.0))
+        assert candidates
+        best = candidates[0]
+        assert best.distance == pytest.approx(2.0)
+        a, b = grid3x3.segment_endpoints(best.sid)
+        assert {a, b} == {Point(0, 0), Point(100, 0)}
+
+    def test_sorted_by_distance(self, grid3x3):
+        finder = CandidateFinder(grid3x3)
+        candidates = finder.candidates(Point(50.0, 50.0))
+        distances = [c.distance for c in candidates]
+        assert distances == sorted(distances)
+
+    def test_limit_respected(self, grid3x3):
+        finder = CandidateFinder(grid3x3, search_radius=500.0)
+        assert len(finder.candidates(Point(100.0, 100.0), limit=3)) <= 3
+
+    def test_expands_radius_until_hit(self, grid3x3):
+        finder = CandidateFinder(grid3x3, search_radius=1.0, max_radius=1000.0)
+        # 150 m off the grid: the initial 1 m radius finds nothing, the
+        # doubling search eventually does.
+        candidates = finder.candidates(Point(-150.0, 50.0))
+        assert candidates
+
+    def test_gives_up_beyond_max_radius(self, grid3x3):
+        finder = CandidateFinder(grid3x3, search_radius=1.0, max_radius=8.0)
+        assert finder.candidates(Point(-500.0, -500.0)) == []
+
+    def test_snapped_point_on_chord(self, grid3x3):
+        finder = CandidateFinder(grid3x3)
+        for candidate in finder.candidates(Point(42.0, 13.0)):
+            a, b = grid3x3.segment_endpoints(candidate.sid)
+            from repro.roadnet.geometry import point_segment_distance
+
+            assert point_segment_distance(candidate.snapped, a, b) < 1e-9
+
+    def test_fraction_in_unit_range(self, grid3x3):
+        finder = CandidateFinder(grid3x3)
+        for candidate in finder.candidates(Point(77.0, 33.0)):
+            assert 0.0 <= candidate.fraction <= 1.0

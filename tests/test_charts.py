@@ -1,0 +1,118 @@
+"""Tests for the standalone SVG chart builder."""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.charts import LineChart, SERIES_COLORS, _fmt, _nice_step
+
+
+def simple_chart(log_y: bool = False) -> LineChart:
+    chart = LineChart("Test chart", x_label="x", y_label="y", log_y=log_y)
+    chart.add_series("alpha", [(0, 1.0), (10, 5.0), (20, 3.0)])
+    chart.add_series("beta", [(0, 2.0), (10, 8.0), (20, 13.0)])
+    return chart
+
+
+class TestRendering:
+    def test_valid_xml(self):
+        ET.fromstring(simple_chart().to_svg())
+
+    def test_one_polyline_per_series(self):
+        svg = simple_chart().to_svg()
+        assert svg.count("<polyline") == 2
+
+    def test_line_spec(self):
+        svg = simple_chart().to_svg()
+        for line in re.findall(r"<polyline[^>]+>", svg):
+            assert 'stroke-width="2"' in line
+            assert 'stroke-linecap="round"' in line
+
+    def test_end_markers_with_surface_ring(self):
+        svg = simple_chart().to_svg()
+        # Two circles per series: the 2px surface ring (r=6) under the
+        # r=4 marker.
+        assert svg.count('r="6"') == 2
+        assert svg.count('r="4"') == 2
+
+    def test_legend_for_two_series(self):
+        svg = simple_chart().to_svg()
+        assert "alpha" in svg and "beta" in svg
+
+    def test_no_legend_for_single_series(self):
+        chart = LineChart("Solo")
+        chart.add_series("only", [(0, 1.0), (5, 2.0)])
+        svg = chart.to_svg()
+        # The name appears once (direct end label), not twice (no legend).
+        assert svg.count("only") == 1
+
+    def test_series_colors_fixed_order(self):
+        svg = simple_chart().to_svg()
+        assert SERIES_COLORS[0] in svg
+        assert SERIES_COLORS[1] in svg
+
+    def test_text_never_wears_series_color(self):
+        svg = simple_chart().to_svg()
+        for text in re.findall(r"<text[^>]+>", svg):
+            for color in SERIES_COLORS:
+                assert color not in text
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart("empty").to_svg()
+
+    def test_save(self, tmp_path):
+        path = simple_chart().save(tmp_path / "chart.svg")
+        assert path.exists()
+        ET.fromstring(path.read_text())
+
+    def test_marks_inside_canvas(self):
+        chart = simple_chart()
+        svg = chart.to_svg()
+        for cx, cy in re.findall(r'<circle cx="([\d.]+)" cy="([\d.]+)"', svg):
+            assert 0 <= float(cx) <= chart.width
+            assert 0 <= float(cy) <= chart.height
+
+
+class TestLogScale:
+    def test_log_requires_positive(self):
+        chart = LineChart("log", log_y=True)
+        with pytest.raises(ValueError):
+            chart.add_series("bad", [(0, 0.0), (1, 5.0)])
+
+    def test_log_ticks_are_powers_of_ten(self):
+        chart = LineChart("log", log_y=True)
+        chart.add_series("a", [(0, 0.01), (10, 100.0)])
+        ticks = chart._y_ticks()
+        for tick in ticks:
+            import math
+
+            assert math.log10(tick) == pytest.approx(round(math.log10(tick)))
+
+    def test_semi_log_orders_of_magnitude_separate(self):
+        # The Figure 5(d) use case: curves 3 orders apart must not overlap.
+        chart = LineChart("fig5d", log_y=True)
+        chart.add_series("fast", [(0, 0.01), (10, 0.02)])
+        chart.add_series("slow", [(0, 10.0), (10, 60.0)])
+        fast_y = chart._ty(0.02)
+        slow_y = chart._ty(60.0)
+        assert fast_y - slow_y > 100  # pixels apart
+
+
+class TestHelpers:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [(0.3, 0.5), (1.2, 2.0), (4.0, 5.0), (7.0, 10.0), (30.0, 50.0)],
+    )
+    def test_nice_step(self, raw, expected):
+        assert _nice_step(raw) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0.0, "0"), (1500.0, "1,500"), (2.5, "2.5"), (0.01, "0.01")],
+    )
+    def test_fmt(self, value, expected):
+        assert _fmt(value) == expected

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def saved_network(tmp_path):
+    path = tmp_path / "net.json"
+    assert main([
+        "generate-network", "--region", "ATL", "--scale", "0.03",
+        "--out", str(path),
+    ]) == 0
+    return path
+
+
+@pytest.fixture
+def saved_traces(tmp_path, saved_network):
+    path = tmp_path / "traces.json"
+    assert main([
+        "simulate", "--network", str(saved_network),
+        "--objects", "30", "--out", str(path),
+    ]) == 0
+    return path
+
+
+class TestGenerateNetwork:
+    def test_writes_valid_json(self, saved_network):
+        data = json.loads(saved_network.read_text())
+        assert data["format"] == "repro-roadnet"
+        assert data["segments"]
+
+    def test_output_message(self, saved_network, capsys):
+        main(["stats", str(saved_network)])
+        out = capsys.readouterr().out
+        assert "Regions" in out
+
+
+class TestSimulate:
+    def test_writes_traces(self, saved_traces):
+        data = json.loads(saved_traces.read_text())
+        assert data["format"] == "repro-trajectories"
+        assert len(data["trajectories"]) > 0
+
+    def test_seed_controls_output(self, tmp_path, saved_network):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["simulate", "--network", str(saved_network), "--objects", "10",
+              "--seed", "1", "--out", str(a)])
+        main(["simulate", "--network", str(saved_network), "--objects", "10",
+              "--seed", "1", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestCluster:
+    def test_opt_mode(self, saved_network, saved_traces, capsys):
+        code = main([
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces), "--mode", "opt",
+            "--eps", "500", "--min-card", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NEAT[opt]" in out
+        assert "flow 0:" in out
+
+    def test_svg_output(self, saved_network, saved_traces, tmp_path, capsys):
+        svg = tmp_path / "map.svg"
+        main([
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces), "--svg", str(svg),
+            "--min-card", "0",
+        ])
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")
+
+    def test_weight_flags(self, saved_network, saved_traces, capsys):
+        code = main([
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces),
+            "--wq", "1.0", "--wk", "0.0", "--wv", "0.0", "--min-card", "0",
+        ])
+        assert code == 0
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

@@ -1,0 +1,78 @@
+"""Unit tests for NEAT configuration validation and presets."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import (
+    NEATConfig,
+    PRESET_BALANCED,
+    PRESET_DENSEST,
+    PRESET_FASTEST,
+    PRESET_MAX_FLOW,
+    PRESET_TRAFFIC_MONITORING,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = NEATConfig()
+        assert config.wq + config.wk + config.wv == pytest.approx(1.0)
+        assert math.isinf(config.beta)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            NEATConfig(wq=0.5, wk=0.5, wv=0.5)
+
+    def test_weights_must_be_non_negative(self):
+        with pytest.raises(ConfigError):
+            NEATConfig(wq=-0.5, wk=1.0, wv=0.5)
+
+    def test_beta_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            NEATConfig(beta=1.0)
+        with pytest.raises(ConfigError):
+            NEATConfig(beta=0.5)
+
+    def test_min_card_non_negative(self):
+        with pytest.raises(ConfigError):
+            NEATConfig(min_card=-1)
+
+    def test_eps_non_negative(self):
+        with pytest.raises(ConfigError):
+            NEATConfig(eps=-1.0)
+
+    def test_min_pts_at_least_one(self):
+        with pytest.raises(ConfigError):
+            NEATConfig(min_pts=0)
+
+
+class TestCopies:
+    def test_with_weights(self):
+        config = NEATConfig().with_weights(0.5, 0.5, 0.0)
+        assert (config.wq, config.wk, config.wv) == (0.5, 0.5, 0.0)
+
+    def test_with_eps(self):
+        assert NEATConfig().with_eps(123.0).eps == 123.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            NEATConfig().eps = 5.0  # type: ignore[misc]
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "preset,weights",
+        [
+            (PRESET_BALANCED, (1 / 3, 1 / 3, 1 / 3)),
+            (PRESET_DENSEST, (0.0, 1.0, 0.0)),
+            (PRESET_FASTEST, (0.0, 0.0, 1.0)),
+            (PRESET_TRAFFIC_MONITORING, (0.5, 0.5, 0.0)),
+            (PRESET_MAX_FLOW, (1.0, 0.0, 0.0)),
+        ],
+    )
+    def test_preset_weights_match_paper(self, preset, weights):
+        assert (preset.wq, preset.wk, preset.wv) == pytest.approx(weights)

@@ -1,0 +1,85 @@
+"""Tests for CSV import/export of road networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.roadnet.csv_io import load_network_csv, save_network_csv
+from repro.roadnet.generators import GridConfig, generate_grid_network
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        network = generate_grid_network(GridConfig(rows=5, cols=5, seed=12))
+        nodes, edges = tmp_path / "nodes.csv", tmp_path / "edges.csv"
+        save_network_csv(network, nodes, edges)
+        restored = load_network_csv(nodes, edges, name=network.name)
+        assert restored.junction_count == network.junction_count
+        assert restored.segment_count == network.segment_count
+        for sid in network.segment_ids():
+            original = network.segment(sid)
+            copy = restored.segment(sid)
+            assert copy.endpoints == original.endpoints
+            assert copy.length == pytest.approx(original.length)
+            assert copy.speed_limit == pytest.approx(original.speed_limit)
+            assert copy.bidirectional == original.bidirectional
+            assert copy.road_class == original.road_class
+
+    def test_roundtrip_positions(self, grid3x3, tmp_path):
+        nodes, edges = tmp_path / "n.csv", tmp_path / "e.csv"
+        save_network_csv(grid3x3, nodes, edges)
+        restored = load_network_csv(nodes, edges)
+        for node_id in grid3x3.node_ids():
+            assert restored.node_point(node_id) == grid3x3.node_point(node_id)
+
+
+class TestMinimalColumns:
+    def test_optional_columns_defaulted(self, tmp_path):
+        (tmp_path / "nodes.csv").write_text(
+            "node_id,x,y\n0,0,0\n1,100,0\n"
+        )
+        (tmp_path / "edges.csv").write_text(
+            "sid,node_u,node_v\n0,0,1\n"
+        )
+        network = load_network_csv(
+            tmp_path / "nodes.csv", tmp_path / "edges.csv"
+        )
+        segment = network.segment(0)
+        assert segment.length == pytest.approx(100.0)  # chord fallback
+        assert segment.bidirectional
+        assert segment.road_class == "local"
+
+
+class TestErrors:
+    def test_missing_node_columns(self, tmp_path):
+        (tmp_path / "nodes.csv").write_text("id,lon,lat\n0,0,0\n")
+        (tmp_path / "edges.csv").write_text("sid,node_u,node_v\n")
+        with pytest.raises(RoadNetworkError):
+            load_network_csv(tmp_path / "nodes.csv", tmp_path / "edges.csv")
+
+    def test_malformed_node_row(self, tmp_path):
+        (tmp_path / "nodes.csv").write_text("node_id,x,y\n0,zero,0\n")
+        (tmp_path / "edges.csv").write_text("sid,node_u,node_v\n")
+        with pytest.raises(RoadNetworkError) as excinfo:
+            load_network_csv(tmp_path / "nodes.csv", tmp_path / "edges.csv")
+        assert ":2:" in str(excinfo.value)  # row number reported
+
+    def test_edge_referencing_unknown_node(self, tmp_path):
+        (tmp_path / "nodes.csv").write_text("node_id,x,y\n0,0,0\n1,100,0\n")
+        (tmp_path / "edges.csv").write_text("sid,node_u,node_v\n0,0,7\n")
+        with pytest.raises(RoadNetworkError):
+            load_network_csv(tmp_path / "nodes.csv", tmp_path / "edges.csv")
+
+    def test_clustering_works_on_csv_network(self, tmp_path, grid3x3):
+        """End to end: export, re-import, cluster."""
+        from repro.core.config import NEATConfig
+        from repro.core.pipeline import NEAT
+        from conftest import trajectory_through
+
+        nodes, edges = tmp_path / "n.csv", tmp_path / "e.csv"
+        save_network_csv(grid3x3, nodes, edges)
+        network = load_network_csv(nodes, edges)
+        trs = [trajectory_through(network, i, [0, 1]) for i in range(3)]
+        result = NEAT(network, NEATConfig(min_card=0)).run_flow(trs)
+        assert result.flows

@@ -1,0 +1,83 @@
+"""Unit tests for the generic pluggable-neighborhood DBSCAN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.dbscan import NOISE, clusters_from_labels, dbscan
+
+
+def region_from_points(points, eps):
+    """1-D region query over a list of scalars."""
+
+    def query(i):
+        return [j for j in range(len(points)) if j != i and abs(points[i] - points[j]) <= eps]
+
+    return query
+
+
+class TestDbscan:
+    def test_two_blobs(self):
+        points = [0.0, 1.0, 2.0, 100.0, 101.0]
+        labels = dbscan(len(points), region_from_points(points, 1.5), min_pts=2)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_noise_with_high_min_pts(self):
+        points = [0.0, 50.0, 100.0]
+        labels = dbscan(len(points), region_from_points(points, 1.0), min_pts=2)
+        assert labels == [NOISE, NOISE, NOISE]
+
+    def test_min_pts_one_connected_components(self):
+        points = [0.0, 1.0, 10.0]
+        labels = dbscan(len(points), region_from_points(points, 2.0), min_pts=1)
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[0]
+        assert NOISE not in labels
+
+    def test_border_point_joins_first_cluster(self):
+        # Point 2 is a border point between two dense groups; standard
+        # DBSCAN assigns it to whichever cluster reaches it first.
+        points = [0.0, 1.0, 2.0, 3.0, 4.0]
+        labels = dbscan(len(points), region_from_points(points, 1.1), min_pts=3)
+        assert labels.count(NOISE) == 0
+        assert len(set(labels)) == 1
+
+    def test_order_controls_cluster_ids(self):
+        points = [0.0, 1.0, 100.0, 101.0]
+        query = region_from_points(points, 2.0)
+        forward = dbscan(len(points), query, 1, order=[0, 1, 2, 3])
+        backward = dbscan(len(points), query, 1, order=[3, 2, 1, 0])
+        # Same partition, different ids.
+        assert forward[0] == 0 and backward[3] == 0
+        assert {frozenset([0, 1]), frozenset([2, 3])} == {
+            frozenset(i for i, l in enumerate(forward) if l == c)
+            for c in set(forward)
+        }
+
+    def test_min_pts_validation(self):
+        with pytest.raises(ValueError):
+            dbscan(3, lambda i: [], 0)
+
+    def test_empty(self):
+        assert dbscan(0, lambda i: [], 1) == []
+
+    def test_region_query_including_self_ok(self):
+        # The contract allows the region query to include the item itself.
+        points = [0.0, 1.0]
+
+        def query(i):
+            return [j for j in range(2) if abs(points[i] - points[j]) <= 2.0]
+
+        labels = dbscan(2, query, min_pts=2)
+        assert labels[0] == labels[1] != NOISE
+
+
+class TestClustersFromLabels:
+    def test_groups_and_drops_noise(self):
+        labels = [0, 1, 0, NOISE, 1]
+        assert clusters_from_labels(labels) == [[0, 2], [1, 4]]
+
+    def test_empty(self):
+        assert clusters_from_labels([]) == []

@@ -1,0 +1,127 @@
+"""Tests for time-varying demand profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mobisim.demand import DemandProfile, DemandWindow, simulate_demand
+from repro.roadnet.generators import GridConfig, generate_grid_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_grid_network(GridConfig(rows=9, cols=9, seed=55))
+
+
+class TestDemandWindow:
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            DemandWindow(100.0, 100.0, 5)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            DemandWindow(0.0, 10.0, -1)
+
+
+class TestDemandProfile:
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            DemandProfile(
+                windows=(
+                    DemandWindow(0.0, 100.0, 5),
+                    DemandWindow(50.0, 150.0, 5),
+                )
+            )
+
+    def test_commuter_day_shape(self):
+        profile = DemandProfile.commuter_day(
+            peak_objects=100, offpeak_objects=20
+        )
+        assert len(profile.windows) == 3
+        assert [w.object_count for w in profile.windows] == [100, 20, 100]
+        assert profile.total_objects == 220
+
+    def test_gaps_between_windows_allowed(self):
+        profile = DemandProfile(
+            windows=(
+                DemandWindow(0.0, 100.0, 2),
+                DemandWindow(500.0, 600.0, 2),
+            )
+        )
+        assert profile.total_objects == 4
+
+
+class TestSimulateDemand:
+    def test_contiguous_ids(self, net):
+        profile = DemandProfile.commuter_day(
+            peak_objects=15, offpeak_objects=5, window_seconds=600.0
+        )
+        dataset = simulate_demand(net, profile)
+        assert [tr.trid for tr in dataset] == list(range(len(dataset)))
+
+    def test_departures_inside_windows(self, net):
+        profile = DemandProfile(
+            windows=(
+                DemandWindow(0.0, 300.0, 10),
+                DemandWindow(1000.0, 1300.0, 10),
+            ),
+            seed=3,
+        )
+        dataset = simulate_demand(net, profile)
+        starts = sorted(tr.start.t for tr in dataset)
+        early = [t for t in starts if t < 500.0]
+        late = [t for t in starts if t >= 1000.0]
+        assert len(early) + len(late) == len(dataset)
+        assert early and late
+        for t in late:
+            assert 1000.0 <= t <= 1300.0
+
+    def test_zero_count_window_skipped(self, net):
+        profile = DemandProfile(
+            windows=(
+                DemandWindow(0.0, 100.0, 5),
+                DemandWindow(100.0, 200.0, 0),
+            ),
+            seed=4,
+        )
+        dataset = simulate_demand(net, profile)
+        assert all(tr.start.t < 100.0 for tr in dataset)
+
+    def test_reshuffle_changes_layout_between_windows(self, net):
+        profile = DemandProfile(
+            windows=(
+                DemandWindow(0.0, 300.0, 20, seed_offset=0),
+                DemandWindow(400.0, 700.0, 20, seed_offset=1),
+            ),
+            seed=5,
+            reshuffle_layout=True,
+        )
+        dataset = simulate_demand(net, profile)
+        first = {tr.segment_ids()[0] for tr in dataset if tr.start.t < 300.0}
+        second = {tr.segment_ids()[0] for tr in dataset if tr.start.t >= 400.0}
+        assert first != second  # different hotspot neighbourhoods
+
+    def test_deterministic(self, net):
+        profile = DemandProfile.commuter_day(
+            peak_objects=10, offpeak_objects=5, window_seconds=300.0, seed=6
+        )
+        a = simulate_demand(net, profile)
+        b = simulate_demand(net, profile)
+        assert a.total_points == b.total_points
+        for ta, tb in zip(a, b):
+            assert ta == tb
+
+    def test_feeds_timeslice_cleanly(self, net):
+        from repro.core.config import NEATConfig
+        from repro.core.timeslice import time_sliced_clustering
+
+        profile = DemandProfile.commuter_day(
+            peak_objects=20, offpeak_objects=5, window_seconds=600.0, seed=7
+        )
+        dataset = simulate_demand(net, profile)
+        slices = time_sliced_clustering(
+            net, list(dataset), window=600.0, config=NEATConfig(min_card=0)
+        )
+        assert len(slices) == 3
+        counts = [s.trajectory_count for s in slices]
+        assert counts[0] > counts[1] < counts[2]  # rush, lull, rush

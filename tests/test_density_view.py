@@ -1,0 +1,56 @@
+"""Tests for the base-cluster density rendering."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.analysis.visualize import SEQUENTIAL_BLUE, SvgScene
+from repro.core.base_cluster import form_base_clusters
+
+from conftest import trajectory_through
+
+
+def render(network, clusters, min_density=1):
+    scene = SvgScene(network)
+    scene.draw_network()
+    scene.draw_density(clusters, min_density=min_density)
+    return scene.to_svg()
+
+
+class TestDrawDensity:
+    def test_dense_segments_get_dark_steps(self, line3):
+        trs = [trajectory_through(line3, i, [0]) for i in range(10)]
+        trs.append(trajectory_through(line3, 99, [2]))
+        clusters = form_base_clusters(line3, trs)
+        svg = render(line3, clusters)
+        # The densest segment wears the darkest ramp step; the sparse one
+        # wears a light step.
+        assert SEQUENTIAL_BLUE[-1] in svg
+        assert SEQUENTIAL_BLUE[0] in svg or SEQUENTIAL_BLUE[1] in svg
+
+    def test_min_density_filters(self, line3):
+        trs = [trajectory_through(line3, i, [0]) for i in range(5)]
+        trs.append(trajectory_through(line3, 99, [2]))
+        clusters = form_base_clusters(line3, trs)
+        svg = render(line3, clusters, min_density=3)
+        # Only one polyline beyond the 3 backdrop segments.
+        root = ET.fromstring(svg)
+        polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) == 3 + 1
+
+    def test_empty_clusters_noop(self, line3):
+        svg = render(line3, [])
+        root = ET.fromstring(svg)
+        polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) == 3  # backdrop only
+
+    def test_ramp_is_monotone_lightness(self):
+        # Crude check: the ramp's hex values darken monotonically.
+        def luminance(hex_color):
+            r = int(hex_color[1:3], 16)
+            g = int(hex_color[3:5], 16)
+            b = int(hex_color[5:7], 16)
+            return 0.2126 * r + 0.7152 * g + 0.0722 * b
+
+        values = [luminance(c) for c in SEQUENTIAL_BLUE]
+        assert values == sorted(values, reverse=True)

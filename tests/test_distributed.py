@@ -1,0 +1,145 @@
+"""Tests for the distributed preprocessing tier (Section II-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_cluster import form_base_clusters
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.distributed import (
+    DataNode,
+    NeatCoordinator,
+    merge_base_clusters,
+    shard_round_robin,
+)
+
+from conftest import trajectory_through
+
+
+class TestSharding:
+    def test_round_robin_balances(self, line3):
+        trs = [trajectory_through(line3, i, [0]) for i in range(10)]
+        shards = shard_round_robin(trs, 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+
+    def test_all_trajectories_assigned_once(self, line3):
+        trs = [trajectory_through(line3, i, [0]) for i in range(7)]
+        shards = shard_round_robin(trs, 2)
+        flattened = [tr.trid for shard in shards for tr in shard]
+        assert sorted(flattened) == list(range(7))
+
+    def test_rejects_zero_shards(self, line3):
+        with pytest.raises(ValueError):
+            shard_round_robin([], 0)
+
+
+class TestMerge:
+    def test_merge_equals_centralized(self, small_workload):
+        network, dataset = small_workload
+        trajectories = list(dataset)
+        shards = shard_round_robin(trajectories, 4)
+        partials = [form_base_clusters(network, shard) for shard in shards]
+        merged = merge_base_clusters(partials)
+        central = form_base_clusters(network, trajectories)
+        assert [(c.sid, c.density) for c in merged] == [
+            (c.sid, c.density) for c in central
+        ]
+        for m, c in zip(merged, central):
+            assert m.participants == c.participants
+
+    def test_merge_is_order_independent(self, small_workload):
+        network, dataset = small_workload
+        shards = shard_round_robin(list(dataset), 3)
+        partials = [form_base_clusters(network, shard) for shard in shards]
+        forward = merge_base_clusters(partials)
+        backward = merge_base_clusters(list(reversed(partials)))
+        assert [(c.sid, c.density) for c in forward] == [
+            (c.sid, c.density) for c in backward
+        ]
+
+    def test_merge_empty(self):
+        assert merge_base_clusters([]) == []
+
+
+class TestDataNode:
+    def test_preprocess_local_shard(self, line3):
+        node = DataNode(0, line3)
+        node.ingest([trajectory_through(line3, i, [0, 1]) for i in range(3)])
+        clusters = node.preprocess()
+        assert {c.sid for c in clusters} == {0, 1}
+
+
+class TestCoordinator:
+    @pytest.mark.parametrize("node_count", [1, 2, 5])
+    def test_distributed_equals_centralized(self, small_workload, node_count):
+        network, dataset = small_workload
+        config = NEATConfig(eps=500.0)
+        central = NEAT(network, config).run_opt(dataset)
+        distributed = NeatCoordinator(
+            network, config, node_count=node_count
+        ).run(list(dataset), mode="opt")
+        assert [f.sids for f in distributed.flows] == [
+            f.sids for f in central.flows
+        ]
+        assert [
+            sorted(tuple(f.sids) for f in c.flows) for c in distributed.clusters
+        ] == [sorted(tuple(f.sids) for f in c.flows) for c in central.clusters]
+
+    def test_modes(self, small_workload):
+        network, dataset = small_workload
+        coordinator = NeatCoordinator(network, NEATConfig(eps=500.0), node_count=2)
+        base = coordinator.run(list(dataset), mode="base")
+        assert base.base_clusters and not base.flows
+        flow = coordinator.run(list(dataset), mode="flow")
+        assert flow.flows and not flow.clusters
+
+    def test_invalid_mode(self, small_workload):
+        network, dataset = small_workload
+        with pytest.raises(ValueError):
+            NeatCoordinator(network).run(list(dataset), mode="hyper")
+
+    def test_rerun_clears_previous_shards(self, small_workload):
+        network, dataset = small_workload
+        coordinator = NeatCoordinator(network, NEATConfig(eps=500.0), node_count=2)
+        first = coordinator.run(list(dataset), mode="base")
+        second = coordinator.run(list(dataset), mode="base")
+        total_first = sum(c.density for c in first.base_clusters)
+        total_second = sum(c.density for c in second.base_clusters)
+        assert total_first == total_second  # no double ingestion
+
+    def test_rejects_zero_nodes(self, line3):
+        with pytest.raises(ValueError):
+            NeatCoordinator(line3, node_count=0)
+
+
+class TestAltEngineIntegration:
+    def test_neat_with_alt_engine_matches_plain(self, small_workload):
+        from repro.roadnet.landmarks import LandmarkOracle
+        from repro.roadnet.shortest_path import ShortestPathEngine
+
+        network, dataset = small_workload
+        config = NEATConfig(eps=500.0)
+        plain = NEAT(network, config).run_opt(dataset)
+        alt_engine = ShortestPathEngine(
+            network, oracle=LandmarkOracle(network, landmark_count=6)
+        )
+        accelerated = NEAT(network, config, engine=alt_engine).run_opt(dataset)
+        assert [
+            sorted(tuple(f.sids) for f in c.flows) for c in accelerated.clusters
+        ] == [sorted(tuple(f.sids) for f in c.flows) for c in plain.clusters]
+
+    def test_directed_engine_rejected(self, line3):
+        from repro.roadnet.shortest_path import ShortestPathEngine
+
+        with pytest.raises(ValueError):
+            NEAT(line3, engine=ShortestPathEngine(line3, directed=True))
+
+    def test_oracle_on_directed_engine_rejected(self, line3):
+        from repro.roadnet.landmarks import LandmarkOracle
+        from repro.roadnet.shortest_path import ShortestPathEngine
+
+        with pytest.raises(ValueError):
+            ShortestPathEngine(
+                line3, directed=True, oracle=LandmarkOracle(line3, 2)
+            )

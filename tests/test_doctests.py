@@ -1,0 +1,30 @@
+"""Runs the doctest-style examples embedded in docstrings.
+
+Documentation examples that drift from reality are worse than none, so
+the modules whose docstrings show runnable snippets are checked here.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.pipeline
+import repro.roadnet.builder
+import repro.roadnet.network
+
+MODULES = (
+    repro.core.pipeline,
+    repro.roadnet.builder,
+    repro.roadnet.network,
+)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    failures, tests = doctest.testmod(
+        module, verbose=False, report=True
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert tests > 0, f"{module.__name__} has no doctest examples"
+    assert failures == 0

@@ -1,0 +1,37 @@
+"""Opt-in smoke run of every example script (REPRO_RUN_EXAMPLES=1).
+
+Examples are living documentation; this module keeps them executable.
+Skipped by default because the full set takes a few minutes (the TraClus
+comparison dominates).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(
+    path for path in EXAMPLES_DIR.glob("*.py")
+)
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_RUN_EXAMPLES") != "1",
+    reason="example smoke runs are opt-in (REPRO_RUN_EXAMPLES=1)",
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"

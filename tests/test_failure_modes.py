@@ -1,0 +1,157 @@
+"""Failure injection: malformed inputs and hostile topologies.
+
+Verifies the library fails loudly (typed exceptions) on broken input and
+degrades gracefully (no crash, sensible output) on hostile-but-legal
+input: disconnected networks, unknown segment references, degenerate
+trajectories, off-network GPS.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import NEATConfig
+from repro.core.model import Location, Trajectory
+from repro.core.pipeline import NEAT
+from repro.errors import NoPathError, UnknownSegmentError
+from repro.roadnet.builder import line_network
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+
+from conftest import trajectory_through
+
+
+@pytest.fixture
+def two_islands():
+    """Two disconnected road components."""
+    net = RoadNetwork(name="islands")
+    for x, y in [(0, 0), (100, 0), (200, 0)]:
+        net.add_junction(Point(x, y))
+    for x, y in [(0, 9000), (100, 9000), (200, 9000)]:
+        net.add_junction(Point(x, y))
+    net.add_segment(0, 1)
+    net.add_segment(1, 2)
+    net.add_segment(3, 4)
+    net.add_segment(4, 5)
+    return net
+
+
+class TestUnknownSegments:
+    def test_fragmentation_rejects_unknown_sid(self, line3):
+        ghost = Trajectory(
+            0, (Location(77, 0.0, 0.0, 0.0), Location(77, 1.0, 0.0, 1.0))
+        )
+        with pytest.raises(UnknownSegmentError):
+            NEAT(line3).run_base([ghost])
+
+    def test_mixed_known_unknown_rejected(self, line3):
+        mixed = Trajectory(
+            0, (Location(0, 0.0, 0.0, 0.0), Location(77, 1.0, 0.0, 1.0))
+        )
+        with pytest.raises(UnknownSegmentError):
+            NEAT(line3).run_base([mixed])
+
+
+class TestDisconnectedNetworks:
+    def test_cross_island_trajectory_rejected(self, two_islands):
+        # Samples hopping between disconnected components: the junction
+        # path between their segments does not exist.
+        impossible = Trajectory(
+            0, (Location(0, 50.0, 0.0, 0.0), Location(2, 50.0, 9000.0, 10.0))
+        )
+        with pytest.raises(NoPathError):
+            NEAT(two_islands).run_base([impossible])
+
+    def test_per_island_clustering_works(self, two_islands):
+        trs = [
+            trajectory_through(two_islands, 0, [0, 1]),
+            trajectory_through(two_islands, 1, [2, 3]),
+        ]
+        result = NEAT(two_islands, NEATConfig(min_card=0, eps=500.0)).run_opt(trs)
+        # Flows on different islands can never merge: network distance is
+        # infinite, so two clusters remain even with ELB disabled.
+        assert result.cluster_count == 2
+
+    def test_elb_with_infinite_distances(self, two_islands):
+        trs = [
+            trajectory_through(two_islands, 0, [0, 1]),
+            trajectory_through(two_islands, 1, [2, 3]),
+        ]
+        with_elb = NEAT(
+            two_islands, NEATConfig(min_card=0, eps=500.0, use_elb=True)
+        ).run_opt(trs)
+        without_elb = NEAT(
+            two_islands, NEATConfig(min_card=0, eps=500.0, use_elb=False)
+        ).run_opt(trs)
+        assert with_elb.cluster_count == without_elb.cluster_count == 2
+
+
+class TestDegenerateTrajectories:
+    def test_zero_duration_trajectory(self, line3):
+        frozen = Trajectory(
+            0, (Location(0, 10.0, 0.0, 5.0), Location(0, 10.0, 0.0, 5.0))
+        )
+        result = NEAT(line3, NEATConfig(min_card=0)).run_flow([frozen])
+        assert result.flows  # one single-segment flow, no crash
+
+    def test_stationary_object_many_samples(self, line3):
+        parked = Trajectory(
+            0,
+            tuple(Location(1, 150.0, 0.0, float(t)) for t in range(20)),
+        )
+        result = NEAT(line3, NEATConfig(min_card=0)).run_flow([parked])
+        assert result.flows[0].sids == (1,)
+
+    def test_backtracking_object(self, line3):
+        # Drives out and straight back: both directions on segments 0 and
+        # 1 give two fragments each; the turnaround on segment 2 has no
+        # sid change, so it stays one (longer) fragment.
+        there_and_back = trajectory_through(line3, 0, [0, 1, 2, 2, 1, 0])
+        result = NEAT(line3, NEATConfig(min_card=0)).run_base([there_and_back])
+        by_sid = {c.sid: c.density for c in result.base_clusters}
+        assert by_sid == {0: 2, 1: 2, 2: 1}
+
+
+class TestMapMatchFailures:
+    def test_trace_far_from_network(self, grid3x3):
+        from repro.errors import MapMatchError
+        from repro.mapmatch import SlammMatcher
+
+        matcher = SlammMatcher(grid3x3)
+        with pytest.raises(MapMatchError):
+            matcher.match_fixes(0, [(1e6, 1e6, 0.0), (1e6 + 10, 1e6, 5.0)])
+
+    def test_hmm_no_feasible_path(self, two_islands):
+        # Candidate layers exist on both islands but no transition can
+        # connect them within the route-factor bound.
+        from repro.errors import MapMatchError
+        from repro.mapmatch import HmmConfig, HmmMatcher
+
+        matcher = HmmMatcher(two_islands, HmmConfig(max_route_factor=2.0))
+        with pytest.raises(MapMatchError):
+            matcher.match_fixes(
+                0, [(50.0, 0.0, 0.0), (50.0, 9000.0, 5.0)]
+            )
+
+
+class TestExtremeConfigurations:
+    def test_huge_min_card_filters_everything(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(3)]
+        result = NEAT(line3, NEATConfig(min_card=1000, eps=100.0)).run_opt(trs)
+        assert result.flows == []
+        assert result.clusters == []
+        assert result.noise_flows  # nothing lost, everything is noise
+
+    def test_zero_eps_never_merges(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(3)]
+        result = NEAT(line3, NEATConfig(min_card=0, eps=0.0)).run_opt(trs)
+        # Each flow becomes its own cluster (identical flows still merge
+        # at distance 0, so count equals distinct flow locations).
+        assert result.cluster_count == len(result.flows)
+
+    def test_infinite_eps_merges_everything(self, line3):
+        trs = [trajectory_through(line3, 0, [0]), trajectory_through(line3, 1, [2])]
+        result = NEAT(line3, NEATConfig(min_card=0, eps=1e12)).run_opt(trs)
+        assert result.cluster_count == 1

@@ -1,0 +1,112 @@
+"""The Figure 2 walkthrough: three flows, two final clusters.
+
+Figure 2 of the paper illustrates the whole framework on a small map:
+Phase 1 turns the trajectories into base clusters, Phase 2 groups them
+into three flow clusters {F1, F2, F3}, and Phase 3 merges F1 and F3 —
+whose representative routes end near each other — into one trajectory
+cluster, leaving {C1 = F1+F3, C2 = F2}.
+
+This module rebuilds that scenario concretely: two parallel east-west
+corridors whose endpoints are joined by short (traffic-free) connector
+streets, plus a third corridor far to the north.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.geometry import Point
+
+from conftest import trajectory_through
+
+
+@pytest.fixture
+def figure2():
+    """The map: corridors A (y=0), B (y=240), C (y=6000), connectors."""
+    net = RoadNetwork(name="figure2")
+    corridor_sids: dict[str, list[int]] = {}
+    corridor_nodes: dict[str, list[int]] = {}
+    for label, y in (("A", 0.0), ("B", 240.0), ("C", 6000.0)):
+        nodes = [net.add_junction(Point(x * 250.0, y)) for x in range(5)]
+        sids = [net.add_segment(a, b) for a, b in zip(nodes, nodes[1:])]
+        corridor_nodes[label] = nodes
+        corridor_sids[label] = sids
+    # Connector streets joining A and B at both ends (and a long feeder
+    # to C so the graph is connected; no traffic rides the connectors).
+    net.add_segment(corridor_nodes["A"][0], corridor_nodes["B"][0])
+    net.add_segment(corridor_nodes["A"][-1], corridor_nodes["B"][-1])
+    net.add_segment(corridor_nodes["B"][0], corridor_nodes["C"][0])
+    return net, corridor_sids
+
+
+@pytest.fixture
+def figure2_result(figure2):
+    net, corridors = figure2
+    trajectories = []
+    trid = 0
+    for label in ("A", "B", "C"):
+        for _ in range(4):
+            trajectories.append(
+                trajectory_through(net, trid, corridors[label])
+            )
+            trid += 1
+    # eps = 400 m: the A/B endpoints are 240 m apart via the connector,
+    # corridor C is kilometres away.
+    config = NEATConfig(min_card=0, eps=400.0)
+    return net, corridors, NEAT(net, config).run_opt(trajectories)
+
+
+class TestPhase2Shape:
+    def test_three_flows_one_per_corridor(self, figure2_result):
+        _net, corridors, result = figure2_result
+        assert result.flow_count == 3
+        flow_routes = [set(flow.sids) for flow in result.flows]
+        for label in ("A", "B", "C"):
+            assert set(corridors[label]) in flow_routes
+
+    def test_connectors_carry_no_flow(self, figure2_result):
+        _net, corridors, result = figure2_result
+        corridor_sids = {
+            sid for sids in corridors.values() for sid in sids
+        }
+        for flow in result.flows:
+            assert set(flow.sids) <= corridor_sids
+
+
+class TestPhase3Shape:
+    def test_two_final_clusters(self, figure2_result):
+        _net, _corridors, result = figure2_result
+        assert result.cluster_count == 2
+
+    def test_parallel_corridors_merge(self, figure2_result):
+        _net, corridors, result = figure2_result
+        by_size = sorted(result.clusters, key=lambda c: -len(c.flows))
+        merged, single = by_size
+        merged_sids = {sid for flow in merged.flows for sid in flow.sids}
+        assert merged_sids == set(corridors["A"]) | set(corridors["B"])
+        single_sids = {sid for flow in single.flows for sid in flow.sids}
+        assert single_sids == set(corridors["C"])
+
+    def test_each_phase_compacts(self, figure2_result):
+        _net, _corridors, result = figure2_result
+        assert len(result.base_clusters) > result.flow_count > (
+            result.cluster_count - 1
+        )
+
+    def test_smaller_eps_keeps_three_clusters(self, figure2):
+        net, corridors = figure2
+        trajectories = []
+        trid = 0
+        for label in ("A", "B", "C"):
+            for _ in range(4):
+                trajectories.append(
+                    trajectory_through(net, trid, corridors[label])
+                )
+                trid += 1
+        result = NEAT(net, NEATConfig(min_card=0, eps=100.0)).run_opt(
+            trajectories
+        )
+        assert result.cluster_count == 3

@@ -1,0 +1,98 @@
+"""Smoke/behaviour tests for the per-figure experiment drivers.
+
+These run every driver at miniature scale so the benchmark modules cannot
+rot: each driver must execute, return populated rows and render a
+"paper vs measured" report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_variant,
+)
+
+TINY = (10, 20)
+
+
+class TestTables:
+    def test_table1(self):
+        result = run_table1(network_scale=0.02)
+        assert len(result.stats) == 3
+        text = result.render()
+        assert "Paper (Table I)" in text
+        assert "Measured" in text
+
+    def test_table2(self):
+        result = run_table2(object_counts=TINY)
+        assert set(result.points) == {"ATL", "SJ", "MIA"}
+        for counts in result.points.values():
+            assert counts[0] < counts[1]
+        assert "Table II" in result.render()
+
+    def test_table3(self):
+        result = run_table3(object_counts=TINY)
+        assert len(result.rows) == 2
+        assert "SJ" in result.rows[0][0]
+        assert "Paper (Table III)" in result.render()
+
+
+class TestFigures:
+    def test_fig3_writes_svgs(self, tmp_path):
+        result = run_fig3(out_dir=tmp_path, object_count=30)
+        assert result.trajectory_count > 0
+        assert result.flow_count >= 1
+        assert len(result.svg_paths) == 3
+        for path in result.svg_paths:
+            assert path.exists()
+
+    def test_fig3_without_output_dir(self):
+        result = run_fig3(object_count=20)
+        assert result.svg_paths == []
+        assert "Figure 3" in result.render()
+
+    def test_fig4_two_settings(self):
+        result = run_fig4(object_count=20)
+        labels = [row[0] for row in result.rows]
+        assert labels == ["tuned", "degenerate"]
+        tuned_clusters = result.rows[0][3]
+        degenerate_clusters = result.rows[1][3]
+        assert degenerate_clusters >= tuned_clusters
+
+    def test_fig5_rows(self):
+        result = run_fig5(object_counts=TINY)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.neat_seconds > 0.0
+            assert row.traclus_seconds > 0.0
+        assert "Figure 5" in result.render()
+
+    def test_fig6_rows(self):
+        result = run_fig6("MIA", object_counts=TINY)
+        assert len(result.rows) == 2
+        for _name, points, base_s, flow_s, opt_s, p1, p2 in result.rows:
+            assert points > 0
+            assert base_s >= 0 and flow_s >= 0 and opt_s >= 0
+            assert p1 >= 0 and p2 >= 0
+
+    def test_fig7_rows_and_elb_prunes(self):
+        result = run_fig7("SJ", object_counts=(30,))
+        assert len(result.rows) == 1
+        _name, _points, flows, _elb_s, _dij_s, sp_elb, sp_dij = result.rows[0]
+        assert flows >= 0
+        assert sp_elb <= sp_dij
+
+    def test_variant(self):
+        result = run_variant(object_count=25)
+        assert result.base_clusters > 0
+        assert result.variant_seconds > 0.0
+        assert "IV-C" in result.render()

@@ -1,0 +1,107 @@
+"""Unit tests for the FlowCluster container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_cluster import BaseCluster, form_base_clusters
+from repro.core.flow_cluster import FlowCluster
+from repro.core.model import Location, TFragment
+from repro.errors import ClusteringError
+
+from conftest import trajectory_through
+
+
+def frag(trid: int, sid: int) -> TFragment:
+    return TFragment(
+        trid, sid, (Location(sid, 0.0, 0.0, 0.0), Location(sid, 1.0, 0.0, 1.0))
+    )
+
+
+def cluster(sid: int, trids=(0,)) -> BaseCluster:
+    c = BaseCluster(sid)
+    for trid in trids:
+        c.add(frag(trid, sid))
+    return c
+
+
+class TestSeed:
+    def test_initial_endpoints(self, line3):
+        flow = FlowCluster(line3, cluster(1))
+        assert flow.front_node == 1
+        assert flow.end_node == 2
+        assert flow.sids == (1,)
+        assert len(flow) == 1
+
+
+class TestAppendPrepend:
+    def test_append_advances_end(self, line3):
+        flow = FlowCluster(line3, cluster(0))
+        flow.append(cluster(1))
+        assert flow.sids == (0, 1)
+        assert flow.end_node == 2
+        assert flow.front_node == 0
+
+    def test_prepend_advances_front(self, line3):
+        flow = FlowCluster(line3, cluster(1))
+        flow.prepend(cluster(0))
+        assert flow.sids == (0, 1)
+        assert flow.front_node == 0
+        assert flow.end_node == 2
+
+    def test_append_rejects_disconnected(self, line3):
+        flow = FlowCluster(line3, cluster(0))
+        with pytest.raises(ClusteringError):
+            flow.append(cluster(2))  # segment 2 does not touch node 1
+
+    def test_route_is_network_route(self, line3):
+        flow = FlowCluster(line3, cluster(1))
+        flow.append(cluster(2))
+        flow.prepend(cluster(0))
+        assert line3.is_route(flow.sids)
+        assert flow.route_nodes() == [0, 1, 2, 3]
+
+    def test_route_length(self, line3):
+        flow = FlowCluster(line3, cluster(0))
+        flow.append(cluster(1))
+        assert flow.route_length == pytest.approx(200.0)
+
+
+class TestAggregates:
+    def test_participants_union(self, line3):
+        flow = FlowCluster(line3, cluster(0, (1, 2)))
+        flow.append(cluster(1, (2, 3)))
+        assert flow.participants == frozenset({1, 2, 3})
+        assert flow.trajectory_cardinality == 3
+
+    def test_density_sums_fragments(self, line3):
+        flow = FlowCluster(line3, cluster(0, (1, 2)))
+        flow.append(cluster(1, (2,)))
+        assert flow.density == 3
+
+    def test_netflow_with(self, line3):
+        flow = FlowCluster(line3, cluster(0, (1, 2)))
+        assert flow.netflow_with(cluster(1, (2, 3))) == 1
+
+    def test_participants_cache_invalidated(self, line3):
+        flow = FlowCluster(line3, cluster(0, (1,)))
+        assert flow.trajectory_cardinality == 1
+        flow.append(cluster(1, (2,)))
+        assert flow.trajectory_cardinality == 2
+
+    def test_iter_members(self, line3):
+        flow = FlowCluster(line3, cluster(0))
+        flow.append(cluster(1))
+        assert [m.sid for m in flow] == [0, 1]
+
+
+class TestIntegrationWithPhase1(object):
+    def test_flow_over_formed_clusters(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(3)]
+        clusters = form_base_clusters(line3, trs)
+        by_sid = {c.sid: c for c in clusters}
+        flow = FlowCluster(line3, by_sid[1])
+        flow.append(by_sid[2])
+        flow.prepend(by_sid[0])
+        assert flow.trajectory_cardinality == 3
+        assert flow.endpoints == (0, 3)

@@ -1,0 +1,248 @@
+"""Unit tests for Phase 2 flow cluster formation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.base_cluster import form_base_clusters
+from repro.core.config import (
+    NEATConfig,
+    PRESET_DENSEST,
+    PRESET_FASTEST,
+    PRESET_MAX_FLOW,
+)
+from repro.core.flow_formation import (
+    _apply_domination,
+    form_flow_clusters,
+)
+from repro.roadnet.builder import network_from_edges, star_network
+
+from conftest import trajectory_through
+
+
+def config(min_card: int = 0, **kwargs) -> NEATConfig:
+    return NEATConfig(min_card=min_card, **kwargs)
+
+
+class TestBasicFormation:
+    def test_single_stream_single_flow(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(4)]
+        clusters = form_base_clusters(line3, trs)
+        result = form_flow_clusters(line3, clusters, config())
+        assert len(result.flows) == 1
+        flow = result.flows[0]
+        assert set(flow.sids) == {0, 1, 2}
+        assert line3.is_route(flow.sids)
+        assert flow.trajectory_cardinality == 4
+
+    def test_every_base_cluster_assigned(self, star4):
+        trs = [
+            trajectory_through(star4, 0, [0, 1]),
+            trajectory_through(star4, 1, [2, 3]),
+        ]
+        clusters = form_base_clusters(star4, trs)
+        result = form_flow_clusters(star4, clusters, config())
+        assigned = [sid for flow in result.all_flows for sid in flow.sids]
+        assert sorted(assigned) == sorted(c.sid for c in clusters)
+        # No base cluster in two flows.
+        assert len(assigned) == len(set(assigned))
+
+    def test_disjoint_streams_get_separate_flows(self, star4):
+        trs = [
+            trajectory_through(star4, 0, [0, 1]),
+            trajectory_through(star4, 1, [0, 1]),
+            trajectory_through(star4, 2, [2, 3]),
+        ]
+        clusters = form_base_clusters(star4, trs)
+        result = form_flow_clusters(star4, clusters, config())
+        assert len(result.flows) == 2
+        routes = sorted(tuple(sorted(f.sids)) for f in result.flows)
+        assert routes == [(0, 1), (2, 3)]
+
+    def test_deterministic_over_runs(self, small_workload):
+        network, dataset = small_workload
+        clusters1 = form_base_clusters(network, dataset.trajectories)
+        clusters2 = form_base_clusters(network, dataset.trajectories)
+        result1 = form_flow_clusters(network, clusters1, config())
+        result2 = form_flow_clusters(network, clusters2, config())
+        assert [f.sids for f in result1.flows] == [f.sids for f in result2.flows]
+
+    def test_empty_input(self, line3):
+        result = form_flow_clusters(line3, [], config())
+        assert result.flows == [] and result.noise_flows == []
+
+
+class TestMinCard:
+    def test_explicit_threshold_filters(self, star4):
+        trs = [trajectory_through(star4, i, [0, 1]) for i in range(5)]
+        trs.append(trajectory_through(star4, 9, [2, 3]))
+        clusters = form_base_clusters(star4, trs)
+        result = form_flow_clusters(star4, clusters, config(min_card=3))
+        assert len(result.flows) == 1
+        assert result.flows[0].trajectory_cardinality == 5
+        assert len(result.noise_flows) == 1
+        assert result.min_card_used == 3
+
+    def test_auto_threshold_uses_mean(self, star4):
+        trs = [trajectory_through(star4, i, [0, 1]) for i in range(5)]
+        trs.append(trajectory_through(star4, 9, [2, 3]))
+        clusters = form_base_clusters(star4, trs)
+        result = form_flow_clusters(star4, clusters, NEATConfig(min_card=None))
+        # Mean cardinality of flows {5, 1} -> threshold 3 -> one kept.
+        assert result.min_card_used == 3
+        assert len(result.flows) == 1
+
+    def test_zero_threshold_keeps_all(self, star4):
+        trs = [
+            trajectory_through(star4, 0, [0, 1]),
+            trajectory_through(star4, 1, [2, 3]),
+        ]
+        clusters = form_base_clusters(star4, trs)
+        result = form_flow_clusters(star4, clusters, config(min_card=0))
+        assert result.noise_flows == []
+
+
+class TestSeedSelection:
+    def test_densest_seed_first(self, star4):
+        # The dense stream (0,1) must seed the first flow even though
+        # another stream exists.
+        trs = [trajectory_through(star4, i, [0, 1]) for i in range(4)]
+        trs += [trajectory_through(star4, 10 + i, [2, 3]) for i in range(2)]
+        clusters = form_base_clusters(star4, trs)
+        result = form_flow_clusters(star4, clusters, config())
+        assert set(result.flows[0].sids) == {0, 1}
+
+
+class TestWeights:
+    def _y_network(self):
+        """A fork: stem 0-1, branches to 2 (fast, sparse) and 3 (slow, dense)."""
+        net = network_from_edges(
+            [(0, 0), (100, 0), (200, 50), (200, -50)],
+            [(0, 1)],
+        )
+        fast = net.add_segment(1, 2, speed_limit=30.0)
+        slow = net.add_segment(1, 3, speed_limit=10.0)
+        return net, 0, fast, slow
+
+    def test_max_flow_weighting_follows_traffic(self):
+        net, stem, fast, slow = self._y_network()
+        trs = [trajectory_through(net, i, [stem, slow]) for i in range(3)]
+        trs.append(trajectory_through(net, 9, [stem, fast]))
+        clusters = form_base_clusters(net, trs)
+        result = form_flow_clusters(
+            net, clusters, NEATConfig(wq=1.0, wk=0.0, wv=0.0, min_card=0)
+        )
+        # With pure flow weighting the seed flow follows the 3 objects.
+        assert slow in result.flows[0].sids
+
+    def test_speed_weighting_prefers_fast_road(self):
+        net, stem, fast, slow = self._y_network()
+        # Equal traffic on both branches so only speed discriminates.
+        trs = [trajectory_through(net, i, [stem, slow]) for i in range(2)]
+        trs += [trajectory_through(net, 10 + i, [stem, fast]) for i in range(2)]
+        clusters = form_base_clusters(net, trs)
+        result = form_flow_clusters(
+            net, clusters, NEATConfig(wq=0.0, wk=0.0, wv=1.0, min_card=0)
+        )
+        assert fast in result.flows[0].sids
+
+    def test_density_weighting_prefers_dense_neighbor(self):
+        net, stem, fast, slow = self._y_network()
+        # One trajectory continues to `fast`, but `slow` is denser thanks
+        # to extra traffic that does not reach the stem.
+        trs = [trajectory_through(net, 0, [stem, fast])]
+        trs.append(trajectory_through(net, 1, [stem, slow]))
+        trs += [trajectory_through(net, 10 + i, [slow]) for i in range(3)]
+        clusters = form_base_clusters(net, trs)
+        result = form_flow_clusters(
+            net, clusters, NEATConfig(wq=0.0, wk=1.0, wv=0.0, min_card=0)
+        )
+        assert slow in result.flows[0].sids
+
+    @pytest.mark.parametrize(
+        "preset", [PRESET_MAX_FLOW, PRESET_DENSEST, PRESET_FASTEST]
+    )
+    def test_presets_run(self, preset, small_workload):
+        from dataclasses import replace
+
+        network, dataset = small_workload
+        clusters = form_base_clusters(network, dataset.trajectories)
+        result = form_flow_clusters(
+            network, clusters, replace(preset, min_card=0)
+        )
+        assert result.all_flows
+
+
+class TestDomination:
+    def _clusters(self, star4, spread):
+        """Build S (sid 0) with neighbors sid 1, 2, 3 at the center.
+
+        ``spread`` maps sid -> list of trids travelling stem+branch.
+        """
+        trs = []
+        trid = 0
+        for sid, count in spread.items():
+            for _ in range(count):
+                trs.append(trajectory_through(star4, trid, [0, sid]))
+                trid += 1
+        return form_base_clusters(star4, trs)
+
+    def test_beta_inf_keeps_all(self, star4):
+        clusters = self._clusters(star4, {1: 3, 2: 1})
+        by_sid = {c.sid: c for c in clusters}
+        kept = _apply_domination(
+            by_sid[0], [by_sid[1], by_sid[2]], beta=math.inf
+        )
+        assert {c.sid for c in kept} == {1, 2}
+
+    def test_dominating_pair_removed(self, star4):
+        # Neighbors 1 and 2 share heavy mutual traffic (trajectories that
+        # run 1 -> 2 without using the frontier's own flows dominating).
+        trs = []
+        # Frontier S = segment 0 with its own participants.
+        trs += [trajectory_through(star4, i, [0, 3]) for i in range(2)]
+        # One shared trajectory between S and each of 1, 2 (f(S,1)=f(S,2)=1)
+        trs.append(trajectory_through(star4, 10, [0, 1]))
+        trs.append(trajectory_through(star4, 11, [0, 2]))
+        # Massive 1 <-> 2 flow: f(1,2) = 5 dominates maxFlow(S) = 1.
+        trs += [trajectory_through(star4, 20 + i, [1, 2]) for i in range(5)]
+        clusters = form_base_clusters(star4, trs)
+        by_sid = {c.sid: c for c in clusters}
+        # maxFlow(S) = f(S, S3) = 2; f(S1, S2) = 5; 5/2 >= beta = 2.
+        kept = _apply_domination(
+            by_sid[0], [by_sid[1], by_sid[2], by_sid[3]], beta=2.0
+        )
+        assert {c.sid for c in kept} == {3}
+
+    def test_formation_with_beta_separates_dominant_flow(self, star4):
+        # The paper's motivating example: f(S,S1)=5, f(S,S2)=2, f(S1,S2)=50.
+        # With beta small, S must not grab S1; the S1-S2 stream forms its
+        # own flow.
+        trs = []
+        trid = 0
+        for _ in range(5):
+            trs.append(trajectory_through(star4, trid, [0, 1])); trid += 1
+        for _ in range(2):
+            trs.append(trajectory_through(star4, trid, [0, 2])); trid += 1
+        for _ in range(50):
+            trs.append(trajectory_through(star4, trid, [1, 2])); trid += 1
+        # Extra solo traffic makes S (segment 0) the dense-core, so it is
+        # the flow being expanded when the domination question arises.
+        for _ in range(60):
+            trs.append(trajectory_through(star4, trid, [0])); trid += 1
+        clusters = form_base_clusters(star4, trs)
+        result = form_flow_clusters(
+            star4, clusters, NEATConfig(beta=5.0, min_card=0, wq=1.0, wk=0.0, wv=0.0)
+        )
+        routes = [tuple(sorted(f.sids)) for f in result.all_flows]
+        assert (1, 2) in routes  # the dominant stream survives as a flow
+        # Without domination handling, S would swallow S1 instead.
+        greedy = form_flow_clusters(
+            star4,
+            form_base_clusters(star4, trs),
+            NEATConfig(beta=math.inf, min_card=0, wq=1.0, wk=0.0, wv=0.0),
+        )
+        greedy_routes = [tuple(sorted(f.sids)) for f in greedy.all_flows]
+        assert (1, 2) not in greedy_routes

@@ -1,0 +1,101 @@
+"""Tests for GeoJSON export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.geojson import (
+    clusters_geojson,
+    flows_geojson,
+    network_geojson,
+    save_geojson,
+    trajectories_geojson,
+)
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+
+from conftest import trajectory_through
+
+
+@pytest.fixture
+def clustered(line3):
+    trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(3)]
+    result = NEAT(line3, NEATConfig(min_card=0, eps=500.0)).run_opt(trs)
+    return line3, trs, result
+
+
+class TestNetworkGeojson:
+    def test_one_feature_per_segment(self, grid3x3):
+        document = network_geojson(grid3x3)
+        assert document["type"] == "FeatureCollection"
+        assert len(document["features"]) == grid3x3.segment_count
+
+    def test_properties(self, grid3x3):
+        feature = network_geojson(grid3x3)["features"][0]
+        properties = feature["properties"]
+        assert {"sid", "road_class", "speed_limit", "length_m"} <= set(properties)
+        assert feature["geometry"]["type"] == "LineString"
+        assert len(feature["geometry"]["coordinates"]) == 2
+
+    def test_json_serializable(self, grid3x3):
+        json.dumps(network_geojson(grid3x3))
+
+
+class TestTrajectoriesGeojson:
+    def test_linestring_per_trip(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(2)]
+        document = trajectories_geojson(trs)
+        assert len(document["features"]) == 2
+        for feature, trajectory in zip(document["features"], trs):
+            assert feature["properties"]["trid"] == trajectory.trid
+            assert len(feature["geometry"]["coordinates"]) == len(trajectory)
+
+
+class TestFlowsGeojson:
+    def test_flow_geometry_follows_route(self, clustered):
+        network, _trs, result = clustered
+        document = flows_geojson(network, result.flows)
+        assert len(document["features"]) == len(result.flows)
+        feature = document["features"][0]
+        route_nodes = result.flows[0].route_nodes()
+        assert len(feature["geometry"]["coordinates"]) == len(route_nodes)
+        assert feature["properties"]["cardinality"] == (
+            result.flows[0].trajectory_cardinality
+        )
+
+    def test_empty(self, line3):
+        assert flows_geojson(line3, [])["features"] == []
+
+
+class TestClustersGeojson:
+    def test_multilinestring_per_cluster(self, clustered):
+        network, _trs, result = clustered
+        document = clusters_geojson(network, result.clusters)
+        assert len(document["features"]) == len(result.clusters)
+        feature = document["features"][0]
+        assert feature["geometry"]["type"] == "MultiLineString"
+        assert feature["properties"]["flows"] == len(result.clusters[0].flows)
+
+    def test_save(self, clustered, tmp_path):
+        network, _trs, result = clustered
+        path = save_geojson(
+            clusters_geojson(network, result.clusters), tmp_path / "c.geojson"
+        )
+        assert json.loads(path.read_text())["type"] == "FeatureCollection"
+
+
+class TestRealisticWorkload:
+    def test_full_export_chain(self, small_workload, tmp_path):
+        network, dataset = small_workload
+        result = NEAT(network, NEATConfig(eps=500.0)).run_opt(dataset)
+        for name, document in (
+            ("network", network_geojson(network)),
+            ("trips", trajectories_geojson(list(dataset))),
+            ("flows", flows_geojson(network, result.flows)),
+            ("clusters", clusters_geojson(network, result.clusters)),
+        ):
+            path = save_geojson(document, tmp_path / f"{name}.geojson")
+            parsed = json.loads(path.read_text())
+            assert parsed["features"], name

@@ -1,0 +1,149 @@
+"""Unit tests for planar geometry primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.roadnet.geometry import (
+    Point,
+    angle_between,
+    bounding_box,
+    cross,
+    dot,
+    euclidean,
+    heading,
+    interpolate,
+    point_along_polyline,
+    point_segment_distance,
+    polyline_length,
+    project_onto_segment,
+)
+
+
+class TestPoint:
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-4.0, 7.25)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(10, 4)) == Point(5, 2)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5.0  # type: ignore[misc]
+
+
+class TestVectorOps:
+    def test_euclidean_matches_point_distance(self):
+        assert euclidean(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_dot_orthogonal(self):
+        assert dot(1, 0, 0, 1) == 0.0
+
+    def test_cross_sign(self):
+        assert cross(1, 0, 0, 1) > 0
+        assert cross(0, 1, 1, 0) < 0
+
+
+class TestProjection:
+    def test_projection_inside(self):
+        closest, t, distance = project_onto_segment(
+            Point(5, 3), Point(0, 0), Point(10, 0)
+        )
+        assert closest == Point(5, 0)
+        assert t == pytest.approx(0.5)
+        assert distance == pytest.approx(3.0)
+
+    def test_projection_clamps_before_start(self):
+        closest, t, distance = project_onto_segment(
+            Point(-4, 0), Point(0, 0), Point(10, 0)
+        )
+        assert closest == Point(0, 0)
+        assert t == 0.0
+        assert distance == pytest.approx(4.0)
+
+    def test_projection_clamps_past_end(self):
+        closest, t, _ = project_onto_segment(Point(14, 2), Point(0, 0), Point(10, 0))
+        assert closest == Point(10, 0)
+        assert t == 1.0
+
+    def test_degenerate_segment(self):
+        closest, t, distance = project_onto_segment(
+            Point(1, 1), Point(2, 2), Point(2, 2)
+        )
+        assert closest == Point(2, 2)
+        assert t == 0.0
+        assert distance == pytest.approx(math.sqrt(2))
+
+    def test_point_segment_distance(self):
+        assert point_segment_distance(Point(5, -7), Point(0, 0), Point(10, 0)) == (
+            pytest.approx(7.0)
+        )
+
+
+class TestPolyline:
+    def test_length(self):
+        points = [Point(0, 0), Point(3, 4), Point(3, 14)]
+        assert polyline_length(points) == pytest.approx(15.0)
+
+    def test_length_single_point(self):
+        assert polyline_length([Point(1, 1)]) == 0.0
+
+    def test_point_along_interior(self):
+        points = [Point(0, 0), Point(10, 0), Point(10, 10)]
+        assert point_along_polyline(points, 15.0) == Point(10, 5)
+
+    def test_point_along_clamps(self):
+        points = [Point(0, 0), Point(10, 0)]
+        assert point_along_polyline(points, -5.0) == Point(0, 0)
+        assert point_along_polyline(points, 99.0) == Point(10, 0)
+
+    def test_point_along_empty_raises(self):
+        with pytest.raises(ValueError):
+            point_along_polyline([], 1.0)
+
+    def test_interpolate_endpoints(self):
+        a, b = Point(0, 0), Point(4, 8)
+        assert interpolate(a, b, 0.0) == a
+        assert interpolate(a, b, 1.0) == b
+        assert interpolate(a, b, 0.25) == Point(1, 2)
+
+
+class TestAngles:
+    def test_heading_east(self):
+        assert heading(Point(0, 0), Point(1, 0)) == pytest.approx(0.0)
+
+    def test_heading_north(self):
+        assert heading(Point(0, 0), Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_angle_between_wraps(self):
+        assert angle_between(-3.0, 3.0) == pytest.approx(
+            2 * math.pi - 6.0, abs=1e-9
+        )
+
+    def test_angle_between_bounds(self):
+        for h1 in (-3.0, 0.0, 1.5, 3.1):
+            for h2 in (-2.5, 0.5, 2.8):
+                angle = angle_between(h1, h2)
+                assert 0.0 <= angle <= math.pi
+
+
+class TestBoundingBox:
+    def test_bbox(self):
+        box = bounding_box([Point(1, 5), Point(-2, 3), Point(4, -1)])
+        assert box == (-2, -1, 4, 5)
+
+    def test_bbox_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

@@ -1,0 +1,44 @@
+"""Unit tests for the experiment harness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import banner, format_seconds, format_table, timed
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        result, seconds = timed(lambda: sum(range(1000)))
+        assert result == 499500
+        assert seconds >= 0.0
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bbb"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+        # All rows the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_cells_stringified(self):
+        text = format_table(("x",), [(1.5,), (None,)])
+        assert "1.5" in text and "None" in text
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0.001, "1.00ms"), (0.5, "0.500s"), (42.0, "42.0s")],
+    )
+    def test_ranges(self, value, expected):
+        assert format_seconds(value) == expected
+
+
+class TestBanner:
+    def test_contains_title(self):
+        text = banner("Table I")
+        assert "Table I" in text
+        assert "=" in text

@@ -1,0 +1,52 @@
+"""Unit tests for hotspot/destination layout selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mobisim.hotspots import choose_layout
+from repro.roadnet.generators import GridConfig, generate_grid_network
+
+
+@pytest.fixture
+def net10():
+    return generate_grid_network(GridConfig(rows=10, cols=10, seed=3))
+
+
+class TestChooseLayout:
+    def test_counts(self, net10):
+        layout = choose_layout(net10, hotspot_count=2, destination_count=3, seed=1)
+        assert len(layout.hotspot_nodes) == 2
+        assert len(layout.destination_nodes) == 3
+        assert len(layout.start_pool) == 2
+
+    def test_hotspots_and_destinations_disjoint(self, net10):
+        layout = choose_layout(net10, hotspot_count=3, destination_count=4, seed=2)
+        assert not set(layout.hotspot_nodes) & set(layout.destination_nodes)
+
+    def test_start_pool_within_radius(self, net10):
+        radius = 300.0
+        layout = choose_layout(net10, start_radius=radius, seed=3)
+        for hotspot, pool in zip(layout.hotspot_nodes, layout.start_pool):
+            center = net10.node_point(hotspot)
+            for node in pool:
+                assert net10.node_point(node).distance_to(center) <= radius
+
+    def test_start_pool_contains_hotspot(self, net10):
+        layout = choose_layout(net10, seed=4)
+        for hotspot, pool in zip(layout.hotspot_nodes, layout.start_pool):
+            assert hotspot in pool
+
+    def test_deterministic(self, net10):
+        a = choose_layout(net10, seed=5)
+        b = choose_layout(net10, seed=5)
+        assert a == b
+
+    def test_seed_changes_layout(self, net10):
+        a = choose_layout(net10, seed=6)
+        b = choose_layout(net10, seed=7)
+        assert a != b
+
+    def test_too_small_network_rejected(self, line3):
+        with pytest.raises(ValueError):
+            choose_layout(line3, hotspot_count=3, destination_count=3)

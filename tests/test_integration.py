@@ -1,0 +1,128 @@
+"""Cross-module integration tests: the full paper pipeline end to end.
+
+These tests wire together every substrate the way the paper's evaluation
+does: generator -> simulator -> (noise -> map matching ->) NEAT -> metrics
+and compare against the TraClus baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import compare_results, flow_route_lengths
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.mapmatch.slamm import MatchConfig, SlammMatcher
+from repro.mobisim.noise import degrade_dataset
+from repro.mobisim.simulator import SimulationConfig, simulate_dataset
+from repro.roadnet.generators import atlanta_like
+from repro.traclus.grouping import TraClusParams
+from repro.traclus.traclus import TraClus
+
+
+@pytest.fixture(scope="module")
+def workload():
+    network = atlanta_like(scale=0.05, seed=17)
+    dataset = simulate_dataset(
+        network, SimulationConfig(object_count=80, seed=17, name="ATL80")
+    )
+    return network, dataset
+
+
+class TestFullNEATPipeline:
+    def test_opt_neat_end_to_end(self, workload):
+        network, dataset = workload
+        result = NEAT(network, NEATConfig(eps=600.0)).run_opt(dataset)
+        assert result.base_clusters
+        assert result.flows
+        assert result.clusters
+        # Fewer clusters than flows than base clusters: each phase compacts.
+        assert len(result.clusters) <= len(result.flows) <= len(
+            result.base_clusters
+        )
+
+    def test_flows_describe_major_traffic(self, workload):
+        """Kept flows must cover a dominant share of all t-fragments."""
+        from repro.analysis.metrics import fragment_coverage
+
+        network, dataset = workload
+        result = NEAT(network, NEATConfig(eps=600.0)).run_flow(dataset)
+        assert fragment_coverage(result) > 0.5
+
+    def test_hotspot_destinations_connected_by_flows(self, workload):
+        """The Figure 3 narrative: long flows reach the destination area."""
+        network, dataset = workload
+        result = NEAT(network, NEATConfig(eps=600.0)).run_flow(dataset)
+        destinations = set(dataset.metadata["destinations"])
+        flow_nodes = set()
+        for flow in result.flows:
+            flow_nodes.update(flow.route_nodes())
+        assert destinations & flow_nodes
+
+
+class TestMapMatchingIntegration:
+    def test_noisy_pipeline_close_to_ground_truth(self, workload):
+        """GPS noise + SLAMM + NEAT yields clusters close to the noiseless run."""
+        network, dataset = workload
+        raws = degrade_dataset(dataset, sigma=4.0, seed=99)
+        matcher = SlammMatcher(network, MatchConfig(sigma=4.0))
+        matched = [matcher.match_trace(raw) for raw in raws]
+
+        clean = NEAT(network, NEATConfig(eps=600.0)).run_flow(dataset)
+        noisy = NEAT(network, NEATConfig(eps=600.0)).run_flow(matched)
+
+        clean_sids = {sid for flow in clean.flows for sid in flow.sids}
+        noisy_sids = {sid for flow in noisy.flows for sid in flow.sids}
+        jaccard = len(clean_sids & noisy_sids) / len(clean_sids | noisy_sids)
+        assert jaccard > 0.6
+
+
+class TestNEATvsTraClus:
+    def test_neat_faster_and_more_continuous(self, workload):
+        """The paper's headline: NEAT is faster with longer routes."""
+        network, dataset = workload
+        neat_result = NEAT(network, NEATConfig(eps=600.0)).run_flow(dataset)
+        traclus_result = TraClus(TraClusParams(eps=10.0, min_lns=4)).run(dataset)
+        row = compare_results(
+            dataset.name, dataset.total_points, neat_result, traclus_result
+        )
+        assert row.speedup > 10.0  # orders of magnitude at paper scale
+        assert row.neat_avg_route_m > row.traclus_avg_route_m
+
+    def test_base_neat_matches_traclus_semantics(self, workload):
+        """Sec IV-C: thresholded base clusters show dense road segments."""
+        network, dataset = workload
+        result = NEAT(network).run_base(dataset)
+        dense = [c for c in result.base_clusters if c.density >= 10]
+        assert dense
+        # Dense base clusters are exactly the high-traffic segments.
+        for cluster in dense:
+            assert cluster.trajectory_cardinality >= 2
+
+
+class TestIncrementalUse:
+    def test_two_batch_clustering_reuses_engine(self, workload):
+        """Section III-C's online scenario: phase 3 engine amortizes."""
+        network, dataset = workload
+        half = len(dataset) // 2
+        first = list(dataset)[:half]
+        second = list(dataset)[half:]
+        neat = NEAT(network, NEATConfig(eps=600.0))
+        neat.run_opt(first)
+        after_first = neat.engine.computations
+        neat.run_opt(second)
+        growth = neat.engine.computations - after_first
+        assert growth <= after_first * 3  # warm cache bounds new work
+
+    def test_serialization_roundtrip_of_whole_workload(self, workload, tmp_path):
+        from repro.mobisim.io import load_dataset, save_dataset
+        from repro.roadnet.io import load_network, save_network
+
+        network, dataset = workload
+        save_network(network, tmp_path / "net.json")
+        save_dataset(dataset, tmp_path / "data.json")
+        network2 = load_network(tmp_path / "net.json")
+        dataset2 = load_dataset(tmp_path / "data.json")
+        r1 = NEAT(network, NEATConfig(eps=600.0)).run_flow(dataset)
+        r2 = NEAT(network2, NEATConfig(eps=600.0)).run_flow(dataset2)
+        assert [f.sids for f in r1.flows] == [f.sids for f in r2.flows]

@@ -1,0 +1,118 @@
+"""Unit tests for analysis metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    cluster_summary,
+    compare_results,
+    flow_continuity,
+    flow_route_lengths,
+    fragment_coverage,
+    trajectory_coverage,
+)
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.traclus.grouping import TraClusParams
+from repro.traclus.traclus import TraClus
+
+from conftest import trajectory_through
+
+
+@pytest.fixture
+def neat_result(line3):
+    trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(4)]
+    trs.append(trajectory_through(line3, 9, [0]))
+    return NEAT(line3, NEATConfig(min_card=2, eps=500.0)).run_opt(trs), len(trs)
+
+
+class TestRouteLengths:
+    def test_flow_route_lengths(self, neat_result):
+        result, _n = neat_result
+        summary = flow_route_lengths(result.flows)
+        assert summary.count == len(result.flows)
+        assert 0.0 < summary.average_m <= summary.maximum_m
+
+    def test_empty(self):
+        summary = flow_route_lengths([])
+        assert summary.count == 0
+        assert summary.average_m == 0.0
+        assert summary.maximum_m == 0.0
+
+
+class TestCoverage:
+    def test_fragment_coverage_bounds(self, neat_result):
+        result, _n = neat_result
+        coverage = fragment_coverage(result)
+        assert 0.0 < coverage <= 1.0
+
+    def test_trajectory_coverage(self, neat_result):
+        result, n = neat_result
+        coverage = trajectory_coverage(result, n)
+        # All 5 trajectories touch the kept flow: trajectory 9 joins it
+        # through the segment-0 base cluster even though it rides one
+        # segment only.
+        assert coverage == pytest.approx(1.0)
+
+    def test_trajectory_coverage_zero_inputs(self, neat_result):
+        result, _n = neat_result
+        assert trajectory_coverage(result, 0) == 0.0
+
+
+class TestContinuity:
+    def test_continuity_reflects_through_traffic(self, neat_result):
+        # 4 of the flow's 5 participants traverse every consecutive pair;
+        # trajectory 9 rides only the first segment: continuity 4/5.
+        result, _n = neat_result
+        flow = result.flows[0]
+        assert flow_continuity(flow) == pytest.approx(0.8)
+
+    def test_uniform_flow_is_perfectly_continuous(self, line3):
+        from repro.core.pipeline import NEAT
+
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(4)]
+        result = NEAT(line3, NEATConfig(min_card=0, eps=500.0)).run_flow(trs)
+        assert flow_continuity(result.flows[0]) == pytest.approx(1.0)
+
+    def test_single_member_flow_is_continuous(self, line3):
+        from repro.core.base_cluster import form_base_clusters
+        from repro.core.flow_cluster import FlowCluster
+
+        trs = [trajectory_through(line3, 0, [0])]
+        clusters = form_base_clusters(line3, trs)
+        assert flow_continuity(FlowCluster(line3, clusters[0])) == 1.0
+
+
+class TestComparison:
+    def test_compare_results_row(self, small_workload):
+        network, dataset = small_workload
+        neat = NEAT(network, NEATConfig(eps=500.0)).run_flow(dataset)
+        traclus = TraClus(TraClusParams(eps=10.0, min_lns=3)).run(dataset)
+        row = compare_results(dataset.name, dataset.total_points, neat, traclus)
+        assert row.dataset == dataset.name
+        assert row.points == dataset.total_points
+        assert row.neat_seconds > 0.0
+        assert row.traclus_seconds > 0.0
+        assert row.speedup == pytest.approx(
+            row.traclus_seconds / row.neat_seconds
+        )
+
+    def test_neat_routes_longer_than_traclus(self, small_workload):
+        """The Figure 5a claim on a real workload."""
+        network, dataset = small_workload
+        neat = NEAT(network, NEATConfig(eps=500.0)).run_flow(dataset)
+        traclus = TraClus(TraClusParams(eps=10.0, min_lns=3)).run(dataset)
+        row = compare_results(dataset.name, dataset.total_points, neat, traclus)
+        assert row.neat_avg_route_m > row.traclus_avg_route_m
+        assert row.neat_max_route_m >= row.traclus_max_route_m
+
+
+class TestClusterSummary:
+    def test_summary_rows(self, neat_result):
+        result, _n = neat_result
+        rows = cluster_summary(result.clusters)
+        assert len(rows) == len(result.clusters)
+        for row in rows:
+            assert row["flows"] >= 1
+            assert row["cardinality"] >= 1

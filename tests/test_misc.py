@@ -1,0 +1,92 @@
+"""Miscellaneous coverage: package metadata, errors, CLI experiment path."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    ClusteringError,
+    ConfigError,
+    DuplicateSegmentError,
+    MapMatchError,
+    NoPathError,
+    ReproError,
+    RoadNetworkError,
+    TrajectoryError,
+    UnknownNodeError,
+    UnknownSegmentError,
+)
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports(self):
+        assert hasattr(repro, "NEAT")
+        assert hasattr(repro, "NEATConfig")
+        assert hasattr(repro, "RoadNetwork")
+        assert hasattr(repro, "Trajectory")
+
+    def test_all_is_sorted_everywhere(self):
+        import repro.analysis
+        import repro.cluster
+        import repro.core
+        import repro.distributed
+        import repro.experiments
+        import repro.mapmatch
+        import repro.mobisim
+        import repro.optics
+        import repro.roadnet
+        import repro.traclus
+
+        for module in (
+            repro, repro.analysis, repro.cluster, repro.core,
+            repro.distributed, repro.experiments, repro.mapmatch,
+            repro.mobisim, repro.optics, repro.roadnet, repro.traclus,
+        ):
+            exported = list(module.__all__)
+            assert exported == sorted(exported), module.__name__
+            for name in exported:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            ClusteringError, ConfigError, MapMatchError, RoadNetworkError,
+            TrajectoryError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_specific_network_errors(self):
+        assert issubclass(UnknownNodeError, RoadNetworkError)
+        assert issubclass(UnknownSegmentError, RoadNetworkError)
+        assert issubclass(DuplicateSegmentError, RoadNetworkError)
+        assert issubclass(NoPathError, RoadNetworkError)
+
+    def test_error_payloads(self):
+        assert UnknownNodeError(7).node_id == 7
+        assert UnknownSegmentError(9).sid == 9
+        assert DuplicateSegmentError(3).sid == 3
+        error = NoPathError(1, 2)
+        assert (error.source, error.target) == (1, 2)
+
+    def test_messages_mention_subject(self):
+        assert "7" in str(UnknownNodeError(7))
+        assert "no path" in str(NoPathError(1, 2))
+
+
+class TestCliExperiment:
+    def test_table1_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["experiment", "table1", "--out-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert (tmp_path / "table1.txt").exists()

@@ -1,0 +1,101 @@
+"""Unit tests for the core trajectory data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Location, TFragment, Trajectory, TrajectoryDataset
+from repro.errors import TrajectoryError
+from repro.roadnet.geometry import Point
+
+
+def loc(sid: int, x: float, t: float, node_id: int | None = None) -> Location:
+    return Location(sid, x, 0.0, t, node_id)
+
+
+class TestLocation:
+    def test_point(self):
+        assert loc(0, 5.0, 1.0).point == Point(5.0, 0.0)
+
+    def test_junction_marking(self):
+        # Inserted junction points are "marked as different points than the
+        # original location samples" (paper, Section III-A1).
+        assert not loc(0, 0.0, 0.0).is_junction
+        assert loc(0, 0.0, 0.0, node_id=7).is_junction
+
+
+class TestTrajectory:
+    def test_requires_two_points(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory(0, (loc(0, 0.0, 0.0),))
+
+    def test_requires_time_order(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory(0, (loc(0, 0.0, 5.0), loc(0, 1.0, 4.0)))
+
+    def test_equal_timestamps_allowed(self):
+        # Junction insertion produces co-located, co-timed points.
+        tr = Trajectory(0, (loc(0, 0.0, 5.0), loc(1, 1.0, 5.0)))
+        assert tr.duration == 0.0
+
+    def test_from_samples(self):
+        tr = Trajectory.from_samples(3, [(0, 0.0, 0.0, 0.0), (0, 5.0, 0.0, 1.0)])
+        assert tr.trid == 3
+        assert len(tr) == 2
+
+    def test_start_end_duration(self):
+        tr = Trajectory(0, (loc(0, 0.0, 2.0), loc(1, 5.0, 12.0)))
+        assert tr.start.t == 2.0
+        assert tr.end.t == 12.0
+        assert tr.duration == 10.0
+
+    def test_segment_ids_first_visit_order(self):
+        tr = Trajectory(
+            0,
+            (loc(2, 0.0, 0.0), loc(1, 1.0, 1.0), loc(2, 2.0, 2.0), loc(0, 3.0, 3.0)),
+        )
+        assert tr.segment_ids() == [2, 1, 0]
+
+    def test_iteration(self):
+        tr = Trajectory(0, (loc(0, 0.0, 0.0), loc(0, 1.0, 1.0)))
+        assert [l.x for l in tr] == [0.0, 1.0]
+
+
+class TestTFragment:
+    def test_all_locations_same_sid(self):
+        with pytest.raises(TrajectoryError):
+            TFragment(0, 1, (loc(1, 0.0, 0.0), loc(2, 1.0, 1.0)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(TrajectoryError):
+            TFragment(0, 1, ())
+
+    def test_first_last(self):
+        fragment = TFragment(0, 1, (loc(1, 0.0, 0.0), loc(1, 9.0, 5.0)))
+        assert fragment.first.x == 0.0
+        assert fragment.last.x == 9.0
+        assert len(fragment) == 2
+
+
+class TestTrajectoryDataset:
+    def _dataset(self) -> TrajectoryDataset:
+        trs = tuple(
+            Trajectory(i, (loc(0, 0.0, 0.0), loc(0, 1.0, 1.0), loc(1, 2.0, 2.0)))
+            for i in range(3)
+        )
+        return TrajectoryDataset("test", trs, network_name="net")
+
+    def test_total_points(self):
+        assert self._dataset().total_points == 9
+
+    def test_len_and_iter(self):
+        ds = self._dataset()
+        assert len(ds) == 3
+        assert [tr.trid for tr in ds] == [0, 1, 2]
+
+    def test_lookup(self):
+        assert self._dataset().trajectory(2).trid == 2
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(TrajectoryError):
+            self._dataset().trajectory(99)

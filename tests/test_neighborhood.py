@@ -1,0 +1,130 @@
+"""Unit tests for the base-cluster pool and f-neighborhood operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_cluster import BaseCluster, form_base_clusters
+from repro.core.model import Location, TFragment
+from repro.core.neighborhood import BaseClusterPool, maxflow_neighbor
+
+from conftest import trajectory_through
+
+
+def frag(trid: int, sid: int) -> TFragment:
+    return TFragment(
+        trid, sid, (Location(sid, 0.0, 0.0, 0.0), Location(sid, 1.0, 0.0, 1.0))
+    )
+
+
+class TestPoolBasics:
+    def test_len_and_contains(self, line3):
+        clusters = [BaseCluster(0), BaseCluster(1)]
+        clusters[0].add(frag(0, 0))
+        clusters[1].add(frag(0, 1))
+        pool = BaseClusterPool(line3, clusters)
+        assert len(pool) == 2
+        assert 0 in pool and 1 in pool and 2 not in pool
+
+    def test_duplicate_sid_rejected(self, line3):
+        a, b = BaseCluster(0), BaseCluster(0)
+        a.add(frag(0, 0))
+        b.add(frag(1, 0))
+        with pytest.raises(ValueError):
+            BaseClusterPool(line3, [a, b])
+
+    def test_pop_densest_order(self, line3):
+        clusters = []
+        for sid, n in ((0, 1), (1, 3), (2, 2)):
+            cluster = BaseCluster(sid)
+            for trid in range(n):
+                cluster.add(frag(trid, sid))
+            clusters.append(cluster)
+        pool = BaseClusterPool(line3, clusters)
+        assert pool.pop_densest().sid == 1
+        assert pool.pop_densest().sid == 2
+        assert pool.pop_densest().sid == 0
+        with pytest.raises(IndexError):
+            pool.pop_densest()
+
+    def test_pop_skips_removed(self, line3):
+        clusters = []
+        for sid, n in ((0, 3), (1, 2), (2, 1)):
+            cluster = BaseCluster(sid)
+            for trid in range(n):
+                cluster.add(frag(trid, sid))
+            clusters.append(cluster)
+        pool = BaseClusterPool(line3, clusters)
+        pool.remove(clusters[0])  # drop the densest directly
+        assert pool.pop_densest().sid == 1
+
+
+class TestFNeighbors:
+    def test_requires_netflow(self, line3):
+        # Adjacent segments without shared trajectories are not f-neighbors.
+        trs = [
+            trajectory_through(line3, 0, [0]),
+            trajectory_through(line3, 1, [1]),
+        ]
+        clusters = form_base_clusters(line3, trs)
+        pool = BaseClusterPool(line3, clusters)
+        s0 = next(c for c in clusters if c.sid == 0)
+        assert pool.f_neighbors_at(s0, 1) == []
+
+    def test_requires_adjacency_at_node(self, line3):
+        trs = [trajectory_through(line3, 0, [0, 1, 2])]
+        clusters = form_base_clusters(line3, trs)
+        pool = BaseClusterPool(line3, clusters)
+        s0 = next(c for c in clusters if c.sid == 0)
+        # At node 0 (dead end) there is nothing; at node 1 there is s1.
+        assert pool.f_neighbors_at(s0, 0) == []
+        assert [c.sid for c in pool.f_neighbors_at(s0, 1)] == [1]
+
+    def test_excludes_removed_clusters(self, line3):
+        trs = [trajectory_through(line3, 0, [0, 1, 2])]
+        clusters = form_base_clusters(line3, trs)
+        pool = BaseClusterPool(line3, clusters)
+        s0 = next(c for c in clusters if c.sid == 0)
+        s1 = next(c for c in clusters if c.sid == 1)
+        pool.remove(s1)
+        assert pool.f_neighbors_at(s0, 1) == []
+
+    def test_both_endpoints_union(self, line3):
+        trs = [trajectory_through(line3, 0, [0, 1, 2])]
+        clusters = form_base_clusters(line3, trs)
+        pool = BaseClusterPool(line3, clusters)
+        s1 = next(c for c in clusters if c.sid == 1)
+        assert [c.sid for c in pool.f_neighbors(s1)] == [0, 2]
+
+
+class TestMaxflowNeighbor:
+    def test_empty(self):
+        cluster = BaseCluster(0)
+        cluster.add(frag(0, 0))
+        best, flow = maxflow_neighbor(cluster, [])
+        assert best is None and flow == 0
+
+    def test_picks_highest_flow(self, paper_example):
+        clusters = form_base_clusters(
+            paper_example.network, paper_example.trajectories
+        )
+        by_sid = {c.sid: c for c in clusters}
+        pool = BaseClusterPool(paper_example.network, clusters)
+        neighborhood = pool.f_neighbors_at(
+            by_sid[paper_example.s1], paper_example.center
+        )
+        best, flow = maxflow_neighbor(by_sid[paper_example.s1], neighborhood)
+        assert (best.sid, flow) == (paper_example.s2, 2)
+
+    def test_tie_breaks_on_sid(self, star4):
+        # Two neighbors with identical flow: the lower sid wins.
+        trs = [
+            trajectory_through(star4, 0, [0, 1]),
+            trajectory_through(star4, 1, [0, 2]),
+        ]
+        clusters = form_base_clusters(star4, trs)
+        by_sid = {c.sid: c for c in clusters}
+        pool = BaseClusterPool(star4, clusters)
+        neighborhood = pool.f_neighbors_at(by_sid[0], 0)
+        best, flow = maxflow_neighbor(by_sid[0], neighborhood)
+        assert best.sid == 1 and flow == 1

@@ -1,0 +1,190 @@
+"""Unit tests for the road-network graph and its adjacency operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DuplicateSegmentError,
+    RoadNetworkError,
+    UnknownNodeError,
+    UnknownSegmentError,
+)
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+
+
+class TestConstruction:
+    def test_add_junction_assigns_ids(self):
+        net = RoadNetwork()
+        assert net.add_junction(Point(0, 0)) == 0
+        assert net.add_junction(Point(1, 0)) == 1
+        assert net.junction_count == 2
+
+    def test_explicit_node_id(self):
+        net = RoadNetwork()
+        assert net.add_junction(Point(0, 0), node_id=10) == 10
+        # Next auto id continues past the explicit one.
+        assert net.add_junction(Point(1, 0)) == 11
+
+    def test_duplicate_node_id_rejected(self):
+        net = RoadNetwork()
+        net.add_junction(Point(0, 0), node_id=5)
+        with pytest.raises(RoadNetworkError):
+            net.add_junction(Point(1, 1), node_id=5)
+
+    def test_add_segment_defaults_length_to_chord(self):
+        net = RoadNetwork()
+        a = net.add_junction(Point(0, 0))
+        b = net.add_junction(Point(30, 40))
+        sid = net.add_segment(a, b)
+        assert net.segment(sid).length == pytest.approx(50.0)
+
+    def test_add_segment_unknown_node(self):
+        net = RoadNetwork()
+        net.add_junction(Point(0, 0))
+        with pytest.raises(UnknownNodeError):
+            net.add_segment(0, 99)
+
+    def test_duplicate_sid_rejected(self):
+        net = RoadNetwork()
+        a = net.add_junction(Point(0, 0))
+        b = net.add_junction(Point(10, 0))
+        net.add_segment(a, b, sid=3)
+        with pytest.raises(DuplicateSegmentError):
+            net.add_segment(a, b, sid=3)
+
+    def test_coincident_junctions_need_explicit_length(self):
+        net = RoadNetwork()
+        a = net.add_junction(Point(5, 5))
+        b = net.add_junction(Point(5, 5))
+        with pytest.raises(RoadNetworkError):
+            net.add_segment(a, b)
+        sid = net.add_segment(a, b, length=12.0)
+        assert net.segment(sid).length == 12.0
+
+
+class TestLookups:
+    def test_unknown_segment(self, line3):
+        with pytest.raises(UnknownSegmentError):
+            line3.segment(99)
+
+    def test_unknown_junction(self, line3):
+        with pytest.raises(UnknownNodeError):
+            line3.junction(99)
+
+    def test_contains_and_len(self, line3):
+        assert 0 in line3
+        assert 99 not in line3
+        assert len(line3) == 3
+
+    def test_iteration_order(self, line3):
+        assert [s.sid for s in line3.segments()] == [0, 1, 2]
+        assert [j.node_id for j in line3.junctions()] == [0, 1, 2, 3]
+
+    def test_bounds(self, line3):
+        assert line3.bounds() == (0.0, 0.0, 300.0, 0.0)
+
+    def test_total_length(self, line3):
+        assert line3.total_length() == pytest.approx(300.0)
+
+    def test_repr_mentions_counts(self, line3):
+        assert "junctions=4" in repr(line3)
+        assert "segments=3" in repr(line3)
+
+
+class TestAdjacency:
+    def test_incident_segments(self, star4):
+        assert sorted(star4.incident_segments(0)) == [0, 1, 2, 3]
+        assert star4.incident_segments(1) == [0]
+
+    def test_degree(self, star4):
+        assert star4.degree(0) == 4
+        assert star4.degree(2) == 1
+
+    def test_adjacent_segments_at_center(self, star4):
+        assert sorted(star4.adjacent_segments_at(0, 0)) == [1, 2, 3]
+
+    def test_adjacent_segments_at_dead_end_is_empty(self, star4):
+        # L_n(e) = φ at a dead end (paper, Section II-A).
+        assert star4.adjacent_segments_at(0, 1) == []
+
+    def test_adjacent_segments_at_rejects_non_endpoint(self, star4):
+        with pytest.raises(RoadNetworkError):
+            star4.adjacent_segments_at(0, 2)
+
+    def test_adjacent_segments_union(self, line3):
+        # L(e1) = segments at node1 plus segments at node2.
+        assert sorted(line3.adjacent_segments(1)) == [0, 2]
+
+    def test_common_junction(self, line3):
+        assert line3.common_junction(0, 1) == 1
+        assert line3.common_junction(0, 2) is None
+
+    def test_are_adjacent(self, line3):
+        assert line3.are_adjacent(0, 1)
+        assert not line3.are_adjacent(0, 2)
+        assert not line3.are_adjacent(1, 1)
+
+    def test_common_junction_parallel_edges(self):
+        net = RoadNetwork()
+        a = net.add_junction(Point(0, 0))
+        b = net.add_junction(Point(100, 0))
+        s1 = net.add_segment(a, b)
+        s2 = net.add_segment(a, b, length=150.0)
+        # Deterministic: the smaller node id is returned.
+        assert net.common_junction(s1, s2) == a
+
+
+class TestRoutes:
+    def test_single_segment_is_route(self, line3):
+        assert line3.is_route([0])
+        assert not line3.is_route([99])
+
+    def test_chain_is_route(self, line3):
+        assert line3.is_route([0, 1, 2])
+
+    def test_gap_is_not_route(self, line3):
+        assert not line3.is_route([0, 2])
+
+    def test_empty_is_not_route(self, line3):
+        assert not line3.is_route([])
+
+    def test_bounce_back_is_not_route(self, star4):
+        # star segments 0 and 1 share the center; 0,1,0 revisits via the
+        # same junction and segment and is rejected.
+        assert not star4.is_route([0, 1, 0])
+
+
+class TestDirectedView:
+    def test_bidirectional_out_edges(self, line3):
+        edges = line3.out_edges(1)
+        assert {(e.tail, e.head) for e in edges} == {(1, 0), (1, 2)}
+
+    def test_one_way_segment(self):
+        net = RoadNetwork()
+        a = net.add_junction(Point(0, 0))
+        b = net.add_junction(Point(100, 0))
+        net.add_segment(a, b, bidirectional=False)
+        assert [(e.tail, e.head) for e in net.out_edges(a)] == [(a, b)]
+        assert net.out_edges(b) == []
+
+    def test_undirected_neighbors_ignore_direction(self):
+        net = RoadNetwork()
+        a = net.add_junction(Point(0, 0))
+        b = net.add_junction(Point(100, 0))
+        net.add_segment(a, b, bidirectional=False)
+        assert [n for n, _sid, _len in net.undirected_neighbors(b)] == [a]
+
+
+class TestGeometryHelpers:
+    def test_segment_endpoints(self, line3):
+        a, b = line3.segment_endpoints(1)
+        assert (a, b) == (Point(100, 0), Point(200, 0))
+
+    def test_point_on_segment_midpoint(self, line3):
+        assert line3.point_on_segment(0, 50.0) == Point(50, 0)
+
+    def test_point_on_segment_clamps(self, line3):
+        assert line3.point_on_segment(0, -10.0) == Point(0, 0)
+        assert line3.point_on_segment(0, 1e9) == Point(100, 0)

@@ -1,0 +1,61 @@
+"""Unit tests for the GPS degradation model."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.mobisim.noise import degrade_dataset, degrade_trajectory
+from repro.core.model import TrajectoryDataset
+
+from conftest import trajectory_through
+
+
+class TestDegradeTrajectory:
+    def test_preserves_count_and_times(self, line3):
+        tr = trajectory_through(line3, 4, [0, 1, 2])
+        raw = degrade_trajectory(tr, sigma=5.0, rng=random.Random(1))
+        assert raw.trid == 4
+        assert len(raw) == len(tr)
+        assert [f.t for f in raw.fixes] == [l.t for l in tr.locations]
+
+    def test_zero_sigma_identity(self, line3):
+        tr = trajectory_through(line3, 0, [0, 1])
+        raw = degrade_trajectory(tr, sigma=0.0, rng=random.Random(2))
+        for fix, location in zip(raw.fixes, tr.locations):
+            assert fix.x == location.x
+            assert fix.y == location.y
+
+    def test_noise_magnitude_reasonable(self, line3):
+        sigma = 5.0
+        tr = trajectory_through(line3, 0, [0, 1, 2])
+        rng = random.Random(3)
+        offsets = []
+        for _ in range(200):
+            raw = degrade_trajectory(tr, sigma, rng)
+            offsets.extend(
+                math.hypot(f.x - l.x, f.y - l.y)
+                for f, l in zip(raw.fixes, tr.locations)
+            )
+        mean_offset = sum(offsets) / len(offsets)
+        # Rayleigh mean = sigma * sqrt(pi/2) ~ 6.27 for sigma = 5.
+        assert mean_offset == pytest.approx(sigma * math.sqrt(math.pi / 2), rel=0.15)
+
+
+class TestDegradeDataset:
+    def test_one_trace_per_trajectory(self, line3):
+        trs = tuple(trajectory_through(line3, i, [0, 1]) for i in range(4))
+        dataset = TrajectoryDataset("d", trs)
+        raws = degrade_dataset(dataset, sigma=3.0, seed=7)
+        assert [r.trid for r in raws] == [0, 1, 2, 3]
+
+    def test_deterministic_by_seed(self, line3):
+        trs = tuple(trajectory_through(line3, i, [0, 1]) for i in range(2))
+        dataset = TrajectoryDataset("d", trs)
+        a = degrade_dataset(dataset, seed=9)
+        b = degrade_dataset(dataset, seed=9)
+        assert a == b
+        c = degrade_dataset(dataset, seed=10)
+        assert a != c

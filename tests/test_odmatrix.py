@@ -1,0 +1,74 @@
+"""Tests for OD-matrix extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.odmatrix import format_od_matrix, od_matrix
+
+from conftest import trajectory_through
+
+
+class TestODMatrix:
+    def test_single_corridor(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(4)]
+        matrix = od_matrix(line3, trs, radius=50.0)
+        assert matrix.trip_count == 4
+        # One origin area (around node 0/segment 0 start) and one
+        # destination area; all four trips in one cell.
+        (origin, destination, trips), = matrix.top_pairs(1)
+        assert trips == 4
+        assert origin != destination
+
+    def test_opposite_directions_are_distinct_cells(self, line3):
+        eastbound = [trajectory_through(line3, i, [0, 1, 2]) for i in range(3)]
+        westbound = [trajectory_through(line3, 10 + i, [2, 1, 0]) for i in range(2)]
+        matrix = od_matrix(line3, eastbound + westbound, radius=50.0)
+        pairs = matrix.top_pairs(10)
+        assert [n for _o, _d, n in pairs] == [3, 2]
+        # Eastbound trips originate at the west end, westbound at the
+        # east end: the directions land in different, non-diagonal cells.
+        (east_o, east_d, _), (west_o, west_d, _) = pairs
+        assert 0 in matrix.areas[east_o]
+        assert east_o != east_d
+        assert any(node >= 2 for node in matrix.areas[west_o])
+        assert west_o != west_d
+        assert (east_o, east_d) != (west_o, west_d)
+
+    def test_radius_merges_areas(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(2)]
+        fine = od_matrix(line3, trs, radius=50.0)
+        coarse = od_matrix(line3, trs, radius=10_000.0)
+        assert len(coarse.areas) <= len(fine.areas)
+        # With everything in one area, the single cell is diagonal.
+        if len(coarse.areas) == 1:
+            assert coarse.demand_between(0, 0) == 2
+
+    def test_area_of(self, line3):
+        trs = [trajectory_through(line3, 0, [0, 1, 2])]
+        matrix = od_matrix(line3, trs, radius=50.0)
+        for area_id, area in enumerate(matrix.areas):
+            for node in area:
+                assert matrix.area_of(node) == area_id
+        assert matrix.area_of(999999) is None
+
+    def test_empty(self, line3):
+        matrix = od_matrix(line3, [])
+        assert matrix.trip_count == 0
+        assert format_od_matrix(matrix) == "(no trips)"
+
+    def test_format(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(3)]
+        text = format_od_matrix(od_matrix(line3, trs, radius=50.0))
+        assert "trips" in text
+        assert "3" in text
+
+    def test_recovers_simulator_demand_structure(self, small_workload):
+        """Hotspot-to-destination demand shows up as the dominant cells."""
+        network, dataset = small_workload
+        matrix = od_matrix(network, list(dataset), radius=600.0)
+        assert matrix.trip_count == len(dataset)
+        top = matrix.top_pairs(5)
+        # The busiest OD pair should carry a meaningful share of trips
+        # (2 hotspots x 3 destinations = at most 6 real cells).
+        assert top[0][2] >= len(dataset) / 10

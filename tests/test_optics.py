@@ -1,0 +1,170 @@
+"""Tests for generic OPTICS and Trajectory-OPTICS."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.model import Location, Trajectory
+from repro.optics.optics import UNDEFINED, extract_dbscan, optics_ordering
+from repro.optics.trajectory_optics import (
+    TrajectoryOptics,
+    position_at,
+    trajectory_distance,
+)
+
+
+def scalar_distance(values):
+    def distance(i, j):
+        return abs(values[i] - values[j])
+
+    return distance
+
+
+class TestOpticsOrdering:
+    def test_orders_every_item_once(self):
+        values = [0.0, 1.0, 2.0, 50.0, 51.0]
+        ordering = optics_ordering(len(values), scalar_distance(values), 2)
+        assert sorted(p.index for p in ordering) == list(range(5))
+
+    def test_first_item_undefined_reachability(self):
+        values = [0.0, 1.0, 2.0]
+        ordering = optics_ordering(len(values), scalar_distance(values), 2)
+        assert ordering[0].reachability == UNDEFINED
+
+    def test_dense_items_have_low_reachability(self):
+        values = [0.0, 1.0, 2.0, 100.0]
+        ordering = optics_ordering(len(values), scalar_distance(values), 2)
+        by_index = {p.index: p for p in ordering}
+        assert by_index[1].reachability <= 2.0
+        # The far outlier is either undefined or very large.
+        assert by_index[3].reachability > 50.0 or math.isinf(
+            by_index[3].reachability
+        )
+
+    def test_min_pts_validation(self):
+        with pytest.raises(ValueError):
+            optics_ordering(3, scalar_distance([0, 1, 2]), 0)
+
+    def test_max_eps_limits_neighborhoods(self):
+        values = [0.0, 1.0, 2.0, 10.0, 11.0, 12.0]
+        ordering = optics_ordering(
+            len(values), scalar_distance(values), 2, max_eps=3.0
+        )
+        labels = extract_dbscan(ordering, 3.0)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+
+class TestExtractDbscan:
+    def test_matches_dbscan_semantics(self):
+        values = [0.0, 1.0, 2.0, 50.0, 51.0, 200.0]
+        ordering = optics_ordering(len(values), scalar_distance(values), 2)
+        labels = extract_dbscan(ordering, 2.0)
+        assert labels[0] == labels[1] == labels[2] != -1
+        assert labels[3] == labels[4] != -1
+        assert labels[0] != labels[3]
+        assert labels[5] == -1  # the lone outlier is noise
+
+    def test_larger_eps_merges(self):
+        values = [0.0, 1.0, 10.0, 11.0]
+        ordering = optics_ordering(len(values), scalar_distance(values), 2)
+        fine = extract_dbscan(ordering, 2.0)
+        coarse = extract_dbscan(ordering, 20.0)
+        assert len(set(fine) - {-1}) == 2
+        assert len(set(coarse) - {-1}) == 1
+
+
+def traj(trid, points, t0=0.0, dt=10.0):
+    return Trajectory(
+        trid,
+        tuple(
+            Location(0, x, y, t0 + i * dt) for i, (x, y) in enumerate(points)
+        ),
+    )
+
+
+class TestTrajectoryDistance:
+    def test_identical_is_zero(self):
+        a = traj(0, [(0, 0), (100, 0)])
+        assert trajectory_distance(a, a) == pytest.approx(0.0)
+
+    def test_parallel_offset(self):
+        a = traj(0, [(0, 0), (100, 0)])
+        b = traj(1, [(0, 30), (100, 30)])
+        assert trajectory_distance(a, b) == pytest.approx(30.0)
+
+    def test_symmetric(self):
+        a = traj(0, [(0, 0), (100, 50)])
+        b = traj(1, [(10, 5), (90, 70)])
+        assert trajectory_distance(a, b) == pytest.approx(
+            trajectory_distance(b, a)
+        )
+
+    def test_disjoint_times_infinite(self):
+        a = traj(0, [(0, 0), (100, 0)], t0=0.0)
+        b = traj(1, [(0, 0), (100, 0)], t0=1000.0)
+        assert math.isinf(trajectory_distance(a, b))
+
+    def test_position_at_interpolates(self):
+        a = traj(0, [(0, 0), (100, 0)])
+        assert position_at(a, 5.0) == (50.0, 0.0)
+        assert position_at(a, -5.0) == (0.0, 0.0)
+        assert position_at(a, 99.0) == (100.0, 0.0)
+
+
+class TestTrajectoryOptics:
+    def test_two_cohorts(self):
+        # Cohort A drives east along y=0; cohort B along y=1000.
+        cohort_a = [traj(i, [(0, dy), (200, dy)]) for i, dy in enumerate((0, 5, 10))]
+        cohort_b = [
+            traj(10 + i, [(0, 1000 + dy), (200, 1000 + dy)])
+            for i, dy in enumerate((0, 5, 10))
+        ]
+        result = TrajectoryOptics(eps=50.0, min_pts=2).run(cohort_a + cohort_b)
+        assert result.cluster_count == 2
+        assert result.noise_count == 0
+
+    def test_outlier_is_noise(self):
+        cohort = [traj(i, [(0, dy), (200, dy)]) for i, dy in enumerate((0, 5, 10))]
+        outlier = [traj(9, [(0, 5000), (200, 5000)])]
+        result = TrajectoryOptics(eps=50.0, min_pts=2).run(cohort + outlier)
+        assert result.noise_count == 1
+
+    def test_whole_trajectory_granularity_misses_partial_overlap(self):
+        """The NEAT paper's argument: partial co-movement is invisible.
+
+        Two cohorts share a long common corridor but split at the end;
+        the whole-trajectory distance averages the split in, so with a
+        tight eps the common corridor is never reported as shared.
+        """
+        # Common corridor y=0 for x in [0, 400]; then A turns north 800 up,
+        # B turns south 800 down.
+        cohort_a = [
+            traj(i, [(0, dy), (400, dy), (400, 800 + dy)])
+            for i, dy in enumerate((0, 4))
+        ]
+        cohort_b = [
+            traj(10 + i, [(0, dy), (400, dy), (400, -800 + dy)])
+            for i, dy in enumerate((0, 4))
+        ]
+        result = TrajectoryOptics(eps=60.0, min_pts=2).run(cohort_a + cohort_b)
+        # The two cohorts never share a cluster despite the shared corridor.
+        labels_a = {result.labels[i] for i in range(2)}
+        labels_b = {result.labels[i] for i in range(2, 4)}
+        assert not (labels_a & labels_b - {-1})
+
+    def test_empty(self):
+        assert TrajectoryOptics(eps=10.0).run([]).cluster_count == 0
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            TrajectoryOptics(eps=0.0)
+
+    def test_distance_evaluations_counted(self):
+        cohort = [traj(i, [(0, i * 5.0), (200, i * 5.0)]) for i in range(4)]
+        result = TrajectoryOptics(eps=50.0, min_pts=2).run(cohort)
+        assert result.distance_evaluations > 0
+        assert result.ordering_seconds >= 0.0

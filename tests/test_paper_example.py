@@ -1,0 +1,78 @@
+"""The Figure 1(b) worked example: the paper's own stated quantities.
+
+The paper gives exact densities, netflows, the f-neighborhood of S1 at n2
+and its maxFlow-neighbor for a five-trajectory example over a star
+junction.  These tests assert our Phase 1 operators reproduce every one of
+those numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.base_cluster import densecore, form_base_clusters, netflow
+from repro.core.neighborhood import BaseClusterPool, maxflow_neighbor
+
+
+def _clusters_by_sid(paper_example):
+    clusters = form_base_clusters(paper_example.network, paper_example.trajectories)
+    return {cluster.sid: cluster for cluster in clusters}, clusters
+
+
+def test_densities_match_paper(paper_example):
+    by_sid, _ = _clusters_by_sid(paper_example)
+    for sid, expected in paper_example.expected_densities.items():
+        assert by_sid[sid].density == expected, f"d(S for sid {sid})"
+
+
+def test_s1_has_four_fragments_from_three_trajectories(paper_example):
+    by_sid, _ = _clusters_by_sid(paper_example)
+    s1 = by_sid[paper_example.s1]
+    assert s1.density == 4
+    assert s1.trajectory_cardinality == 3
+    assert s1.participants == frozenset({1, 2, 3})
+
+
+def test_densecore_is_s1(paper_example):
+    _, clusters = _clusters_by_sid(paper_example)
+    assert densecore(clusters).sid == paper_example.s1
+    # Phase 1 output is density-sorted, head = dense-core.
+    assert clusters[0].sid == paper_example.s1
+
+
+def test_netflows_match_paper(paper_example):
+    by_sid, _ = _clusters_by_sid(paper_example)
+    for (sid_a, sid_b), expected in paper_example.expected_netflows.items():
+        assert netflow(by_sid[sid_a], by_sid[sid_b]) == expected, (sid_a, sid_b)
+
+
+def test_netflow_is_symmetric(paper_example):
+    by_sid, _ = _clusters_by_sid(paper_example)
+    for (sid_a, sid_b) in paper_example.expected_netflows:
+        assert netflow(by_sid[sid_a], by_sid[sid_b]) == netflow(
+            by_sid[sid_b], by_sid[sid_a]
+        )
+
+
+def test_f_neighborhood_of_s1_at_center(paper_example):
+    by_sid, clusters = _clusters_by_sid(paper_example)
+    pool = BaseClusterPool(paper_example.network, clusters)
+    neighborhood = pool.f_neighbors_at(by_sid[paper_example.s1], paper_example.center)
+    assert {s.sid for s in neighborhood} == {
+        paper_example.s2, paper_example.s3, paper_example.s4
+    }
+
+
+def test_maxflow_neighbor_of_s1_is_s2(paper_example):
+    by_sid, clusters = _clusters_by_sid(paper_example)
+    pool = BaseClusterPool(paper_example.network, clusters)
+    neighborhood = pool.f_neighbors_at(by_sid[paper_example.s1], paper_example.center)
+    best, flow = maxflow_neighbor(by_sid[paper_example.s1], neighborhood)
+    assert best is not None
+    assert best.sid == paper_example.s2
+    assert flow == 2
+
+
+def test_trajectory_cardinalities(paper_example):
+    by_sid, _ = _clusters_by_sid(paper_example)
+    assert by_sid[paper_example.s2].participants == frozenset({1, 3, 4})
+    assert by_sid[paper_example.s3].participants == frozenset({2})
+    assert by_sid[paper_example.s4].participants == frozenset({3, 5})

@@ -1,0 +1,71 @@
+"""Unit tests for junction-crossing inference between segments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.mapmatch.path_inference import infer_crossings
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+
+
+class TestInferCrossings:
+    def test_same_segment_no_crossings(self, line3):
+        assert infer_crossings(line3, 0, 0) == []
+
+    def test_adjacent_single_crossing(self, line3):
+        crossings = infer_crossings(line3, 0, 1)
+        assert len(crossings) == 1
+        assert crossings[0].node_id == 1
+        assert crossings[0].sid == 1
+
+    def test_skipped_segment(self, line3):
+        crossings = infer_crossings(line3, 0, 2)
+        assert [(c.node_id, c.sid) for c in crossings] == [(1, 1), (2, 2)]
+
+    def test_long_gap(self):
+        from repro.roadnet.builder import line_network
+
+        net = line_network(6)
+        crossings = infer_crossings(net, 0, 5)
+        assert [c.sid for c in crossings] == [1, 2, 3, 4, 5]
+        assert [c.node_id for c in crossings] == [1, 2, 3, 4, 5]
+
+    def test_last_crossing_enters_target(self, grid3x3):
+        for target in grid3x3.segment_ids():
+            if target == 0 or grid3x3.are_adjacent(0, target):
+                continue
+            crossings = infer_crossings(grid3x3, 0, target)
+            assert crossings[-1].sid == target
+            break
+
+    def test_crossings_form_walkable_sequence(self, grid3x3):
+        crossings = infer_crossings(grid3x3, 0, 11)
+        previous_sid = 0
+        for crossing in crossings:
+            # Each crossing's junction joins the previous segment and the
+            # entered segment.
+            assert grid3x3.segment(previous_sid).has_endpoint(crossing.node_id)
+            assert grid3x3.segment(crossing.sid).has_endpoint(crossing.node_id)
+            previous_sid = crossing.sid
+
+    def test_disconnected_raises(self):
+        net = RoadNetwork()
+        for x in range(4):
+            net.add_junction(Point(x * 100.0, 0.0))
+        net.add_junction(Point(0.0, 5000.0))
+        net.add_junction(Point(100.0, 5000.0))
+        a = net.add_segment(0, 1)
+        net.add_segment(1, 2)
+        b = net.add_segment(4, 5)
+        with pytest.raises(NoPathError):
+            infer_crossings(net, a, b)
+
+    def test_picks_shortest_connection(self, grid3x3):
+        # Segments on opposite corners: the crossing count must match the
+        # shortest segment path, never a detour.
+        crossings = infer_crossings(grid3x3, 0, 11)
+        # Grid 3x3: segment 0 is (0-1) bottom-left, 11 is (7-8)? Regardless,
+        # the route between nearest endpoints is at most 4 hops here.
+        assert len(crossings) <= 4

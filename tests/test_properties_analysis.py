@@ -1,0 +1,125 @@
+"""Property-based tests for the analysis utilities and IO paths.
+
+Batch 3 of the hypothesis suites: CSV round-trips over generated
+networks, OD-matrix conservation laws, hotspot-area partitioning, and
+bounding-box crop monotonicity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hotspot_detection import detect_hotspots
+from repro.analysis.odmatrix import od_matrix
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+from repro.mobisim.simulator import SimulationConfig, simulate_dataset
+from repro.roadnet.generators import GridConfig, generate_grid_network
+from repro.roadnet.subnetwork import clip_trajectories, crop_network
+
+grid_configs = st.builds(
+    GridConfig,
+    rows=st.integers(min_value=4, max_value=8),
+    cols=st.integers(min_value=4, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@st.composite
+def workloads(draw):
+    network = generate_grid_network(draw(grid_configs))
+    dataset = simulate_dataset(
+        network,
+        SimulationConfig(
+            object_count=draw(st.integers(min_value=3, max_value=10)),
+            seed=draw(st.integers(min_value=0, max_value=10_000)),
+        ),
+    )
+    return network, dataset
+
+
+class TestCsvProperties:
+    @given(config=grid_configs)
+    @settings(max_examples=10, deadline=None)
+    def test_csv_roundtrip(self, tmp_path_factory, config):
+        from repro.roadnet.csv_io import load_network_csv, save_network_csv
+
+        tmp = tmp_path_factory.mktemp("csv")
+        network = generate_grid_network(config)
+        save_network_csv(network, tmp / "n.csv", tmp / "e.csv")
+        restored = load_network_csv(tmp / "n.csv", tmp / "e.csv")
+        assert restored.segment_count == network.segment_count
+        assert restored.total_length() == pytest.approx(network.total_length())
+
+
+class TestOdMatrixProperties:
+    @given(workloads(), st.floats(min_value=50.0, max_value=2000.0))
+    @settings(max_examples=10, deadline=None)
+    def test_every_trip_counted_exactly_once(self, workload, radius):
+        network, dataset = workload
+        matrix = od_matrix(network, list(dataset), radius=radius)
+        assert matrix.trip_count == len(dataset)
+
+    @given(workloads(), st.floats(min_value=50.0, max_value=2000.0))
+    @settings(max_examples=10, deadline=None)
+    def test_areas_partition_endpoint_nodes(self, workload, radius):
+        network, dataset = workload
+        matrix = od_matrix(network, list(dataset), radius=radius)
+        seen: set[int] = set()
+        for area in matrix.areas:
+            assert not (seen & area)  # disjoint
+            seen.update(area)
+
+
+class TestHotspotProperties:
+    @given(workloads(), st.floats(min_value=100.0, max_value=1500.0))
+    @settings(max_examples=8, deadline=None)
+    def test_areas_cover_all_flow_endpoints(self, workload, radius):
+        network, dataset = workload
+        result = NEAT(network, NEATConfig(min_card=0)).run_flow(dataset)
+        areas = detect_hotspots(network, result.flows, radius=radius)
+        covered = set()
+        for area in areas:
+            covered.update(area.nodes)
+        endpoints = {
+            node for flow in result.flows for node in flow.endpoints
+        }
+        assert endpoints <= covered
+
+    @given(workloads())
+    @settings(max_examples=8, deadline=None)
+    def test_larger_radius_fewer_or_equal_areas(self, workload):
+        network, dataset = workload
+        result = NEAT(network, NEATConfig(min_card=0)).run_flow(dataset)
+        small = detect_hotspots(network, result.flows, radius=100.0)
+        large = detect_hotspots(network, result.flows, radius=1200.0)
+        assert len(large) <= len(small)
+
+
+class TestCropProperties:
+    @given(grid_configs, st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_crop_is_subset(self, config, data):
+        network = generate_grid_network(config)
+        min_x, min_y, max_x, max_y = network.bounds()
+        x_split = data.draw(
+            st.floats(min_value=min_x + 1.0, max_value=max_x)
+        )
+        cropped = crop_network(network, min_x - 1, min_y - 1, x_split, max_y + 1)
+        assert cropped.segment_count <= network.segment_count
+        for sid in cropped.segment_ids():
+            assert network.has_segment(sid)
+
+    @given(workloads())
+    @settings(max_examples=8, deadline=None)
+    def test_clipped_trajectories_stay_inside(self, workload):
+        network, dataset = workload
+        min_x, min_y, max_x, max_y = network.bounds()
+        cropped = crop_network(
+            network, min_x - 1, min_y - 1, (min_x + max_x) / 2, max_y + 1
+        )
+        for trajectory in clip_trajectories(cropped, dataset):
+            for location in trajectory.locations:
+                assert cropped.has_segment(location.sid)

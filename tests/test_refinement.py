@@ -1,0 +1,216 @@
+"""Unit tests for Phase 3: modified Hausdorff, adapted DBSCAN, ELB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_cluster import BaseCluster
+from repro.core.config import NEATConfig
+from repro.core.flow_cluster import FlowCluster
+from repro.core.model import Location, TFragment
+from repro.core.refinement import (
+    RefinementStats,
+    euclidean_lower_bound,
+    flow_distance,
+    refine_flow_clusters,
+)
+from repro.roadnet.builder import line_network
+from repro.roadnet.shortest_path import ShortestPathEngine
+
+
+def frag(trid: int, sid: int) -> TFragment:
+    return TFragment(
+        trid, sid, (Location(sid, 0.0, 0.0, 0.0), Location(sid, 1.0, 0.0, 1.0))
+    )
+
+
+def flow_over(network, sids, trids=(0,)) -> FlowCluster:
+    clusters = []
+    for sid in sids:
+        cluster = BaseCluster(sid)
+        for trid in trids:
+            cluster.add(frag(trid, sid))
+        clusters.append(cluster)
+    flow = FlowCluster(network, clusters[0])
+    for cluster in clusters[1:]:
+        flow.append(cluster)
+    return flow
+
+
+@pytest.fixture
+def chain10():
+    """Ten 100 m segments in a row: easy to reason about distances."""
+    return line_network(10, segment_length=100.0)
+
+
+class TestFlowDistance:
+    def test_adjacent_flows(self, chain10):
+        engine = ShortestPathEngine(chain10)
+        a = flow_over(chain10, [0, 1])  # nodes 0..2
+        b = flow_over(chain10, [2, 3])  # nodes 2..4
+        # Endpoint sets {0,2} and {2,4}: Hausdorff = max over the maxmin
+        # directions = 200 m.
+        assert flow_distance(engine, a, b) == pytest.approx(200.0)
+
+    def test_identical_flows_zero(self, chain10):
+        engine = ShortestPathEngine(chain10)
+        a = flow_over(chain10, [4, 5])
+        b = flow_over(chain10, [4, 5])
+        assert flow_distance(engine, a, b) == 0.0
+
+    def test_symmetry(self, chain10):
+        engine = ShortestPathEngine(chain10)
+        a = flow_over(chain10, [0, 1, 2])
+        b = flow_over(chain10, [6, 7])
+        assert flow_distance(engine, a, b) == pytest.approx(
+            flow_distance(engine, b, a)
+        )
+
+    def test_far_flows(self, chain10):
+        engine = ShortestPathEngine(chain10)
+        a = flow_over(chain10, [0])
+        b = flow_over(chain10, [9])
+        # endpoints {0,1} vs {9,10}: farthest-min is 0 <-> 10 side = 900...
+        # max_a min_b: a=0 -> min(900,1000)=900; a=1 -> min(800,900)=800; max=900
+        # max_b min_a: b=9 -> 800; b=10 -> 900; max=900.
+        assert flow_distance(engine, a, b) == pytest.approx(900.0)
+
+
+class TestEuclideanLowerBound:
+    def test_bound_never_exceeds_network_distance(self, chain10):
+        engine = ShortestPathEngine(chain10)
+        a = flow_over(chain10, [0, 1])
+        b = flow_over(chain10, [5, 6])
+        assert euclidean_lower_bound(chain10, a, b) <= flow_distance(engine, a, b)
+
+    def test_bound_on_straight_line_is_exact_min_pair(self, chain10):
+        a = flow_over(chain10, [0])
+        b = flow_over(chain10, [3])
+        # Closest endpoint pair: node 1 (100,0) to node 3 (300,0) = 200 m.
+        assert euclidean_lower_bound(chain10, a, b) == pytest.approx(200.0)
+
+
+class TestRefinement:
+    def test_close_flows_merge(self, chain10):
+        flows = [
+            flow_over(chain10, [0, 1], trids=(0,)),
+            flow_over(chain10, [2, 3], trids=(1,)),
+        ]
+        clusters = refine_flow_clusters(
+            chain10, flows, NEATConfig(eps=250.0, min_card=0)
+        )
+        assert len(clusters) == 1
+        assert len(clusters[0].flows) == 2
+
+    def test_far_flows_stay_separate(self, chain10):
+        flows = [
+            flow_over(chain10, [0], trids=(0,)),
+            flow_over(chain10, [9], trids=(1,)),
+        ]
+        clusters = refine_flow_clusters(
+            chain10, flows, NEATConfig(eps=250.0, min_card=0)
+        )
+        assert len(clusters) == 2
+
+    def test_transitive_merge_chains(self, chain10):
+        # A-B close, B-C close, A-C far: all in one eps-connected cluster.
+        flows = [
+            flow_over(chain10, [0, 1], trids=(0,)),
+            flow_over(chain10, [3, 4], trids=(1,)),
+            flow_over(chain10, [6, 7], trids=(2,)),
+        ]
+        clusters = refine_flow_clusters(
+            chain10, flows, NEATConfig(eps=500.0, min_card=0)
+        )
+        assert len(clusters) == 1
+
+    def test_longest_route_seeds_first_cluster(self, chain10):
+        short = flow_over(chain10, [0], trids=(0,))
+        long = flow_over(chain10, [5, 6, 7, 8], trids=(1,))
+        clusters = refine_flow_clusters(
+            chain10, [short, long], NEATConfig(eps=100.0, min_card=0)
+        )
+        assert clusters[0].flows[0] is long
+
+    def test_empty_input(self, chain10):
+        assert refine_flow_clusters(chain10, [], NEATConfig()) == []
+
+    def test_singletons_not_noise(self, chain10):
+        # "No minimum cardinality is set for the resulting cluster": an
+        # isolated flow still forms its own cluster.
+        flows = [flow_over(chain10, [0], trids=(0,))]
+        clusters = refine_flow_clusters(chain10, flows, NEATConfig(eps=50.0))
+        assert len(clusters) == 1
+
+    def test_every_flow_in_exactly_one_cluster(self, chain10):
+        flows = [
+            flow_over(chain10, [i], trids=(i,)) for i in range(0, 10, 2)
+        ]
+        clusters = refine_flow_clusters(
+            chain10, flows, NEATConfig(eps=220.0, min_card=0)
+        )
+        seen = [id(f) for c in clusters for f in c.flows]
+        assert sorted(seen) == sorted(id(f) for f in flows)
+
+
+class TestELB:
+    def _run(self, chain10, use_elb: bool):
+        flows = [
+            flow_over(chain10, [0], trids=(0,)),
+            flow_over(chain10, [1], trids=(1,)),
+            flow_over(chain10, [8], trids=(2,)),
+            flow_over(chain10, [9], trids=(3,)),
+        ]
+        stats = RefinementStats()
+        engine = ShortestPathEngine(chain10)
+        clusters = refine_flow_clusters(
+            chain10,
+            flows,
+            NEATConfig(eps=150.0, min_card=0, use_elb=use_elb),
+            engine=engine,
+            stats=stats,
+        )
+        return clusters, stats
+
+    def test_elb_prunes_far_pairs(self, chain10):
+        _clusters, stats = self._run(chain10, use_elb=True)
+        assert stats.elb_pruned > 0
+        assert stats.hausdorff_evaluations < stats.pair_checks
+
+    def test_dijkstra_mode_computes_all(self, chain10):
+        _clusters, stats = self._run(chain10, use_elb=False)
+        assert stats.elb_pruned == 0
+        assert stats.hausdorff_evaluations == stats.pair_checks
+
+    def test_elb_does_not_change_result(self, chain10):
+        with_elb, _ = self._run(chain10, use_elb=True)
+        without_elb, _ = self._run(chain10, use_elb=False)
+        def shape(clusters):
+            return sorted(
+                tuple(sorted(tuple(f.sids) for f in c.flows)) for c in clusters
+            )
+        assert shape(with_elb) == shape(without_elb)
+
+    def test_elb_reduces_shortest_paths(self, chain10):
+        _c1, stats_elb = self._run(chain10, use_elb=True)
+        _c2, stats_dij = self._run(chain10, use_elb=False)
+        assert (
+            stats_elb.shortest_path_computations
+            < stats_dij.shortest_path_computations
+        )
+
+
+class TestTrajectoryCluster:
+    def test_aggregates(self, chain10):
+        flows = [
+            flow_over(chain10, [0, 1], trids=(0, 1)),
+            flow_over(chain10, [2], trids=(1, 2)),
+        ]
+        clusters = refine_flow_clusters(
+            chain10, flows, NEATConfig(eps=400.0, min_card=0)
+        )
+        cluster = clusters[0]
+        assert cluster.trajectory_cardinality == 3
+        assert cluster.density == 6  # 2 sids x 2 trids + 1 sid x 2 trids
+        assert cluster.total_route_length == pytest.approx(300.0)
+        assert len(cluster) == 2

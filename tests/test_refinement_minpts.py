@@ -1,0 +1,98 @@
+"""Behaviour of Phase 3 with a raised minPts (non-default DBSCAN)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_cluster import BaseCluster
+from repro.core.config import NEATConfig
+from repro.core.flow_cluster import FlowCluster
+from repro.core.model import Location, TFragment
+from repro.core.refinement import refine_flow_clusters
+from repro.roadnet.builder import line_network
+
+
+def frag(trid: int, sid: int) -> TFragment:
+    return TFragment(
+        trid, sid, (Location(sid, 0.0, 0.0, 0.0), Location(sid, 1.0, 0.0, 1.0))
+    )
+
+
+def flow_over(network, sids, trids=(0,)) -> FlowCluster:
+    clusters = []
+    for sid in sids:
+        cluster = BaseCluster(sid)
+        for trid in trids:
+            cluster.add(frag(trid, sid))
+        clusters.append(cluster)
+    flow = FlowCluster(network, clusters[0])
+    for cluster in clusters[1:]:
+        flow.append(cluster)
+    return flow
+
+
+@pytest.fixture
+def chain10():
+    return line_network(10, segment_length=100.0)
+
+
+class TestMinPtsAboveOne:
+    def test_dense_group_clusters_sparse_becomes_singleton(self, chain10):
+        # Three mutually-close flows at the left end, one isolated at the
+        # right: with min_pts=3 the trio clusters, the loner cannot be a
+        # core flow but still gets its own singleton cluster (the paper
+        # sets no minimum cardinality on resulting clusters).
+        flows = [
+            flow_over(chain10, [0], trids=(0,)),
+            flow_over(chain10, [1], trids=(1,)),
+            flow_over(chain10, [2], trids=(2,)),
+            flow_over(chain10, [9], trids=(3,)),
+        ]
+        clusters = refine_flow_clusters(
+            chain10, flows, NEATConfig(eps=250.0, min_pts=3, min_card=0)
+        )
+        sizes = sorted(len(c.flows) for c in clusters)
+        assert sizes == [1, 3]
+
+    def test_every_flow_still_assigned(self, chain10):
+        flows = [flow_over(chain10, [i], trids=(i,)) for i in range(0, 10, 3)]
+        clusters = refine_flow_clusters(
+            chain10, flows, NEATConfig(eps=150.0, min_pts=4, min_card=0)
+        )
+        assigned = [id(f) for c in clusters for f in c.flows]
+        assert sorted(assigned) == sorted(id(f) for f in flows)
+
+    def test_cluster_ids_stay_dense(self, chain10):
+        flows = [flow_over(chain10, [i], trids=(i,)) for i in range(5)]
+        clusters = refine_flow_clusters(
+            chain10, flows, NEATConfig(eps=80.0, min_pts=2, min_card=0)
+        )
+        assert [c.cluster_id for c in clusters] == list(range(len(clusters)))
+
+
+class TestKeepInteriorPoints:
+    def test_interior_points_flow_through_pipeline(self, chain10):
+        from repro.core.model import Trajectory
+        from repro.core.pipeline import NEAT
+
+        locations = tuple(
+            Location(0, 10.0 + 20.0 * i, 0.0, float(i)) for i in range(5)
+        )
+        trajectory = Trajectory(0, locations)
+        config = NEATConfig(min_card=0, keep_interior_points=True)
+        result = NEAT(chain10, config).run_base([trajectory])
+        fragment = result.base_clusters[0].fragments[0]
+        assert len(fragment.locations) == 5
+
+    def test_default_drops_interior(self, chain10):
+        from repro.core.model import Trajectory
+        from repro.core.pipeline import NEAT
+
+        locations = tuple(
+            Location(0, 10.0 + 20.0 * i, 0.0, float(i)) for i in range(5)
+        )
+        result = NEAT(chain10, NEATConfig(min_card=0)).run_base(
+            [Trajectory(0, locations)]
+        )
+        fragment = result.base_clusters[0].fragments[0]
+        assert len(fragment.locations) == 2

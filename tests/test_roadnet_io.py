@@ -1,0 +1,65 @@
+"""Unit tests for road-network JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import RoadNetworkError
+from repro.roadnet.generators import GridConfig, generate_grid_network
+from repro.roadnet.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_structure(self, grid3x3):
+        restored = network_from_dict(network_to_dict(grid3x3))
+        assert restored.junction_count == grid3x3.junction_count
+        assert restored.segment_count == grid3x3.segment_count
+        for sid in grid3x3.segment_ids():
+            original = grid3x3.segment(sid)
+            copy = restored.segment(sid)
+            assert copy.endpoints == original.endpoints
+            assert copy.length == pytest.approx(original.length)
+            assert copy.speed_limit == original.speed_limit
+            assert copy.bidirectional == original.bidirectional
+            assert copy.road_class == original.road_class
+
+    def test_roundtrip_preserves_positions(self, grid3x3):
+        restored = network_from_dict(network_to_dict(grid3x3))
+        for node_id in grid3x3.node_ids():
+            assert restored.node_point(node_id) == grid3x3.node_point(node_id)
+
+    def test_roundtrip_generated_network(self):
+        net = generate_grid_network(GridConfig(rows=6, cols=6, seed=9))
+        restored = network_from_dict(network_to_dict(net))
+        assert restored.total_length() == pytest.approx(net.total_length())
+
+    def test_file_roundtrip(self, grid3x3, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(grid3x3, path)
+        restored = load_network(path)
+        assert restored.segment_count == grid3x3.segment_count
+        # File content is valid JSON with the format tag.
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-roadnet"
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(RoadNetworkError):
+            network_from_dict({"format": "something-else", "version": 1})
+
+    def test_rejects_wrong_version(self, grid3x3):
+        data = network_to_dict(grid3x3)
+        data["version"] = 99
+        with pytest.raises(RoadNetworkError):
+            network_from_dict(data)
+
+    def test_name_preserved(self, grid3x3):
+        assert network_from_dict(network_to_dict(grid3x3)).name == "grid3x3"

@@ -1,0 +1,81 @@
+"""Tests for Phase 2 seeding strategies (dense-core vs random ablation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base_cluster import form_base_clusters
+from repro.core.config import NEATConfig
+from repro.core.flow_formation import form_flow_clusters
+from repro.core.neighborhood import BaseClusterPool
+
+from conftest import trajectory_through
+
+
+@pytest.fixture
+def base(small_workload):
+    network, dataset = small_workload
+    return network, form_base_clusters(network, dataset.trajectories)
+
+
+class TestPopRandom:
+    def test_pop_random_drains_pool(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(2)]
+        clusters = form_base_clusters(line3, trs)
+        pool = BaseClusterPool(line3, clusters)
+        rng = random.Random(1)
+        popped = {pool.pop_random(rng).sid for _ in range(len(clusters))}
+        assert popped == {c.sid for c in clusters}
+        with pytest.raises(IndexError):
+            pool.pop_random(rng)
+
+
+class TestSeedStrategies:
+    def test_unknown_strategy_rejected(self, base):
+        network, clusters = base
+        with pytest.raises(ValueError):
+            form_flow_clusters(network, clusters, seed_strategy="magic")
+
+    def test_random_requires_rng(self, base):
+        network, clusters = base
+        with pytest.raises(ValueError):
+            form_flow_clusters(network, clusters, seed_strategy="random")
+
+    def test_random_is_lossless_too(self, base):
+        network, clusters = base
+        result = form_flow_clusters(
+            network, clusters, NEATConfig(min_card=0),
+            seed_strategy="random", seed_rng=random.Random(3),
+        )
+        assigned = [sid for flow in result.all_flows for sid in flow.sids]
+        assert sorted(assigned) == sorted(c.sid for c in clusters)
+
+    def test_density_strategy_deterministic_random_not(self, base):
+        network, clusters = base
+        config = NEATConfig(min_card=0)
+
+        def run_density():
+            return tuple(
+                f.sids for f in form_flow_clusters(network, clusters, config).flows
+            )
+
+        def run_random(seed):
+            return tuple(
+                f.sids
+                for f in form_flow_clusters(
+                    network, clusters, config,
+                    seed_strategy="random", seed_rng=random.Random(seed),
+                ).flows
+            )
+
+        assert run_density() == run_density()
+        assert any(run_random(s) != run_random(s + 100) for s in range(3))
+
+    def test_densecore_seeds_strongest_flow_first(self, base):
+        """III-B1's argument: the first flow follows a major stream."""
+        network, clusters = base
+        result = form_flow_clusters(network, clusters, NEATConfig(min_card=0))
+        top_cardinality = max(f.trajectory_cardinality for f in result.all_flows)
+        assert result.all_flows[0].trajectory_cardinality == top_cardinality

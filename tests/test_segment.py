@@ -1,0 +1,65 @@
+"""Unit tests for road segment and junction value types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.roadnet.geometry import Point
+from repro.roadnet.segment import (
+    DEFAULT_SPEED_LIMIT,
+    DirectedEdge,
+    Junction,
+    RoadSegment,
+)
+
+
+class TestRoadSegment:
+    def test_basic_fields(self):
+        segment = RoadSegment(sid=7, node_u=1, node_v=2, length=120.0)
+        assert segment.endpoints == (1, 2)
+        assert segment.speed_limit == DEFAULT_SPEED_LIMIT
+        assert segment.bidirectional
+
+    def test_other_endpoint(self):
+        segment = RoadSegment(0, 1, 2, 100.0)
+        assert segment.other_endpoint(1) == 2
+        assert segment.other_endpoint(2) == 1
+
+    def test_other_endpoint_rejects_stranger(self):
+        with pytest.raises(ValueError):
+            RoadSegment(0, 1, 2, 100.0).other_endpoint(3)
+
+    def test_has_endpoint(self):
+        segment = RoadSegment(0, 4, 9, 100.0)
+        assert segment.has_endpoint(4)
+        assert segment.has_endpoint(9)
+        assert not segment.has_endpoint(5)
+
+    def test_travel_time(self):
+        segment = RoadSegment(0, 1, 2, length=100.0, speed_limit=10.0)
+        assert segment.travel_time == pytest.approx(10.0)
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            RoadSegment(0, 1, 2, length=0.0)
+
+    def test_rejects_non_positive_speed(self):
+        with pytest.raises(ValueError):
+            RoadSegment(0, 1, 2, length=10.0, speed_limit=-1.0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            RoadSegment(0, 1, 1, length=10.0)
+
+
+class TestDirectedEdge:
+    def test_travel_time(self):
+        edge = DirectedEdge(sid=0, tail=1, head=2, length=50.0, speed_limit=25.0)
+        assert edge.travel_time == pytest.approx(2.0)
+
+
+class TestJunction:
+    def test_fields(self):
+        junction = Junction(3, Point(1.0, 2.0))
+        assert junction.node_id == 3
+        assert junction.point == Point(1.0, 2.0)

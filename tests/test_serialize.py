@@ -1,0 +1,118 @@
+"""Tests for clustering-result serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NEATConfig
+from repro.core.flow_cluster import FlowCluster
+from repro.core.pipeline import NEAT
+from repro.core.serialize import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.errors import ClusteringError
+
+from conftest import trajectory_through
+
+
+@pytest.fixture
+def run(small_workload):
+    network, dataset = small_workload
+    result = NEAT(network, NEATConfig(eps=500.0)).run_opt(dataset)
+    return network, result
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, run):
+        network, result = run
+        restored = result_from_dict(result_to_dict(result), network)
+        assert restored.mode == result.mode
+        assert restored.min_card_used == result.min_card_used
+        assert len(restored.base_clusters) == len(result.base_clusters)
+        assert len(restored.flows) == len(result.flows)
+        assert len(restored.noise_flows) == len(result.noise_flows)
+        assert len(restored.clusters) == len(result.clusters)
+
+    def test_flow_structure_preserved(self, run):
+        network, result = run
+        restored = result_from_dict(result_to_dict(result), network)
+        for original, copy in zip(result.flows, restored.flows):
+            assert copy.sids == original.sids
+            assert copy.endpoints == original.endpoints
+            assert copy.participants == original.participants
+            assert copy.route_length == pytest.approx(original.route_length)
+
+    def test_cluster_membership_preserved(self, run):
+        network, result = run
+        restored = result_from_dict(result_to_dict(result), network)
+        for original, copy in zip(result.clusters, restored.clusters):
+            assert [f.sids for f in copy.flows] == [f.sids for f in original.flows]
+            assert copy.participants == original.participants
+
+    def test_fragment_contents_preserved(self, run):
+        network, result = run
+        restored = result_from_dict(result_to_dict(result), network)
+        for original, copy in zip(result.base_clusters, restored.base_clusters):
+            assert copy.sid == original.sid
+            assert copy.density == original.density
+            assert copy.participants == original.participants
+
+    def test_file_roundtrip(self, run, tmp_path):
+        network, result = run
+        path = tmp_path / "clustering.json"
+        save_result(result, path, network_name=network.name)
+        restored = load_result(path, network)
+        assert len(restored.flows) == len(result.flows)
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self, grid3x3):
+        with pytest.raises(ClusteringError):
+            result_from_dict({"format": "nope", "version": 1}, grid3x3)
+
+    def test_rejects_wrong_version(self, run):
+        network, result = run
+        data = result_to_dict(result)
+        data["version"] = 9
+        with pytest.raises(ClusteringError):
+            result_from_dict(data, network)
+
+
+class TestFromMembers:
+    def test_single_member(self, line3):
+        from repro.core.base_cluster import form_base_clusters
+
+        clusters = form_base_clusters(
+            line3, [trajectory_through(line3, 0, [1])]
+        )
+        flow = FlowCluster.from_members(line3, clusters)
+        assert flow.sids == (1,)
+
+    def test_orientation_inferred(self, line3):
+        from repro.core.base_cluster import form_base_clusters
+
+        clusters = form_base_clusters(
+            line3, [trajectory_through(line3, 0, [0, 1, 2])]
+        )
+        by_sid = {c.sid: c for c in clusters}
+        # Reversed order: 2, 1, 0 — front must be node 3, end node 0.
+        flow = FlowCluster.from_members(line3, [by_sid[2], by_sid[1], by_sid[0]])
+        assert flow.sids == (2, 1, 0)
+        assert flow.endpoints == (3, 0)
+
+    def test_rejects_empty(self, line3):
+        with pytest.raises(ClusteringError):
+            FlowCluster.from_members(line3, [])
+
+    def test_rejects_non_adjacent(self, line3):
+        from repro.core.base_cluster import form_base_clusters
+
+        clusters = form_base_clusters(
+            line3, [trajectory_through(line3, 0, [0, 1, 2])]
+        )
+        by_sid = {c.sid: c for c in clusters}
+        with pytest.raises(ClusteringError):
+            FlowCluster.from_members(line3, [by_sid[0], by_sid[2]])

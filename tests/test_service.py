@@ -1,0 +1,91 @@
+"""Tests for the in-process NEAT service facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NEATConfig
+from repro.core.serialize import result_from_dict
+from repro.distributed.service import NeatService
+
+from conftest import trajectory_through
+
+
+@pytest.fixture
+def service(small_workload):
+    network, dataset = small_workload
+    return network, list(dataset), NeatService(network, NEATConfig(eps=500.0))
+
+
+class TestSubmit:
+    def test_acknowledgement_fields(self, service):
+        _network, trajectories, svc = service
+        ack = svc.submit(trajectories[:20])
+        assert ack["batch"] == 0
+        assert ack["accepted"] == 20
+        assert ack["total_flows"] >= ack["new_flows"] >= 0
+
+    def test_batches_accumulate(self, service):
+        _network, trajectories, svc = service
+        svc.submit(trajectories[:20])
+        ack = svc.submit(trajectories[20:40])
+        assert ack["batch"] == 1
+        stats = svc.stats()
+        assert stats.batches_ingested == 2
+        assert stats.trajectories_ingested == 40
+
+    def test_clients_need_not_coordinate_ids(self, service):
+        # Two clients both submit trajectories ids 0..19: the service
+        # re-ids internally, no collision.
+        _network, trajectories, svc = service
+        svc.submit(trajectories[:20])
+        svc.submit(trajectories[:20])  # same ids again
+        assert svc.stats().trajectories_ingested == 40
+
+
+class TestQueries:
+    def test_clustering_document_round_trips(self, service):
+        network, trajectories, svc = service
+        svc.submit(trajectories[:30])
+        document = svc.get_clustering()
+        assert document["format"] == "repro-clustering"
+        restored = result_from_dict(document, network)
+        assert len(restored.flows) == svc.stats().flow_count
+
+    def test_document_is_validated(self, service):
+        _network, trajectories, svc = service
+        svc.submit(trajectories[:30])
+        svc.get_clustering()  # raises if invalid; reaching here is the test
+
+    def test_flow_summaries(self, service):
+        _network, trajectories, svc = service
+        svc.submit(trajectories[:30])
+        summaries = svc.get_flow_summaries()
+        assert len(summaries) == svc.stats().flow_count
+        for summary in summaries:
+            assert summary["cardinality"] >= 1
+            assert summary["route_length_m"] > 0
+            assert len(summary["endpoints"]) == 2
+
+    def test_empty_service_clustering(self, line3):
+        svc = NeatService(line3, NEATConfig(min_card=0))
+        document = svc.get_clustering()
+        assert document["flows"] == []
+        assert document["clusters"] == []
+
+
+class TestEndToEnd:
+    def test_streaming_session(self, line3):
+        svc = NeatService(line3, NEATConfig(min_card=0, eps=500.0))
+        for batch_start in range(0, 9, 3):
+            batch = [
+                trajectory_through(line3, batch_start + i, [0, 1, 2])
+                for i in range(3)
+            ]
+            svc.submit(batch)
+        stats = svc.stats()
+        assert stats.batches_ingested == 3
+        assert stats.flow_count == 3  # one flow per batch over the corridor
+        document = svc.get_clustering()
+        # All three flows merge into one cluster (identical routes).
+        assert len(document["clusters"]) == 1

@@ -1,0 +1,107 @@
+"""Unit tests for the SLAMM-style map matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MapMatchError
+from repro.mapmatch.slamm import MatchConfig, SlammMatcher
+from repro.mobisim.noise import degrade_dataset
+from repro.mobisim.simulator import SimulationConfig, simulate_dataset
+from repro.roadnet.builder import network_from_edges
+from repro.roadnet.generators import GridConfig, generate_grid_network
+
+
+class TestBasics:
+    def test_needs_two_fixes(self, grid3x3):
+        matcher = SlammMatcher(grid3x3)
+        with pytest.raises(MapMatchError):
+            matcher.match_fixes(0, [(50.0, 0.0, 0.0)])
+
+    def test_unmatchable_fix_raises(self, grid3x3):
+        matcher = SlammMatcher(grid3x3)
+        with pytest.raises(MapMatchError):
+            matcher.match_fixes(0, [(50.0, 0.0, 0.0), (1e7, 1e7, 1.0)])
+
+    def test_clean_fixes_match_exactly(self, grid3x3):
+        matcher = SlammMatcher(grid3x3)
+        # Straight drive along the bottom row: (0,0) -> (200,0).
+        fixes = [(20.0, 0.0, 0.0), (80.0, 0.0, 6.0), (120.0, 0.0, 12.0),
+                 (180.0, 0.0, 18.0)]
+        matched = matcher.match_fixes(7, fixes)
+        assert matched.trid == 7
+        sids = [l.sid for l in matched.locations]
+        # First two on segment (0-1), last two on (1-2).
+        assert sids[0] == sids[1]
+        assert sids[2] == sids[3]
+        assert grid3x3.are_adjacent(sids[0], sids[2])
+
+    def test_output_snapped_to_segment(self, grid3x3):
+        from repro.roadnet.geometry import point_segment_distance
+
+        matcher = SlammMatcher(grid3x3)
+        fixes = [(20.0, 3.0, 0.0), (80.0, -2.0, 6.0)]
+        matched = matcher.match_fixes(0, fixes)
+        for location in matched.locations:
+            a, b = grid3x3.segment_endpoints(location.sid)
+            assert point_segment_distance(location.point, a, b) < 1e-9
+
+    def test_timestamps_preserved(self, grid3x3):
+        matcher = SlammMatcher(grid3x3)
+        fixes = [(20.0, 0.0, 5.0), (80.0, 0.0, 11.0)]
+        matched = matcher.match_fixes(0, fixes)
+        assert [l.t for l in matched.locations] == [5.0, 11.0]
+
+
+class TestParallelRoadDisambiguation:
+    def test_connectivity_beats_raw_distance(self):
+        # Two parallel horizontal roads 30 m apart, connected at the left.
+        # A trace drives the lower road but one noisy fix leans toward the
+        # upper one; connectivity with its neighbours must keep it low.
+        net = network_from_edges(
+            [(0, 0), (300, 0), (0, 30), (300, 30)],
+            [(0, 1), (2, 3), (0, 2)],
+        )
+        matcher = SlammMatcher(net, MatchConfig(sigma=10.0))
+        fixes = [
+            (50.0, 2.0, 0.0),
+            (150.0, 16.0, 10.0),  # slightly closer to the upper road
+            (250.0, 1.0, 20.0),
+        ]
+        matched = matcher.match_fixes(0, fixes)
+        assert [l.sid for l in matched.locations] == [0, 0, 0]
+
+
+class TestAccuracyOnSimulatedTraces:
+    def test_accuracy_above_85_percent(self):
+        net = generate_grid_network(GridConfig(rows=10, cols=10, seed=21))
+        dataset = simulate_dataset(net, SimulationConfig(object_count=25, seed=21))
+        raws = degrade_dataset(dataset, sigma=5.0, seed=21)
+        matcher = SlammMatcher(net, MatchConfig(sigma=5.0))
+        correct = total = 0
+        for truth, raw in zip(dataset, raws):
+            matched = matcher.match_trace(raw)
+            for a, b in zip(truth.locations, matched.locations):
+                total += 1
+                correct += a.sid == b.sid
+        assert total > 0
+        assert correct / total > 0.85
+
+    def test_lookahead_improves_over_greedy(self):
+        net = generate_grid_network(GridConfig(rows=10, cols=10, seed=22))
+        dataset = simulate_dataset(net, SimulationConfig(object_count=20, seed=22))
+        raws = degrade_dataset(dataset, sigma=8.0, seed=22)
+
+        def accuracy(config: MatchConfig) -> float:
+            matcher = SlammMatcher(net, config)
+            correct = total = 0
+            for truth, raw in zip(dataset, raws):
+                matched = matcher.match_trace(raw)
+                for a, b in zip(truth.locations, matched.locations):
+                    total += 1
+                    correct += a.sid == b.sid
+            return correct / total
+
+        with_lookahead = accuracy(MatchConfig(sigma=8.0, lookahead=3))
+        greedy = accuracy(MatchConfig(sigma=8.0, lookahead=0))
+        assert with_lookahead >= greedy

@@ -1,0 +1,72 @@
+"""Unit tests for the uniform-grid segment index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.roadnet.geometry import Point
+from repro.roadnet.spatial_index import SegmentGridIndex
+
+
+class TestCandidates:
+    def test_candidates_are_superset(self, grid3x3):
+        index = SegmentGridIndex(grid3x3, cell_size=100.0)
+        point = Point(50.0, 0.0)
+        candidates = set(index.candidates_near(point, 10.0))
+        exact = {sid for sid, _d in index.segments_within(point, 10.0)}
+        assert exact <= candidates
+
+    def test_candidates_sorted(self, grid3x3):
+        index = SegmentGridIndex(grid3x3)
+        candidates = index.candidates_near(Point(100.0, 100.0), 150.0)
+        assert candidates == sorted(candidates)
+
+    def test_far_point_no_exact_hits(self, grid3x3):
+        index = SegmentGridIndex(grid3x3)
+        assert index.segments_within(Point(5000.0, 5000.0), 50.0) == []
+
+
+class TestSegmentsWithin:
+    def test_on_segment_distance_zero(self, grid3x3):
+        index = SegmentGridIndex(grid3x3)
+        hits = index.segments_within(Point(50.0, 0.0), 1.0)
+        assert hits
+        sid, distance = hits[0]
+        assert distance == pytest.approx(0.0)
+        a, b = grid3x3.segment_endpoints(sid)
+        assert {a, b} == {Point(0, 0), Point(100, 0)}
+
+    def test_sorted_by_distance(self, grid3x3):
+        index = SegmentGridIndex(grid3x3)
+        hits = index.segments_within(Point(50.0, 20.0), 200.0)
+        distances = [d for _sid, d in hits]
+        assert distances == sorted(distances)
+
+    def test_radius_respected(self, grid3x3):
+        index = SegmentGridIndex(grid3x3)
+        for _sid, distance in index.segments_within(Point(42.0, 33.0), 60.0):
+            assert distance <= 60.0
+
+
+class TestNearestSegment:
+    def test_nearest_expands_rings(self, grid3x3):
+        index = SegmentGridIndex(grid3x3)
+        hit = index.nearest_segment(Point(105.0, 55.0), initial_radius=1.0)
+        assert hit is not None
+        sid, distance = hit
+        assert distance == pytest.approx(5.0)
+        a, b = grid3x3.segment_endpoints(sid)
+        assert {a, b} == {Point(100, 0), Point(100, 100)}
+
+    def test_nearest_gives_up_beyond_max(self, grid3x3):
+        index = SegmentGridIndex(grid3x3)
+        assert index.nearest_segment(
+            Point(1e7, 1e7), initial_radius=1.0, max_radius=100.0
+        ) is None
+
+    def test_cell_count_positive(self, grid3x3):
+        assert SegmentGridIndex(grid3x3).cell_count > 0
+
+    def test_default_cell_size_from_average(self, grid3x3):
+        index = SegmentGridIndex(grid3x3)
+        assert index.cell_size == pytest.approx(200.0)  # 2 * 100 m average

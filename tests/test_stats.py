@@ -1,0 +1,49 @@
+"""Unit tests for network statistics (Table I schema)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.roadnet.builder import star_network
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.stats import format_table1, network_stats
+
+
+class TestNetworkStats:
+    def test_line_stats(self, line3):
+        stats = network_stats(line3)
+        assert stats.segment_count == 3
+        assert stats.junction_count == 4
+        assert stats.total_length_km == pytest.approx(0.3)
+        assert stats.avg_segment_length_m == pytest.approx(100.0)
+        # Degrees: 1, 2, 2, 1.
+        assert stats.avg_degree == pytest.approx(1.5)
+        assert stats.max_degree == 2
+
+    def test_star_stats(self):
+        stats = network_stats(star_network(6, branch_length=50.0))
+        assert stats.max_degree == 6
+        assert stats.avg_degree == pytest.approx(12 / 7)
+
+    def test_empty_network(self):
+        stats = network_stats(RoadNetwork(name="empty"))
+        assert stats.segment_count == 0
+        assert stats.avg_segment_length_m == 0.0
+        assert stats.max_degree == 0
+
+    def test_as_row_formatting(self, line3):
+        row = network_stats(line3).as_row()
+        assert row[0] == "line"
+        assert row[1] == "0.3km"
+        assert "avg: 1.5" in row[5]
+
+
+class TestFormatTable1:
+    def test_contains_header_and_rows(self, line3, grid3x3):
+        text = format_table1([network_stats(line3), network_stats(grid3x3)])
+        assert "Regions" in text
+        assert "line" in text
+        assert "grid3x3" in text
+        # Fixed-width: all lines equally aligned columns (same separator count).
+        lines = text.splitlines()
+        assert len(lines) == 3

@@ -1,0 +1,112 @@
+"""Tests for time-sliced clustering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NEATConfig
+from repro.core.timeslice import (
+    flow_stability,
+    persistent_segments,
+    time_sliced_clustering,
+)
+
+from conftest import trajectory_through
+
+
+def shifted(network, trid, sids, t0):
+    return trajectory_through(network, trid, sids, t0=t0)
+
+
+class TestSlicing:
+    def test_trips_bucketed_by_departure(self, line3):
+        trs = [shifted(line3, 0, [0, 1], 0.0), shifted(line3, 1, [0, 1], 50.0),
+               shifted(line3, 2, [1, 2], 700.0)]
+        slices = time_sliced_clustering(
+            line3, trs, window=600.0, config=NEATConfig(min_card=0)
+        )
+        assert len(slices) == 2
+        assert slices[0].trajectory_count == 2
+        assert slices[1].trajectory_count == 1
+
+    def test_window_boundaries(self, line3):
+        trs = [shifted(line3, 0, [0], 0.0), shifted(line3, 1, [0], 1000.0)]
+        slices = time_sliced_clustering(
+            line3, trs, window=300.0, config=NEATConfig(min_card=0)
+        )
+        assert slices[0].start == 0.0
+        assert slices[0].end == 300.0
+        assert slices[-1].start <= 1000.0 < slices[-1].end
+
+    def test_empty_windows_skipped(self, line3):
+        trs = [shifted(line3, 0, [0], 0.0), shifted(line3, 1, [0], 5000.0)]
+        slices = time_sliced_clustering(
+            line3, trs, window=100.0, config=NEATConfig(min_card=0)
+        )
+        assert len(slices) == 2
+        assert slices[1].index > 1
+
+    def test_rejects_bad_window(self, line3):
+        with pytest.raises(ValueError):
+            time_sliced_clustering(line3, [], window=0.0)
+
+    def test_empty_input(self, line3):
+        assert time_sliced_clustering(line3, [], window=60.0) == []
+
+    def test_covered_segments(self, line3):
+        trs = [shifted(line3, i, [0, 1, 2], 0.0) for i in range(3)]
+        slices = time_sliced_clustering(
+            line3, trs, window=600.0, config=NEATConfig(min_card=0)
+        )
+        assert slices[0].covered_segments == frozenset({0, 1, 2})
+
+
+class TestStability:
+    def test_identical_windows_fully_stable(self, line3):
+        trs = [shifted(line3, i, [0, 1, 2], 0.0) for i in range(3)]
+        trs += [shifted(line3, 10 + i, [0, 1, 2], 700.0) for i in range(3)]
+        slices = time_sliced_clustering(
+            line3, trs, window=600.0, config=NEATConfig(min_card=0)
+        )
+        assert flow_stability(slices) == [pytest.approx(1.0)]
+
+    def test_churn_detected(self, star4):
+        trs = [shifted(star4, i, [0, 1], 0.0) for i in range(3)]
+        trs += [shifted(star4, 10 + i, [2, 3], 700.0) for i in range(3)]
+        slices = time_sliced_clustering(
+            star4, trs, window=600.0, config=NEATConfig(min_card=0)
+        )
+        assert flow_stability(slices) == [pytest.approx(0.0)]
+
+    def test_single_slice_no_pairs(self, line3):
+        trs = [shifted(line3, 0, [0], 0.0)]
+        slices = time_sliced_clustering(
+            line3, trs, window=600.0, config=NEATConfig(min_card=0)
+        )
+        assert flow_stability(slices) == []
+
+
+class TestPersistence:
+    def test_all_day_corridor(self, star4):
+        # Segments 0-1 busy in both windows; 2-3 only in the second.
+        trs = [shifted(star4, i, [0, 1], 0.0) for i in range(3)]
+        trs += [shifted(star4, 10 + i, [0, 1], 700.0) for i in range(3)]
+        trs += [shifted(star4, 20 + i, [2, 3], 700.0) for i in range(3)]
+        slices = time_sliced_clustering(
+            star4, trs, window=600.0, config=NEATConfig(min_card=0)
+        )
+        assert persistent_segments(slices, min_fraction=1.0) == frozenset({0, 1})
+        assert persistent_segments(slices, min_fraction=0.5) == frozenset(
+            {0, 1, 2, 3}
+        )
+
+    def test_empty(self):
+        assert persistent_segments([]) == frozenset()
+
+    def test_bad_fraction(self, line3):
+        trs = [shifted(line3, 0, [0], 0.0)]
+        slices = time_sliced_clustering(
+            line3, trs, window=60.0, config=NEATConfig(min_card=0)
+        )
+        with pytest.raises(ValueError):
+            persistent_segments(slices, min_fraction=0.0)

@@ -1,0 +1,114 @@
+"""Unit tests for TraClus's three-component segment distance."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.roadnet.geometry import Point
+from repro.traclus.distance import (
+    angular_distance,
+    parallel_distance,
+    perpendicular_distance,
+    segment_distance,
+)
+from repro.traclus.model import LineSegment
+
+
+def seg(x1, y1, x2, y2, trid=0) -> LineSegment:
+    return LineSegment(trid, Point(x1, y1), Point(x2, y2))
+
+
+class TestPerpendicular:
+    def test_parallel_offset(self):
+        longer = seg(0, 0, 100, 0)
+        shorter = seg(10, 5, 90, 5)
+        assert perpendicular_distance(longer, shorter) == pytest.approx(5.0)
+
+    def test_collinear_zero(self):
+        assert perpendicular_distance(seg(0, 0, 100, 0), seg(20, 0, 60, 0)) == 0.0
+
+    def test_lehmer_mean_weights_larger(self):
+        longer = seg(0, 0, 100, 0)
+        tilted = seg(0, 0, 100, 10)  # distances 0 and 10
+        assert perpendicular_distance(longer, tilted) == pytest.approx(10.0)
+
+
+class TestParallel:
+    def test_contained_projection_zero(self):
+        longer = seg(0, 0, 100, 0)
+        shorter = seg(20, 5, 60, 5)
+        assert parallel_distance(longer, shorter) == 0.0
+
+    def test_overhang(self):
+        longer = seg(0, 0, 100, 0)
+        shorter = seg(110, 0, 150, 0)
+        # Both projections beyond the end: overhangs 10 and 50, min = 10.
+        assert parallel_distance(longer, shorter) == pytest.approx(10.0)
+
+    def test_before_start(self):
+        longer = seg(0, 0, 100, 0)
+        shorter = seg(-30, 0, -10, 0)
+        assert parallel_distance(longer, shorter) == pytest.approx(10.0)
+
+
+class TestAngular:
+    def test_parallel_zero(self):
+        assert angular_distance(seg(0, 0, 100, 0), seg(0, 5, 50, 5)) == 0.0
+
+    def test_right_angle_full_length(self):
+        assert angular_distance(seg(0, 0, 100, 0), seg(0, 0, 0, 40)) == (
+            pytest.approx(40.0)
+        )
+
+    def test_45_degrees(self):
+        shorter = seg(0, 0, 10, 10)
+        assert angular_distance(seg(0, 0, 100, 0), shorter) == pytest.approx(
+            shorter.length * math.sin(math.pi / 4)
+        )
+
+    def test_obtuse_angle_full_length(self):
+        # Anti-parallel-ish segments count their full length.
+        shorter = seg(50, 0, 10, 1)
+        assert angular_distance(seg(0, 0, 100, 0), shorter) == pytest.approx(
+            shorter.length
+        )
+
+
+class TestSegmentDistance:
+    def test_symmetric(self):
+        a = seg(0, 0, 100, 0)
+        b = seg(20, 30, 90, 45)
+        assert segment_distance(a, b) == pytest.approx(segment_distance(b, a))
+
+    def test_identical_zero(self):
+        a = seg(5, 5, 50, 20)
+        assert segment_distance(a, a) == 0.0
+
+    def test_nonnegative(self):
+        pairs = [
+            (seg(0, 0, 10, 0), seg(100, 100, 120, 130)),
+            (seg(0, 0, 10, 0), seg(0, 0, -10, 0)),
+            (seg(1, 1, 1.5, 2), seg(-3, 4, 0, 0)),
+        ]
+        for a, b in pairs:
+            assert segment_distance(a, b) >= 0.0
+
+    def test_weights_apply(self):
+        longer = seg(0, 0, 100, 0)
+        shorter = seg(10, 5, 90, 5)
+        only_perp = segment_distance(
+            longer, shorter, w_perpendicular=1.0, w_parallel=0.0, w_angular=0.0
+        )
+        assert only_perp == pytest.approx(5.0)
+        doubled = segment_distance(
+            longer, shorter, w_perpendicular=2.0, w_parallel=0.0, w_angular=0.0
+        )
+        assert doubled == pytest.approx(10.0)
+
+    def test_closer_pairs_have_smaller_distance(self):
+        reference = seg(0, 0, 100, 0)
+        near = seg(0, 2, 100, 2)
+        far = seg(0, 40, 100, 40)
+        assert segment_distance(reference, near) < segment_distance(reference, far)

@@ -1,0 +1,77 @@
+"""Unit tests for TraClus segment grouping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.roadnet.geometry import Point
+from repro.traclus.grouping import TraClusParams, group_segments
+from repro.traclus.model import LineSegment
+
+
+def seg(x1, y1, x2, y2, trid=0) -> LineSegment:
+    return LineSegment(trid, Point(x1, y1), Point(x2, y2))
+
+
+def bundle(y0: float, count: int, trid0: int) -> list[LineSegment]:
+    """A tight bundle of near-parallel segments around height y0."""
+    return [
+        seg(0, y0 + i * 0.5, 100, y0 + i * 0.5, trid=trid0 + i)
+        for i in range(count)
+    ]
+
+
+class TestGroupSegments:
+    def test_two_bundles_two_clusters(self):
+        segments = bundle(0.0, 5, 0) + bundle(500.0, 5, 10)
+        clusters = group_segments(segments, TraClusParams(eps=5.0, min_lns=3))
+        assert len(clusters) == 2
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [5, 5]
+
+    def test_min_lns_discards_thin_clusters(self):
+        segments = bundle(0.0, 2, 0)  # only two trajectories
+        clusters = group_segments(segments, TraClusParams(eps=5.0, min_lns=3))
+        assert clusters == []
+
+    def test_cardinality_counts_trajectories_not_segments(self):
+        # Five segments, but all from the same two trajectories.
+        segments = [
+            seg(0, 0, 50, 0, trid=0),
+            seg(50, 0, 100, 0, trid=0),
+            seg(0, 1, 50, 1, trid=0),
+            seg(0, 2, 50, 2, trid=1),
+            seg(50, 2, 100, 2, trid=1),
+        ]
+        clusters = group_segments(segments, TraClusParams(eps=10.0, min_lns=3))
+        assert clusters == []  # cardinality 2 < min_lns 3
+
+    def test_representatives_computed(self):
+        segments = bundle(0.0, 5, 0)
+        clusters = group_segments(segments, TraClusParams(eps=5.0, min_lns=3))
+        assert len(clusters) == 1
+        assert len(clusters[0].representative) >= 2
+        assert clusters[0].representative_length > 0.0
+
+    def test_grid_filter_matches_brute_force(self):
+        segments = bundle(0.0, 4, 0) + bundle(60.0, 4, 10) + bundle(400.0, 4, 20)
+        params_grid = TraClusParams(eps=8.0, min_lns=3, use_grid_filter=True)
+        params_brute = TraClusParams(eps=8.0, min_lns=3, use_grid_filter=False)
+        grid_clusters = group_segments(segments, params_grid)
+        brute_clusters = group_segments(segments, params_brute)
+
+        def shape(clusters):
+            return sorted(
+                tuple(sorted((s.trid, s.start.x, s.start.y) for s in c.segments))
+                for c in clusters
+            )
+
+        assert shape(grid_clusters) == shape(brute_clusters)
+
+    def test_empty_input(self):
+        assert group_segments([], TraClusParams()) == []
+
+    def test_cluster_ids_dense(self):
+        segments = bundle(0.0, 5, 0) + bundle(500.0, 5, 10)
+        clusters = group_segments(segments, TraClusParams(eps=5.0, min_lns=3))
+        assert [c.cluster_id for c in clusters] == list(range(len(clusters)))

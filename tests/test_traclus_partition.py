@@ -1,0 +1,90 @@
+"""Unit tests for TraClus MDL-based partitioning."""
+
+from __future__ import annotations
+
+from repro.core.model import Location, Trajectory
+from repro.roadnet.geometry import Point
+from repro.traclus.partition import (
+    characteristic_points,
+    partition_all,
+    partition_trajectory,
+)
+
+
+def traj(points, trid=0) -> Trajectory:
+    return Trajectory(
+        trid,
+        tuple(
+            Location(0, x, y, float(i)) for i, (x, y) in enumerate(points)
+        ),
+    )
+
+
+class TestCharacteristicPoints:
+    def test_straight_line_keeps_endpoints_only(self):
+        points = [Point(x * 10.0, 0.0) for x in range(20)]
+        indices = characteristic_points(points)
+        assert indices[0] == 0
+        assert indices[-1] == len(points) - 1
+        # A perfectly straight path compresses to very few points.
+        assert len(indices) <= 3
+
+    def test_sharp_turn_detected(self):
+        out = [Point(x * 10.0, 0.0) for x in range(10)]
+        back = [Point(90.0, (i + 1) * 10.0) for i in range(10)]
+        indices = characteristic_points(out + back)
+        # The corner (index 9) or its immediate neighbour must be kept.
+        assert any(8 <= i <= 10 for i in indices[1:-1])
+
+    def test_two_points(self):
+        assert characteristic_points([Point(0, 0), Point(1, 1)]) == [0, 1]
+
+    def test_single_point(self):
+        assert characteristic_points([Point(0, 0)]) == [0]
+
+    def test_indices_strictly_increasing(self):
+        import math
+
+        points = [
+            Point(t * 10.0, 40.0 * math.sin(t / 2.0)) for t in range(30)
+        ]
+        indices = characteristic_points(points)
+        assert all(a < b for a, b in zip(indices, indices[1:]))
+
+
+class TestPartitionTrajectory:
+    def test_segments_cover_endpoints(self):
+        tr = traj([(x * 10.0, 0.0) for x in range(10)])
+        segments = partition_trajectory(tr)
+        assert segments
+        assert segments[0].start == Point(0.0, 0.0)
+        assert segments[-1].end == Point(90.0, 0.0)
+
+    def test_segments_carry_trid(self):
+        tr = traj([(0, 0), (10, 0), (20, 0)], trid=42)
+        for segment in partition_trajectory(tr):
+            assert segment.trid == 42
+
+    def test_consecutive_segments_connect(self):
+        out = [(x * 10.0, 0.0) for x in range(10)]
+        back = [(90.0, (i + 1) * 10.0) for i in range(10)]
+        segments = partition_trajectory(traj(out + back))
+        for a, b in zip(segments, segments[1:]):
+            assert a.end == b.start
+
+    def test_duplicate_points_skipped(self):
+        tr = traj([(0, 0), (0, 0), (10, 0), (10, 0), (20, 0)])
+        segments = partition_trajectory(tr)
+        for segment in segments:
+            assert segment.length > 0.0
+
+    def test_all_duplicates_yields_nothing(self):
+        tr = traj([(5, 5), (5, 5), (5, 5)])
+        assert partition_trajectory(tr) == []
+
+
+class TestPartitionAll:
+    def test_concatenates(self):
+        trs = [traj([(0, 0), (10, 0)], trid=0), traj([(0, 5), (10, 5)], trid=1)]
+        segments = partition_all(trs)
+        assert {s.trid for s in segments} == {0, 1}

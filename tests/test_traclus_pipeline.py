@@ -1,0 +1,99 @@
+"""Unit and behaviour tests for the TraClus pipeline and network variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_cluster import form_base_clusters
+from repro.traclus.grouping import TraClusParams
+from repro.traclus.network_variant import base_cluster_distance, network_traclus
+from repro.traclus.traclus import TraClus
+from repro.roadnet.shortest_path import ShortestPathEngine
+
+from conftest import trajectory_through
+
+
+class TestTraClusPipeline:
+    def test_runs_on_simulated_workload(self, small_workload):
+        _network, dataset = small_workload
+        result = TraClus(TraClusParams(eps=10.0, min_lns=3)).run(dataset)
+        assert result.segment_count > 0
+        assert result.partition_seconds >= 0.0
+        assert result.grouping_seconds >= 0.0
+        assert result.total_seconds == pytest.approx(
+            result.partition_seconds + result.grouping_seconds
+        )
+
+    def test_degenerate_params_shatter_clusters(self, small_workload):
+        # Figure 4's contrast: eps=1/MinLns=1 yields many more, smaller
+        # clusters than the tuned setting.
+        _network, dataset = small_workload
+        tuned = TraClus(TraClusParams(eps=10.0, min_lns=5)).run(dataset)
+        degenerate = TraClus(TraClusParams(eps=1.0, min_lns=1)).run(dataset)
+        assert degenerate.cluster_count > tuned.cluster_count
+
+    def test_representative_lengths_nonnegative(self, small_workload):
+        _network, dataset = small_workload
+        result = TraClus(TraClusParams(eps=10.0, min_lns=3)).run(dataset)
+        for length in result.representative_lengths():
+            assert length >= 0.0
+
+    def test_accepts_plain_list(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(5)]
+        result = TraClus(TraClusParams(eps=15.0, min_lns=3)).run(trs)
+        assert result.segment_count > 0
+
+
+class TestNetworkVariant:
+    def test_distance_zero_for_same_cluster(self, line3):
+        trs = [trajectory_through(line3, 0, [0, 1])]
+        clusters = form_base_clusters(line3, trs)
+        engine = ShortestPathEngine(line3)
+        assert base_cluster_distance(engine, line3, clusters[0], clusters[0]) == 0.0
+
+    def test_distance_symmetric(self, grid3x3):
+        trs = [trajectory_through(grid3x3, 0, [0, 1]), trajectory_through(grid3x3, 1, [10, 11])]
+        clusters = form_base_clusters(grid3x3, trs)
+        engine = ShortestPathEngine(grid3x3)
+        a, b = clusters[0], clusters[-1]
+        assert base_cluster_distance(engine, grid3x3, a, b) == pytest.approx(
+            base_cluster_distance(engine, grid3x3, b, a)
+        )
+
+    def test_groups_nearby_base_clusters(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(3)]
+        clusters = form_base_clusters(line3, trs)
+        result = network_traclus(line3, clusters, eps=150.0, min_lns=2)
+        assert result.base_cluster_count == 3
+        assert result.cluster_count == 1
+
+    def test_far_base_clusters_separate(self, small_workload):
+        network, dataset = small_workload
+        clusters = form_base_clusters(network, dataset.trajectories)
+        result = network_traclus(network, clusters, eps=100.0, min_lns=2)
+        assert result.cluster_count >= 1
+        assert result.shortest_path_computations > 0
+
+    def test_empty_input(self, line3):
+        result = network_traclus(line3, [], eps=100.0)
+        assert result.cluster_count == 0
+        assert result.shortest_path_computations == 0
+
+    def test_variant_slower_than_neat_phase2(self, small_workload):
+        """The Section IV-C claim: all-pairs network distances dominate."""
+        import time
+
+        from repro.core.config import NEATConfig
+        from repro.core.flow_formation import form_flow_clusters
+
+        network, dataset = small_workload
+        clusters = form_base_clusters(network, dataset.trajectories)
+
+        started = time.perf_counter()
+        form_flow_clusters(network, clusters, NEATConfig(min_card=0))
+        neat_phase2 = time.perf_counter() - started
+
+        started = time.perf_counter()
+        network_traclus(network, clusters, eps=300.0, min_lns=2)
+        variant = time.perf_counter() - started
+        assert variant > neat_phase2

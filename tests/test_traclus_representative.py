@@ -1,0 +1,68 @@
+"""Unit tests for TraClus representative trajectories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.roadnet.geometry import Point
+from repro.traclus.model import LineSegment
+from repro.traclus.representative import (
+    average_direction,
+    representative_trajectory,
+)
+
+
+def seg(x1, y1, x2, y2, trid=0) -> LineSegment:
+    return LineSegment(trid, Point(x1, y1), Point(x2, y2))
+
+
+class TestAverageDirection:
+    def test_aligned_segments(self):
+        ux, uy = average_direction([seg(0, 0, 10, 0), seg(5, 2, 25, 2)])
+        assert ux == pytest.approx(1.0)
+        assert uy == pytest.approx(0.0, abs=1e-9)
+
+    def test_antiparallel_segments_do_not_cancel(self):
+        ux, uy = average_direction([seg(0, 0, 10, 0), seg(30, 1, 20, 1)])
+        assert abs(ux) == pytest.approx(1.0)
+        assert uy == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_default(self):
+        assert average_direction([]) == (1.0, 0.0)
+
+    def test_unit_norm(self):
+        import math
+
+        ux, uy = average_direction([seg(0, 0, 3, 4), seg(1, 1, 4, 6)])
+        assert math.hypot(ux, uy) == pytest.approx(1.0)
+
+
+class TestRepresentative:
+    def test_bundle_of_parallel_segments(self):
+        segments = [seg(0, y, 100, y, trid=i) for i, y in enumerate((0, 2, 4))]
+        rep = representative_trajectory(segments, min_lns=3, gamma=10.0)
+        assert len(rep) >= 2
+        # The representative runs down the middle of the bundle.
+        for point in rep:
+            assert point.y == pytest.approx(2.0, abs=0.5)
+
+    def test_min_lns_filters_sparse_regions(self):
+        # Only one segment extends to the right: positions past x=100
+        # gather fewer than min_lns crossings and emit nothing.
+        segments = [seg(0, 0, 100, 0), seg(0, 2, 100, 2), seg(0, 4, 300, 4)]
+        rep = representative_trajectory(segments, min_lns=2, gamma=10.0)
+        assert rep
+        assert max(p.x for p in rep) <= 110.0
+
+    def test_too_few_segments_empty(self):
+        rep = representative_trajectory([seg(0, 0, 100, 0)], min_lns=3)
+        assert rep == ()
+
+    def test_gamma_thins_points(self):
+        segments = [seg(x, 0, x + 50, 0, trid=i) for i, x in enumerate(range(0, 100, 5))]
+        dense = representative_trajectory(segments, min_lns=2, gamma=1.0)
+        sparse = representative_trajectory(segments, min_lns=2, gamma=30.0)
+        assert len(sparse) <= len(dense)
+
+    def test_empty_input(self):
+        assert representative_trajectory([], min_lns=1) == ()

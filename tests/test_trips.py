@@ -1,0 +1,81 @@
+"""Unit tests for trip planning."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.mobisim.hotspots import choose_layout
+from repro.mobisim.trips import TripPlanner
+from repro.roadnet.generators import GridConfig, generate_grid_network
+from repro.roadnet.geometry import Point
+from repro.roadnet.network import RoadNetwork
+
+
+@pytest.fixture
+def planner_setup():
+    net = generate_grid_network(GridConfig(rows=8, cols=8, seed=2))
+    layout = choose_layout(net, seed=3)
+    return net, layout
+
+
+class TestPlanTrip:
+    def test_route_starts_in_pool_ends_at_destination(self, planner_setup):
+        net, layout = planner_setup
+        planner = TripPlanner(net, layout, random.Random(1))
+        plan = planner.plan_trip(0)
+        all_starts = {n for pool in layout.start_pool for n in pool}
+        assert plan.route.source in all_starts
+        assert plan.route.target in layout.destination_nodes
+        assert net.is_route(plan.route.sids)
+
+    def test_start_time_in_window(self, planner_setup):
+        net, layout = planner_setup
+        planner = TripPlanner(net, layout, random.Random(2), start_window=60.0)
+        for trid in range(10):
+            plan = planner.plan_trip(trid)
+            assert 0.0 <= plan.start_time <= 60.0
+
+    def test_speed_factor_bounds(self, planner_setup):
+        net, layout = planner_setup
+        planner = TripPlanner(net, layout, random.Random(3), min_speed_factor=0.9)
+        for trid in range(10):
+            plan = planner.plan_trip(trid)
+            assert 0.9 <= plan.speed_factor <= 1.0
+
+    def test_invalid_speed_factor_rejected(self, planner_setup):
+        net, layout = planner_setup
+        with pytest.raises(ValueError):
+            TripPlanner(net, layout, random.Random(4), min_speed_factor=0.0)
+
+    def test_deterministic_with_seeded_rng(self, planner_setup):
+        net, layout = planner_setup
+        plans_a = [
+            TripPlanner(net, layout, random.Random(5)).plan_trip(i) for i in range(3)
+        ]
+        plans_b = [
+            TripPlanner(net, layout, random.Random(5)).plan_trip(i) for i in range(3)
+        ]
+        # Each plan consumes RNG state, so plan streams must match pairwise.
+        for a, b in zip(plans_a, plans_b):
+            assert a.route.sids == b.route.sids
+            assert a.start_time == b.start_time
+
+    def test_unroutable_raises_no_path(self):
+        # Two disconnected islands: hotspot on one, destinations on the other.
+        net = RoadNetwork()
+        for x, y in [(0, 0), (100, 0), (5000, 5000), (5100, 5000), (5200, 5000)]:
+            net.add_junction(Point(x, y))
+        net.add_segment(0, 1)
+        net.add_segment(2, 3)
+        net.add_segment(3, 4)
+        from repro.mobisim.hotspots import HotspotLayout
+
+        layout = HotspotLayout(
+            hotspot_nodes=(0,), destination_nodes=(2, 3, 4), start_pool=((0, 1),)
+        )
+        planner = TripPlanner(net, layout, random.Random(6))
+        with pytest.raises(NoPathError):
+            planner.plan_trip(0)

@@ -1,0 +1,115 @@
+"""Tests for the NEAT result validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base_cluster import BaseCluster
+from repro.core.config import NEATConfig
+from repro.core.model import Location, TFragment
+from repro.core.pipeline import NEAT
+from repro.core.result import NEATResult
+from repro.core.validate import validate_result
+
+from conftest import trajectory_through
+
+
+def frag(trid: int, sid: int) -> TFragment:
+    return TFragment(
+        trid, sid, (Location(sid, 0.0, 0.0, 0.0), Location(sid, 1.0, 0.0, 1.0))
+    )
+
+
+class TestValidResults:
+    @pytest.mark.parametrize("mode", ["base", "flow", "opt"])
+    def test_pipeline_output_is_valid(self, small_workload, mode):
+        network, dataset = small_workload
+        result = NEAT(network, NEATConfig(eps=500.0)).run(dataset, mode=mode)
+        report = validate_result(result, network)
+        assert report.ok, report.errors
+
+    def test_distributed_output_is_valid(self, small_workload):
+        from repro.distributed import NeatCoordinator
+
+        network, dataset = small_workload
+        result = NeatCoordinator(network, NEATConfig(eps=500.0)).run(
+            list(dataset)
+        )
+        assert validate_result(result, network).ok
+
+    def test_deserialized_output_is_valid(self, small_workload):
+        from repro.core.serialize import result_from_dict, result_to_dict
+
+        network, dataset = small_workload
+        result = NEAT(network, NEATConfig(eps=500.0)).run_opt(dataset)
+        restored = result_from_dict(result_to_dict(result), network)
+        assert validate_result(restored, network).ok
+
+
+class TestViolationsDetected:
+    def test_unknown_segment(self, line3):
+        result = NEATResult(mode="base")
+        cluster = BaseCluster(99)
+        cluster.add(frag(0, 99))
+        result.base_clusters = [cluster]
+        report = validate_result(result, line3)
+        assert not report.ok
+        assert any("unknown segment" in e for e in report.errors)
+
+    def test_duplicate_base_cluster(self, line3):
+        result = NEATResult(mode="base")
+        a, b = BaseCluster(0), BaseCluster(0)
+        a.add(frag(0, 0))
+        b.add(frag(1, 0))
+        result.base_clusters = [a, b]
+        report = validate_result(result, line3)
+        assert any("duplicate" in e for e in report.errors)
+
+    def test_density_order_violation(self, line3):
+        result = NEATResult(mode="base")
+        sparse, dense = BaseCluster(0), BaseCluster(1)
+        sparse.add(frag(0, 0))
+        for trid in range(3):
+            dense.add(frag(trid, 1))
+        result.base_clusters = [sparse, dense]  # wrong order
+        report = validate_result(result, line3)
+        assert any("density-sorted" in e for e in report.errors)
+
+    def test_missing_flow_assignment(self, star4):
+        # Two disjoint corridors produce two flows; dropping one breaks
+        # the losslessness of the Phase 2 partition.
+        trs = [trajectory_through(star4, 0, [0, 1]),
+               trajectory_through(star4, 1, [2, 3])]
+        result = NEAT(star4, NEATConfig(min_card=0)).run_flow(trs)
+        assert len(result.flows) == 2
+        result.flows.pop()
+        report = validate_result(result, star4)
+        assert not report.ok
+
+    def test_kept_flow_below_min_card(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(2)]
+        result = NEAT(line3, NEATConfig(min_card=0)).run_flow(trs)
+        result.min_card_used = 99  # inconsistent with kept flows
+        report = validate_result(result, line3)
+        assert any("below minCard" in e for e in report.errors)
+
+    def test_cluster_partition_violation(self, line3):
+        trs = [trajectory_through(line3, i, [0, 1]) for i in range(3)]
+        result = NEAT(line3, NEATConfig(min_card=0, eps=500.0)).run_opt(trs)
+        result.clusters[0].flows.append(result.clusters[0].flows[0])
+        report = validate_result(result, line3)
+        assert any("two final clusters" in e for e in report.errors)
+
+    def test_raise_if_invalid(self, line3):
+        result = NEATResult(mode="base")
+        cluster = BaseCluster(99)
+        cluster.add(frag(0, 99))
+        result.base_clusters = [cluster]
+        report = validate_result(result, line3)
+        with pytest.raises(ValueError):
+            report.raise_if_invalid()
+
+    def test_valid_report_does_not_raise(self, line3):
+        trs = [trajectory_through(line3, 0, [0, 1])]
+        result = NEAT(line3, NEATConfig(min_card=0)).run_base(trs)
+        validate_result(result, line3).raise_if_invalid()

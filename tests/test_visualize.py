@@ -1,0 +1,66 @@
+"""Unit tests for SVG rendering."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.analysis.visualize import SvgScene, render_svg
+from repro.core.config import NEATConfig
+from repro.core.pipeline import NEAT
+
+from conftest import trajectory_through
+
+
+def parse_svg(text: str) -> ET.Element:
+    return ET.fromstring(text)
+
+
+class TestSvgScene:
+    def test_network_only(self, grid3x3):
+        scene = SvgScene(grid3x3)
+        scene.draw_network()
+        root = parse_svg(scene.to_svg())
+        polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) == grid3x3.segment_count
+
+    def test_viewport_fits_bounds(self, grid3x3):
+        scene = SvgScene(grid3x3, width=500)
+        root = parse_svg(scene.to_svg())
+        assert root.get("width") == "500"
+        assert int(root.get("height")) > 0
+
+    def test_trajectories_drawn(self, grid3x3):
+        trs = [trajectory_through(grid3x3, i, [0, 1]) for i in range(3)]
+        scene = SvgScene(grid3x3)
+        scene.draw_trajectories(trs)
+        root = parse_svg(scene.to_svg())
+        assert len(root.findall(".//{http://www.w3.org/2000/svg}polyline")) == 3
+
+    def test_markers_drawn(self, grid3x3):
+        scene = SvgScene(grid3x3)
+        scene.draw_markers([0, 4, 8])
+        root = parse_svg(scene.to_svg())
+        assert len(root.findall(".//{http://www.w3.org/2000/svg}path")) == 3
+
+    def test_save(self, grid3x3, tmp_path):
+        scene = SvgScene(grid3x3)
+        scene.draw_network()
+        target = scene.save(tmp_path / "map.svg")
+        assert target.exists()
+        parse_svg(target.read_text())  # well-formed XML
+
+
+class TestRenderSvg:
+    def test_full_overlay(self, grid3x3, tmp_path):
+        trs = [trajectory_through(grid3x3, i, [0, 1, 5]) for i in range(4)]
+        result = NEAT(grid3x3, NEATConfig(min_card=0, eps=500.0)).run_opt(trs)
+        path = render_svg(
+            grid3x3,
+            tmp_path / "all.svg",
+            trajectories=trs,
+            flows=result.flows,
+            clusters=result.clusters,
+            markers=[8],
+        )
+        root = parse_svg(path.read_text())
+        assert root.findall(".//{http://www.w3.org/2000/svg}polyline")

@@ -1,0 +1,70 @@
+"""Unit tests for experiment workload construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import (
+    BENCH_OBJECT_COUNTS,
+    PAPER_OBJECT_COUNTS,
+    REGIONS,
+    WorkloadSpec,
+    build_dataset,
+    build_network,
+    build_suite,
+    build_workload,
+)
+
+
+class TestWorkloadSpec:
+    def test_name_convention(self):
+        assert WorkloadSpec("ATL", 500).name == "ATL500"
+
+    def test_rejects_unknown_region(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("NYC", 100)
+
+    def test_resolved_scale_defaults(self):
+        assert WorkloadSpec("ATL", 10).resolved_scale == 0.1
+        assert WorkloadSpec("MIA", 10).resolved_scale == 0.02
+        assert WorkloadSpec("ATL", 10, network_scale=0.5).resolved_scale == 0.5
+
+    def test_counts_progressions(self):
+        # Bench counts keep the paper's 1:2:4:6:10 progression.
+        ratio = [c / BENCH_OBJECT_COUNTS[0] for c in BENCH_OBJECT_COUNTS]
+        paper_ratio = [c / PAPER_OBJECT_COUNTS[0] for c in PAPER_OBJECT_COUNTS]
+        assert ratio == paper_ratio
+
+
+class TestBuilders:
+    def test_build_network_regions(self):
+        for region in REGIONS:
+            net = build_network(region, network_scale=0.02)
+            assert net.segment_count > 0
+            assert region in net.name
+
+    def test_build_network_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            build_network("LA")
+
+    def test_build_dataset_name_and_size(self):
+        spec = WorkloadSpec("ATL", 20, network_scale=0.03)
+        network = build_network("ATL", 0.03)
+        dataset = build_dataset(network, spec)
+        assert dataset.name == "ATL20"
+        assert 0 < len(dataset) <= 20
+
+    def test_build_workload_deterministic(self):
+        spec = WorkloadSpec("SJ", 15, network_scale=0.03)
+        _net1, ds1 = build_workload(spec)
+        _net2, ds2 = build_workload(spec)
+        assert ds1.total_points == ds2.total_points
+        for a, b in zip(ds1, ds2):
+            assert a == b
+
+    def test_build_suite_shares_network(self):
+        network, datasets = build_suite("ATL", (5, 10), network_scale=0.03)
+        assert len(datasets) == 2
+        assert all(ds.network_name == network.name for ds in datasets)
+        # Larger object count means more points.
+        assert datasets[1].total_points > datasets[0].total_points
