@@ -13,6 +13,7 @@ from conftest import NEAT_COUNTS
 from repro.core.config import NEATConfig
 from repro.core.pipeline import NEAT
 from repro.experiments.figures import DEFAULT_EPS, run_fig6
+from repro.experiments.harness import result_metrics
 from repro.experiments.workloads import build_suite
 
 
@@ -26,7 +27,7 @@ def bench_fig6_opt_neat_mia(benchmark, emit):
     assert result.base_clusters
 
     fig = run_fig6("MIA", object_counts=NEAT_COUNTS)
-    emit("fig6_scaling", fig.render())
+    emit("fig6_scaling", fig.render(), metrics=result_metrics(result))
     _emit_chart(fig)
 
     # Shape assertion: Phase 1 dominates Phase 2 on the larger datasets

@@ -14,6 +14,7 @@ from conftest import NEAT_COUNTS
 from repro.core.config import NEATConfig
 from repro.core.pipeline import NEAT
 from repro.experiments.figures import DEFAULT_EPS, run_fig7
+from repro.experiments.harness import result_metrics
 from repro.experiments.workloads import build_suite
 
 
@@ -27,7 +28,7 @@ def bench_fig7_elb_sj(benchmark, emit):
     assert result.clusters is not None
 
     fig = run_fig7("SJ", object_counts=NEAT_COUNTS)
-    emit("fig7_elb_sj", fig.render())
+    emit("fig7_elb_sj", fig.render(), metrics=result_metrics(result))
     _emit_chart(fig, "fig7b_elb_sj.svg")
     for row in fig.rows:
         _name, _points, _flows, _elb_s, _dij_s, sp_elb, sp_dij = row
@@ -70,5 +71,5 @@ def bench_fig7_elb_atl(benchmark, emit):
     assert result.clusters is not None
 
     fig = run_fig7("ATL", object_counts=NEAT_COUNTS)
-    emit("fig7_elb_atl", fig.render())
+    emit("fig7_elb_atl", fig.render(), metrics=result_metrics(result))
     _emit_chart(fig, "fig7a_elb_atl.svg")

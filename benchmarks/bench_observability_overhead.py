@@ -1,0 +1,116 @@
+"""Overhead of the telemetry layer on the opt-NEAT hot path.
+
+Three configurations of the same opt-NEAT run on the medium synthetic
+network:
+
+* **bare** — the phase functions called directly with no telemetry
+  arguments at all (the pre-telemetry code path);
+* **disabled** — the pipeline with ``Telemetry.disabled()`` (null tracer,
+  no metric publication; what a latency-critical deployment would run);
+* **enabled** — the default pipeline (spans + per-phase counters).
+
+The acceptance bar is that the *disabled* path stays within 2% of bare:
+with the null tracer a run pays three empty ``with`` blocks and a few
+``None`` checks.  The measurement uses best-of-N wall times, which is
+robust to scheduler noise in a way means are not.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.base_cluster import form_base_clusters
+from repro.core.config import NEATConfig
+from repro.core.flow_formation import form_flow_clusters
+from repro.core.pipeline import NEAT
+from repro.core.refinement import refine_flow_clusters
+from repro.experiments.harness import format_table
+from repro.experiments.workloads import WorkloadSpec, build_dataset, build_network
+from repro.obs import Telemetry
+from repro.roadnet.shortest_path import ShortestPathEngine
+
+ROUNDS = 5
+OBJECTS = 200
+EPS = 1000.0
+
+
+def _workload():
+    network = build_network("ATL")
+    dataset = build_dataset(network, WorkloadSpec("ATL", OBJECTS))
+    return network, list(dataset.trajectories)
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_observability_overhead(emit):
+    """Best-of-N opt-NEAT wall time: bare phases vs disabled vs enabled."""
+    network, trajectories = _workload()
+    config = NEATConfig(eps=EPS)
+
+    def bare():
+        # The seed-equivalent path: phase functions, fresh engine, no
+        # telemetry arguments anywhere.
+        base = form_base_clusters(network, trajectories)
+        formation = form_flow_clusters(network, base, config)
+        refine_flow_clusters(
+            network, formation.flows, config,
+            engine=ShortestPathEngine(network, directed=False),
+        )
+
+    def disabled():
+        NEAT(network, config, telemetry=Telemetry.disabled()).run_opt(trajectories)
+
+    def enabled():
+        NEAT(network, config).run_opt(trajectories)
+
+    for warmup in (bare, disabled, enabled):
+        warmup()
+    bare_s = _best_of(bare)
+    disabled_s = _best_of(disabled)
+    enabled_s = _best_of(enabled)
+
+    overhead_disabled = (disabled_s - bare_s) / bare_s * 100.0
+    overhead_enabled = (enabled_s - bare_s) / bare_s * 100.0
+    table = format_table(
+        ("configuration", "best-of-%d (s)" % ROUNDS, "overhead vs bare"),
+        [
+            ("bare phases (seed path)", f"{bare_s:.4f}", "—"),
+            ("telemetry disabled", f"{disabled_s:.4f}", f"{overhead_disabled:+.2f}%"),
+            ("telemetry enabled", f"{enabled_s:.4f}", f"{overhead_enabled:+.2f}%"),
+        ],
+    )
+    emit("observability_overhead", table)
+
+    # The acceptance bar: a disabled-telemetry run must not regress the
+    # hot path by more than 2%.
+    assert overhead_disabled < 2.0, (
+        f"disabled-telemetry overhead {overhead_disabled:.2f}% exceeds 2% "
+        f"(bare={bare_s:.4f}s disabled={disabled_s:.4f}s)"
+    )
+
+
+def bench_opt_neat_telemetry_enabled(benchmark):
+    """pytest-benchmark timing of the default (telemetry-on) pipeline."""
+    network, trajectories = _workload()
+    neat = NEAT(network, NEATConfig(eps=EPS))
+    result = benchmark.pedantic(
+        lambda: neat.run_opt(trajectories), rounds=3, iterations=1
+    )
+    assert result.telemetry["metrics"]["counters"]["neat.phase1.t_fragments"] > 0
+
+
+def bench_opt_neat_telemetry_disabled(benchmark):
+    """pytest-benchmark timing of the disabled-telemetry pipeline."""
+    network, trajectories = _workload()
+    neat = NEAT(network, NEATConfig(eps=EPS), telemetry=Telemetry.disabled())
+    result = benchmark.pedantic(
+        lambda: neat.run_opt(trajectories), rounds=3, iterations=1
+    )
+    assert result.telemetry == {}

@@ -40,11 +40,21 @@ TRACLUS_COUNTS = _counts("REPRO_BENCH_TRACLUS_COUNTS", (50, 100, 200))
 
 @pytest.fixture
 def emit(capsys):
-    """Write an experiment report to disk and the terminal."""
+    """Write an experiment report to disk and the terminal.
 
-    def _emit(name: str, text: str) -> None:
+    Pass ``metrics=<telemetry snapshot>`` (e.g. ``NEATResult.telemetry``
+    or :func:`repro.experiments.harness.result_metrics`) to also persist
+    the run's operational counters as ``output/<name>.metrics.json``
+    alongside the text report.
+    """
+
+    def _emit(name: str, text: str, metrics: dict | None = None) -> None:
         OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
         (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        if metrics is not None:
+            from repro.experiments.harness import export_metrics
+
+            export_metrics(metrics, OUTPUT_DIR / f"{name}.metrics.json")
         with capsys.disabled():
             print(f"\n===== {name} =====")
             print(text)

@@ -31,6 +31,7 @@ from .core import (
     TrajectoryDataset,
 )
 from .errors import ReproError
+from .obs import Telemetry, configure_logging, get_logger
 from .roadnet import Point, RoadNetwork
 
 __version__ = "1.0.0"
@@ -44,8 +45,11 @@ __all__ = [
     "ReproError",
     "RoadNetwork",
     "TFragment",
+    "Telemetry",
     "Trajectory",
     "TrajectoryCluster",
     "TrajectoryDataset",
     "__version__",
+    "configure_logging",
+    "get_logger",
 ]

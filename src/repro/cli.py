@@ -12,12 +12,15 @@ Exposes the full workflow without writing Python:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from .core.config import NEATConfig
 from .core.pipeline import MODES, NEAT
+from .core.serialize import result_to_dict
 from .mobisim.io import load_dataset, save_dataset
+from .obs import Telemetry, configure_logging, get_logger
 from .mobisim.simulator import SimulationConfig, simulate_dataset
 from .roadnet.generators import REGION_PRESETS
 from .roadnet.io import load_network, save_network
@@ -34,6 +37,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="NEAT road-network-aware trajectory clustering (ICDCS 2012 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        default="WARNING",
+        help="structured-log threshold (default WARNING; logs go to stderr)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as JSON lines instead of key=value text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -73,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable Euclidean-lower-bound pruning")
     cluster.add_argument("--svg", type=Path, default=None,
                          help="render flows/clusters to this SVG")
+    cluster.add_argument("--json", action="store_true",
+                         help="print the machine-readable result document "
+                              "(core.serialize schema) instead of the "
+                              "human summary")
+    cluster.add_argument("--metrics-out", type=Path, default=None,
+                         help="write the run's telemetry snapshot "
+                              "(trace spans + metrics) to this JSON file")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper"
@@ -86,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level, json_lines=args.log_json)
     handler = {
         "generate-network": _cmd_generate,
         "stats": _cmd_stats,
@@ -138,12 +159,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         wq=args.wq, wk=args.wk, wv=args.wv,
         eps=args.eps, min_card=args.min_card, use_elb=not args.no_elb,
     )
-    result = NEAT(network, config).run(dataset, mode=args.mode)
-    print(result.summary())
-    for index, flow in enumerate(result.flows[:10]):
-        print(f"  flow {index}: {len(flow)} segments, "
-              f"{flow.trajectory_cardinality} trajectories, "
-              f"{flow.route_length:.0f} m")
+    telemetry = Telemetry.create()
+    result = NEAT(network, config, telemetry=telemetry).run(
+        dataset, mode=args.mode
+    )
+    if args.metrics_out is not None:
+        telemetry.save(args.metrics_out)
+        get_logger("cli").info("metrics written", path=str(args.metrics_out))
     if args.svg is not None:
         from .analysis.visualize import render_svg
 
@@ -151,6 +173,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             network, args.svg,
             flows=result.flows, clusters=result.clusters,
         )
+    if args.json:
+        # Machine-readable mode: stdout carries exactly one JSON document.
+        print(json.dumps(result_to_dict(result, network_name=network.name)))
+        return 0
+    print(result.summary())
+    for index, flow in enumerate(result.flows[:10]):
+        print(f"  flow {index}: {len(flow)} segments, "
+              f"{flow.trajectory_cardinality} trajectories, "
+              f"{flow.route_length:.0f} m")
+    if args.svg is not None:
         print(f"wrote {args.svg}")
     return 0
 

@@ -94,13 +94,32 @@ def form_base_clusters(
     network: RoadNetwork,
     trajectories: Sequence[Trajectory],
     keep_interior_points: bool = False,
+    metrics=None,
 ) -> list[BaseCluster]:
     """Phase 1 end-to-end: fragment trajectories and group into base clusters.
+
+    Args:
+        network: The road network.
+        trajectories: The trajectories to fragment.
+        keep_interior_points: Keep non-junction samples inside fragments.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, the ``neat.phase1.*`` counters are published.
 
     Returns the density-descending base cluster list (head = dense-core).
     """
     fragments = fragment_all(network, trajectories, keep_interior_points)
-    return group_fragments(fragments)
+    clusters = group_fragments(fragments)
+    if metrics is not None:
+        metrics.counter(
+            "neat.phase1.trajectories", "Trajectories fragmented in Phase 1"
+        ).inc(len(trajectories))
+        metrics.counter(
+            "neat.phase1.t_fragments", "T-fragments extracted in Phase 1"
+        ).inc(len(fragments))
+        metrics.counter(
+            "neat.phase1.base_clusters", "Base clusters formed in Phase 1"
+        ).inc(len(clusters))
+    return clusters
 
 
 def densecore(clusters: Sequence[BaseCluster]) -> BaseCluster:

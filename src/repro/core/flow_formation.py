@@ -56,6 +56,7 @@ def form_flow_clusters(
     config: NEATConfig | None = None,
     seed_strategy: str = "density",
     seed_rng=None,
+    metrics=None,
 ) -> FlowFormationResult:
     """Run Phase 2 over a base-cluster list.
 
@@ -67,6 +68,8 @@ def form_flow_clusters(
             deterministic) or ``"random"`` (ablation only; requires
             ``seed_rng``).
         seed_rng: ``random.Random`` driving the ``"random"`` strategy.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, the ``neat.phase2.*`` counters are published.
 
     Returns:
         The formed flows partitioned by the ``minCard`` filter.
@@ -103,6 +106,23 @@ def form_flow_clusters(
             result.flows.append(flow)
         else:
             result.noise_flows.append(flow)
+    if metrics is not None:
+        metrics.counter(
+            "neat.phase2.flows_formed", "Flow clusters grown in Phase 2"
+        ).inc(len(formed))
+        metrics.counter(
+            "neat.phase2.merges",
+            "Base clusters merged into an existing flow (appends + prepends)",
+        ).inc(sum(len(flow.members) - 1 for flow in formed))
+        metrics.counter(
+            "neat.phase2.flows_kept", "Flows meeting the minCard threshold"
+        ).inc(len(result.flows))
+        metrics.counter(
+            "neat.phase2.min_card_drops", "Flows filtered out by minCard"
+        ).inc(len(result.noise_flows))
+        metrics.gauge(
+            "neat.phase2.min_card_used", "The resolved minCard threshold"
+        ).set(min_card)
     return result
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..obs import Telemetry, get_logger
 from ..roadnet.network import RoadNetwork
 from ..roadnet.shortest_path import ShortestPathEngine
 from .base_cluster import form_base_clusters
@@ -29,6 +30,8 @@ from .flow_cluster import FlowCluster
 from .flow_formation import form_flow_clusters
 from .model import Trajectory
 from .refinement import RefinementStats, TrajectoryCluster, refine_flow_clusters
+
+_log = get_logger("core.incremental")
 
 
 @dataclass
@@ -58,6 +61,11 @@ class IncrementalNEAT:
         config: NEAT parameters.  ``min_card`` applies per batch; the
             Phase 3 ``eps``/``min_pts``/``use_elb`` settings apply to every
             refresh of the global clustering.
+        telemetry: Optional :class:`~repro.obs.Telemetry` bundle.  Unlike
+            the batch pipeline, the incremental clusterer is long-lived,
+            so one bundle accumulates across every ``add_batch`` — its
+            ``incremental.*`` counters and latency histogram describe the
+            whole stream.  Defaults to a fresh enabled bundle.
 
     Example:
         >>> from repro.roadnet import line_network
@@ -65,10 +73,18 @@ class IncrementalNEAT:
         >>> inc = IncrementalNEAT(line_network(3), NEATConfig(min_card=0))
     """
 
-    def __init__(self, network: RoadNetwork, config: NEATConfig | None = None) -> None:
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: NEATConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.network = network
         self.config = config if config is not None else NEATConfig()
         self.engine = ShortestPathEngine(network, directed=False)
+        self.telemetry = telemetry if telemetry is not None else Telemetry.create()
+        if self.telemetry.enabled:
+            self.engine.bind_metrics(self.telemetry.metrics)
         self._flows: list[FlowCluster] = []
         self._noise_flows: list[FlowCluster] = []
         self._clusters: list[TrajectoryCluster] = []
@@ -126,24 +142,54 @@ class IncrementalNEAT:
         result = BatchResult(batch_index=self._batches)
         self._batches += 1
 
-        if batch:
-            base = form_base_clusters(
-                self.network, batch,
-                keep_interior_points=self.config.keep_interior_points,
-            )
-            formation = form_flow_clusters(self.network, base, self.config)
-            result.new_flows = formation.flows
-            result.new_noise_flows = formation.noise_flows
-            self._flows.extend(formation.flows)
-            self._noise_flows.extend(formation.noise_flows)
+        telemetry = self.telemetry
+        metrics = telemetry.metrics if telemetry.enabled else None
+        with telemetry.tracer.span("incremental.add_batch") as batch_span:
+            if batch:
+                base = form_base_clusters(
+                    self.network, batch,
+                    keep_interior_points=self.config.keep_interior_points,
+                    metrics=metrics,
+                )
+                formation = form_flow_clusters(
+                    self.network, base, self.config, metrics=metrics
+                )
+                result.new_flows = formation.flows
+                result.new_noise_flows = formation.noise_flows
+                self._flows.extend(formation.flows)
+                self._noise_flows.extend(formation.noise_flows)
 
-        stats = RefinementStats()
-        self._clusters = refine_flow_clusters(
-            self.network, self._flows, self.config,
-            engine=self.engine, stats=stats,
-        )
+            stats = RefinementStats()
+            with telemetry.tracer.span("incremental.refresh"):
+                self._clusters = refine_flow_clusters(
+                    self.network, self._flows, self.config,
+                    engine=self.engine, stats=stats, metrics=metrics,
+                )
         result.clusters = list(self._clusters)
         result.refinement_stats = stats
+
+        if metrics is not None:
+            metrics.counter(
+                "incremental.batches", "Trajectory batches ingested"
+            ).inc()
+            metrics.counter(
+                "incremental.trajectories", "Trajectories ingested across batches"
+            ).inc(len(batch))
+            metrics.gauge(
+                "incremental.retained_flows", "Flows in the retained pool"
+            ).set(len(self._flows))
+            metrics.histogram(
+                "incremental.batch_seconds",
+                "End-to-end add_batch latency (Phases 1-2 plus refresh)",
+            ).observe(batch_span.duration)
+        _log.debug(
+            "batch ingested",
+            batch=result.batch_index,
+            trajectories=len(batch),
+            new_flows=len(result.new_flows),
+            clusters=len(result.clusters),
+            seconds=round(batch_span.duration, 6),
+        )
         return result
 
     def _offset_ids(self, batch: list[Trajectory]) -> list[Trajectory]:

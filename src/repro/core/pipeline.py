@@ -16,9 +16,9 @@ Section IV of the paper names three usable variants of the framework:
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, Sequence
 
+from ..obs import Telemetry, get_logger
 from ..roadnet.network import RoadNetwork
 from ..roadnet.shortest_path import ShortestPathEngine
 from .base_cluster import form_base_clusters
@@ -30,6 +30,8 @@ from .result import NEATResult, PhaseTimings
 
 #: The three framework variants, in increasing phase count.
 MODES = ("base", "flow", "opt")
+
+_log = get_logger("core.pipeline")
 
 
 class NEAT:
@@ -56,6 +58,7 @@ class NEAT:
         network: RoadNetwork,
         config: NEATConfig | None = None,
         engine: ShortestPathEngine | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.network = network
         self.config = config if config is not None else NEATConfig()
@@ -69,6 +72,11 @@ class NEAT:
             engine if engine is not None
             else ShortestPathEngine(network, directed=False)
         )
+        # None (the default) means "fresh enabled telemetry per run", so
+        # every NEATResult carries its own isolated snapshot.  Injecting a
+        # bundle accumulates across runs; Telemetry.disabled() turns the
+        # layer off entirely (PhaseTimings then reads all-zero).
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def run(
@@ -89,42 +97,98 @@ class NEAT:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         trajectory_list = self._as_list(trajectories)
 
-        timings = PhaseTimings()
-        result = NEATResult(mode=mode, timings=timings)
-
-        started = time.perf_counter()
-        result.base_clusters = form_base_clusters(
-            self.network,
-            trajectory_list,
-            keep_interior_points=self.config.keep_interior_points,
+        telemetry = (
+            self.telemetry if self.telemetry is not None else Telemetry.create()
         )
-        timings.base = time.perf_counter() - started
+        result = NEATResult(mode=mode, timings=PhaseTimings())
+        with telemetry.tracer.span("neat.run"):
+            self._run_phases(trajectory_list, mode, result, telemetry)
+        if telemetry.enabled:
+            result.telemetry = telemetry.snapshot()
+        _log.info(
+            "run complete",
+            mode=mode,
+            trajectories=len(trajectory_list),
+            base_clusters=len(result.base_clusters),
+            flows=len(result.flows),
+            clusters=len(result.clusters),
+            seconds=round(result.timings.total, 6),
+        )
+        return result
+
+    def _run_phases(
+        self,
+        trajectory_list: list[Trajectory],
+        mode: str,
+        result: NEATResult,
+        telemetry: Telemetry,
+    ) -> None:
+        """Run the requested phases, timing each with a span.
+
+        ``PhaseTimings`` is a derived view of the span durations; the
+        metrics registry receives each phase module's counters.
+        """
+        tracer = telemetry.tracer
+        metrics = telemetry.metrics if telemetry.enabled else None
+        # (Re)bind per run: a fresh registry sees per-run deltas even on a
+        # warm shared engine; disabled runs unbind so the hot path pays
+        # only the None checks.
+        self.engine.bind_metrics(metrics)
+        timings = result.timings
+
+        with tracer.span("phase1.fragmentation") as span:
+            result.base_clusters = form_base_clusters(
+                self.network,
+                trajectory_list,
+                keep_interior_points=self.config.keep_interior_points,
+                metrics=metrics,
+            )
+        timings.base = span.duration
+        _log.debug(
+            "phase1 done",
+            base_clusters=len(result.base_clusters),
+            seconds=round(span.duration, 6),
+        )
         if mode == "base":
-            return result
+            return
 
-        started = time.perf_counter()
-        formation = form_flow_clusters(
-            self.network, result.base_clusters, self.config
-        )
-        timings.flow = time.perf_counter() - started
+        with tracer.span("phase2.flow_formation") as span:
+            formation = form_flow_clusters(
+                self.network, result.base_clusters, self.config, metrics=metrics
+            )
+        timings.flow = span.duration
         result.flows = formation.flows
         result.noise_flows = formation.noise_flows
         result.min_card_used = formation.min_card_used
-        if mode == "flow":
-            return result
-
-        started = time.perf_counter()
-        stats = RefinementStats()
-        result.clusters = refine_flow_clusters(
-            self.network,
-            result.flows,
-            self.config,
-            engine=self.engine,
-            stats=stats,
+        _log.debug(
+            "phase2 done",
+            flows=len(result.flows),
+            noise_flows=len(result.noise_flows),
+            min_card=result.min_card_used,
+            seconds=round(span.duration, 6),
         )
-        timings.refine = time.perf_counter() - started
+        if mode == "flow":
+            return
+
+        stats = RefinementStats()
+        with tracer.span("phase3.refinement") as span:
+            result.clusters = refine_flow_clusters(
+                self.network,
+                result.flows,
+                self.config,
+                engine=self.engine,
+                stats=stats,
+                metrics=metrics,
+            )
+        timings.refine = span.duration
         result.refinement_stats = stats
-        return result
+        _log.debug(
+            "phase3 done",
+            clusters=len(result.clusters),
+            elb_pruned=stats.elb_pruned,
+            sp_computations=stats.shortest_path_computations,
+            seconds=round(span.duration, 6),
+        )
 
     # Convenience wrappers matching the paper's naming -----------------
     def run_base(self, trajectories) -> NEATResult:

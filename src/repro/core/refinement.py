@@ -132,6 +132,7 @@ def refine_flow_clusters(
     config: NEATConfig | None = None,
     engine: ShortestPathEngine | None = None,
     stats: RefinementStats | None = None,
+    metrics=None,
 ) -> list[TrajectoryCluster]:
     """Run Phase 3: merge eps-close flows into final trajectory clusters.
 
@@ -142,6 +143,9 @@ def refine_flow_clusters(
         engine: Optional shared shortest-path engine (undirected); a fresh
             memoizing engine is created when omitted.
         stats: Optional stats collector, filled in place.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, the ``neat.phase3.*`` counters are published from
+            the collected stats when refinement finishes.
 
     Returns:
         Final clusters ordered by discovery (the first cluster is seeded by
@@ -157,6 +161,7 @@ def refine_flow_clusters(
 
     flow_list = list(flows)
     if not flow_list:
+        _publish_stats(metrics, stats, cluster_count=0)
         return []
 
     eps = config.eps
@@ -202,4 +207,28 @@ def refine_flow_clusters(
             clusters.append(TrajectoryCluster(len(clusters), [flow_list[index]]))
 
     stats.shortest_path_computations += engine.computations - sp_before
+    _publish_stats(metrics, stats, cluster_count=len(clusters))
     return clusters
+
+
+def _publish_stats(metrics, stats: RefinementStats, cluster_count: int) -> None:
+    """Publish one refinement's stats as ``neat.phase3.*`` instruments."""
+    if metrics is None:
+        return
+    metrics.counter(
+        "neat.phase3.pair_checks", "Candidate flow pairs examined in region queries"
+    ).inc(stats.pair_checks)
+    metrics.counter(
+        "neat.phase3.elb_pruned", "Pairs discarded by the Euclidean lower bound"
+    ).inc(stats.elb_pruned)
+    metrics.counter(
+        "neat.phase3.hausdorff_evaluations",
+        "Pairs whose exact modified Hausdorff distance was computed",
+    ).inc(stats.hausdorff_evaluations)
+    metrics.counter(
+        "neat.phase3.sp_computations",
+        "Dijkstra searches executed during refinement (memo hits excluded)",
+    ).inc(stats.shortest_path_computations)
+    metrics.counter(
+        "neat.phase3.clusters", "Final trajectory clusters produced"
+    ).inc(cluster_count)

@@ -10,6 +10,7 @@ anything.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from .base_cluster import BaseCluster
 from .flow_cluster import FlowCluster
@@ -41,8 +42,13 @@ class NEATResult:
         noise_flows: Phase 2 flows filtered by ``minCard``.
         clusters: Phase 3 final clusters (empty unless mode is ``"opt"``).
         min_card_used: The resolved ``minCard`` threshold.
-        timings: Per-phase wall-clock times.
+        timings: Per-phase wall-clock times (derived from the run's
+            ``phase*`` trace spans).
         refinement_stats: Phase 3 instrumentation (ELB counters).
+        telemetry: The run's full telemetry snapshot — ``{"trace": [...],
+            "metrics": {...}}`` as produced by
+            :meth:`repro.obs.Telemetry.snapshot`.  Empty when the run was
+            executed with telemetry disabled.
     """
 
     mode: str
@@ -53,6 +59,7 @@ class NEATResult:
     min_card_used: int = 0
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     refinement_stats: RefinementStats = field(default_factory=RefinementStats)
+    telemetry: dict[str, Any] = field(default_factory=dict)
 
     @property
     def flow_count(self) -> int:

@@ -27,18 +27,29 @@ from ..core.model import Trajectory
 from ..core.result import NEATResult
 from ..core.serialize import result_to_dict
 from ..core.validate import validate_result
+from ..obs import Telemetry, get_logger
 from ..roadnet.network import RoadNetwork
+
+_log = get_logger("distributed.service")
 
 
 @dataclass(frozen=True, slots=True)
 class ServiceStats:
-    """Operational counters of a service instance."""
+    """Operational counters of a service instance.
+
+    A derived view over the service's metrics registry: every field is
+    readable (with histograms for the latencies) from
+    :meth:`NeatService.metrics_snapshot` as well.
+    """
 
     batches_ingested: int
     trajectories_ingested: int
+    queries_served: int
     flow_count: int
     cluster_count: int
     shortest_path_computations: int
+    submit_seconds_total: float
+    query_seconds_total: float
 
 
 class NeatService:
@@ -47,18 +58,44 @@ class NeatService:
     Args:
         network: The road network clients' trajectories travel on.
         config: NEAT parameters applied to every ingest/refresh.
+        telemetry: Optional :class:`~repro.obs.Telemetry` bundle shared
+            with the underlying incremental clusterer; the service adds
+            ``service.*`` ingest/query counters and latency histograms to
+            it.  Defaults to a fresh enabled bundle.
 
     Example:
         >>> from repro.roadnet import line_network
         >>> service = NeatService(line_network(3))
     """
 
-    def __init__(self, network: RoadNetwork, config: NEATConfig | None = None) -> None:
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: NEATConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.network = network
         self.config = config if config is not None else NEATConfig()
-        self._incremental = IncrementalNEAT(network, self.config)
-        self._batches = 0
-        self._trajectories = 0
+        self.telemetry = telemetry if telemetry is not None else Telemetry.create()
+        self._incremental = IncrementalNEAT(
+            network, self.config, telemetry=self.telemetry
+        )
+        metrics = self.telemetry.metrics
+        self._submitted_batches = metrics.counter(
+            "service.batches_ingested", "Trajectory batches accepted by submit()"
+        )
+        self._submitted_trajectories = metrics.counter(
+            "service.trajectories_ingested", "Trajectories accepted by submit()"
+        )
+        self._queries = metrics.counter(
+            "service.queries_served", "Clustering/flow-summary queries answered"
+        )
+        self._submit_latency = metrics.histogram(
+            "service.submit_latency_seconds", "End-to-end submit() latency"
+        )
+        self._query_latency = metrics.histogram(
+            "service.query_latency_seconds", "End-to-end query latency"
+        )
 
     # ------------------------------------------------------------------
     # Ingestion (the client -> server direction)
@@ -69,11 +106,20 @@ class NeatService:
         Trajectory ids are re-assigned server-side (clients should not
         need to coordinate id spaces).
         """
-        batch = self._incremental.add_batch(
-            list(trajectories), auto_offset_ids=True
+        with self.telemetry.tracer.span("service.submit") as span:
+            batch = self._incremental.add_batch(
+                list(trajectories), auto_offset_ids=True
+            )
+        self._submitted_batches.inc()
+        self._submitted_trajectories.inc(len(trajectories))
+        self._submit_latency.observe(span.duration)
+        _log.info(
+            "batch accepted",
+            batch=batch.batch_index,
+            trajectories=len(trajectories),
+            new_flows=len(batch.new_flows),
+            seconds=round(span.duration, 6),
         )
-        self._batches += 1
-        self._trajectories += len(trajectories)
         return {
             "batch": batch.batch_index,
             "accepted": len(trajectories),
@@ -91,34 +137,49 @@ class NeatService:
         The response is validated against the framework invariants before
         being returned.
         """
-        result = self._snapshot()
-        validate_result(
-            result, self.network, allow_shared_segments=True
-        ).raise_if_invalid()
-        return result_to_dict(result, network_name=self.network.name)
+        with self.telemetry.tracer.span("service.get_clustering") as span:
+            result = self._snapshot()
+            validate_result(
+                result, self.network, allow_shared_segments=True
+            ).raise_if_invalid()
+            document = result_to_dict(result, network_name=self.network.name)
+        self._queries.inc()
+        self._query_latency.observe(span.duration)
+        return document
 
     def get_flow_summaries(self) -> list[dict[str, Any]]:
         """Lightweight per-flow digests (for map UIs / previews)."""
-        return [
-            {
-                "flow": index,
-                "segments": list(flow.sids),
-                "endpoints": list(flow.endpoints),
-                "cardinality": flow.trajectory_cardinality,
-                "route_length_m": round(flow.route_length, 1),
-            }
-            for index, flow in enumerate(self._incremental.flows)
-        ]
+        with self.telemetry.tracer.span("service.get_flow_summaries") as span:
+            summaries = [
+                {
+                    "flow": index,
+                    "segments": list(flow.sids),
+                    "endpoints": list(flow.endpoints),
+                    "cardinality": flow.trajectory_cardinality,
+                    "route_length_m": round(flow.route_length, 1),
+                }
+                for index, flow in enumerate(self._incremental.flows)
+            ]
+        self._queries.inc()
+        self._query_latency.observe(span.duration)
+        return summaries
 
     def stats(self) -> ServiceStats:
-        """Operational counters."""
+        """Operational counters (a view over the metrics registry)."""
         return ServiceStats(
-            batches_ingested=self._batches,
-            trajectories_ingested=self._trajectories,
+            batches_ingested=int(self._submitted_batches.value),
+            trajectories_ingested=int(self._submitted_trajectories.value),
+            queries_served=int(self._queries.value),
             flow_count=len(self._incremental.flows),
             cluster_count=len(self._incremental.clusters),
             shortest_path_computations=self._incremental.engine.computations,
+            submit_seconds_total=self._submit_latency.sum,
+            query_seconds_total=self._query_latency.sum,
         )
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The full telemetry snapshot (trace forest + every instrument)."""
+        return self.telemetry.snapshot()
 
     # ------------------------------------------------------------------
     def _snapshot(self) -> NEATResult:

@@ -1,14 +1,21 @@
-"""Experiment harness helpers: timing and text-table rendering.
+"""Experiment harness helpers: timing, metrics export, table rendering.
 
 Every benchmark module regenerates one of the paper's tables/figures and
 prints a "paper vs measured" text table; the helpers here keep that output
-consistent and the timing methodology in one place.
+consistent and the timing methodology in one place.  Runs that produce a
+:class:`~repro.core.result.NEATResult` can export its telemetry snapshot
+alongside the text report with :func:`result_metrics` +
+:func:`export_metrics`, making every operational counter behind a figure
+(Phase timings, ELB prunes, Dijkstra calls) reproducible from one JSON
+artifact.
 """
 
 from __future__ import annotations
 
+import json
 import time
-from typing import Callable, Sequence, TypeVar
+from pathlib import Path
+from typing import Any, Callable, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -18,6 +25,53 @@ def timed(fn: Callable[[], T]) -> tuple[T, float]:
     started = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - started
+
+
+def result_metrics(result) -> dict[str, Any]:
+    """A NEAT run's telemetry snapshot, derived if the run carried none.
+
+    Prefers the :attr:`~repro.core.result.NEATResult.telemetry` snapshot
+    recorded by the pipeline; for results produced with telemetry disabled
+    (or deserialized ones) it falls back to reconstructing the phase
+    timings and refinement counters from the result's own fields, so every
+    caller gets the same document shape.
+    """
+    if result.telemetry:
+        return result.telemetry
+    stats = result.refinement_stats
+    timings = result.timings
+    return {
+        "trace": [
+            {
+                "name": "neat.run",
+                "duration_s": timings.total,
+                "children": [
+                    {"name": "phase1.fragmentation", "duration_s": timings.base},
+                    {"name": "phase2.flow_formation", "duration_s": timings.flow},
+                    {"name": "phase3.refinement", "duration_s": timings.refine},
+                ],
+            }
+        ],
+        "metrics": {
+            "counters": {
+                "neat.phase3.pair_checks": stats.pair_checks,
+                "neat.phase3.elb_pruned": stats.elb_pruned,
+                "neat.phase3.hausdorff_evaluations": stats.hausdorff_evaluations,
+                "neat.phase3.sp_computations": stats.shortest_path_computations,
+                "neat.phase3.clusters": len(result.clusters),
+            },
+            "gauges": {"neat.phase2.min_card_used": result.min_card_used},
+            "histograms": {},
+        },
+    }
+
+
+def export_metrics(snapshot: dict[str, Any], path: str | Path) -> Path:
+    """Write a telemetry snapshot as pretty-printed JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return target
 
 
 def format_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

@@ -1,0 +1,45 @@
+"""repro.obs — the unified telemetry layer.
+
+Three zero-dependency pillars shared by every subsystem:
+
+* :mod:`repro.obs.logging` — structured logging (``key=value`` or
+  JSON-lines) over the stdlib, configured once per process;
+* :mod:`repro.obs.tracing` — nested wall-clock spans collected into an
+  exportable trace tree, with a no-op tracer for disabled runs;
+* :mod:`repro.obs.metrics` — named counters, gauges and histograms in a
+  :class:`MetricsRegistry`, exportable as a JSON dict or Prometheus text.
+
+:class:`~repro.obs.telemetry.Telemetry` bundles one tracer and one
+registry and is what the NEAT pipeline, the incremental clusterer and the
+service thread through their phases.  Instrument names follow the
+``subsystem.phaseN.quantity`` convention documented in
+``docs/observability.md``.
+"""
+
+from .logging import (
+    JsonLinesFormatter,
+    KeyValueFormatter,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .telemetry import Telemetry
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesFormatter",
+    "KeyValueFormatter",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "StructuredLogger",
+    "Telemetry",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+]

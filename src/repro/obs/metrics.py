@@ -1,0 +1,270 @@
+"""Metrics instruments and the registry they live in.
+
+Three instrument kinds, matching the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing total (``inc``);
+* :class:`Gauge` — a value that goes both ways (``set``/``inc``/``dec``);
+* :class:`Histogram` — bucketed observations with running count and sum.
+
+A :class:`MetricsRegistry` owns instruments by dotted name
+(``neat.phase3.elb_pruned``) with get-or-create semantics, and exports
+the whole family either as a JSON-compatible dict (:meth:`as_dict`) or
+as Prometheus text exposition format (:meth:`to_prometheus`, dots
+becoming underscores).  Everything is plain Python on purpose: an
+``inc()`` is one float add, cheap enough to leave enabled in production
+paths.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Any, Iterator
+
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Default latency buckets (seconds), Prometheus-style.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_number(value: float) -> str:
+    """Render ints without a trailing ``.0`` (Prometheus-friendly)."""
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def as_dict(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value that can move in both directions."""
+
+    kind = "gauge"
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def as_dict(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Bucketed observations with a running count and sum.
+
+    Buckets are upper bounds (``le``); an observation lands in the first
+    bucket whose bound is >= the value, mirroring Prometheus semantics
+    (the implicit ``+Inf`` bucket catches the rest).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "description", "buckets", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        self.name = name
+        self.description = description
+        bounds = tuple(sorted(set(buckets if buckets is not None else DEFAULT_BUCKETS)))
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs at least one bucket")
+        self.buckets = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        index = bisect_left(self.buckets, value)
+        if index < len(self.buckets):
+            self.bucket_counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self.bucket_counts):
+            running += bucket_count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), self.count))
+        return pairs
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": {
+                ("+Inf" if bound == float("inf") else _format_number(bound)): total
+                for bound, total in self.cumulative_buckets()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count}, sum={self.sum})"
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create access and bulk export."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+
+    # -- creation / lookup ---------------------------------------------
+    def _get_or_create(self, cls, name: str, description: str, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"requested {cls.kind}"
+                )
+            return existing
+        instrument = cls(name, description, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """The counter called ``name`` (created on first request)."""
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """The gauge called ``name`` (created on first request)."""
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first request)."""
+        return self._get_or_create(Histogram, name, description, buckets=buckets)
+
+    def get(self, name: str) -> Instrument | None:
+        """The instrument called ``name``, or None."""
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """A counter/gauge's current value (``default`` when absent)."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            return default
+        if isinstance(instrument, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; read .count/.sum")
+        return instrument.value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- lifecycle ------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    # -- export ---------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """Snapshot: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""
+        document: dict[str, dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            document[instrument.kind + "s"][name] = instrument.as_dict()
+        return document
+
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            prom = prometheus_name(name)
+            if instrument.description:
+                lines.append(f"# HELP {prom} {instrument.description}")
+            lines.append(f"# TYPE {prom} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                for bound, total in instrument.cumulative_buckets():
+                    le = "+Inf" if bound == float("inf") else _format_number(bound)
+                    lines.append(f'{prom}_bucket{{le="{le}"}} {total}')
+                lines.append(f"{prom}_sum {_format_number(instrument.sum)}")
+                lines.append(f"{prom}_count {instrument.count}")
+            else:
+                lines.append(f"{prom} {_format_number(instrument.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_name(name: str) -> str:
+    """A dotted instrument name as a valid Prometheus metric name."""
+    sanitized = _PROM_SANITIZE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized

@@ -1,0 +1,66 @@
+"""The telemetry bundle threaded through the NEAT stack.
+
+A :class:`Telemetry` pairs one :class:`~repro.obs.tracing.Tracer` with
+one :class:`~repro.obs.metrics.MetricsRegistry`.  The pipeline, the
+incremental clusterer and the service each operate against a bundle:
+spans time the phases, instruments count the operations, and
+:meth:`Telemetry.snapshot` freezes both into one JSON-compatible
+artifact (what :attr:`NEATResult.telemetry` carries and what the CLI's
+``--metrics-out`` writes).
+
+``Telemetry.disabled()`` swaps in the shared no-op tracer and flags the
+bundle off; instrumented code checks :attr:`Telemetry.enabled` before
+publishing, so a disabled run pays only a handful of branch tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .tracing import NULL_TRACER, Tracer
+
+
+@dataclass
+class Telemetry:
+    """One tracer + one metrics registry, on/off as a unit.
+
+    Attributes:
+        tracer: Span collector (a no-op tracer when disabled).
+        metrics: Instrument registry for counters/gauges/histograms.
+        enabled: Whether instrumented code should record at all.
+    """
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    enabled: bool = True
+
+    @classmethod
+    def create(cls) -> "Telemetry":
+        """A fresh, enabled bundle (one per pipeline run by default)."""
+        return cls()
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A no-op bundle: null tracer, empty registry, ``enabled=False``."""
+        return cls(tracer=NULL_TRACER, metrics=MetricsRegistry(), enabled=False)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Freeze the trace forest and every instrument into plain dicts."""
+        return {
+            "trace": self.tracer.to_dict(),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Write :meth:`snapshot` as pretty-printed JSON; returns the path.
+
+        Parent directories are created as needed.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n")
+        return target

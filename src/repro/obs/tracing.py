@@ -1,0 +1,165 @@
+"""Span tracing: nested wall-clock timers collected into a trace tree.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    tracer = Tracer()
+    with tracer.span("neat.run"):
+        with tracer.span("phase1.fragmentation"):
+            ...
+
+Spans opened while another span is active become its children, so one run
+produces a tree mirroring the call structure.  The tree exports to plain
+dicts (:meth:`Tracer.to_dict`) for JSON dumping, and :meth:`Tracer.find`
+fetches a span by name for assertions and derived views (the pipeline's
+``PhaseTimings`` is exactly that).
+
+:class:`NullTracer` (singleton :data:`NULL_TRACER`) implements the same
+surface with a single reusable no-op context manager, so instrumented hot
+paths cost one attribute lookup and an empty ``with`` block when tracing
+is disabled.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed region: a name, start/end stamps and child spans."""
+
+    __slots__ = ("name", "start", "end", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start = 0.0
+        self.end = 0.0
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between enter and exit (0 while open)."""
+        return max(self.end - self.start, 0.0)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (depth-first)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible subtree: name, duration and children."""
+        document: dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration,
+        }
+        if self.children:
+            document["children"] = [child.to_dict() for child in self.children]
+        return document
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration:.6f}s, {len(self.children)} children)"
+
+
+class _SpanContext:
+    """Context manager entering/exiting one span on its tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        parent = tracer._stack[-1] if tracer._stack else None
+        (parent.children if parent is not None else tracer.roots).append(self._span)
+        tracer._stack.append(self._span)
+        self._span.start = perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._span.end = perf_counter()
+        self._tracer._stack.pop()
+
+
+class Tracer:
+    """Collects spans into a forest of trace trees.
+
+    Not thread-safe: one tracer per run/worker, by design (the pipeline
+    creates a fresh one per :meth:`~repro.core.pipeline.NEAT.run`).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str) -> _SpanContext:
+        """A context manager timing ``name`` nested under the open span."""
+        return _SpanContext(self, Span(name))
+
+    def find(self, name: str) -> Span | None:
+        """First span named ``name`` across all recorded trees."""
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> list[dict[str, Any]]:
+        """The recorded trees as JSON-compatible dicts."""
+        return [root.to_dict() for root in self.roots]
+
+    def reset(self) -> None:
+        """Drop every recorded span (open spans must not be on the stack)."""
+        if self._stack:
+            raise RuntimeError("cannot reset a tracer with open spans")
+        self.roots.clear()
+
+
+class _NullSpan(Span):
+    """The span no-op contexts yield; always zero duration, no children."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("<null>")
+
+
+class _NullSpanContext:
+    __slots__ = ("_span",)
+
+    def __init__(self) -> None:
+        self._span = _NullSpan()
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing and allocates nothing per span."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_context = _NullSpanContext()
+
+    def span(self, name: str) -> _NullSpanContext:  # type: ignore[override]
+        return self._null_context
+
+
+#: Shared no-op tracer for disabled telemetry.
+NULL_TRACER = NullTracer()

@@ -27,6 +27,7 @@ from .shortest_path import (
     Route,
     ShortestPathEngine,
     dijkstra_distance,
+    dijkstra_distance_counted,
     dijkstra_single_source,
     shortest_route,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "clip_trajectories",
     "crop_network",
     "dijkstra_distance",
+    "dijkstra_distance_counted",
     "dijkstra_single_source",
     "format_table1",
     "generate_grid_network",

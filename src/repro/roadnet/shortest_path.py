@@ -124,29 +124,47 @@ def dijkstra_distance(
 
     Returns :data:`INFINITY` when no path exists.
     """
+    return dijkstra_distance_counted(network, source, target, directed)[0]
+
+
+def dijkstra_distance_counted(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    directed: bool = False,
+) -> tuple[float, int]:
+    """Like :func:`dijkstra_distance`, also reporting settled-node count.
+
+    Returns:
+        ``(distance, expansions)`` where ``expansions`` is the number of
+        nodes the search settled — the per-search work unit the telemetry
+        layer aggregates as ``roadnet.sp.nodes_expanded``.
+    """
     if not network.has_node(source):
         raise UnknownNodeError(source)
     if not network.has_node(target):
         raise UnknownNodeError(target)
     if source == target:
-        return 0.0
+        return 0.0, 0
     neighbors = _neighbor_fn(network, directed)
     dist: dict[int, float] = {source: 0.0}
     done: set[int] = set()
     heap: list[tuple[float, int]] = [(0.0, source)]
+    expansions = 0
     while heap:
         d, node = heapq.heappop(heap)
         if node in done:
             continue
         if node == target:
-            return d
+            return d, expansions
         done.add(node)
+        expansions += 1
         for neighbor, _sid, length in neighbors(node):
             nd = d + length
             if nd < dist.get(neighbor, INFINITY):
                 dist[neighbor] = nd
                 heapq.heappush(heap, (nd, neighbor))
-    return INFINITY
+    return INFINITY, expansions
 
 
 def shortest_route(
@@ -221,11 +239,21 @@ class ShortestPathEngine:
     in the undirected case) and counts how many actual searches ran, which
     is the quantity the ELB optimization of Figure 7 reduces.
 
+    A long-lived engine is meant to be shared across runs (that is how
+    :class:`~repro.core.pipeline.NEAT` amortizes Phase 3 work), so the
+    counters are cumulative by default; call :meth:`reset_counters`
+    between runs to report per-run Figure-7 numbers, or bind a
+    per-run registry with :meth:`bind_metrics` and read the deltas there.
+
     Attributes:
         network: The road network queried.
         directed: Whether searches respect one-way segments.
         computations: Number of searches actually executed (cache hits are
             free and not counted).
+        cache_hits: Number of ``distance`` calls answered from the memo
+            table (identity queries are not counted).
+        nodes_expanded: Total nodes settled across all Dijkstra searches
+            (0 for oracle-backed answers, which do not run a search).
         oracle: Optional accelerated backend (e.g.
             :class:`~repro.roadnet.landmarks.LandmarkOracle`) — any object
             with a ``distance(source, target) -> float`` method.  Only
@@ -236,7 +264,14 @@ class ShortestPathEngine:
     directed: bool = False
     computations: int = 0
     oracle: object | None = None
+    cache_hits: int = 0
+    nodes_expanded: int = 0
     _cache: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
+    _metric_computations: object | None = field(
+        default=None, repr=False, compare=False
+    )
+    _metric_cache_hits: object | None = field(default=None, repr=False, compare=False)
+    _metric_expanded: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.oracle is not None and self.directed:
@@ -251,22 +286,62 @@ class ShortestPathEngine:
             key = (target, source)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
+            if self._metric_cache_hits is not None:
+                self._metric_cache_hits.inc()
             return cached
         self.computations += 1
+        if self._metric_computations is not None:
+            self._metric_computations.inc()
         if self.oracle is not None:
             distance = self.oracle.distance(key[0], key[1])
         else:
-            distance = dijkstra_distance(
+            distance, expanded = dijkstra_distance_counted(
                 self.network, key[0], key[1], directed=self.directed
             )
+            self.nodes_expanded += expanded
+            if self._metric_expanded is not None:
+                self._metric_expanded.inc(expanded)
         self._cache[key] = distance
         return distance
 
+    def bind_metrics(self, registry) -> None:
+        """Mirror this engine's counters into ``registry`` from now on.
+
+        Args:
+            registry: A :class:`~repro.obs.metrics.MetricsRegistry`; the
+                engine increments its ``roadnet.sp.computations``,
+                ``roadnet.sp.cache_hits`` and ``roadnet.sp.nodes_expanded``
+                counters alongside the plain attributes.  Binding a fresh
+                per-run registry therefore yields per-run deltas even on a
+                warm shared engine.  Pass ``None`` to unbind.
+        """
+        if registry is None:
+            self._metric_computations = None
+            self._metric_cache_hits = None
+            self._metric_expanded = None
+            return
+        self._metric_computations = registry.counter(
+            "roadnet.sp.computations", "Shortest-path searches actually executed"
+        )
+        self._metric_cache_hits = registry.counter(
+            "roadnet.sp.cache_hits", "Distance queries answered from the memo table"
+        )
+        self._metric_expanded = registry.counter(
+            "roadnet.sp.nodes_expanded", "Nodes settled across all Dijkstra searches"
+        )
+
     def reset_counters(self) -> None:
-        """Zero the computation counter (cache contents are kept)."""
+        """Zero every counter (cache contents are kept).
+
+        Call between back-to-back runs sharing one engine so each run
+        reports its own Figure-7 numbers rather than cumulative totals.
+        """
         self.computations = 0
+        self.cache_hits = 0
+        self.nodes_expanded = 0
 
     def clear(self) -> None:
         """Drop the memo table and zero counters."""
         self._cache.clear()
-        self.computations = 0
+        self.reset_counters()

@@ -3,10 +3,22 @@
 from __future__ import annotations
 
 import json
+import logging
 
 import pytest
 
 from repro.cli import main
+from repro.obs.logging import _HANDLER_MARK
+
+
+@pytest.fixture(autouse=True)
+def _drop_cli_log_handlers():
+    """main() configures repro logging; detach handlers bound to capsys."""
+    yield
+    root = logging.getLogger("repro")
+    for handler in [h for h in root.handlers if getattr(h, _HANDLER_MARK, False)]:
+        root.removeHandler(handler)
+    root.setLevel(logging.WARNING)
 
 
 @pytest.fixture
@@ -85,6 +97,73 @@ class TestCluster:
             "--wq", "1.0", "--wk", "0.0", "--wv", "0.0", "--min-card", "0",
         ])
         assert code == 0
+
+    def test_json_output_is_single_document(
+        self, saved_network, saved_traces, capsys
+    ):
+        code = main([
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces), "--mode", "opt",
+            "--min-card", "0", "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["mode"] == "opt"
+        assert document["flows"]
+        assert document["network_name"]
+
+    def test_metrics_out_writes_snapshot(
+        self, saved_network, saved_traces, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces), "--mode", "opt",
+            "--min-card", "0", "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["trace"][0]["name"] == "neat.run"
+        counters = snapshot["metrics"]["counters"]
+        assert counters["neat.phase1.t_fragments"] > 0
+        assert "neat.phase3.pair_checks" in counters
+
+
+class TestLoggingFlags:
+    def test_log_level_emits_run_records(
+        self, saved_network, saved_traces, capsys
+    ):
+        code = main([
+            "--log-level", "INFO",
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces), "--min-card", "0",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "event=" in err
+        assert "run complete" in err
+
+    def test_log_json_emits_json_lines(
+        self, saved_network, saved_traces, capsys
+    ):
+        code = main([
+            "--log-level", "INFO", "--log-json",
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces), "--min-card", "0",
+        ])
+        assert code == 0
+        lines = [
+            line for line in capsys.readouterr().err.splitlines() if line
+        ]
+        records = [json.loads(line) for line in lines]
+        assert any(r["event"] == "run complete" for r in records)
+
+    def test_default_level_is_quiet(self, saved_network, saved_traces, capsys):
+        main([
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces), "--min-card", "0",
+        ])
+        assert "run complete" not in capsys.readouterr().err
 
 
 class TestParser:

@@ -1,0 +1,139 @@
+"""Tests for repro.obs.logging: configuration, formats, structure."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    _HANDLER_MARK,
+    JsonLinesFormatter,
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    """Leave the repro logger quiet and handler-free after each test."""
+    yield
+    root = logging.getLogger("repro")
+    for handler in [h for h in root.handlers if getattr(h, _HANDLER_MARK, False)]:
+        root.removeHandler(handler)
+    root.setLevel(logging.WARNING)
+
+
+def _obs_handlers():
+    root = logging.getLogger("repro")
+    return [h for h in root.handlers if getattr(h, _HANDLER_MARK, False)]
+
+
+class TestConfigure:
+    def test_installs_one_handler(self):
+        configure_logging("INFO", stream=io.StringIO())
+        assert len(_obs_handlers()) == 1
+
+    def test_idempotent_reconfiguration(self):
+        configure_logging("INFO", stream=io.StringIO())
+        configure_logging("DEBUG", stream=io.StringIO())
+        configure_logging("DEBUG", json_lines=True, stream=io.StringIO())
+        assert len(_obs_handlers()) == 1
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_latest_configuration_wins(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging("INFO", stream=first)
+        configure_logging("INFO", stream=second)
+        get_logger("test").info("hello")
+        assert first.getvalue() == ""
+        assert "hello" in second.getvalue()
+
+    def test_level_filtering(self):
+        buffer = io.StringIO()
+        configure_logging("WARNING", stream=buffer)
+        log = get_logger("test")
+        log.info("quiet")
+        log.warning("loud")
+        output = buffer.getvalue()
+        assert "quiet" not in output
+        assert "loud" in output
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("CHATTY")
+
+    def test_formatter_selection(self):
+        logger = configure_logging("INFO", json_lines=True, stream=io.StringIO())
+        assert isinstance(_obs_handlers()[0].formatter, JsonLinesFormatter)
+        configure_logging("INFO", stream=io.StringIO())
+        assert isinstance(_obs_handlers()[0].formatter, KeyValueFormatter)
+        assert logger is logging.getLogger("repro")
+
+
+class TestKeyValueFormat:
+    def test_fields_rendered(self):
+        buffer = io.StringIO()
+        configure_logging("DEBUG", stream=buffer)
+        get_logger("core.pipeline").info("run complete", mode="opt", flows=12)
+        line = buffer.getvalue().strip()
+        assert "level=info" in line
+        assert "logger=repro.core.pipeline" in line
+        assert 'event="run complete"' in line
+        assert "mode=opt" in line
+        assert "flows=12" in line
+
+    def test_values_with_spaces_quoted(self):
+        buffer = io.StringIO()
+        configure_logging("DEBUG", stream=buffer)
+        get_logger("t").info("x", note="two words")
+        assert 'note="two words"' in buffer.getvalue()
+
+
+class TestJsonLinesFormat:
+    def test_records_parse_as_json(self):
+        buffer = io.StringIO()
+        configure_logging("DEBUG", json_lines=True, stream=buffer)
+        log = get_logger("core.pipeline")
+        log.info("run complete", mode="opt", flows=12)
+        log.warning("slow phase", phase="refine")
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "run complete"
+        assert first["level"] == "info"
+        assert first["logger"] == "repro.core.pipeline"
+        assert first["mode"] == "opt"
+        assert first["flows"] == 12
+        assert json.loads(lines[1])["phase"] == "refine"
+
+
+class TestStructuredLogger:
+    def test_namespacing_under_repro(self):
+        assert get_logger("roadnet").name == "repro.roadnet"
+        assert get_logger("repro.core").name == "repro.core"
+        assert get_logger().name == "repro"
+
+    def test_bind_carries_fields(self):
+        buffer = io.StringIO()
+        configure_logging("DEBUG", stream=buffer)
+        bound = get_logger("svc").bind(shard=3)
+        bound.info("tick", batch=1)
+        line = buffer.getvalue()
+        assert "shard=3" in line
+        assert "batch=1" in line
+
+    def test_call_fields_override_bound(self):
+        buffer = io.StringIO()
+        configure_logging("DEBUG", json_lines=True, stream=buffer)
+        get_logger("svc").bind(k="old").info("e", k="new")
+        assert json.loads(buffer.getvalue())["k"] == "new"
+
+    def test_disabled_level_is_cheap_and_silent(self):
+        buffer = io.StringIO()
+        configure_logging("ERROR", stream=buffer)
+        get_logger("t").debug("invisible", huge=object())
+        assert buffer.getvalue() == ""

@@ -1,0 +1,165 @@
+"""Tests for repro.obs.metrics: instruments, registry, exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prometheus_name,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 7.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(111.5)
+        # le=1.0 catches 0.5 and the boundary value 1.0 (inclusive).
+        assert histogram.cumulative_buckets() == [
+            (1.0, 2), (5.0, 3), (10.0, 4), (float("inf"), 5),
+        ]
+
+    def test_mean(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        assert histogram.mean == 0.0
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.mean == 3.0
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_as_dict(self):
+        histogram = Histogram("h", buckets=(0.5, 2.0))
+        histogram.observe(0.1)
+        histogram.observe(10.0)
+        document = histogram.as_dict()
+        assert document["count"] == 2
+        assert document["buckets"] == {"0.5": 1, "2": 1, "+Inf": 2}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_value_accessor(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        assert registry.value("c") == 7
+        assert registry.value("missing", default=-1) == -1
+        registry.histogram("h").observe(1.0)
+        with pytest.raises(TypeError):
+            registry.value("h")
+
+    def test_lookup_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        assert "a" in registry
+        assert registry.get("b").kind == "gauge"
+        assert registry.get("zzz") is None
+        assert len(registry) == 2
+
+    def test_reset_keeps_registrations(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        registry.reset()
+        assert registry.value("a") == 0
+        assert registry.get("h").count == 0
+        assert len(registry) == 2
+
+
+class TestJsonExport:
+    def test_as_dict_is_json_serializable_and_grouped(self):
+        registry = MetricsRegistry()
+        registry.counter("neat.phase3.elb_pruned").inc(42)
+        registry.gauge("neat.phase2.min_card_used").set(5)
+        registry.histogram("service.submit_latency_seconds").observe(0.02)
+        document = registry.as_dict()
+        round_tripped = json.loads(json.dumps(document))
+        assert round_tripped["counters"]["neat.phase3.elb_pruned"] == 42
+        assert round_tripped["gauges"]["neat.phase2.min_card_used"] == 5
+        histogram = round_tripped["histograms"]["service.submit_latency_seconds"]
+        assert histogram["count"] == 1
+        assert histogram["buckets"]["+Inf"] == 1
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("neat.phase3.elb_pruned", "ELB-pruned pairs").inc(42)
+        registry.gauge("neat.phase2.min_card_used").set(5)
+        text = registry.to_prometheus()
+        assert "# HELP neat_phase3_elb_pruned ELB-pruned pairs" in text
+        assert "# TYPE neat_phase3_elb_pruned counter" in text
+        assert "neat_phase3_elb_pruned 42" in text
+        assert "# TYPE neat_phase2_min_card_used gauge" in text
+        assert "neat_phase2_min_card_used 5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.25, 1.0))
+        histogram.observe(0.125)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        text = registry.to_prometheus()
+        assert 'lat_bucket{le="0.25"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 5.625" in text
+        assert "lat_count 3" in text
+
+    def test_empty_registry(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_name_sanitization(self):
+        assert prometheus_name("neat.phase3.sp_computations") == (
+            "neat_phase3_sp_computations"
+        )
+        assert prometheus_name("9lives").startswith("_")

@@ -1,0 +1,129 @@
+"""Tests for repro.obs.tracing: span trees, timing, the null tracer."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class TestSpanTree:
+    def test_nesting_builds_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        assert [s.name for s in tracer.roots] == ["root"]
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [g.name for g in root.children[0].children] == ["grandchild"]
+        assert root.children[1].children == []
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_parent_duration_covers_children(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                time.sleep(0.002)
+        parent, child = tracer.roots[0], tracer.roots[0].children[0]
+        assert child.duration >= 0.002
+        assert parent.duration >= child.duration
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.roots[0].duration >= 0.0
+        assert tracer._stack == []
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.roots] == ["doomed", "after"]
+
+    def test_find_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("target"):
+                pass
+        with tracer.span("b"):
+            pass
+        assert tracer.find("target").name == "target"
+        assert tracer.find("b") is tracer.roots[1]
+        assert tracer.find("missing") is None
+
+    def test_walk_yields_all(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        names = [s.name for s in tracer.roots[0].walk()]
+        assert names == ["a", "b", "c"]
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+    def test_reset_with_open_span_rejected(self):
+        tracer = Tracer()
+        with tracer.span("open"):
+            with pytest.raises(RuntimeError):
+                tracer.reset()
+
+
+class TestExport:
+    def test_to_dict_shape(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        document = tracer.to_dict()
+        assert len(document) == 1
+        root = document[0]
+        assert root["name"] == "root"
+        assert root["duration_s"] >= 0.0
+        assert root["children"][0]["name"] == "leaf"
+        assert "children" not in root["children"][0]
+
+    def test_open_span_duration_zero(self):
+        span = Span("open")
+        span.start = 5.0
+        assert span.duration == 0.0
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("anything") as span:
+            assert span.duration == 0.0
+        assert tracer.roots == []
+        assert tracer.to_dict() == []
+
+    def test_context_is_reused(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NULL_TRACER.enabled is False
+
+    def test_nullable_nesting_is_safe(self):
+        with NULL_TRACER.span("outer"):
+            with NULL_TRACER.span("inner") as inner:
+                assert inner.name == "<null>"

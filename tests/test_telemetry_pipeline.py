@@ -1,0 +1,282 @@
+"""Pipeline-level telemetry: snapshots agree with the classic counters.
+
+The acceptance contract of the telemetry layer: whatever
+``PhaseTimings``, ``RefinementStats`` and the flow counts report must be
+readable — with identical values — from the ``NEATResult.telemetry``
+snapshot, its Prometheus rendering, and the CLI's ``--metrics-out``
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from conftest import trajectory_through
+
+from repro.core import NEAT, NEATConfig, IncrementalNEAT
+from repro.distributed.service import NeatService
+from repro.experiments.harness import export_metrics, result_metrics
+from repro.obs import Telemetry
+from repro.roadnet.builder import line_network
+from repro.roadnet.shortest_path import ShortestPathEngine
+
+
+@pytest.fixture
+def chain12():
+    return line_network(12, segment_length=100.0)
+
+
+@pytest.fixture
+def corridor(chain12):
+    """Two traffic streams on one chain, far enough apart for the ELB."""
+    trajectories = []
+    for trid in range(4):
+        trajectories.append(trajectory_through(chain12, trid, [0, 1, 2]))
+    for trid in range(4, 8):
+        trajectories.append(trajectory_through(chain12, trid, [9, 10, 11]))
+    return trajectories
+
+
+@pytest.fixture
+def near_corridor(chain12):
+    """Two streams close enough that refinement must compute distances."""
+    trajectories = []
+    for trid in range(4):
+        trajectories.append(trajectory_through(chain12, trid, [0, 1, 2, 3]))
+    for trid in range(4, 8):
+        trajectories.append(trajectory_through(chain12, trid, [7, 8, 9, 10]))
+    return trajectories
+
+
+def _counters(result):
+    return result.telemetry["metrics"]["counters"]
+
+
+class TestSnapshotAgreement:
+    def test_phase_spans_match_timings(self, chain12, corridor):
+        result = NEAT(chain12, NEATConfig(min_card=0, eps=300.0)).run_opt(corridor)
+        trace = result.telemetry["trace"]
+        assert [root["name"] for root in trace] == ["neat.run"]
+        children = {c["name"]: c["duration_s"] for c in trace[0]["children"]}
+        assert children["phase1.fragmentation"] == result.timings.base
+        assert children["phase2.flow_formation"] == result.timings.flow
+        assert children["phase3.refinement"] == result.timings.refine
+        assert trace[0]["duration_s"] >= result.timings.total
+        assert result.timings.base > 0.0
+
+    def test_refinement_counters_match_stats(self, chain12, corridor):
+        result = NEAT(chain12, NEATConfig(min_card=0, eps=300.0)).run_opt(corridor)
+        stats = result.refinement_stats
+        counters = _counters(result)
+        assert counters["neat.phase3.pair_checks"] == stats.pair_checks
+        assert counters["neat.phase3.elb_pruned"] == stats.elb_pruned
+        assert (
+            counters["neat.phase3.hausdorff_evaluations"]
+            == stats.hausdorff_evaluations
+        )
+        assert (
+            counters["neat.phase3.sp_computations"]
+            == stats.shortest_path_computations
+        )
+        assert counters["neat.phase3.clusters"] == len(result.clusters)
+        # The two streams are > eps apart, so the ELB must have pruned.
+        assert stats.elb_pruned > 0
+
+    def test_phase1_phase2_counters(self, chain12, corridor):
+        result = NEAT(chain12, NEATConfig(min_card=0, eps=300.0)).run_opt(corridor)
+        counters = _counters(result)
+        assert counters["neat.phase1.trajectories"] == len(corridor)
+        assert counters["neat.phase1.t_fragments"] == sum(
+            len(cluster) for cluster in result.base_clusters
+        )
+        assert counters["neat.phase1.base_clusters"] == len(result.base_clusters)
+        kept, noise = len(result.flows), len(result.noise_flows)
+        assert counters["neat.phase2.flows_formed"] == kept + noise
+        assert counters["neat.phase2.flows_kept"] == kept
+        assert counters["neat.phase2.min_card_drops"] == noise
+        assert counters["neat.phase2.merges"] == sum(
+            len(flow.members) - 1
+            for flow in result.flows + result.noise_flows
+        )
+        gauges = result.telemetry["metrics"]["gauges"]
+        assert gauges["neat.phase2.min_card_used"] == result.min_card_used
+
+    def test_engine_counters_routed_through_registry(self, chain12, near_corridor):
+        engine = ShortestPathEngine(chain12, directed=False)
+        neat = NEAT(chain12, NEATConfig(min_card=0, eps=300.0), engine=engine)
+        result = neat.run_opt(near_corridor)
+        counters = _counters(result)
+        assert counters["roadnet.sp.computations"] == engine.computations
+        assert counters["roadnet.sp.cache_hits"] == engine.cache_hits
+        assert counters["roadnet.sp.nodes_expanded"] == engine.nodes_expanded
+        assert counters["roadnet.sp.computations"] > 0
+
+    def test_shared_engine_reports_per_run_deltas(self, chain12, near_corridor):
+        engine = ShortestPathEngine(chain12, directed=False)
+        neat = NEAT(chain12, NEATConfig(min_card=0, eps=300.0), engine=engine)
+        first = neat.run_opt(near_corridor)
+        second = neat.run_opt(near_corridor)
+        # Warm cache: the second run recomputes nothing but still answers.
+        assert _counters(second)["roadnet.sp.computations"] == 0
+        assert _counters(second)["roadnet.sp.cache_hits"] > 0
+        assert _counters(first)["roadnet.sp.computations"] == engine.computations
+
+    def test_base_and_flow_modes_stop_early(self, chain12, corridor):
+        config = NEATConfig(min_card=0, eps=300.0)
+        base = NEAT(chain12, config).run_base(corridor)
+        names = [c["name"] for c in base.telemetry["trace"][0]["children"]]
+        assert names == ["phase1.fragmentation"]
+        flow = NEAT(chain12, config).run_flow(corridor)
+        names = [c["name"] for c in flow.telemetry["trace"][0]["children"]]
+        assert names == ["phase1.fragmentation", "phase2.flow_formation"]
+        assert "neat.phase3.pair_checks" not in _counters(flow)
+
+
+class TestDisabledTelemetry:
+    def test_no_snapshot_and_zero_timings(self, chain12, corridor):
+        neat = NEAT(
+            chain12, NEATConfig(min_card=0, eps=300.0),
+            telemetry=Telemetry.disabled(),
+        )
+        result = neat.run_opt(corridor)
+        assert result.telemetry == {}
+        assert result.timings.total == 0.0
+        # The classic counters still work: they are independent of obs.
+        assert result.refinement_stats.pair_checks > 0
+        assert result.clusters
+
+    def test_results_identical_to_enabled(self, chain12, corridor):
+        config = NEATConfig(min_card=0, eps=300.0)
+        enabled = NEAT(chain12, config).run_opt(corridor)
+        disabled = NEAT(
+            chain12, config, telemetry=Telemetry.disabled()
+        ).run_opt(corridor)
+        assert [tuple(f.sids) for f in disabled.flows] == [
+            tuple(f.sids) for f in enabled.flows
+        ]
+        assert [
+            sorted(tuple(f.sids) for f in c.flows) for c in disabled.clusters
+        ] == [sorted(tuple(f.sids) for f in c.flows) for c in enabled.clusters]
+
+
+class TestInjectedTelemetry:
+    def test_prometheus_export_carries_run_counters(self, chain12, corridor):
+        telemetry = Telemetry.create()
+        NEAT(
+            chain12, NEATConfig(min_card=0, eps=300.0), telemetry=telemetry
+        ).run_opt(corridor)
+        text = telemetry.metrics.to_prometheus()
+        assert "# TYPE neat_phase3_elb_pruned counter" in text
+        assert "# TYPE neat_phase2_min_card_used gauge" in text
+        assert "roadnet_sp_computations" in text
+
+    def test_save_writes_json_snapshot(self, chain12, corridor, tmp_path):
+        telemetry = Telemetry.create()
+        result = NEAT(
+            chain12, NEATConfig(min_card=0, eps=300.0), telemetry=telemetry
+        ).run_opt(corridor)
+        path = telemetry.save(tmp_path / "metrics.json")
+        document = json.loads(path.read_text())
+        assert (
+            document["metrics"]["counters"]["neat.phase3.sp_computations"]
+            == result.refinement_stats.shortest_path_computations
+        )
+        assert document["trace"][0]["name"] == "neat.run"
+
+
+class TestEngineCounters:
+    def test_reset_counters_zeroes_everything(self, chain12):
+        engine = ShortestPathEngine(chain12, directed=False)
+        engine.distance(0, 5)
+        engine.distance(0, 5)  # cache hit
+        assert engine.computations == 1
+        assert engine.cache_hits == 1
+        assert engine.nodes_expanded > 0
+        engine.reset_counters()
+        assert engine.computations == 0
+        assert engine.cache_hits == 0
+        assert engine.nodes_expanded == 0
+        # The memo table survives a counter reset.
+        engine.distance(0, 5)
+        assert engine.computations == 0
+        assert engine.cache_hits == 1
+
+    def test_clear_also_drops_cache(self, chain12):
+        engine = ShortestPathEngine(chain12, directed=False)
+        engine.distance(0, 5)
+        engine.clear()
+        engine.distance(0, 5)
+        assert engine.computations == 1
+        assert engine.cache_hits == 0
+
+    def test_back_to_back_runs_with_reset_match_figure7(
+        self, chain12, near_corridor
+    ):
+        """The satellite scenario: a shared engine, per-run numbers."""
+        engine = ShortestPathEngine(chain12, directed=False)
+        neat = NEAT(chain12, NEATConfig(min_card=0, eps=300.0), engine=engine)
+        neat.run_opt(near_corridor)
+        first_total = engine.computations
+        assert first_total > 0
+        engine.clear()
+        neat.run_opt(near_corridor)
+        assert engine.computations == first_total
+
+
+class TestIncrementalAndService:
+    def test_incremental_counters_accumulate(self, chain12, corridor):
+        incremental = IncrementalNEAT(chain12, NEATConfig(min_card=0, eps=300.0))
+        incremental.add_batch(corridor[:4])
+        incremental.add_batch(corridor[4:], auto_offset_ids=True)
+        metrics = incremental.telemetry.metrics
+        assert metrics.value("incremental.batches") == 2
+        assert metrics.value("incremental.trajectories") == len(corridor)
+        assert metrics.value("incremental.retained_flows") == len(incremental.flows)
+        histogram = metrics.get("incremental.batch_seconds")
+        assert histogram.count == 2
+        assert histogram.sum > 0.0
+
+    def test_service_stats_derive_from_registry(self, chain12, corridor):
+        service = NeatService(chain12, NEATConfig(min_card=0, eps=300.0))
+        service.submit(corridor[:4])
+        service.submit(corridor[4:])
+        service.get_clustering()
+        service.get_flow_summaries()
+        stats = service.stats()
+        assert stats.batches_ingested == 2
+        assert stats.trajectories_ingested == len(corridor)
+        assert stats.queries_served == 2
+        assert stats.submit_seconds_total > 0.0
+        snapshot = service.metrics_snapshot()
+        counters = snapshot["metrics"]["counters"]
+        assert counters["service.batches_ingested"] == 2
+        assert counters["service.queries_served"] == 2
+        histograms = snapshot["metrics"]["histograms"]
+        assert histograms["service.submit_latency_seconds"]["count"] == 2
+        assert histograms["service.query_latency_seconds"]["count"] == 2
+
+
+class TestHarnessHelpers:
+    def test_result_metrics_prefers_snapshot(self, chain12, corridor):
+        result = NEAT(chain12, NEATConfig(min_card=0, eps=300.0)).run_opt(corridor)
+        assert result_metrics(result) is result.telemetry
+
+    def test_result_metrics_derives_when_disabled(self, chain12, corridor):
+        result = NEAT(
+            chain12, NEATConfig(min_card=0, eps=300.0),
+            telemetry=Telemetry.disabled(),
+        ).run_opt(corridor)
+        derived = result_metrics(result)
+        counters = derived["metrics"]["counters"]
+        assert (
+            counters["neat.phase3.elb_pruned"]
+            == result.refinement_stats.elb_pruned
+        )
+        assert derived["trace"][0]["name"] == "neat.run"
+
+    def test_export_metrics_roundtrip(self, chain12, corridor, tmp_path):
+        result = NEAT(chain12, NEATConfig(min_card=0, eps=300.0)).run_opt(corridor)
+        path = export_metrics(result_metrics(result), tmp_path / "out" / "m.json")
+        document = json.loads(path.read_text())
+        assert document == result.telemetry
