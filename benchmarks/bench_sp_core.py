@@ -1,0 +1,255 @@
+"""Shortest-path core and parallel fan-out: the perf numbers behind NEAT.
+
+Two measurements, one artifact (``output/BENCH_sp_core.json``):
+
+1. *Backend microbench* — point-to-point distance queries on the largest
+   generated network (MIA) through the legacy dict-of-lists Dijkstra, the
+   flat-array CSR Dijkstra, and the CSR bidirectional search.  The CSR
+   walkers answer the identical queries; the artifact records the
+   speedups (acceptance: CSR >= 2x dict).
+
+2. *Phase 3 fan-out* — one opt-NEAT run with ``workers=1`` vs
+   ``workers=4``: the pairwise route-distance matrix behind DBSCAN is
+   prefetched across worker processes, and the artifact records the
+   Phase 3 wall-clock for both together with the engine counters, which
+   must be identical (the pool only changes *when* searches run, never
+   *which*).
+
+Scale knobs: ``REPRO_BENCH_SP_PAIRS`` (query count, default 250) and
+``REPRO_BENCH_SP_OBJECTS`` (Phase 3 dataset size, default 300).  Run
+standalone with ``python benchmarks/bench_sp_core.py [--smoke]`` (the CI
+smoke mode shrinks both workloads so the run finishes in seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+ARTIFACT = OUTPUT_DIR / "BENCH_sp_core.json"
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import NEATConfig  # noqa: E402
+from repro.core.pipeline import NEAT  # noqa: E402
+from repro.experiments.harness import export_metrics, format_table  # noqa: E402
+from repro.experiments.workloads import (  # noqa: E402
+    WorkloadSpec,
+    build_dataset,
+    build_network,
+)
+from repro.roadnet.shortest_path import (  # noqa: E402
+    INFINITY,
+    dijkstra_distance_counted,
+)
+
+
+def _pair_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_SP_PAIRS", "250"))
+
+
+def _object_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_SP_OBJECTS", "300"))
+
+
+def _sample_pairs(network, count: int, seed: int = 97):
+    rng = random.Random(seed)
+    ids = network.node_ids()
+    return [(rng.choice(ids), rng.choice(ids)) for _ in range(count)]
+
+
+def _time_queries(fn, pairs, repeats: int = 5) -> tuple[float, list[float]]:
+    """Best-of-``repeats`` wall seconds and the answers for one backend.
+
+    The minimum over repetitions is the standard noise-resistant timing
+    estimate; all repetitions compute identical answers.
+    """
+    best = INFINITY
+    values: list[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        values = [fn(a, b) for a, b in pairs]
+        best = min(best, time.perf_counter() - started)
+    return best, values
+
+
+def run_backend_microbench(region: str = "MIA", pairs: int | None = None) -> dict:
+    """Dict vs CSR vs bidirectional point queries on one network."""
+    network = build_network(region)
+    queries = _sample_pairs(network, pairs if pairs is not None else _pair_count())
+    graph = network.csr(directed=False)
+
+    dict_s, dict_values = _time_queries(
+        lambda a, b: dijkstra_distance_counted(network, a, b)[0], queries
+    )
+    csr_s, csr_values = _time_queries(
+        lambda a, b: graph.distance_counted(a, b)[0], queries
+    )
+    bidi_s, bidi_values = _time_queries(
+        lambda a, b: graph.bidirectional_distance_counted(a, b)[0], queries
+    )
+
+    # The backends must agree before their timings mean anything.
+    assert csr_values == dict_values
+    for got, want in zip(bidi_values, dict_values):
+        assert got == want or abs(got - want) <= 1e-9 * max(got, want)
+    assert any(v != INFINITY for v in dict_values)
+
+    return {
+        "network": region,
+        "junctions": network.junction_count,
+        "segments": network.segment_count,
+        "queries": len(queries),
+        "dict_s": round(dict_s, 4),
+        "csr_dijkstra_s": round(csr_s, 4),
+        "csr_bidirectional_s": round(bidi_s, 4),
+        "speedup_csr_vs_dict": round(dict_s / csr_s, 2),
+        "speedup_bidirectional_vs_dict": round(dict_s / bidi_s, 2),
+    }
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def run_phase3_fanout(
+    region: str = "SJ", objects: int | None = None, workers: int = 4
+) -> dict:
+    """opt-NEAT Phase 3 wall-clock, serial vs process-parallel.
+
+    ``min_card=0`` keeps every flow so the pairwise distance matrix is
+    large enough for the fan-out to matter (the default workloads leave
+    only a handful of flows and Phase 3 finishes in milliseconds).  On a
+    single-CPU host the parallel run can only be slower — the artifact
+    records ``available_cpus`` so the speedup is read in context.
+    """
+    from repro.experiments.figures import DEFAULT_EPS
+
+    network = build_network(region)
+    dataset = build_dataset(
+        network, WorkloadSpec(region, objects if objects is not None else _object_count())
+    )
+    eps = 2.0 * DEFAULT_EPS.get(region, 800.0)
+
+    runs = {}
+    for worker_count in (1, workers):
+        neat = NEAT(network, NEATConfig(eps=eps, min_card=0, workers=worker_count))
+        result = neat.run_opt(dataset)
+        runs[worker_count] = (result, neat.engine)
+
+    serial_result, serial_engine = runs[1]
+    fanned_result, fanned_engine = runs[workers]
+    # Determinism guarantee: identical clusters and identical accounting.
+    assert len(serial_result.clusters) == len(fanned_result.clusters)
+    assert serial_result.refinement_stats == fanned_result.refinement_stats
+    assert serial_engine.computations == fanned_engine.computations
+    assert serial_engine.cache_hits == fanned_engine.cache_hits
+
+    serial_refine = serial_result.timings.refine
+    fanned_refine = fanned_result.timings.refine
+    return {
+        "network": region,
+        "objects": len(dataset),
+        "eps": eps,
+        "workers": workers,
+        "available_cpus": _available_cpus(),
+        "clusters": len(serial_result.clusters),
+        "sp_computations": serial_engine.computations,
+        "phase3_serial_s": round(serial_refine, 4),
+        "phase3_parallel_s": round(fanned_refine, 4),
+        "phase3_speedup": round(serial_refine / fanned_refine, 2)
+        if fanned_refine
+        else None,
+        "total_serial_s": round(serial_result.timings.total, 4),
+        "total_parallel_s": round(fanned_result.timings.total, 4),
+    }
+
+
+def _render(micro: dict, fanout: dict) -> str:
+    lines = [
+        "Shortest-path core: backend microbench "
+        f"({micro['network']}, {micro['junctions']} junctions, "
+        f"{micro['queries']} point queries)",
+        format_table(
+            ("backend", "seconds", "speedup vs dict"),
+            [
+                ("dict Dijkstra", micro["dict_s"], "1.0"),
+                ("CSR Dijkstra", micro["csr_dijkstra_s"], micro["speedup_csr_vs_dict"]),
+                (
+                    "CSR bidirectional",
+                    micro["csr_bidirectional_s"],
+                    micro["speedup_bidirectional_vs_dict"],
+                ),
+            ],
+        ),
+        "",
+        "Phase 3 fan-out: opt-NEAT refinement wall-clock "
+        f"({fanout['network']}, {fanout['objects']} objects, eps={fanout['eps']}, "
+        f"{fanout['available_cpus']} CPU(s) available)",
+        format_table(
+            ("workers", "phase3 s", "total s"),
+            [
+                (1, fanout["phase3_serial_s"], fanout["total_serial_s"]),
+                (
+                    fanout["workers"],
+                    fanout["phase3_parallel_s"],
+                    fanout["total_parallel_s"],
+                ),
+            ],
+        ),
+        f"phase3 speedup: {fanout['phase3_speedup']}x "
+        f"({fanout['sp_computations']} shortest-path computations, "
+        "identical at both settings)",
+    ]
+    if fanout["available_cpus"] < 2:
+        lines.append(
+            "note: single-CPU host — worker processes can only time-slice, "
+            "so a wall-clock win is not expected here"
+        )
+    return "\n".join(lines)
+
+
+def bench_sp_core(emit):
+    """Pytest entry point: run both measurements, write the artifact."""
+    micro = run_backend_microbench()
+    fanout = run_phase3_fanout()
+    export_metrics({"microbench": micro, "phase3": fanout}, ARTIFACT)
+    emit("sp_core", _render(micro, fanout))
+    assert micro["speedup_bidirectional_vs_dict"] > 1.0
+    if fanout["available_cpus"] >= 4:
+        assert fanout["phase3_speedup"] > 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone runner (CI smoke mode shrinks the workloads)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads: checks the harness runs, not the speedups",
+    )
+    options = parser.parse_args(argv)
+
+    if options.smoke:
+        micro = run_backend_microbench(region="ATL", pairs=40)
+        fanout = run_phase3_fanout(region="ATL", objects=40, workers=2)
+    else:
+        micro = run_backend_microbench()
+        fanout = run_phase3_fanout()
+    export_metrics({"microbench": micro, "phase3": fanout}, ARTIFACT)
+    print(_render(micro, fanout))
+    print(f"\nwrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -84,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--wv", type=float, default=1.0 / 3.0)
     cluster.add_argument("--no-elb", action="store_true",
                          help="disable Euclidean-lower-bound pruning")
+    cluster.add_argument("--workers", type=int, default=None,
+                         help="worker processes for Phase 1/Phase 3 "
+                              "fan-out (default: one per CPU; 1 = serial; "
+                              "results are identical at any setting)")
+    cluster.add_argument("--sp-backend", choices=("dict", "csr"),
+                         default="csr",
+                         help="shortest-path backend: flat-array CSR "
+                              "(default) or the legacy dict adjacency")
     cluster.add_argument("--svg", type=Path, default=None,
                          help="render flows/clusters to this SVG")
     cluster.add_argument("--json", action="store_true",
@@ -158,6 +166,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     config = NEATConfig(
         wq=args.wq, wk=args.wk, wv=args.wv,
         eps=args.eps, min_card=args.min_card, use_elb=not args.no_elb,
+        workers=args.workers, sp_backend=args.sp_backend,
     )
     telemetry = Telemetry.create()
     result = NEAT(network, config, telemetry=telemetry).run(

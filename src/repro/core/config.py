@@ -43,6 +43,14 @@ class NEATConfig:
             last point in the original trajectory are kept, together with
             the newly inserted road junction points"); keeping them is
             useful for visualization and diagnostics.
+        workers: Worker processes for the parallel pipeline stages
+            (Phase 1 fragmentation fan-out, Phase 3 distance batches).
+            ``None`` or ``0`` means one per CPU (``os.cpu_count()``);
+            ``1`` (the default) runs serially.  Results are identical at
+            any setting — parallelism only changes wall-clock time.
+        sp_backend: Shortest-path backend of the Phase 3 engine:
+            ``"csr"`` (flat-array bidirectional Dijkstra, the default)
+            or ``"dict"`` (legacy adjacency walk).
     """
 
     wq: float = 1.0 / 3.0
@@ -54,6 +62,8 @@ class NEATConfig:
     min_pts: int = 1
     use_elb: bool = True
     keep_interior_points: bool = False
+    workers: int | None = 1
+    sp_backend: str = "csr"
 
     def __post_init__(self) -> None:
         for name, weight in (("wq", self.wq), ("wk", self.wk), ("wv", self.wv)):
@@ -75,6 +85,14 @@ class NEATConfig:
             raise ConfigError(f"eps must be >= 0, got {self.eps}")
         if self.min_pts < 1:
             raise ConfigError(f"min_pts must be >= 1, got {self.min_pts}")
+        if self.workers is not None and self.workers < 0:
+            raise ConfigError(
+                f"workers must be >= 0 (0/None = one per CPU), got {self.workers}"
+            )
+        if self.sp_backend not in ("dict", "csr"):
+            raise ConfigError(
+                f"sp_backend must be 'dict' or 'csr', got {self.sp_backend!r}"
+            )
 
     def with_weights(self, wq: float, wk: float, wv: float) -> "NEATConfig":
         """A copy with different merging-selectivity weights."""

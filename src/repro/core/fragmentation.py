@@ -12,10 +12,12 @@ identity, route and direction.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Iterable
 
 from ..errors import UnknownSegmentError
 from ..mapmatch.path_inference import infer_crossings
+from ..parallel import map_chunked
 from ..roadnet.network import RoadNetwork
 from .model import Location, TFragment, Trajectory
 
@@ -99,15 +101,47 @@ def _make_fragment(
     return TFragment(trid=trid, sid=run[0].sid, locations=kept)
 
 
-def fragment_all(
+#: Below this many trajectories per worker, Phase 1 stays serial — one
+#: fragmentation is cheap, so a pool needs a real backlog to pay off.
+MIN_TRAJECTORIES_PER_WORKER = 16
+
+
+def _fragment_chunk(
     network: RoadNetwork,
-    trajectories: Iterable[Trajectory],
-    keep_interior_points: bool = False,
+    keep_interior_points: bool,
+    trajectories: list[Trajectory],
 ) -> list[TFragment]:
-    """Fragment every trajectory, concatenating results in input order."""
+    """Worker-side Phase 1 unit: fragment one contiguous trajectory chunk.
+
+    Module level (picklable) so :func:`repro.parallel.map_chunked` can
+    ship it to a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
     fragments: list[TFragment] = []
     for trajectory in trajectories:
         fragments.extend(
             fragment_trajectory(network, trajectory, keep_interior_points)
         )
     return fragments
+
+
+def fragment_all(
+    network: RoadNetwork,
+    trajectories: Iterable[Trajectory],
+    keep_interior_points: bool = False,
+    workers: int | None = 1,
+) -> list[TFragment]:
+    """Fragment every trajectory, concatenating results in input order.
+
+    Args:
+        workers: Fan the trajectories out per-chunk over a process pool
+            (``None``/``0`` = one per CPU, ``<=1`` = serial, the
+            default).  Chunks are contiguous and results merge in input
+            order, so the output is identical to a serial run.
+    """
+    trajectory_list = list(trajectories)
+    return map_chunked(
+        partial(_fragment_chunk, network, keep_interior_points),
+        trajectory_list,
+        workers=workers,
+        min_items_per_worker=MIN_TRAJECTORIES_PER_WORKER,
+    )

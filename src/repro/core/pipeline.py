@@ -70,7 +70,9 @@ class NEAT:
             raise ValueError("Phase 3 needs an undirected engine")
         self.engine = (
             engine if engine is not None
-            else ShortestPathEngine(network, directed=False)
+            else ShortestPathEngine(
+                network, directed=False, backend=self.config.sp_backend
+            )
         )
         # None (the default) means "fresh enabled telemetry per run", so
         # every NEATResult carries its own isolated snapshot.  Injecting a
@@ -142,6 +144,7 @@ class NEAT:
                 trajectory_list,
                 keep_interior_points=self.config.keep_interior_points,
                 metrics=metrics,
+                workers=self.config.workers,
             )
         timings.base = span.duration
         _log.debug(
@@ -179,6 +182,7 @@ class NEAT:
                 engine=self.engine,
                 stats=stats,
                 metrics=metrics,
+                workers=self.config.workers,
             )
         timings.refine = span.duration
         result.refinement_stats = stats

@@ -88,20 +88,30 @@ class TrajectoryCluster:
 
 
 def flow_distance(
-    engine: ShortestPathEngine, flow_a: FlowCluster, flow_b: FlowCluster
+    engine: ShortestPathEngine,
+    flow_a: FlowCluster,
+    flow_b: FlowCluster,
+    cutoff: float | None = None,
 ) -> float:
     """Modified Hausdorff distance between two flows (Equation 5).
 
     ``max( max_a min_b d_N(a,b), max_b min_a d_N(a,b) )`` over the two
     endpoint junctions of each representative route, with ``d_N`` the
     undirected network shortest-path distance.
+
+    Args:
+        cutoff: Optional per-query bound.  Endpoint distances beyond it
+            come back as infinity, so the returned value is exact
+            whenever it is ``<= cutoff`` and infinite otherwise — which
+            is all a ``<= eps`` region query needs, at a fraction of the
+            settled nodes.
     """
     a1, a2 = flow_a.endpoints
     b1, b2 = flow_b.endpoints
-    d11 = engine.distance(a1, b1)
-    d12 = engine.distance(a1, b2)
-    d21 = engine.distance(a2, b1)
-    d22 = engine.distance(a2, b2)
+    d11 = engine.distance(a1, b1, cutoff=cutoff)
+    d12 = engine.distance(a1, b2, cutoff=cutoff)
+    d21 = engine.distance(a2, b1, cutoff=cutoff)
+    d22 = engine.distance(a2, b2, cutoff=cutoff)
     forward = max(min(d11, d12), min(d21, d22))
     backward = max(min(d11, d21), min(d12, d22))
     return max(forward, backward)
@@ -126,6 +136,36 @@ def euclidean_lower_bound(
     )
 
 
+def _surviving_endpoint_pairs(
+    network: RoadNetwork,
+    flow_list: Sequence[FlowCluster],
+    eps: float,
+    use_elb: bool,
+) -> list[tuple[int, int]]:
+    """Endpoint node pairs the region queries will ask the engine for.
+
+    Enumerates unordered flow pairs that survive the Euclidean lower
+    bound (exactly the pairs whose modified Hausdorff distance Phase 3
+    must evaluate) and expands each into its four endpoint-junction
+    pairs, in deterministic order.  Duplicates are fine — the engine's
+    prefetch deduplicates after symmetric normalization.
+    """
+    pairs: list[tuple[int, int]] = []
+    for i in range(len(flow_list)):
+        a1, a2 = flow_list[i].endpoints
+        for j in range(i + 1, len(flow_list)):
+            if use_elb:
+                bound = euclidean_lower_bound(network, flow_list[i], flow_list[j])
+                if bound > eps:
+                    continue
+            b1, b2 = flow_list[j].endpoints
+            pairs.append((a1, b1))
+            pairs.append((a1, b2))
+            pairs.append((a2, b1))
+            pairs.append((a2, b2))
+    return pairs
+
+
 def refine_flow_clusters(
     network: RoadNetwork,
     flows: Sequence[FlowCluster],
@@ -133,8 +173,18 @@ def refine_flow_clusters(
     engine: ShortestPathEngine | None = None,
     stats: RefinementStats | None = None,
     metrics=None,
+    workers: int | None = None,
 ) -> list[TrajectoryCluster]:
     """Run Phase 3: merge eps-close flows into final trajectory clusters.
+
+    Region queries run their shortest-path searches bounded by ``eps``:
+    the Euclidean lower bound already proves a pruned pair is far apart,
+    and for the survivors a bounded search answering "farther than eps"
+    settles only the eps-ball instead of the whole graph.  With
+    ``workers > 1`` the pairwise route-distance matrix behind those
+    queries is precomputed in parallel batches against a read-only CSR
+    snapshot and merged back into the engine cache; cluster output and
+    every counter match the serial run exactly.
 
     Args:
         network: The road network.
@@ -146,6 +196,8 @@ def refine_flow_clusters(
         metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
             when given, the ``neat.phase3.*`` counters are published from
             the collected stats when refinement finishes.
+        workers: Worker processes for the distance batches (``None``
+            falls back to ``config.workers``; ``<=1`` serial).
 
     Returns:
         Final clusters ordered by discovery (the first cluster is seeded by
@@ -158,6 +210,8 @@ def refine_flow_clusters(
         engine = ShortestPathEngine(network, directed=False)
     if stats is None:
         stats = RefinementStats()
+    if workers is None:
+        workers = config.workers
 
     flow_list = list(flows)
     if not flow_list:
@@ -166,6 +220,19 @@ def refine_flow_clusters(
 
     eps = config.eps
     sp_before = engine.computations
+
+    from ..parallel import resolve_workers
+
+    if resolve_workers(workers) > 1 and engine.oracle is None:
+        # Warm the engine with every distance the region queries below
+        # will need, fanned out across processes.  The engine counts the
+        # prefetched searches as the computations they replace, so
+        # Figure-7 accounting stays exact.
+        engine.prefetch(
+            _surviving_endpoint_pairs(network, flow_list, eps, config.use_elb),
+            cutoff=eps,
+            workers=workers,
+        )
 
     def region_query(index: int) -> list[int]:
         found = []
@@ -181,7 +248,10 @@ def refine_flow_clusters(
                     stats.elb_pruned += 1
                     continue
             stats.hausdorff_evaluations += 1
-            if flow_distance(engine, flow_list[index], flow_list[other]) <= eps:
+            distance = flow_distance(
+                engine, flow_list[index], flow_list[other], cutoff=eps
+            )
+            if distance <= eps:
                 found.append(other)
         return found
 

@@ -1,0 +1,118 @@
+"""Process-parallel fan-out helpers.
+
+One tiny, dependency-free layer over :class:`concurrent.futures.
+ProcessPoolExecutor` shared by every pipeline stage that fans work out:
+Phase 1 fragments trajectory chunks in parallel, Phase 3 batches
+shortest-path pairs against read-only CSR snapshots, and the landmark
+oracle bulk-computes distance tables.  The contract every caller relies
+on:
+
+* **Determinism** — items are split into contiguous, order-preserving
+  chunks and results are concatenated in submission order, so the output
+  is byte-identical to a serial run regardless of worker count or
+  scheduling.
+* **Serial fallback** — ``workers <= 1``, or too few items to amortize
+  pool startup, runs the chunk function inline in this process (no pool,
+  no pickling).
+* **Worker resolution** — ``workers=None`` or ``0`` means "auto":
+  :func:`os.cpu_count`.  Explicit positive counts are honored, capped by
+  the number of chunks the item count supports.
+
+Chunk functions must be picklable (module-level functions or
+``functools.partial`` over one), as must their arguments and results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Default floor of items per worker before a pool is worth spawning.
+DEFAULT_MIN_ITEMS_PER_WORKER = 32
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Turn a ``workers`` setting into a concrete count.
+
+    ``None`` and ``0`` mean "auto" (:func:`os.cpu_count`); positive ints
+    pass through.  Negative counts are rejected.
+    """
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = auto), got {workers}")
+    return workers
+
+
+def effective_workers(
+    workers: int | None,
+    item_count: int,
+    min_items_per_worker: int = DEFAULT_MIN_ITEMS_PER_WORKER,
+) -> int:
+    """Workers actually worth using for ``item_count`` items.
+
+    Resolves ``workers`` (:func:`resolve_workers`), then degrades to 1
+    when the batch is too small for a pool to pay for itself, and caps
+    the count so every worker gets at least ``min_items_per_worker``
+    items.
+    """
+    resolved = resolve_workers(workers)
+    if resolved <= 1 or item_count < 2 * max(1, min_items_per_worker):
+        return 1
+    return max(1, min(resolved, item_count // max(1, min_items_per_worker)))
+
+
+def split_chunks(items: Sequence[T], chunk_count: int) -> list[list[T]]:
+    """Split into ``chunk_count`` contiguous, near-even, non-empty chunks.
+
+    Concatenating the chunks reproduces ``items`` exactly; at most
+    ``len(items)`` chunks are produced.
+    """
+    item_list = list(items)
+    count = max(1, min(chunk_count, len(item_list)))
+    base, extra = divmod(len(item_list), count)
+    chunks: list[list[T]] = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        chunks.append(item_list[start:start + size])
+        start += size
+    return chunks
+
+
+def map_chunked(
+    fn: Callable[[list[T]], list[R]],
+    items: Sequence[T],
+    workers: int | None = None,
+    min_items_per_worker: int = DEFAULT_MIN_ITEMS_PER_WORKER,
+) -> list[R]:
+    """Apply a chunk function over ``items``, fanned out across processes.
+
+    ``fn`` receives a contiguous chunk (a list of items) and returns a
+    list of results; the per-chunk results are concatenated in input
+    order.  With an effective worker count of 1 the single chunk is
+    processed inline — identical results, no pool.
+
+    Args:
+        fn: Picklable ``chunk -> results`` function.
+        items: The work items, in order.
+        workers: Worker setting (``None``/``0`` = auto, ``<=1`` serial).
+        min_items_per_worker: Pool-worthiness floor per worker.
+
+    Returns:
+        The concatenated results, ordered as ``items``.
+    """
+    item_list = list(items)
+    if not item_list:
+        return []
+    count = effective_workers(workers, len(item_list), min_items_per_worker)
+    if count <= 1:
+        return list(fn(item_list))
+    chunks = split_chunks(item_list, count)
+    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+        parts = list(pool.map(fn, chunks))
+    return [result for part in parts for result in part]

@@ -16,6 +16,7 @@ from .generators import (
     miami_like,
     san_jose_like,
 )
+from .csr import CSRGraph, build_csr
 from .csv_io import load_network_csv, save_network_csv
 from .geometry import Point
 from .io import load_network, network_from_dict, network_to_dict, save_network
@@ -36,6 +37,7 @@ from .stats import NetworkStats, format_table1, network_stats
 from .subnetwork import clip_trajectories, crop_network
 
 __all__ = [
+    "CSRGraph",
     "DEFAULT_SPEED_LIMIT",
     "DirectedEdge",
     "GridConfig",
@@ -52,6 +54,7 @@ __all__ = [
     "SegmentGridIndex",
     "ShortestPathEngine",
     "atlanta_like",
+    "build_csr",
     "clip_trajectories",
     "crop_network",
     "dijkstra_distance",

@@ -18,7 +18,7 @@ from typing import Sequence
 
 from ..errors import UnknownNodeError
 from .network import RoadNetwork
-from .shortest_path import INFINITY, dijkstra_single_source
+from .shortest_path import INFINITY
 
 
 class LandmarkOracle:
@@ -55,8 +55,12 @@ class LandmarkOracle:
         distance to the ones already chosen."""
         current = start
         best_min: dict[int, float] = {}
+        # Landmark tables are whole-graph single-source sweeps — the CSR
+        # flat-array walker settles them several times faster than the
+        # dict adjacency, with identical distances.
+        graph = self._network.csr(directed=False)
         for _ in range(count):
-            table = dijkstra_single_source(self._network, current, directed=False)
+            table = graph.single_source(current)
             self.landmarks.append(current)
             self._tables.append(table)
             for node, distance in table.items():
@@ -148,19 +152,53 @@ class LandmarkOracle:
         return len(done)
 
 
+def _source_tables_chunk(
+    graph, targets: tuple[int, ...], sources: list[int]
+) -> list[list[float]]:
+    """Worker-side unit: per source, the distances to every target.
+
+    ``graph`` is a read-only :class:`~repro.roadnet.csr.CSRGraph`
+    snapshot; module level so it pickles to a process pool.
+    """
+    rows: list[list[float]] = []
+    for source in sources:
+        table = graph.single_source(source)
+        rows.append([table.get(target, INFINITY) for target in targets])
+    return rows
+
+
 def many_to_many_distances(
-    network: RoadNetwork, sources: Sequence[int], targets: Sequence[int]
+    network: RoadNetwork,
+    sources: Sequence[int],
+    targets: Sequence[int],
+    workers: int | None = 1,
 ) -> dict[tuple[int, int], float]:
     """All source-target distances via one Dijkstra per source.
 
     The bulk primitive behind batched Phase 3 refreshes: with ``S``
-    sources it costs ``S`` single-source searches instead of ``S*T``
-    point queries.
+    sources it costs ``S`` single-source searches (over the flat-array
+    CSR snapshot) instead of ``S*T`` point queries.
+
+    Args:
+        workers: Fan the per-source sweeps out over a process pool
+            (``None``/``0`` = one per CPU, ``<=1`` serial); results are
+            identical at any setting.
     """
-    target_set = set(targets)
+    from functools import partial
+
+    from ..parallel import map_chunked
+
+    source_list = list(sources)
+    target_tuple = tuple(targets)
+    graph = network.csr(directed=False)
+    rows = map_chunked(
+        partial(_source_tables_chunk, graph, target_tuple),
+        source_list,
+        workers=workers,
+        min_items_per_worker=4,
+    )
     results: dict[tuple[int, int], float] = {}
-    for source in sources:
-        table = dijkstra_single_source(network, source, directed=False)
-        for target in target_set:
-            results[(source, target)] = table.get(target, INFINITY)
+    for source, row in zip(source_list, rows):
+        for target, distance in zip(target_tuple, row):
+            results[(source, target)] = distance
     return results

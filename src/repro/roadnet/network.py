@@ -56,6 +56,10 @@ class RoadNetwork:
         self._incidence: dict[int, list[int]] = {}
         self._next_node_id = 0
         self._next_sid = 0
+        # Mutation counter; CSR snapshots are cached against it so a
+        # stale snapshot is never served after add_junction/add_segment.
+        self._version = 0
+        self._csr_cache: dict[bool, tuple[int, object]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -73,6 +77,7 @@ class RoadNetwork:
         self._junctions[node_id] = Junction(node_id, point)
         self._incidence[node_id] = []
         self._next_node_id = max(self._next_node_id, node_id + 1)
+        self._version += 1
         return node_id
 
     def add_segment(
@@ -118,6 +123,7 @@ class RoadNetwork:
         self._incidence[node_u].append(sid)
         self._incidence[node_v].append(sid)
         self._next_sid = max(self._next_sid, sid + 1)
+        self._version += 1
         return sid
 
     # ------------------------------------------------------------------
@@ -303,6 +309,31 @@ class RoadNetwork:
         return neighbors
 
     # ------------------------------------------------------------------
+    # Flat-array snapshot (the fast shortest-path backend)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; increments on every junction/segment add."""
+        return self._version
+
+    def csr(self, directed: bool = False):
+        """The cached :class:`~repro.roadnet.csr.CSRGraph` snapshot.
+
+        Built on first use per direction mode and memoized until the
+        network is mutated, so repeated shortest-path queries share one
+        frozen flat-array view.  The snapshot is read-only and picklable
+        (worker processes receive it directly).
+        """
+        cached = self._csr_cache.get(directed)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        from .csr import build_csr
+
+        graph = build_csr(self, directed=directed)
+        self._csr_cache[directed] = (self._version, graph)
+        return graph
+
+    # ------------------------------------------------------------------
     # Geometry helpers
     # ------------------------------------------------------------------
     def segment_endpoints(self, sid: int) -> tuple[Point, Point]:
@@ -334,6 +365,13 @@ class RoadNetwork:
     # ------------------------------------------------------------------
     # Dunder conveniences
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # CSR snapshots are derived data; drop them so pickling a network
+        # (e.g. shipping it to a worker process) stays lean.
+        state = self.__dict__.copy()
+        state["_csr_cache"] = {}
+        return state
+
     def __contains__(self, sid: int) -> bool:
         return sid in self._segments
 

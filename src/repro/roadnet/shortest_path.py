@@ -4,7 +4,11 @@ Provides plain Dijkstra (the paper's reference algorithm for network
 expansion), an A* variant using the Euclidean lower bound as an admissible
 heuristic, and a caching :class:`ShortestPathEngine` that counts expansions
 so the ELB experiments (Figure 7) can report exactly how many shortest-path
-computations a clustering run performed.
+computations a clustering run performed.  The engine answers uncached
+point queries through either this module's dict-of-lists walkers
+(``backend="dict"``) or the flat-array bidirectional Dijkstra of
+:mod:`~repro.roadnet.csr` (``backend="csr"``, the default), and can batch
+uncached searches across worker processes (:meth:`ShortestPathEngine.prefetch`).
 
 Directed searches respect one-way segments (used by the trip simulator);
 undirected searches ignore direction (used by Phase 3's network proximity,
@@ -96,22 +100,26 @@ def dijkstra_single_source(
     if not network.has_node(source):
         raise UnknownNodeError(source)
     neighbors = _neighbor_fn(network, directed)
-    dist: dict[int, float] = {source: 0.0}
-    done: set[int] = set()
+    # ``settled`` doubles as the result: only settled nodes are reported,
+    # and a push is attempted only when it improves the tentative label
+    # *and* stays within the bound, so the heap never carries entries
+    # already known unreachable-within-bound.
+    settled: dict[int, float] = {}
+    seen: dict[int, float] = {source: 0.0}
     heap: list[tuple[float, int]] = [(0.0, source)]
     while heap:
         d, node = heapq.heappop(heap)
-        if node in done:
+        if node in settled:
             continue
         if d > max_distance:
             break
-        done.add(node)
+        settled[node] = d
         for neighbor, _sid, length in neighbors(node):
             nd = d + length
-            if nd < dist.get(neighbor, INFINITY) and nd <= max_distance:
-                dist[neighbor] = nd
+            if nd <= max_distance and nd < seen.get(neighbor, INFINITY):
+                seen[neighbor] = nd
                 heapq.heappush(heap, (nd, neighbor))
-    return {node: d for node, d in dist.items() if node in done}
+    return settled
 
 
 def dijkstra_distance(
@@ -119,12 +127,14 @@ def dijkstra_distance(
     source: int,
     target: int,
     directed: bool = False,
+    cutoff: float = INFINITY,
 ) -> float:
     """Shortest-path distance between two junctions.
 
-    Returns :data:`INFINITY` when no path exists.
+    Returns :data:`INFINITY` when no path exists (or none within
+    ``cutoff``).
     """
-    return dijkstra_distance_counted(network, source, target, directed)[0]
+    return dijkstra_distance_counted(network, source, target, directed, cutoff)[0]
 
 
 def dijkstra_distance_counted(
@@ -132,8 +142,15 @@ def dijkstra_distance_counted(
     source: int,
     target: int,
     directed: bool = False,
+    cutoff: float = INFINITY,
 ) -> tuple[float, int]:
     """Like :func:`dijkstra_distance`, also reporting settled-node count.
+
+    Args:
+        cutoff: Give up once the frontier exceeds this bound and report
+            the pair unreachable-within-bound.  Phase 3 region queries
+            pass ``eps`` here so an ELB-surviving pair never settles the
+            whole graph just to learn the distance exceeds the threshold.
 
     Returns:
         ``(distance, expansions)`` where ``expansions`` is the number of
@@ -157,11 +174,13 @@ def dijkstra_distance_counted(
             continue
         if node == target:
             return d, expansions
+        if d > cutoff:
+            break
         done.add(node)
         expansions += 1
         for neighbor, _sid, length in neighbors(node):
             nd = d + length
-            if nd < dist.get(neighbor, INFINITY):
+            if nd <= cutoff and nd < dist.get(neighbor, INFINITY):
                 dist[neighbor] = nd
                 heapq.heappush(heap, (nd, neighbor))
     return INFINITY, expansions
@@ -230,6 +249,10 @@ def _recover_route(
     return Route(tuple(nodes), tuple(sids), length)
 
 
+#: Engine search backends: legacy dict-of-lists vs flat-array CSR.
+BACKENDS = ("dict", "csr")
+
+
 @dataclass
 class ShortestPathEngine:
     """A caching, instrumented shortest-path oracle for one network.
@@ -245,28 +268,49 @@ class ShortestPathEngine:
     between runs to report per-run Figure-7 numbers, or bind a
     per-run registry with :meth:`bind_metrics` and read the deltas there.
 
+    Bounded queries: ``distance(..., cutoff=c)`` runs a bounded search
+    that stops as soon as the frontier proves the pair farther than
+    ``c`` apart, returning :data:`INFINITY`.  Such verdicts are cached in
+    a *separate* bounded table keyed by the largest cutoff they hold for,
+    so a later unbounded (or larger-cutoff) query recomputes correctly
+    instead of inheriting a truncated answer.
+
     Attributes:
         network: The road network queried.
         directed: Whether searches respect one-way segments.
         computations: Number of searches actually executed (cache hits are
             free and not counted).
-        cache_hits: Number of ``distance`` calls answered from the memo
-            table (identity queries are not counted).
-        nodes_expanded: Total nodes settled across all Dijkstra searches
-            (0 for oracle-backed answers, which do not run a search).
         oracle: Optional accelerated backend (e.g.
             :class:`~repro.roadnet.landmarks.LandmarkOracle`) — any object
             with a ``distance(source, target) -> float`` method.  Only
             valid for undirected engines; results must equal Dijkstra's.
+        backend: ``"csr"`` (default) answers point queries with
+            bidirectional Dijkstra over the network's flat-array
+            :meth:`~repro.roadnet.network.RoadNetwork.csr` snapshot;
+            ``"dict"`` keeps the legacy adjacency walk.  Both return the
+            same distances (the bidirectional split can differ in the
+            last ulp) and the same ``computations`` counts.
+        cache_hits: Number of ``distance`` calls answered from the memo
+            table (identity queries are not counted).
+        nodes_expanded: Total nodes settled across all Dijkstra searches
+            (0 for oracle-backed answers, which do not run a search).
     """
 
     network: RoadNetwork
     directed: bool = False
     computations: int = 0
     oracle: object | None = None
+    backend: str = "csr"
     cache_hits: int = 0
     nodes_expanded: int = 0
     _cache: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
+    # key -> largest cutoff the pair is proven to exceed.
+    _bounded: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
+    # Keys whose next lookup is the delivery of a prefetched computation;
+    # consuming one is neither a cache hit nor a new computation, keeping
+    # counters identical between lazy (serial) and prefetched (parallel)
+    # execution.
+    _prepaid: set[tuple[int, int]] = field(default_factory=set, repr=False)
     _metric_computations: object | None = field(
         default=None, repr=False, compare=False
     )
@@ -276,34 +320,183 @@ class ShortestPathEngine:
     def __post_init__(self) -> None:
         if self.oracle is not None and self.directed:
             raise ValueError("accelerated oracles are undirected-only")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
 
-    def distance(self, source: int, target: int) -> float:
-        """Memoized shortest-path distance between two junctions."""
-        if source == target:
-            return 0.0
-        key = (source, target)
+    # ------------------------------------------------------------------
+    def _key(self, source: int, target: int) -> tuple[int, int]:
         if not self.directed and source > target:
-            key = (target, source)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            if self._metric_cache_hits is not None:
-                self._metric_cache_hits.inc()
-            return cached
+            return (target, source)
+        return (source, target)
+
+    def _count_hit(self) -> None:
+        self.cache_hits += 1
+        if self._metric_cache_hits is not None:
+            self._metric_cache_hits.inc()
+
+    def _count_search(self, expanded: int) -> None:
         self.computations += 1
         if self._metric_computations is not None:
             self._metric_computations.inc()
+        self.nodes_expanded += expanded
+        if self._metric_expanded is not None:
+            self._metric_expanded.inc(expanded)
+
+    def _search(self, source: int, target: int, limit: float) -> tuple[float, int]:
+        """One uncached point query via the configured backend."""
+        if self.backend == "csr":
+            graph = self.network.csr(self.directed)
+            return graph.bidirectional_distance_counted(source, target, limit)
+        return dijkstra_distance_counted(
+            self.network, source, target, directed=self.directed, cutoff=limit
+        )
+
+    def distance(
+        self, source: int, target: int, cutoff: float | None = None
+    ) -> float:
+        """Memoized shortest-path distance between two junctions.
+
+        Args:
+            cutoff: Optional bound; when given, a result of
+                :data:`INFINITY` only means "farther than ``cutoff``",
+                and the bounded verdict is cached separately so later
+                unbounded queries still compute the true distance.
+        """
+        if source == target:
+            return 0.0
+        key = self._key(source, target)
+        cached = self._cache.get(key)
+        if cached is not None:
+            if key in self._prepaid:
+                self._prepaid.discard(key)
+            else:
+                self._count_hit()
+            return cached
+        if cutoff is not None:
+            bound = self._bounded.get(key)
+            if bound is not None and bound >= cutoff:
+                # Already proven farther than this cutoff: answered from
+                # the bounded table, no search.
+                if key in self._prepaid:
+                    self._prepaid.discard(key)
+                else:
+                    self._count_hit()
+                return INFINITY
         if self.oracle is not None:
+            self._count_search(0)
             distance = self.oracle.distance(key[0], key[1])
-        else:
-            distance, expanded = dijkstra_distance_counted(
-                self.network, key[0], key[1], directed=self.directed
-            )
-            self.nodes_expanded += expanded
-            if self._metric_expanded is not None:
-                self._metric_expanded.inc(expanded)
-        self._cache[key] = distance
+            self._cache[key] = distance
+            self._bounded.pop(key, None)
+            return distance
+        limit = INFINITY if cutoff is None else cutoff
+        distance, expanded = self._search(key[0], key[1], limit)
+        self._count_search(expanded)
+        self._store(key, distance, cutoff)
         return distance
+
+    def _store(
+        self, key: tuple[int, int], distance: float, cutoff: float | None
+    ) -> None:
+        """File a fresh search result under exact or bounded caching."""
+        if distance == INFINITY and cutoff is not None:
+            if cutoff > self._bounded.get(key, 0.0):
+                self._bounded[key] = cutoff
+            return
+        self._cache[key] = distance
+        self._bounded.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+    def prefetch(
+        self,
+        pairs: Iterable[tuple[int, int]],
+        cutoff: float | None = None,
+        workers: int | None = 1,
+    ) -> int:
+        """Compute and cache every not-yet-known pair, possibly in parallel.
+
+        Deduplicates ``pairs`` (after symmetric normalization), drops
+        identities and pairs already answered by the exact or bounded
+        cache, then runs the remaining searches — fanned out over a
+        process pool when ``workers`` allows (see
+        :func:`repro.parallel.map_chunked`).  Results and the
+        ``computations``/``nodes_expanded`` counters merge back into this
+        engine exactly as if :meth:`distance` had computed each pair
+        lazily, and the next :meth:`distance` call per prefetched pair is
+        counted as that computation's delivery rather than a cache hit —
+        so Figure-7 accounting is identical between serial and parallel
+        runs.
+
+        Returns the number of searches executed.
+        """
+        needed: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for source, target in pairs:
+            if source == target:
+                continue
+            key = self._key(source, target)
+            if key in seen or key in self._cache:
+                continue
+            if cutoff is not None and self._bounded.get(key, -1.0) >= cutoff:
+                continue
+            seen.add(key)
+            needed.append(key)
+        if not needed:
+            return 0
+        limit = INFINITY if cutoff is None else cutoff
+        if self.oracle is not None:
+            results = [(self.oracle.distance(a, b), 0) for a, b in needed]
+        else:
+            results = self._batch_search(needed, limit, workers)
+        for key, (value, expanded) in zip(needed, results):
+            self._count_search(expanded)
+            self._store(key, value, cutoff)
+            self._prepaid.add(key)
+        return len(needed)
+
+    def distance_many(
+        self,
+        pairs: Iterable[tuple[int, int]],
+        cutoff: float | None = None,
+        workers: int | None = 1,
+    ) -> list[float]:
+        """Distances for every pair, in order (batch of :meth:`distance`).
+
+        Equivalent to ``[engine.distance(s, t, cutoff) for s, t in
+        pairs]`` — identical values, cache state and counters — but the
+        uncached searches run as one deduplicated batch, optionally
+        across worker processes.
+        """
+        pair_list = list(pairs)
+        self.prefetch(pair_list, cutoff=cutoff, workers=workers)
+        return [self.distance(s, t, cutoff=cutoff) for s, t in pair_list]
+
+    def _batch_search(
+        self,
+        keys: list[tuple[int, int]],
+        limit: float,
+        workers: int | None,
+    ) -> list[tuple[float, int]]:
+        """Run the searches for ``keys``, serially or across processes."""
+        from functools import partial
+
+        from ..parallel import effective_workers, map_chunked
+
+        if self.backend == "csr":
+            spec: tuple = ("csr", self.network.csr(self.directed))
+        else:
+            spec = ("dict", self.network, self.directed)
+        if effective_workers(workers, len(keys), MIN_PAIRS_PER_WORKER) <= 1:
+            return _compute_pairs(spec, keys, limit)
+        return map_chunked(
+            partial(_compute_pairs, spec, cutoff=limit),
+            keys,
+            workers=workers,
+            min_items_per_worker=MIN_PAIRS_PER_WORKER,
+        )
 
     def bind_metrics(self, registry) -> None:
         """Mirror this engine's counters into ``registry`` from now on.
@@ -342,6 +535,31 @@ class ShortestPathEngine:
         self.nodes_expanded = 0
 
     def clear(self) -> None:
-        """Drop the memo table and zero counters."""
+        """Drop the memo tables (exact and bounded) and zero counters."""
         self._cache.clear()
+        self._bounded.clear()
+        self._prepaid.clear()
         self.reset_counters()
+
+
+#: Below this many uncached pairs per worker a batch runs serially —
+#: pool startup would otherwise dominate the Dijkstra work.
+MIN_PAIRS_PER_WORKER = 8
+
+
+def _compute_pairs(
+    spec: tuple, pairs: list[tuple[int, int]], cutoff: float = INFINITY
+) -> list[tuple[float, int]]:
+    """Worker-side batch: ``(distance, expansions)`` per pair, in order.
+
+    ``spec`` selects the backend payload shipped to the process:
+    ``("csr", CSRGraph)`` or ``("dict", RoadNetwork, directed)``.  Module
+    level so it pickles for :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
+    if spec[0] == "csr":
+        return spec[1].distance_batch(pairs, cutoff=cutoff, bidirectional=True)
+    _kind, network, directed = spec
+    return [
+        dijkstra_distance_counted(network, a, b, directed=directed, cutoff=cutoff)
+        for a, b in pairs
+    ]

@@ -15,6 +15,7 @@ from repro.roadnet.shortest_path import (
     Route,
     ShortestPathEngine,
     dijkstra_distance,
+    dijkstra_distance_counted,
     dijkstra_single_source,
     shortest_route,
 )
@@ -95,6 +96,33 @@ class TestSingleSource:
         dist = dijkstra_single_source(square, 0, max_distance=100.0)
         assert set(dist) == {0, 1, 3}
 
+    def test_bounded_agrees_with_unbounded_inside_bound(self, square):
+        # Regression: the heap-push prune must not change any distance
+        # that survives the bound — only drop nodes beyond it.
+        full = dijkstra_single_source(square, 0)
+        for bound in (0.0, 100.0, 150.0, 250.0, 1e9):
+            bounded = dijkstra_single_source(square, 0, max_distance=bound)
+            assert bounded == {
+                node: d for node, d in full.items() if d <= bound
+            }
+
+
+class TestCutoff:
+    def test_counted_cutoff_exact_inside(self, square):
+        exact = dijkstra_distance(square, 1, 3)
+        d, _ = dijkstra_distance_counted(square, 1, 3, cutoff=exact)
+        assert d == exact
+
+    def test_counted_cutoff_infinite_beyond(self, square):
+        exact = dijkstra_distance(square, 1, 3)
+        d, _ = dijkstra_distance_counted(square, 1, 3, cutoff=exact - 1.0)
+        assert d == INFINITY
+
+    def test_cutoff_reduces_expansions(self, square):
+        _, full = dijkstra_distance_counted(square, 0, 2)
+        _, pruned = dijkstra_distance_counted(square, 0, 2, cutoff=50.0)
+        assert pruned <= full
+
 
 class TestShortestRoute:
     def test_route_recovery(self, square):
@@ -169,3 +197,62 @@ class TestEngine:
         assert engine.distance(a, b) == pytest.approx(100.0)
         assert engine.distance(b, a) == INFINITY
         assert engine.computations == 2
+
+
+class TestEngineCutoff:
+    """Bounded queries cache INFINITY separately from exact distances."""
+
+    def test_finite_result_within_cutoff_is_exact_and_cached(self, square):
+        engine = ShortestPathEngine(square)
+        exact = dijkstra_distance(square, 1, 3)
+        assert engine.distance(1, 3, cutoff=exact + 1.0) == exact
+        assert engine.computations == 1
+        # The finite bounded answer is exact, so unbounded hits cache.
+        assert engine.distance(1, 3) == exact
+        assert engine.computations == 1
+        assert engine.cache_hits == 1
+
+    def test_bounded_infinity_not_poisoning_unbounded(self, square):
+        engine = ShortestPathEngine(square)
+        exact = dijkstra_distance(square, 1, 3)
+        assert engine.distance(1, 3, cutoff=exact / 2) == INFINITY
+        assert engine.computations == 1
+        # An unbounded query must recompute and find the real distance.
+        assert engine.distance(1, 3) == exact
+        assert engine.computations == 2
+        # ...after which bounded queries are served from the exact cache
+        # (the true distance is strictly more informative than INFINITY).
+        assert engine.distance(1, 3, cutoff=exact / 2) == exact
+        assert engine.computations == 2
+        assert engine.cache_hits == 1
+
+    def test_bounded_cache_reused_for_smaller_cutoffs(self, square):
+        engine = ShortestPathEngine(square)
+        exact = dijkstra_distance(square, 1, 3)
+        assert engine.distance(1, 3, cutoff=exact / 2) == INFINITY
+        # A tighter bound is answered by the recorded proven bound.
+        assert engine.distance(1, 3, cutoff=exact / 4) == INFINITY
+        assert engine.computations == 1
+        assert engine.cache_hits == 1
+        # A looser (still insufficient) bound needs a fresh search.
+        assert engine.distance(1, 3, cutoff=exact * 0.9) == INFINITY
+        assert engine.computations == 2
+
+    def test_truly_disconnected_with_cutoff(self):
+        net = RoadNetwork()
+        net.add_junction(Point(0, 0))
+        net.add_junction(Point(10, 0))
+        net.add_junction(Point(900, 900))
+        net.add_segment(0, 1)
+        for backend in ("dict", "csr"):
+            engine = ShortestPathEngine(net, backend=backend)
+            assert engine.distance(0, 2, cutoff=50.0) == INFINITY
+            assert engine.distance(0, 2) == INFINITY
+
+    def test_clear_drops_bounded_cache(self, square):
+        engine = ShortestPathEngine(square)
+        engine.distance(1, 3, cutoff=10.0)
+        engine.clear()  # zeroes counters and drops the bounded table
+        engine.distance(1, 3, cutoff=10.0)
+        assert engine.computations == 1  # searched again, no cached verdict
+        assert engine.cache_hits == 0
