@@ -92,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
                          default="csr",
                          help="shortest-path backend: flat-array CSR "
                               "(default) or the legacy dict adjacency")
+    cluster.add_argument("--max-retries", type=int, default=2,
+                         help="retries for fallible service-tier operations "
+                              "(ingest/refresh/shard dispatch; 0 = try once)")
+    cluster.add_argument("--deadline-s", type=float, default=None,
+                         help="per-call time budget in seconds for service "
+                              "submit/query operations (default: none)")
+    cluster.add_argument("--max-pending", type=int, default=64,
+                         help="bound on the service's pending-batch queue "
+                              "before ServiceOverloaded rejections")
     cluster.add_argument("--svg", type=Path, default=None,
                          help="render flows/clusters to this SVG")
     cluster.add_argument("--json", action="store_true",
@@ -167,6 +176,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         wq=args.wq, wk=args.wk, wv=args.wv,
         eps=args.eps, min_card=args.min_card, use_elb=not args.no_elb,
         workers=args.workers, sp_backend=args.sp_backend,
+        max_retries=args.max_retries, deadline_s=args.deadline_s,
+        max_pending=args.max_pending,
     )
     telemetry = Telemetry.create()
     result = NEAT(network, config, telemetry=telemetry).run(

@@ -54,7 +54,7 @@ from .timeslice import (
     persistent_segments,
     time_sliced_clustering,
 )
-from .validate import ValidationReport, validate_result
+from .validate import ValidationReport, validate_result, validate_trajectories
 
 __all__ = [
     "BaseCluster",
@@ -106,4 +106,5 @@ __all__ = [
     "split_by_time_gap",
     "time_sliced_clustering",
     "validate_result",
+    "validate_trajectories",
 ]

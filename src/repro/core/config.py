@@ -51,6 +51,14 @@ class NEATConfig:
         sp_backend: Shortest-path backend of the Phase 3 engine:
             ``"csr"`` (flat-array bidirectional Dijkstra, the default)
             or ``"dict"`` (legacy adjacency walk).
+        max_retries: Retries after the first attempt for fallible service
+            tier operations (ingest, refresh, shard dispatch); 0 tries
+            exactly once.  See :class:`repro.resilience.RetryPolicy`.
+        deadline_s: Default per-call time budget (seconds) for service
+            submit/query operations; ``None`` (the default) means no
+            deadline.
+        max_pending: Bound on the service's pending-batch queue; a full
+            queue rejects new batches with ``ServiceOverloaded``.
     """
 
     wq: float = 1.0 / 3.0
@@ -64,6 +72,9 @@ class NEATConfig:
     keep_interior_points: bool = False
     workers: int | None = 1
     sp_backend: str = "csr"
+    max_retries: int = 2
+    deadline_s: float | None = None
+    max_pending: int = 64
 
     def __post_init__(self) -> None:
         for name, weight in (("wq", self.wq), ("wk", self.wk), ("wv", self.wv)):
@@ -93,6 +104,14 @@ class NEATConfig:
             raise ConfigError(
                 f"sp_backend must be 'dict' or 'csr', got {self.sp_backend!r}"
             )
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(
+                f"deadline_s must be > 0 when set, got {self.deadline_s}"
+            )
+        if self.max_pending < 1:
+            raise ConfigError(f"max_pending must be >= 1, got {self.max_pending}")
 
     def with_weights(self, wq: float, wk: float, wv: float) -> "NEATConfig":
         """A copy with different merging-selectivity weights."""

@@ -137,6 +137,18 @@ class IncrementalNEAT:
                     f"trajectory ids seen in earlier batches: {sorted(duplicate)[:5]}"
                     " (pass auto_offset_ids=True to re-id)"
                 )
+
+        # Snapshot mutable state so a mid-batch failure (bad input deep in
+        # a phase, injected fault in a chaos drill) leaves the clusterer
+        # exactly as it was: ingestion is all-or-nothing per batch, which
+        # is what lets the service tier retry or queue a failed batch.
+        rollback = (
+            list(self._flows),
+            list(self._noise_flows),
+            list(self._clusters),
+            set(self._seen_trids),
+            self._batches,
+        )
         self._seen_trids.update(tr.trid for tr in batch)
 
         result = BatchResult(batch_index=self._batches)
@@ -144,27 +156,43 @@ class IncrementalNEAT:
 
         telemetry = self.telemetry
         metrics = telemetry.metrics if telemetry.enabled else None
-        with telemetry.tracer.span("incremental.add_batch") as batch_span:
-            if batch:
-                base = form_base_clusters(
-                    self.network, batch,
-                    keep_interior_points=self.config.keep_interior_points,
-                    metrics=metrics,
-                )
-                formation = form_flow_clusters(
-                    self.network, base, self.config, metrics=metrics
-                )
-                result.new_flows = formation.flows
-                result.new_noise_flows = formation.noise_flows
-                self._flows.extend(formation.flows)
-                self._noise_flows.extend(formation.noise_flows)
+        try:
+            with telemetry.tracer.span("incremental.add_batch") as batch_span:
+                if batch:
+                    base = form_base_clusters(
+                        self.network, batch,
+                        keep_interior_points=self.config.keep_interior_points,
+                        metrics=metrics,
+                    )
+                    formation = form_flow_clusters(
+                        self.network, base, self.config, metrics=metrics
+                    )
+                    result.new_flows = formation.flows
+                    result.new_noise_flows = formation.noise_flows
+                    self._flows.extend(formation.flows)
+                    self._noise_flows.extend(formation.noise_flows)
 
-            stats = RefinementStats()
-            with telemetry.tracer.span("incremental.refresh"):
-                self._clusters = refine_flow_clusters(
-                    self.network, self._flows, self.config,
-                    engine=self.engine, stats=stats, metrics=metrics,
+                stats = RefinementStats()
+                with telemetry.tracer.span("incremental.refresh"):
+                    self._clusters = refine_flow_clusters(
+                        self.network, self._flows, self.config,
+                        engine=self.engine, stats=stats, metrics=metrics,
+                    )
+        except BaseException:
+            (
+                self._flows,
+                self._noise_flows,
+                self._clusters,
+                self._seen_trids,
+                self._batches,
+            ) = rollback
+            if metrics is not None:
+                metrics.inc(
+                    "incremental.rolled_back_batches",
+                    description="Batches undone after a mid-ingest failure",
                 )
+            _log.warning("batch rolled back", batch=result.batch_index)
+            raise
         result.clusters = list(self._clusters)
         result.refinement_stats = stats
 

@@ -49,6 +49,11 @@ class NEATResult:
             "metrics": {...}}`` as produced by
             :meth:`repro.obs.Telemetry.snapshot`.  Empty when the run was
             executed with telemetry disabled.
+        dropped_shards: Shard indices a distributed run had to abandon
+            (node dead, retries exhausted, re-dispatch impossible); empty
+            for centralized runs and fault-free distributed runs.  A
+            non-empty list means the result covers the *surviving* shards
+            only.
     """
 
     mode: str
@@ -60,6 +65,7 @@ class NEATResult:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     refinement_stats: RefinementStats = field(default_factory=RefinementStats)
     telemetry: dict[str, Any] = field(default_factory=dict)
+    dropped_shards: list[int] = field(default_factory=list)
 
     @property
     def flow_count(self) -> int:
@@ -73,9 +79,12 @@ class NEATResult:
 
     def summary(self) -> str:
         """One-line human-readable run summary."""
+        dropped = (
+            f" dropped_shards={self.dropped_shards}" if self.dropped_shards else ""
+        )
         return (
             f"NEAT[{self.mode}] base={len(self.base_clusters)} "
             f"flows={len(self.flows)} (+{len(self.noise_flows)} noise, "
             f"minCard={self.min_card_used}) clusters={len(self.clusters)} "
-            f"in {self.timings.total:.3f}s"
+            f"in {self.timings.total:.3f}s{dropped}"
         )

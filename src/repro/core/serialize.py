@@ -12,6 +12,8 @@ Schema (version 1)::
     {
       "format": "repro-clustering", "version": 1,
       "mode": "opt", "min_card_used": 5, "network_name": "...",
+      "stale": false,
+      "dropped_shards": [],
       "base_clusters": [
         {"sid": 3, "fragments": [
             {"trid": 0, "locations": [[sid, x, y, t, node_id|null], ...]},
@@ -59,8 +61,18 @@ def _fragment_from_dict(data: dict[str, Any]) -> TFragment:
     return TFragment(int(data["trid"]), locations[0].sid, locations)
 
 
-def result_to_dict(result: NEATResult, network_name: str = "") -> dict[str, Any]:
-    """Serialize a NEAT result to a JSON-compatible dictionary."""
+def result_to_dict(
+    result: NEATResult, network_name: str = "", stale: bool = False
+) -> dict[str, Any]:
+    """Serialize a NEAT result to a JSON-compatible dictionary.
+
+    Args:
+        result: The result to serialize.
+        network_name: Name recorded in the document.
+        stale: Degraded-mode marker — ``True`` when a NEAT server is
+            serving a previously validated snapshot because the fresh
+            refresh failed (see ``docs/robustness.md``).
+    """
     flow_index = {id(flow): i for i, flow in enumerate(result.flows)}
     return {
         "format": FORMAT_TAG,
@@ -68,6 +80,8 @@ def result_to_dict(result: NEATResult, network_name: str = "") -> dict[str, Any]
         "mode": result.mode,
         "min_card_used": result.min_card_used,
         "network_name": network_name,
+        "stale": bool(stale),
+        "dropped_shards": list(result.dropped_shards),
         "base_clusters": [
             {
                 "sid": cluster.sid,
@@ -146,6 +160,7 @@ def result_from_dict(data: dict[str, Any], network: RoadNetwork) -> NEATResult:
     result.noise_flows = noise_flows
     result.clusters = clusters
     result.min_card_used = int(data.get("min_card_used", 0))
+    result.dropped_shards = [int(s) for s in data.get("dropped_shards", [])]
     return result
 
 

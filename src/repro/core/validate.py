@@ -21,8 +21,10 @@ Checked invariants:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..roadnet.network import RoadNetwork
+from .model import Trajectory
 from .result import NEATResult
 
 
@@ -73,6 +75,38 @@ def validate_result(
         _check_flows(result, network, report, allow_shared_segments)
     if result.clusters:
         _check_clusters(result, report)
+    return report
+
+
+def validate_trajectories(
+    network: RoadNetwork, trajectories: Sequence[Trajectory]
+) -> ValidationReport:
+    """Check a trajectory batch *before* it enters the pipeline.
+
+    The ingest-side counterpart of :func:`validate_result`: a NEAT server
+    admits client batches only after this passes, so a malformed batch is
+    rejected at the door instead of poisoning the retained flow pool.
+
+    Checked: every location references a segment of ``network``, and
+    trajectory ids are unique within the batch.  (Per-trajectory shape —
+    at least two samples, non-decreasing timestamps — is enforced by the
+    :class:`~repro.core.model.Trajectory` constructor itself.)
+    """
+    report = ValidationReport()
+    seen_trids: set[int] = set()
+    for trajectory in trajectories:
+        if trajectory.trid in seen_trids:
+            report.errors.append(
+                f"duplicate trajectory id in batch: {trajectory.trid}"
+            )
+        seen_trids.add(trajectory.trid)
+        for location in trajectory.locations:
+            if not network.has_segment(location.sid):
+                report.errors.append(
+                    f"trajectory {trajectory.trid} references unknown "
+                    f"segment {location.sid}"
+                )
+                break
     return report
 
 

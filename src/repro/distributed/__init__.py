@@ -6,6 +6,13 @@ This package simulates that 3-tier deployment in-process: data nodes run
 Phase 1 over their trajectory shards, the coordinator merges the partial
 base clusters (base-cluster formation is a group-by, so the merge is
 exact) and runs Phases 2-3 centrally.
+
+The tier is fault-tolerant: dispatches retry under
+:class:`~repro.resilience.RetryPolicy`, dead nodes are tracked and their
+shards re-dispatched (or reported in ``NEATResult.dropped_shards``), and
+the :class:`NeatService` facade adds admission control, per-call
+deadlines, a circuit breaker and degraded-mode (stale-snapshot) serving.
+See ``docs/robustness.md``.
 """
 
 from .nodes import DataNode, NeatCoordinator, merge_base_clusters, shard_round_robin

@@ -1,4 +1,4 @@
-"""Data nodes and coordinator for distributed Phase 1.
+"""Data nodes and coordinator for distributed Phase 1, fault-tolerant.
 
 Base-cluster formation (Phase 1) is a *distributive* aggregation: a base
 cluster is "all t-fragments with this sid", so fragments extracted on any
@@ -11,12 +11,23 @@ preprocessing exact:
 3. the :class:`NeatCoordinator` runs Phases 2-3 on the merged clusters,
    producing bit-identical results to a centralized run.
 
+On top of that dataflow the coordinator is *robust*: node dispatches run
+under a :class:`~repro.resilience.RetryPolicy`, a node whose retries are
+exhausted is marked dead, its shard is re-dispatched to surviving nodes
+(Phase 1 being distributive makes the re-dispatch exact too), and if even
+that fails the merge proceeds without the shard — the loss is reported in
+``NEATResult.dropped_shards`` rather than poisoning the run.  A quorum
+floor turns "too many shards lost" into an explicit
+:class:`~repro.errors.QuorumLost` error.
+
 Everything is synchronous and in-process — the point is the dataflow
-decomposition the paper sketches, not an RPC stack.
+decomposition the paper sketches, not an RPC stack.  Faults are injected
+deterministically through per-node :class:`~repro.resilience.FaultPlan` s.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -26,14 +37,24 @@ from ..core.flow_formation import form_flow_clusters
 from ..core.model import Trajectory
 from ..core.refinement import RefinementStats, refine_flow_clusters
 from ..core.result import NEATResult, PhaseTimings
+from ..errors import NodeDown, QuorumLost, RetriesExhausted
+from ..obs import Telemetry, get_logger
+from ..resilience import FaultPlan, FaultyCallable, RetryPolicy
 from ..roadnet.network import RoadNetwork
 from ..roadnet.shortest_path import ShortestPathEngine
+
+_log = get_logger("distributed.nodes")
 
 
 def shard_round_robin(
     trajectories: Sequence[Trajectory], shard_count: int
 ) -> list[list[Trajectory]]:
-    """Partition trajectories across ``shard_count`` shards round-robin."""
+    """Partition trajectories across ``shard_count`` shards round-robin.
+
+    ``shard_count`` may exceed the trajectory count; the surplus shards
+    come back empty and the coordinator skips them (an empty shard is not
+    dispatched to a node).
+    """
     if shard_count < 1:
         raise ValueError("shard_count must be >= 1")
     shards: list[list[Trajectory]] = [[] for _ in range(shard_count)]
@@ -50,20 +71,61 @@ class DataNode:
         node_id: Identifier within the cluster.
         network: The (replicated) road network.
         trajectories: The node's trajectory shard.
+        healthy: Liveness flag; a dead node raises
+            :class:`~repro.errors.NodeDown` on any preprocessing call.
+        fault_plan: Optional deterministic fault schedule applied to
+            every preprocessing call (chaos drills).
     """
 
     node_id: int
     network: RoadNetwork
     trajectories: list[Trajectory] = field(default_factory=list)
+    healthy: bool = True
+    fault_plan: FaultPlan | None = None
+    _faulty: FaultyCallable | None = field(default=None, repr=False, compare=False)
 
     def ingest(self, trajectories: Iterable[Trajectory]) -> None:
         """Add trajectories to this node's shard."""
         self.trajectories.extend(trajectories)
 
+    def kill(self) -> None:
+        """Mark the node dead (every later call raises ``NodeDown``)."""
+        self.healthy = False
+
+    def revive(self) -> None:
+        """Bring a dead node back (its shard is still held)."""
+        self.healthy = True
+
     def preprocess(self, keep_interior_points: bool = False) -> list[BaseCluster]:
         """Run Phase 1 over the local shard (the paper's node-side task)."""
+        return self.preprocess_batch(
+            self.trajectories, keep_interior_points=keep_interior_points
+        )
+
+    def preprocess_batch(
+        self,
+        trajectories: Sequence[Trajectory],
+        keep_interior_points: bool = False,
+    ) -> list[BaseCluster]:
+        """Run Phase 1 over an explicit trajectory list.
+
+        Used for re-dispatch: a surviving node processes a dead peer's
+        shard *in addition to* its own, without re-running its own work
+        (Phase 1 is distributive, so the partials merge exactly).
+        """
+        if not self.healthy:
+            raise NodeDown(self.node_id)
+        if self.fault_plan is not None:
+            if self._faulty is None or self._faulty.plan is not self.fault_plan:
+                self._faulty = self.fault_plan.wrap(
+                    form_base_clusters, operation=f"node{self.node_id}.preprocess"
+                )
+            return self._faulty(
+                self.network, trajectories,
+                keep_interior_points=keep_interior_points,
+            )
         return form_base_clusters(
-            self.network, self.trajectories,
+            self.network, trajectories,
             keep_interior_points=keep_interior_points,
         )
 
@@ -93,8 +155,22 @@ class NeatCoordinator:
 
     Args:
         network: The road network (replicated to every node).
-        config: NEAT parameters.
+        config: NEAT parameters; ``config.max_retries`` seeds the default
+            retry policy.
         node_count: Number of data nodes to simulate.
+        retry_policy: Policy for node dispatches.  The default retries
+            ``config.max_retries`` times with zero backoff (the nodes are
+            in-process; there is no transport to wait out) — pass a real
+            policy when fronting remote nodes.
+        telemetry: Optional shared telemetry bundle; the coordinator
+            publishes ``resilience.*`` and ``coordinator.*`` counters and
+            structured events into it.
+        redispatch: Re-run a failed shard's trajectories on surviving
+            nodes before declaring the shard dropped.
+        min_quorum: Minimum fraction of dispatched shards that must be
+            merged (after re-dispatch); going below raises
+            :class:`~repro.errors.QuorumLost`.  0.0 (default) always
+            proceeds with whatever survived.
     """
 
     def __init__(
@@ -102,34 +178,95 @@ class NeatCoordinator:
         network: RoadNetwork,
         config: NEATConfig | None = None,
         node_count: int = 4,
+        retry_policy: RetryPolicy | None = None,
+        telemetry: Telemetry | None = None,
+        redispatch: bool = True,
+        min_quorum: float = 0.0,
     ) -> None:
         if node_count < 1:
             raise ValueError("node_count must be >= 1")
+        if not 0.0 <= min_quorum <= 1.0:
+            raise ValueError(f"min_quorum must be in [0, 1], got {min_quorum}")
         self.network = network
         self.config = config if config is not None else NEATConfig()
         self.nodes = [DataNode(i, network) for i in range(node_count)]
         self.engine = ShortestPathEngine(network, directed=False)
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                max_retries=self.config.max_retries,
+                base_delay_s=0.0, jitter=0.0,
+            )
+        )
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self.redispatch = redispatch
+        self.min_quorum = min_quorum
+
+    # ------------------------------------------------------------------
+    def node_health(self) -> dict[int, bool]:
+        """Liveness by node id (the coordinator's health-tracking view)."""
+        return {node.node_id: node.healthy for node in self.nodes}
 
     def run(self, trajectories: Sequence[Trajectory], mode: str = "opt") -> NEATResult:
         """Distribute, preprocess on nodes, merge, finish centrally.
 
-        Produces exactly the result of ``NEAT(network, config).run(...)``
-        — the tests assert bit-equality of flow routes.
+        Fault-free, this produces exactly the result of
+        ``NEAT(network, config).run(...)`` — the tests assert bit-equality
+        of flow routes.  Under faults it produces the centralized result
+        over the *surviving* shards, reporting the rest in
+        ``result.dropped_shards``.
         """
         if mode not in ("base", "flow", "opt"):
             raise ValueError(f"unknown mode {mode!r}")
         for node in self.nodes:
             node.trajectories.clear()
-        for shard, node in zip(
-            shard_round_robin(trajectories, len(self.nodes)), self.nodes
-        ):
+        shards = shard_round_robin(trajectories, len(self.nodes))
+        # Surplus nodes get empty shards; an empty shard is never
+        # dispatched (the regression this guards: empty shards used to be
+        # preprocessed, producing empty partials on every surplus node).
+        assignments = [
+            (index, node, shard)
+            for index, (node, shard) in enumerate(zip(self.nodes, shards))
+            if shard
+        ]
+        for _, node, shard in assignments:
             node.ingest(shard)
 
-        partials = [
-            node.preprocess(self.config.keep_interior_points)
-            for node in self.nodes
-        ]
+        metrics = self.telemetry.metrics if self.telemetry.enabled else None
+        partials: list[Sequence[BaseCluster]] = []
+        failed: list[tuple[int, list[Trajectory]]] = []
+        for index, node, shard in assignments:
+            partial = self._dispatch(node, shard, shard_index=index)
+            if partial is None:
+                failed.append((index, shard))
+            else:
+                partials.append(partial)
+        if metrics is not None:
+            metrics.inc(
+                "coordinator.shards_dispatched",
+                amount=len(assignments),
+                description="Non-empty shards dispatched to data nodes",
+            )
+
+        dropped: list[int] = []
+        for index, shard in failed:
+            if self.redispatch and self._redispatch(index, shard, partials):
+                continue
+            dropped.append(index)
+            if metrics is not None:
+                metrics.inc(
+                    "coordinator.shards_dropped",
+                    description="Shards abandoned after re-dispatch failed",
+                )
+            _log.warning("shard dropped", shard=index, trajectories=len(shard))
+
+        surviving = len(assignments) - len(dropped)
+        if assignments and surviving < math.ceil(self.min_quorum * len(assignments)):
+            raise QuorumLost(surviving, len(assignments), self.min_quorum)
+
         result = NEATResult(mode=mode, timings=PhaseTimings())
+        result.dropped_shards = dropped
         result.base_clusters = merge_base_clusters(partials)
         if mode == "base":
             return result
@@ -150,3 +287,78 @@ class NeatCoordinator:
         )
         result.refinement_stats = stats
         return result
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        node: DataNode,
+        shard: Sequence[Trajectory],
+        shard_index: int,
+    ) -> list[BaseCluster] | None:
+        """One shard through one node under the retry policy.
+
+        Returns the partial base clusters, or None after marking the node
+        dead when every attempt failed.
+        """
+        metrics = self.telemetry.metrics if self.telemetry.enabled else None
+
+        def on_retry(attempt: int, delay: float, error: BaseException) -> None:
+            if metrics is not None:
+                metrics.inc(
+                    "resilience.retries",
+                    description="Attempts retried by a RetryPolicy",
+                )
+            _log.warning(
+                "node dispatch retrying",
+                node=node.node_id, shard=shard_index,
+                attempt=attempt, delay_s=round(delay, 6), error=repr(error),
+            )
+
+        try:
+            return self.retry_policy.call(
+                node.preprocess_batch,
+                shard,
+                keep_interior_points=self.config.keep_interior_points,
+                operation=f"node{node.node_id}.preprocess",
+                on_retry=on_retry,
+            )
+        except (RetriesExhausted, NodeDown) as error:
+            node.kill()
+            if metrics is not None:
+                metrics.inc(
+                    "resilience.node_failures",
+                    description="Data nodes marked dead by the coordinator",
+                )
+            _log.error(
+                "node marked dead",
+                node=node.node_id, shard=shard_index, error=repr(error),
+            )
+            return None
+
+    def _redispatch(
+        self,
+        shard_index: int,
+        shard: list[Trajectory],
+        partials: list[Sequence[BaseCluster]],
+    ) -> bool:
+        """Re-run a failed shard on surviving nodes; True when recovered."""
+        metrics = self.telemetry.metrics if self.telemetry.enabled else None
+        for node in self.nodes:
+            if not node.healthy:
+                continue
+            partial = self._dispatch(node, shard, shard_index=shard_index)
+            if partial is not None:
+                node.ingest(shard)
+                partials.append(partial)
+                if metrics is not None:
+                    metrics.inc(
+                        "coordinator.shards_redispatched",
+                        description="Failed shards recovered on surviving nodes",
+                    )
+                _log.info(
+                    "shard redispatched",
+                    shard=shard_index, node=node.node_id,
+                    trajectories=len(shard),
+                )
+                return True
+        return False

@@ -1,4 +1,4 @@
-"""The NEAT server facade (Section II-C, in-process).
+"""The NEAT server facade (Section II-C, in-process), fault-tolerant.
 
 The paper sketches a 3-tier system: clients "send trajectories to a NEAT
 server and make requests to the server to get trajectory clustering
@@ -12,22 +12,53 @@ server tier as a library object, composing the pieces built elsewhere:
 * every response is checked by :mod:`repro.core.validate` before leaving
   the service (a malformed answer is a bug, not a payload).
 
+A production server must keep answering when an ingest or refresh
+misbehaves, so the facade adds a robustness layer
+(:mod:`repro.resilience`):
+
+* **admission control** — malformed batches are rejected at the door
+  (:func:`~repro.core.validate.validate_trajectories`), and a bounded
+  pending-batch queue rejects new work with
+  :class:`~repro.errors.ServiceOverloaded` once ``max_pending`` batches
+  are stuck;
+* **retry / deadline / breaker** — each ingest runs under a
+  :class:`~repro.resilience.RetryPolicy` and an optional per-call
+  :class:`~repro.resilience.Deadline`; consecutive ingest failures trip
+  a :class:`~repro.resilience.CircuitBreaker` that sheds load fast;
+* **degraded mode** — when a query's refresh fails, the service serves
+  the last validated snapshot flagged ``"stale": true`` in the wire
+  format instead of raising (:class:`~repro.errors.ServiceUnavailable`
+  only when no snapshot exists yet);
+* **fault injection** — the ``ingest`` and ``refresh`` operations are
+  named injection points on :attr:`NeatService.faults`, so chaos tests
+  script failures deterministically.
+
 Everything is synchronous and in-process; transports (HTTP, gRPC) would
 wrap this object without changing it.
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from ..core.config import NEATConfig
-from ..core.incremental import IncrementalNEAT
+from ..core.incremental import BatchResult, IncrementalNEAT
 from ..core.model import Trajectory
 from ..core.result import NEATResult
 from ..core.serialize import result_to_dict
-from ..core.validate import validate_result
+from ..core.validate import validate_result, validate_trajectories
+from ..errors import (
+    DeadlineExceeded,
+    RetriesExhausted,
+    ServiceOverloaded,
+    ServiceUnavailable,
+    TrajectoryError,
+)
 from ..obs import Telemetry, get_logger
+from ..resilience import CircuitBreaker, Deadline, FaultInjector, RetryPolicy
 from ..roadnet.network import RoadNetwork
 
 _log = get_logger("distributed.service")
@@ -50,6 +81,13 @@ class ServiceStats:
     shortest_path_computations: int
     submit_seconds_total: float
     query_seconds_total: float
+    pending_batches: int
+    stale_queries: int
+    rejected_batches: int
+    overload_rejections: int
+    retries: int
+    breaker_trips: int
+    deadline_exceeded: int
 
 
 class NeatService:
@@ -57,11 +95,23 @@ class NeatService:
 
     Args:
         network: The road network clients' trajectories travel on.
-        config: NEAT parameters applied to every ingest/refresh.
+        config: NEAT parameters applied to every ingest/refresh; its
+            ``max_retries`` / ``deadline_s`` / ``max_pending`` knobs seed
+            the robustness layer.
         telemetry: Optional :class:`~repro.obs.Telemetry` bundle shared
             with the underlying incremental clusterer; the service adds
-            ``service.*`` ingest/query counters and latency histograms to
-            it.  Defaults to a fresh enabled bundle.
+            ``service.*`` and ``resilience.*`` counters and latency
+            histograms to it.  Defaults to a fresh enabled bundle.
+        retry_policy: Retry policy for ingest/refresh operations.  The
+            default retries ``config.max_retries`` times with zero
+            backoff (in-process calls have no transport to wait out);
+            pass a policy with real delays when fronting remote work.
+        breaker: Circuit breaker guarding ingestion.  The default trips
+            after 5 consecutive batch failures and probes again 30 s
+            later.
+        clock: Monotonic clock for deadlines and the breaker
+            (injectable for tests).
+        sleep: Backoff sleeper for retries (injectable for tests).
 
     Example:
         >>> from repro.roadnet import line_network
@@ -73,6 +123,10 @@ class NeatService:
         network: RoadNetwork,
         config: NEATConfig | None = None,
         telemetry: Telemetry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] | None = None,
     ) -> None:
         self.network = network
         self.config = config if config is not None else NEATConfig()
@@ -80,7 +134,29 @@ class NeatService:
         self._incremental = IncrementalNEAT(
             network, self.config, telemetry=self.telemetry
         )
+        self._clock = clock
+        self._sleep = sleep
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                max_retries=self.config.max_retries,
+                base_delay_s=0.0, jitter=0.0,
+            )
+        )
         metrics = self.telemetry.metrics
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(
+                "service.ingest", failure_threshold=5, recovery_s=30.0,
+                clock=clock,
+            )
+        )
+        self.faults = FaultInjector()
+        self._pending: deque[list[Trajectory]] = deque()
+        self._last_document: dict[str, Any] | None = None
+
         self._submitted_batches = metrics.counter(
             "service.batches_ingested", "Trajectory batches accepted by submit()"
         )
@@ -96,56 +172,161 @@ class NeatService:
         self._query_latency = metrics.histogram(
             "service.query_latency_seconds", "End-to-end query latency"
         )
+        self._stale_queries = metrics.counter(
+            "service.stale_queries",
+            "Queries answered from the last snapshot because a refresh failed",
+        )
+        self._rejected_batches = metrics.counter(
+            "service.rejected_batches", "Malformed batches rejected at admission"
+        )
+        self._overload_rejections = metrics.counter(
+            "service.overload_rejections",
+            "Batches rejected because the pending queue was full",
+        )
+        self._retries = metrics.counter(
+            "resilience.retries", "Attempts retried by a RetryPolicy"
+        )
+        self._breaker_open = metrics.counter(
+            "resilience.breaker_open", "Circuit-breaker trips to the open state"
+        )
+        self._deadline_exceeded = metrics.counter(
+            "service.deadline_exceeded", "Calls aborted by their deadline"
+        )
+        self._pending_gauge = metrics.gauge(
+            "service.pending_batches", "Batches queued awaiting (re)ingestion"
+        )
+        # Route breaker trips into telemetry without the breaker knowing
+        # about metrics (a user-supplied on_open hook is kept as-is).
+        if self.breaker._on_open is None:
+            self.breaker._on_open = self._record_breaker_trip
 
     # ------------------------------------------------------------------
     # Ingestion (the client -> server direction)
     # ------------------------------------------------------------------
-    def submit(self, trajectories: Sequence[Trajectory]) -> dict[str, Any]:
+    def submit(
+        self,
+        trajectories: Sequence[Trajectory],
+        deadline_s: float | None = None,
+    ) -> dict[str, Any]:
         """Ingest a trajectory batch; returns an acknowledgement summary.
 
         Trajectory ids are re-assigned server-side (clients should not
         need to coordinate id spaces).
+
+        The batch is validated, admitted into the bounded pending queue,
+        then the queue is drained oldest-first (a previously failed batch
+        is retried before the new one).  Failure of any batch leaves it
+        queued and raises; :meth:`flush_pending` retries without new work.
+
+        Args:
+            trajectories: The batch.
+            deadline_s: Per-call budget override (default:
+                ``config.deadline_s``; ``None`` = no deadline).
+
+        Raises:
+            TrajectoryError: The batch is malformed (admission check).
+            ServiceOverloaded: The pending queue is full.
+            RetriesExhausted: Ingestion kept failing past the policy.
+            DeadlineExceeded: The time budget ran out.
+            CircuitOpenError: The ingest breaker is open.
         """
         with self.telemetry.tracer.span("service.submit") as span:
-            batch = self._incremental.add_batch(
-                list(trajectories), auto_offset_ids=True
-            )
-        self._submitted_batches.inc()
-        self._submitted_trajectories.inc(len(trajectories))
+            batch = list(trajectories)
+            report = validate_trajectories(self.network, batch)
+            if not report.ok:
+                self._rejected_batches.inc()
+                _log.warning(
+                    "batch rejected", errors=len(report.errors),
+                    first=report.errors[0],
+                )
+                raise TrajectoryError(
+                    "malformed trajectory batch:\n  "
+                    + "\n  ".join(report.errors)
+                )
+            if len(self._pending) >= self.config.max_pending:
+                self._overload_rejections.inc()
+                _log.warning(
+                    "batch rejected by admission control",
+                    pending=len(self._pending),
+                    max_pending=self.config.max_pending,
+                )
+                raise ServiceOverloaded(
+                    len(self._pending), self.config.max_pending
+                )
+            self._pending.append(batch)
+            self._pending_gauge.set(len(self._pending))
+            ack = self._drain(self._deadline_for("service.submit", deadline_s))
         self._submit_latency.observe(span.duration)
         _log.info(
             "batch accepted",
-            batch=batch.batch_index,
-            trajectories=len(trajectories),
-            new_flows=len(batch.new_flows),
-            seconds=round(span.duration, 6),
+            batch=ack["batch"], trajectories=ack["accepted"],
+            new_flows=ack["new_flows"], seconds=round(span.duration, 6),
         )
-        return {
-            "batch": batch.batch_index,
-            "accepted": len(trajectories),
-            "new_flows": len(batch.new_flows),
-            "total_flows": len(self._incremental.flows),
-            "clusters": len(batch.clusters),
-        }
+        return ack
+
+    def flush_pending(self, deadline_s: float | None = None) -> int:
+        """Retry queued batches without submitting new work.
+
+        Returns the number of batches still pending afterwards; raises
+        like :meth:`submit` when a batch keeps failing.
+        """
+        if self._pending:
+            self._drain(self._deadline_for("service.flush", deadline_s))
+        return len(self._pending)
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches queued awaiting (re)ingestion."""
+        return len(self._pending)
 
     # ------------------------------------------------------------------
     # Queries (the server -> client direction)
     # ------------------------------------------------------------------
-    def get_clustering(self) -> dict[str, Any]:
+    def get_clustering(
+        self, deadline_s: float | None = None
+    ) -> dict[str, Any]:
         """The current global clustering as a serialized document.
 
         The response is validated against the framework invariants before
-        being returned.
+        being returned.  When the refresh fails (after retries), the last
+        validated snapshot is served instead with ``"stale": true`` —
+        degraded, not down.
+
+        Raises:
+            ServiceUnavailable: The refresh failed and no snapshot has
+                ever been validated.
+            DeadlineExceeded: The time budget ran out (no stale fallback:
+                a deadline is the caller's own abort request).
         """
         with self.telemetry.tracer.span("service.get_clustering") as span:
-            result = self._snapshot()
-            validate_result(
-                result, self.network, allow_shared_segments=True
-            ).raise_if_invalid()
-            document = result_to_dict(result, network_name=self.network.name)
+            deadline = self._deadline_for("service.get_clustering", deadline_s)
+            try:
+                document = self.retry_policy.call(
+                    self._refresh_document,
+                    operation="service.refresh",
+                    deadline=deadline,
+                    sleep=self._sleep,
+                    on_retry=self._on_retry,
+                )
+                self._last_document = document
+                response = dict(document)
+            except DeadlineExceeded:
+                self._deadline_exceeded.inc()
+                raise
+            except Exception as error:
+                if self._last_document is None:
+                    raise ServiceUnavailable(
+                        "refresh failed and no validated snapshot exists"
+                    ) from error
+                self._stale_queries.inc()
+                _log.warning(
+                    "serving stale snapshot", error=repr(error),
+                )
+                response = dict(self._last_document)
+                response["stale"] = True
         self._queries.inc()
         self._query_latency.observe(span.duration)
-        return document
+        return response
 
     def get_flow_summaries(self) -> list[dict[str, Any]]:
         """Lightweight per-flow digests (for map UIs / previews)."""
@@ -175,6 +356,13 @@ class NeatService:
             shortest_path_computations=self._incremental.engine.computations,
             submit_seconds_total=self._submit_latency.sum,
             query_seconds_total=self._query_latency.sum,
+            pending_batches=len(self._pending),
+            stale_queries=int(self._stale_queries.value),
+            rejected_batches=int(self._rejected_batches.value),
+            overload_rejections=int(self._overload_rejections.value),
+            retries=int(self._retries.value),
+            breaker_trips=int(self._breaker_open.value),
+            deadline_exceeded=int(self._deadline_exceeded.value),
         )
 
     def metrics_snapshot(self) -> dict[str, Any]:
@@ -182,6 +370,98 @@ class NeatService:
         return self.telemetry.snapshot()
 
     # ------------------------------------------------------------------
+    def _deadline_for(
+        self, operation: str, deadline_s: float | None
+    ) -> Deadline | None:
+        budget = deadline_s if deadline_s is not None else self.config.deadline_s
+        if budget is None:
+            return None
+        return Deadline(budget, operation, clock=self._clock)
+
+    def _on_retry(self, attempt: int, delay: float, error: BaseException) -> None:
+        self._retries.inc()
+        _log.warning(
+            "operation retrying",
+            attempt=attempt, delay_s=round(delay, 6), error=repr(error),
+        )
+
+    def _record_breaker_trip(self) -> None:
+        self._breaker_open.inc()
+        _log.error("ingest circuit opened", breaker=self.breaker.name)
+
+    def _drain(self, deadline: Deadline | None) -> dict[str, Any]:
+        """Process the pending queue oldest-first; ack the last batch done.
+
+        A failing batch stays at the head of the queue (ingestion rolls
+        back on failure, so a retry starts clean) and its error
+        propagates to the caller.
+        """
+        ack: dict[str, Any] = {}
+        while self._pending:
+            batch = self._pending[0]
+            self.breaker.check()
+            try:
+                result = self.retry_policy.call(
+                    self._ingest_once,
+                    batch,
+                    operation="service.ingest",
+                    deadline=deadline,
+                    sleep=self._sleep,
+                    on_retry=self._on_retry,
+                )
+            except DeadlineExceeded:
+                self._deadline_exceeded.inc()
+                raise
+            except RetriesExhausted:
+                self.breaker.record_failure()
+                raise
+            self.breaker.record_success()
+            self._pending.popleft()
+            self._pending_gauge.set(len(self._pending))
+            self._submitted_batches.inc()
+            self._submitted_trajectories.inc(len(batch))
+            ack = {
+                "batch": result.batch_index,
+                "accepted": len(batch),
+                "new_flows": len(result.new_flows),
+                "total_flows": len(self._incremental.flows),
+                "clusters": len(result.clusters),
+            }
+        self._capture_snapshot()
+        return ack
+
+    def _ingest_once(self, batch: list[Trajectory]) -> BatchResult:
+        """One ingest attempt, through the ``ingest`` injection point."""
+        return self.faults.run(
+            "ingest",
+            self._incremental.add_batch,
+            batch,
+            auto_offset_ids=True,
+        )
+
+    def _capture_snapshot(self) -> None:
+        """Best-effort refresh of the degraded-mode snapshot after ingest.
+
+        Deliberately *not* routed through the ``refresh`` injection point
+        — chaos tests arm that against queries; the post-ingest capture
+        is what those queries then fall back to.
+        """
+        try:
+            self._last_document = self._build_document()
+        except Exception as error:  # pragma: no cover - defensive
+            _log.warning("post-ingest snapshot failed", error=repr(error))
+
+    def _refresh_document(self) -> dict[str, Any]:
+        """One query-path refresh attempt (the ``refresh`` injection point)."""
+        return self.faults.run("refresh", self._build_document)
+
+    def _build_document(self) -> dict[str, Any]:
+        result = self._snapshot()
+        validate_result(
+            result, self.network, allow_shared_segments=True
+        ).raise_if_invalid()
+        return result_to_dict(result, network_name=self.network.name)
+
     def _snapshot(self) -> NEATResult:
         """Assemble a NEATResult view of the service's current state.
 

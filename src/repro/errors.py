@@ -63,3 +63,94 @@ class ClusteringError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid algorithm configuration (weights, thresholds, ...)."""
+
+
+class ResilienceError(ReproError):
+    """Base class for failures surfaced by the robustness layer."""
+
+
+class DeadlineExceeded(ResilienceError):
+    """An operation ran past its caller-supplied deadline."""
+
+    def __init__(self, operation: str, budget_s: float) -> None:
+        super().__init__(
+            f"operation {operation!r} exceeded its {budget_s:.3f}s deadline"
+        )
+        self.operation = operation
+        self.budget_s = budget_s
+
+
+class RetriesExhausted(ResilienceError):
+    """Every attempt allowed by a :class:`RetryPolicy` failed.
+
+    The last underlying failure rides along as ``last_error`` (and as
+    ``__cause__``).
+    """
+
+    def __init__(self, operation: str, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"operation {operation!r} failed after {attempts} attempt(s): "
+            f"{last_error!r}"
+        )
+        self.operation = operation
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open; the call was rejected without running."""
+
+    def __init__(self, name: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"circuit {name!r} is open (retry in {max(retry_after_s, 0.0):.3f}s)"
+        )
+        self.name = name
+        self.retry_after_s = retry_after_s
+
+
+class FaultInjected(ReproError):
+    """The failure raised by the fault-injection harness (tests/benchmarks)."""
+
+    def __init__(self, operation: str, call_index: int) -> None:
+        super().__init__(
+            f"injected fault in {operation!r} (call #{call_index})"
+        )
+        self.operation = operation
+        self.call_index = call_index
+
+
+class NodeDown(ResilienceError):
+    """A data node was addressed after being marked dead."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"data node {node_id} is down")
+        self.node_id = node_id
+
+
+class QuorumLost(ResilienceError):
+    """Too few shards survived for the coordinator's configured quorum."""
+
+    def __init__(self, surviving: int, dispatched: int, quorum: float) -> None:
+        super().__init__(
+            f"only {surviving}/{dispatched} shards survived "
+            f"(quorum {quorum:.2f})"
+        )
+        self.surviving = surviving
+        self.dispatched = dispatched
+        self.quorum = quorum
+
+
+class ServiceOverloaded(ReproError):
+    """Admission control rejected a batch: the pending queue is full."""
+
+    def __init__(self, pending: int, max_pending: int) -> None:
+        super().__init__(
+            f"service overloaded: {pending} pending batch(es), "
+            f"max_pending={max_pending}"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+
+
+class ServiceUnavailable(ReproError):
+    """A query failed and no previously validated snapshot exists to serve."""

@@ -201,6 +201,15 @@ class MetricsRegistry:
         """The histogram called ``name`` (created on first request)."""
         return self._get_or_create(Histogram, name, description, buckets=buckets)
 
+    def inc(self, name: str, amount: float = 1.0, description: str = "") -> None:
+        """Bump the counter called ``name`` (created on first use).
+
+        A one-line convenience for event-shaped instrumentation
+        (``registry.inc("resilience.retries")``) where holding the
+        instrument object would be noise.
+        """
+        self.counter(name, description).inc(amount)
+
     def get(self, name: str) -> Instrument | None:
         """The instrument called ``name``, or None."""
         return self._instruments.get(name)

@@ -1,0 +1,31 @@
+"""repro.resilience — the robustness layer of the service tier.
+
+Stdlib-only fault-tolerance primitives (policies) plus a deterministic
+fault-injection harness (faults), composed by
+:class:`~repro.distributed.service.NeatService` and
+:class:`~repro.distributed.nodes.NeatCoordinator`:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic seeded
+  jitter;
+* :class:`Deadline` — per-call time budgets over an injectable clock;
+* :class:`CircuitBreaker` — closed / open / half-open state machine;
+* :class:`FaultPlan` / :class:`FaultyCallable` / :class:`FaultInjector`
+  — scripted failures, latency, payload corruption and node kills, by
+  deterministic call index.
+
+See ``docs/robustness.md`` for the fault matrix and degraded-mode
+semantics.
+"""
+
+from .faults import FaultInjector, FaultPlan, FaultyCallable, real_sleeper
+from .policy import CircuitBreaker, Deadline, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyCallable",
+    "RetryPolicy",
+    "real_sleeper",
+]

@@ -1,0 +1,317 @@
+"""Robustness policies: retries with backoff, deadlines, circuit breaking.
+
+Three small, stdlib-only primitives the service tier composes:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *deterministic seeded jitter*: the jitter sequence is drawn from a
+  ``random.Random`` seeded per call, so two identical runs back off by
+  byte-identical delays (the chaos suite asserts this);
+* :class:`Deadline` — a monotonic time budget with an injectable clock,
+  checked between attempts (pure-Python calls cannot be preempted, so a
+  deadline bounds *when the next attempt may start*, not a single
+  long-running attempt);
+* :class:`CircuitBreaker` — the classic closed / open / half-open state
+  machine: consecutive failures trip it open, a recovery interval later a
+  limited number of trial calls probe the dependency, one success closes
+  it again.
+
+Every primitive takes injectable ``clock``/``sleep`` callables so tests
+and benchmarks run instantly and deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..errors import (
+    CircuitOpenError,
+    ConfigError,
+    DeadlineExceeded,
+    RetriesExhausted,
+)
+
+__all__ = ["CircuitBreaker", "Deadline", "RetryPolicy"]
+
+
+class Deadline:
+    """A wall-clock budget for one logical operation.
+
+    Args:
+        budget_s: Seconds allowed from construction time.
+        operation: Name used in the :class:`DeadlineExceeded` message.
+        clock: Monotonic clock (injectable for tests).
+    """
+
+    __slots__ = ("budget_s", "operation", "_clock", "_expires_at")
+
+    def __init__(
+        self,
+        budget_s: float,
+        operation: str = "operation",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_s <= 0:
+            raise ConfigError(f"deadline budget must be > 0, got {budget_s}")
+        self.budget_s = budget_s
+        self.operation = operation
+        self._clock = clock
+        self._expires_at = clock() + budget_s
+
+    @classmethod
+    def after(
+        cls,
+        budget_s: float,
+        operation: str = "operation",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline expiring ``budget_s`` seconds from now."""
+        return cls(budget_s, operation=operation, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self._expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self._clock() >= self._expires_at
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(self.operation, self.budget_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline({self.operation!r}, budget={self.budget_s}, "
+            f"remaining={self.remaining():.3f})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Attributes:
+        max_retries: Retries *after* the first attempt (0 = try once).
+        base_delay_s: Backoff before the first retry.
+        multiplier: Exponential growth factor between retries.
+        max_delay_s: Cap on any single backoff delay (before jitter).
+        jitter: Fraction of the delay added as jitter; the addition is
+            drawn uniformly from ``[0, jitter * delay)`` by a
+            ``random.Random(seed)`` instance created per :meth:`call`,
+            making the whole backoff schedule deterministic under a seed.
+        seed: Jitter seed.
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay_s < 0:
+            raise ConfigError(f"base_delay_s must be >= 0, got {self.base_delay_s}")
+        if self.multiplier < 1.0:
+            raise ConfigError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay_s < self.base_delay_s:
+            raise ConfigError(
+                f"max_delay_s ({self.max_delay_s}) must be >= base_delay_s "
+                f"({self.base_delay_s})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delays(self) -> Iterator[float]:
+        """The jittered backoff schedule (one delay per retry)."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay_s
+        for _ in range(self.max_retries):
+            capped = min(delay, self.max_delay_s)
+            yield capped + (rng.random() * self.jitter * capped)
+            delay *= self.multiplier
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        operation: str = "operation",
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        deadline: Deadline | None = None,
+        sleep: Callable[[float], None] | None = None,
+        on_retry: Callable[[int, float, BaseException], None] | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn`` under this policy; return its result.
+
+        Args:
+            fn: The callable to protect.
+            operation: Name used in raised errors.
+            retry_on: Exception types that trigger a retry; anything else
+                propagates immediately.
+            deadline: Optional :class:`Deadline`; checked before every
+                attempt and before sleeping (a backoff that cannot fit in
+                the remaining budget raises :class:`DeadlineExceeded`
+                without sleeping).
+            sleep: Backoff sleeper (default ``time.sleep``; tests pass a
+                recorder or no-op).
+            on_retry: Callback ``(attempt, delay_s, error)`` invoked
+                before each backoff — the hook the service tier uses to
+                bump ``resilience.retries`` and log.
+
+        Raises:
+            RetriesExhausted: Every allowed attempt failed (the last
+                failure is chained as ``__cause__``).
+            DeadlineExceeded: The budget ran out between attempts.
+        """
+        sleeper = time.sleep if sleep is None else sleep
+        schedule = self.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            if deadline is not None:
+                deadline.check()
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as error:
+                delay = next(schedule, None)
+                if delay is None:
+                    raise RetriesExhausted(operation, attempt, error) from error
+                if deadline is not None and delay > deadline.remaining():
+                    raise DeadlineExceeded(
+                        deadline.operation, deadline.budget_s
+                    ) from error
+                if on_retry is not None:
+                    on_retry(attempt, delay, error)
+                sleeper(delay)
+
+
+class CircuitBreaker:
+    """Closed / open / half-open circuit breaker.
+
+    Closed: calls flow; ``failure_threshold`` *consecutive* failures trip
+    the circuit open.  Open: calls are rejected immediately with
+    :class:`CircuitOpenError` until ``recovery_s`` elapses.  Half-open: up
+    to ``half_open_max_calls`` trial calls are admitted; one success
+    closes the circuit (counters reset), one failure re-opens it.
+
+    Args:
+        name: Identifier used in errors and logs.
+        failure_threshold: Consecutive failures that trip the breaker.
+        recovery_s: Open interval before probing resumes.
+        half_open_max_calls: Concurrent trial calls admitted half-open.
+        clock: Monotonic clock (injectable for tests).
+        on_open: Callback invoked every time the breaker trips open —
+            the ``resilience.breaker_open`` counter hook.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        name: str = "breaker",
+        failure_threshold: int = 5,
+        recovery_s: float = 30.0,
+        half_open_max_calls: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_open: Callable[[], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_s < 0:
+            raise ConfigError(f"recovery_s must be >= 0, got {recovery_s}")
+        if half_open_max_calls < 1:
+            raise ConfigError(
+                f"half_open_max_calls must be >= 1, got {half_open_max_calls}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.half_open_max_calls = half_open_max_calls
+        self._clock = clock
+        self._on_open = on_open
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_in_flight = 0
+        self.trip_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, accounting for recovery-interval expiry."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.recovery_s
+        ):
+            self._state = self.HALF_OPEN
+            self._half_open_in_flight = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (half-open slots count)."""
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN:
+            if self._half_open_in_flight < self.half_open_max_calls:
+                self._half_open_in_flight += 1
+                return True
+            return False
+        return False
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        if not self.allow():
+            retry_after = self.recovery_s - (self._clock() - self._opened_at)
+            raise CircuitOpenError(self.name, retry_after)
+
+    def record_success(self) -> None:
+        """Report a successful protected call (closes a half-open circuit)."""
+        self._consecutive_failures = 0
+        self._half_open_in_flight = 0
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        """Report a failed protected call; may trip the circuit open."""
+        if self._state == self.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Guard one call: admission check, then success/failure recording."""
+        self.check()
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._half_open_in_flight = 0
+        self.trip_count += 1
+        if self._on_open is not None:
+            self._on_open()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.name!r}, state={self.state!r})"

@@ -8,7 +8,6 @@ identical ``roadnet.sp.computations``.
 
 from __future__ import annotations
 
-import math
 import pickle
 import random
 
@@ -20,7 +19,6 @@ from repro.roadnet import (
     INFINITY,
     RoadNetwork,
     ShortestPathEngine,
-    build_csr,
     network_from_edges,
 )
 from repro.roadnet.geometry import Point

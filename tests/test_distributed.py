@@ -112,6 +112,36 @@ class TestCoordinator:
         with pytest.raises(ValueError):
             NeatCoordinator(line3, node_count=0)
 
+    def test_rejects_invalid_quorum(self, line3):
+        with pytest.raises(ValueError):
+            NeatCoordinator(line3, min_quorum=1.5)
+
+    def test_more_nodes_than_trajectories(self, line3):
+        # Regression: with node_count > len(trajectories), round-robin
+        # produces empty surplus shards; those must be skipped, not
+        # dispatched (they used to be preprocessed as empty work units).
+        trs = [trajectory_through(line3, i, [0, 1, 2]) for i in range(3)]
+        config = NEATConfig(min_card=0, eps=500.0)
+        central = NEAT(line3, config).run_opt(trs)
+        coordinator = NeatCoordinator(line3, config, node_count=5)
+        distributed = coordinator.run(trs, mode="opt")
+        assert [f.sids for f in distributed.flows] == [
+            f.sids for f in central.flows
+        ]
+        assert distributed.dropped_shards == []
+        # Surplus nodes got no shard and stay healthy and idle.
+        assert coordinator.node_health() == {i: True for i in range(5)}
+        assert [len(node.trajectories) for node in coordinator.nodes] == [
+            1, 1, 1, 0, 0
+        ]
+
+    def test_empty_input_with_many_nodes(self, line3):
+        result = NeatCoordinator(
+            line3, NEATConfig(min_card=0), node_count=4
+        ).run([], mode="base")
+        assert result.base_clusters == []
+        assert result.dropped_shards == []
+
 
 class TestAltEngineIntegration:
     def test_neat_with_alt_engine_matches_plain(self, small_workload):

@@ -8,7 +8,6 @@ trajectories, off-network GPS.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
@@ -16,7 +15,6 @@ from repro.core.config import NEATConfig
 from repro.core.model import Location, Trajectory
 from repro.core.pipeline import NEAT
 from repro.errors import NoPathError, UnknownSegmentError
-from repro.roadnet.builder import line_network
 from repro.roadnet.geometry import Point
 from repro.roadnet.network import RoadNetwork
 

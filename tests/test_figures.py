@@ -7,7 +7,6 @@ rot: each driver must execute, return populated rows and render a
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.figures import (
     run_fig3,

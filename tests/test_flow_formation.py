@@ -17,7 +17,7 @@ from repro.core.flow_formation import (
     _apply_domination,
     form_flow_clusters,
 )
-from repro.roadnet.builder import network_from_edges, star_network
+from repro.roadnet.builder import network_from_edges
 
 from conftest import trajectory_through
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.hotspot_detection import detect_hotspots
 from repro.core.config import NEATConfig

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.metrics import compare_results, flow_route_lengths
+from repro.analysis.metrics import compare_results
 from repro.core.config import NEATConfig
 from repro.core.pipeline import NEAT
 from repro.mapmatch.slamm import MatchConfig, SlammMatcher

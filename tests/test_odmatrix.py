@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.odmatrix import format_od_matrix, od_matrix
 

@@ -1,0 +1,421 @@
+"""Unit tests for the robustness primitives (repro.resilience)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    DeadlineExceeded,
+    FaultInjected,
+    RetriesExhausted,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_success_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        slept = []
+        result = RetryPolicy(max_retries=3).call(flaky, sleep=slept.append)
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(slept) == 2
+
+    def test_exhaustion_raises_with_attempt_count(self):
+        def always_fails():
+            raise ValueError("down")
+
+        with pytest.raises(RetriesExhausted) as info:
+            RetryPolicy(max_retries=2).call(
+                always_fails, operation="op", sleep=lambda s: None
+            )
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, ValueError)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_zero_retries_tries_exactly_once(self):
+        calls = {"n": 0}
+
+        def fails():
+            calls["n"] += 1
+            raise ValueError("x")
+
+        with pytest.raises(RetriesExhausted):
+            RetryPolicy(max_retries=0).call(fails, sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_delays_are_deterministic_per_seed(self):
+        policy = RetryPolicy(max_retries=5, seed=13)
+        assert list(policy.delays()) == list(policy.delays())
+        twin = RetryPolicy(max_retries=5, seed=13)
+        assert list(policy.delays()) == list(twin.delays())
+
+    def test_different_seeds_give_different_jitter(self):
+        a = RetryPolicy(max_retries=5, seed=1, jitter=0.5)
+        b = RetryPolicy(max_retries=5, seed=2, jitter=0.5)
+        assert list(a.delays()) != list(b.delays())
+
+    def test_backoff_grows_and_respects_caps(self):
+        policy = RetryPolicy(
+            max_retries=6, base_delay_s=0.1, multiplier=2.0,
+            max_delay_s=0.5, jitter=0.0,
+        )
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5, 0.5, 0.5]
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(
+            max_retries=50, base_delay_s=1.0, multiplier=1.0,
+            max_delay_s=1.0, jitter=0.25, seed=3,
+        )
+        for delay in policy.delays():
+            assert 1.0 <= delay < 1.25
+
+    def test_on_retry_callback_sees_each_attempt(self):
+        seen = []
+
+        def fails():
+            raise ValueError("x")
+
+        with pytest.raises(RetriesExhausted):
+            RetryPolicy(max_retries=2).call(
+                fails,
+                sleep=lambda s: None,
+                on_retry=lambda attempt, delay, err: seen.append(
+                    (attempt, type(err))
+                ),
+            )
+        assert seen == [(1, ValueError), (2, ValueError)]
+
+    def test_unlisted_exception_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def fails():
+            calls["n"] += 1
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            RetryPolicy(max_retries=5).call(
+                fails, retry_on=(ValueError,), sleep=lambda s: None
+            )
+        assert calls["n"] == 1
+
+    def test_deadline_aborts_between_attempts(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, "op", clock=clock)
+
+        def fails():
+            clock.advance(20.0)
+            raise ValueError("slow failure")
+
+        with pytest.raises(DeadlineExceeded):
+            RetryPolicy(max_retries=5, base_delay_s=0.0, jitter=0.0).call(
+                fails, deadline=deadline, sleep=lambda s: None
+            )
+
+    def test_backoff_larger_than_budget_aborts_without_sleeping(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, "op", clock=clock)
+        slept = []
+
+        def fails():
+            raise ValueError("x")
+
+        with pytest.raises(DeadlineExceeded):
+            RetryPolicy(
+                max_retries=5, base_delay_s=2.0, max_delay_s=2.0, jitter=0.0
+            ).call(fails, deadline=deadline, sleep=slept.append)
+        assert slept == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay_s": -0.1},
+            {"multiplier": 0.5},
+            {"base_delay_s": 1.0, "max_delay_s": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, "op", clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+
+    def test_expiry_and_check(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, "refresh", clock=clock)
+        deadline.check()  # within budget: no raise
+        clock.advance(1.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded) as info:
+            deadline.check()
+        assert info.value.operation == "refresh"
+        assert info.value.budget_s == 1.0
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            Deadline(0.0)
+        with pytest.raises(ConfigError):
+            Deadline(-1.0)
+
+
+class TestCircuitBreaker:
+    def make(self, clock, **kwargs):
+        defaults = dict(failure_threshold=2, recovery_s=10.0)
+        defaults.update(kwargs)
+        return CircuitBreaker("test", clock=clock, **defaults)
+
+    def test_trips_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trip_count == 1
+
+    def test_success_resets_the_failure_streak(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_rejects_with_retry_after(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.check()
+        assert info.value.retry_after_s == pytest.approx(10.0)
+
+    def test_half_open_after_recovery_interval(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_half_open_admits_limited_trial_calls(self):
+        clock = FakeClock()
+        breaker = self.make(clock, half_open_max_calls=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trip_count == 2
+
+    def test_on_open_hook_fires_per_trip(self):
+        clock = FakeClock()
+        trips = []
+        breaker = CircuitBreaker(
+            "hooked", failure_threshold=1, recovery_s=5.0,
+            clock=clock, on_open=lambda: trips.append(clock.now),
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert trips == [0.0, 5.0]
+
+    def test_call_wrapper_guards_and_records(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+
+        def fails():
+            raise ValueError("x")
+
+        for _ in range(2):
+            with pytest.raises(ValueError):
+                breaker.call(fails)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+        clock.advance(10.0)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"recovery_s": -1.0},
+            {"half_open_max_calls": 0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            CircuitBreaker("bad", **kwargs)
+
+
+class TestFaultPlan:
+    def test_fail_nth_single_call(self):
+        wrapped = FaultPlan(fail_nth=2).wrap(lambda: "ok", "op")
+        assert wrapped() == "ok"
+        with pytest.raises(FaultInjected) as info:
+            wrapped()
+        assert info.value.call_index == 2
+        assert info.value.operation == "op"
+        assert wrapped() == "ok"
+
+    def test_fail_nth_accepts_iterables(self):
+        wrapped = FaultPlan(fail_nth=(1, 3)).wrap(lambda: "ok")
+        with pytest.raises(FaultInjected):
+            wrapped()
+        assert wrapped() == "ok"
+        with pytest.raises(FaultInjected):
+            wrapped()
+        assert wrapped.injected_failures == 2
+
+    def test_kill_from_is_permanent(self):
+        wrapped = FaultPlan(kill_from=3).wrap(lambda: "ok")
+        assert wrapped() == "ok"
+        assert wrapped() == "ok"
+        for _ in range(4):
+            with pytest.raises(FaultInjected):
+                wrapped()
+        assert wrapped.calls == 6
+        assert wrapped.injected_failures == 4
+
+    def test_latency_is_recorded_and_routed_to_sleeper(self):
+        slept = []
+        wrapped = FaultPlan(latency_s=0.25).wrap(
+            lambda: "ok", sleeper=slept.append
+        )
+        wrapped()
+        wrapped()
+        assert slept == [0.25, 0.25]
+        assert wrapped.injected_latency_s == pytest.approx(0.5)
+
+    def test_latency_default_sleeper_only_records(self):
+        wrapped = FaultPlan(latency_s=5.0).wrap(lambda: "ok")
+        assert wrapped() == "ok"  # returns immediately
+        assert wrapped.injected_latency_s == pytest.approx(5.0)
+
+    def test_corrupt_nth_default_replaces_payload_with_none(self):
+        wrapped = FaultPlan(corrupt_nth=1).wrap(lambda: {"k": 1})
+        assert wrapped() is None
+        assert wrapped() == {"k": 1}
+        assert wrapped.injected_corruptions == 1
+
+    def test_corrupt_nth_custom_corruptor(self):
+        plan = FaultPlan(corrupt_nth=2, corruptor=lambda doc: doc[::-1])
+        wrapped = plan.wrap(lambda: [1, 2, 3])
+        assert wrapped() == [1, 2, 3]
+        assert wrapped() == [3, 2, 1]
+
+    def test_custom_exception_factory(self):
+        plan = FaultPlan(
+            fail_nth=1, exception=lambda op, n: TimeoutError(f"{op}#{n}")
+        )
+        wrapped = plan.wrap(lambda: "ok", "slow")
+        with pytest.raises(TimeoutError):
+            wrapped()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fail_nth": 0},
+            {"kill_from": 0},
+            {"latency_s": -1.0},
+            {"corrupt_nth": -2},
+        ],
+    )
+    def test_invalid_plan_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultPlan(**kwargs)
+
+
+class TestFaultInjector:
+    def test_unarmed_operations_pass_through(self):
+        injector = FaultInjector()
+        assert injector.run("anything", lambda x: x + 1, 1) == 2
+        assert not injector.armed("anything")
+        assert injector.wrapper("anything") is None
+
+    def test_armed_plan_applies_by_call_index(self):
+        injector = FaultInjector()
+        injector.arm("op", FaultPlan(fail_nth=1))
+        with pytest.raises(FaultInjected):
+            injector.run("op", lambda: "ok")
+        assert injector.run("op", lambda: "ok") == "ok"
+        assert injector.wrapper("op").calls == 2
+
+    def test_disarm_is_idempotent(self):
+        injector = FaultInjector()
+        injector.arm("op", FaultPlan(kill_from=1))
+        injector.disarm("op")
+        injector.disarm("op")
+        assert injector.run("op", lambda: "ok") == "ok"
+
+    def test_rearming_resets_the_call_counter(self):
+        injector = FaultInjector()
+        injector.arm("op", FaultPlan(fail_nth=1))
+        with pytest.raises(FaultInjected):
+            injector.run("op", lambda: "ok")
+        injector.arm("op", FaultPlan(fail_nth=1))
+        with pytest.raises(FaultInjected):
+            injector.run("op", lambda: "ok")

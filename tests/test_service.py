@@ -5,8 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import NEATConfig
+from repro.core.model import Location, Trajectory
 from repro.core.serialize import result_from_dict
 from repro.distributed.service import NeatService
+from repro.errors import RetriesExhausted, TrajectoryError
+from repro.resilience import FaultPlan, RetryPolicy
 
 from conftest import trajectory_through
 
@@ -43,6 +46,59 @@ class TestSubmit:
         assert svc.stats().trajectories_ingested == 40
 
 
+class TestSubmitErrorPaths:
+    def test_malformed_batch_rejected_at_admission(self, line3):
+        svc = NeatService(line3, NEATConfig(min_card=0))
+        bad = Trajectory(0, (
+            Location(999, 0.0, 0.0, 0.0), Location(999, 1.0, 0.0, 5.0),
+        ))
+        with pytest.raises(TrajectoryError, match="unknown segment"):
+            svc.submit([bad])
+        stats = svc.stats()
+        assert stats.rejected_batches == 1
+        assert stats.batches_ingested == 0
+        assert stats.pending_batches == 0  # never admitted to the queue
+
+    def test_duplicate_trids_in_batch_rejected(self, line3):
+        svc = NeatService(line3, NEATConfig(min_card=0))
+        duplicate = [
+            trajectory_through(line3, 7, [0, 1]),
+            trajectory_through(line3, 7, [1, 2]),
+        ]
+        with pytest.raises(TrajectoryError, match="duplicate"):
+            svc.submit(duplicate)
+        assert svc.stats().rejected_batches == 1
+
+    def test_rejected_batch_does_not_poison_later_submits(self, line3):
+        svc = NeatService(line3, NEATConfig(min_card=0, eps=500.0))
+        with pytest.raises(TrajectoryError):
+            svc.submit([
+                trajectory_through(line3, 0, [0, 1]),
+                trajectory_through(line3, 0, [0, 1]),
+            ])
+        svc.submit([trajectory_through(line3, i, [0, 1]) for i in range(3)])
+        stats = svc.stats()
+        assert stats.batches_ingested == 1
+        assert stats.trajectories_ingested == 3
+
+    def test_stats_after_failed_ingest(self, line3):
+        svc = NeatService(
+            line3, NEATConfig(min_card=0, eps=500.0),
+            retry_policy=RetryPolicy(max_retries=2, base_delay_s=0.0, jitter=0.0),
+        )
+        svc.faults.arm("ingest", FaultPlan(fail_nth=(1, 2, 3)))
+        with pytest.raises(RetriesExhausted):
+            svc.submit([trajectory_through(line3, i, [0, 1]) for i in range(3)])
+        stats = svc.stats()
+        assert stats.retries == 2
+        assert stats.pending_batches == 1  # batch kept for a later flush
+        assert stats.batches_ingested == 0
+        assert stats.trajectories_ingested == 0
+        # The schedule is spent, so the queued batch recovers.
+        assert svc.flush_pending() == 0
+        assert svc.stats().batches_ingested == 1
+
+
 class TestQueries:
     def test_clustering_document_round_trips(self, service):
         network, trajectories, svc = service
@@ -68,10 +124,14 @@ class TestQueries:
             assert len(summary["endpoints"]) == 2
 
     def test_empty_service_clustering(self, line3):
+        # Query before any ingest: an empty (but fresh) document, not an
+        # error — the service has validated "nothing yet" successfully.
         svc = NeatService(line3, NEATConfig(min_card=0))
         document = svc.get_clustering()
         assert document["flows"] == []
         assert document["clusters"] == []
+        assert document["stale"] is False
+        assert svc.stats().queries_served == 1
 
 
 class TestEndToEnd:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.roadnet.geometry import Point
 from repro.traclus.grouping import TraClusParams, group_segments
