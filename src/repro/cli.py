@@ -5,7 +5,10 @@ Exposes the full workflow without writing Python:
 * ``generate-network`` — build a calibrated synthetic map, save as JSON;
 * ``stats``            — print a network's Table-I-style statistics;
 * ``simulate``         — generate mobility traces on a saved network;
-* ``cluster``          — run base-/flow-/opt-NEAT over saved traces;
+* ``cluster``          — run base-/flow-/opt-NEAT over saved traces
+  (``--state-dir`` makes the run crash-safe and resumable; add
+  ``--batch-size`` for journaled streaming ingest);
+* ``recover``          — restore clustering state from a ``--state-dir``;
 * ``experiment``       — regenerate one of the paper's tables/figures.
 """
 
@@ -110,6 +113,29 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--metrics-out", type=Path, default=None,
                          help="write the run's telemetry snapshot "
                               "(trace spans + metrics) to this JSON file")
+    cluster.add_argument("--state-dir", type=Path, default=None,
+                         help="crash-safe state directory: one-shot runs "
+                              "checkpoint after every completed phase and "
+                              "resume from the furthest match; with "
+                              "--batch-size, batches are journaled and "
+                              "ingestion resumes where it was killed")
+    cluster.add_argument("--checkpoint-every", type=int, default=0,
+                         help="snapshot cadence in batches for streaming "
+                              "ingest (0 = journal only, snapshot at end)")
+    cluster.add_argument("--batch-size", type=int, default=None,
+                         help="stream the traces through IncrementalNEAT "
+                              "in batches of this size instead of one "
+                              "pipeline run")
+
+    recover = sub.add_parser(
+        "recover",
+        help="restore clustering state from a --state-dir and report it",
+    )
+    recover.add_argument("--network", required=True, type=Path)
+    recover.add_argument("--state-dir", required=True, type=Path)
+    recover.add_argument("--json", action="store_true",
+                         help="print the recovered result document instead "
+                              "of the human summary")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper"
@@ -129,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "simulate": _cmd_simulate,
         "cluster": _cmd_cluster,
+        "recover": _cmd_recover,
         "experiment": _cmd_experiment,
     }[args.command]
     return handler(args)
@@ -178,11 +205,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         workers=args.workers, sp_backend=args.sp_backend,
         max_retries=args.max_retries, deadline_s=args.deadline_s,
         max_pending=args.max_pending,
+        checkpoint_every=max(0, args.checkpoint_every),
     )
     telemetry = Telemetry.create()
-    result = NEAT(network, config, telemetry=telemetry).run(
-        dataset, mode=args.mode
-    )
+    if args.batch_size is not None:
+        return _cluster_streaming(args, network, dataset, config, telemetry)
+    pipeline = NEAT(network, config, telemetry=telemetry)
+    if args.state_dir is not None:
+        result = pipeline.run_resumable(
+            dataset, mode=args.mode, state_dir=args.state_dir
+        )
+    else:
+        result = pipeline.run(dataset, mode=args.mode)
     if args.metrics_out is not None:
         telemetry.save(args.metrics_out)
         get_logger("cli").info("metrics written", path=str(args.metrics_out))
@@ -204,6 +238,77 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
               f"{flow.route_length:.0f} m")
     if args.svg is not None:
         print(f"wrote {args.svg}")
+    return 0
+
+
+def _cluster_streaming(
+    args: argparse.Namespace, network, dataset, config, telemetry
+) -> int:
+    """``cluster --batch-size N``: crash-safe streaming ingest.
+
+    With ``--state-dir``, every batch is journaled before being
+    acknowledged and a killed run resumes exactly after the last durable
+    batch (already-ingested chunks are skipped by count — the batch
+    split is deterministic, so chunk ``i`` is chunk ``i`` on every run).
+    """
+    from .core.incremental import IncrementalNEAT
+    from .errors import PersistenceError
+
+    trajectories = list(dataset.trajectories)
+    size = max(1, args.batch_size)
+    chunks = [
+        trajectories[i : i + size] for i in range(0, len(trajectories), size)
+    ]
+    try:
+        if args.state_dir is not None:
+            clusterer = IncrementalNEAT.recover(
+                Path(args.state_dir) / "incremental", network, config,
+                telemetry=telemetry,
+            )
+        else:
+            clusterer = IncrementalNEAT(network, config, telemetry=telemetry)
+        resumed = clusterer.batch_count
+        for chunk in chunks[resumed:]:
+            clusterer.add_batch(chunk, auto_offset_ids=True)
+        if args.state_dir is not None and clusterer.batch_count:
+            clusterer.checkpoint()
+    except PersistenceError as error:
+        print(f"persistence failure: {error}", file=sys.stderr)
+        return 1
+    result = clusterer.snapshot_result()
+    if args.metrics_out is not None:
+        telemetry.save(args.metrics_out)
+    if args.json:
+        print(json.dumps(result_to_dict(result, network_name=network.name)))
+        return 0
+    print(
+        f"ingested {clusterer.batch_count} batch(es) "
+        f"({resumed} resumed, {len(chunks) - resumed} new): "
+        f"{len(result.flows)} flows, {len(result.clusters)} clusters"
+    )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .core.incremental import IncrementalNEAT
+    from .errors import PersistenceError
+
+    network = load_network(args.network)
+    try:
+        clusterer = IncrementalNEAT.recover(
+            Path(args.state_dir) / "incremental", network
+        )
+    except PersistenceError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 1
+    result = clusterer.snapshot_result()
+    if args.json:
+        print(json.dumps(result_to_dict(result, network_name=network.name)))
+        return 0
+    print(
+        f"recovered {clusterer.batch_count} batch(es) from {args.state_dir}: "
+        f"{len(result.flows)} flows, {len(result.clusters)} clusters"
+    )
     return 0
 
 

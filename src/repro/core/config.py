@@ -59,6 +59,12 @@ class NEATConfig:
             deadline.
         max_pending: Bound on the service's pending-batch queue; a full
             queue rejects new batches with ``ServiceOverloaded``.
+        checkpoint_every: Snapshot cadence of the crash-safe persistence
+            layer, in batches: when a state directory is attached
+            (``IncrementalNEAT.enable_persistence`` / ``--state-dir``), a
+            full snapshot generation is written every N-th ingested
+            batch.  ``0`` (the default) journals every batch but writes
+            snapshots only on explicit ``checkpoint()`` calls.
     """
 
     wq: float = 1.0 / 3.0
@@ -75,6 +81,7 @@ class NEATConfig:
     max_retries: int = 2
     deadline_s: float | None = None
     max_pending: int = 64
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         for name, weight in (("wq", self.wq), ("wk", self.wk), ("wv", self.wv)):
@@ -112,6 +119,11 @@ class NEATConfig:
             )
         if self.max_pending < 1:
             raise ConfigError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.checkpoint_every < 0:
+            raise ConfigError(
+                f"checkpoint_every must be >= 0 (0 = explicit checkpoints "
+                f"only), got {self.checkpoint_every}"
+            )
 
     def with_weights(self, wq: float, wk: float, wv: float) -> "NEATConfig":
         """A copy with different merging-selectivity weights."""

@@ -19,9 +19,16 @@ automatically when asked.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
 
+from ..errors import PersistenceError, RecoveryError
 from ..obs import Telemetry, get_logger
+from ..persist.checkpoint import (
+    CheckpointManager,
+    open_state_document,
+    seal_state_document,
+)
 from ..roadnet.network import RoadNetwork
 from ..roadnet.shortest_path import ShortestPathEngine
 from .base_cluster import form_base_clusters
@@ -30,6 +37,17 @@ from .flow_cluster import FlowCluster
 from .flow_formation import form_flow_clusters
 from .model import Trajectory
 from .refinement import RefinementStats, TrajectoryCluster, refine_flow_clusters
+from .result import NEATResult
+from .serialize import (
+    FORMAT_TAG,
+    FORMAT_VERSION,
+    _cluster_to_dict,
+    _flow_to_dict,
+    result_from_dict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience import FaultInjector
 
 _log = get_logger("core.incremental")
 
@@ -90,6 +108,17 @@ class IncrementalNEAT:
         self._clusters: list[TrajectoryCluster] = []
         self._batches = 0
         self._seen_trids: set[int] = set()
+        self._persist: CheckpointManager | None = None
+        self._checkpoint_every = max(0, self.config.checkpoint_every)
+        self._replaying = False
+        # Serialization memos for repeated checkpoints; base clusters and
+        # flows are immutable once committed, so only state new since the
+        # last snapshot costs anything (entry-dict memo for the document,
+        # rendered-bytes memo for the payload, and an incremental document
+        # builder that only absorbs flows appended since the last call).
+        self._fragment_cache: dict[int, Any] = {}
+        self._fragment_text_cache: dict[int, Any] = {}
+        self._doc_memo: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -178,6 +207,14 @@ class IncrementalNEAT:
                         self.network, self._flows, self.config,
                         engine=self.engine, stats=stats, metrics=metrics,
                     )
+
+                # Journal the batch *inside* the rollback scope: if the
+                # append fails (disk fault, injected crash) the batch is
+                # undone in memory too, so acknowledged == durable.
+                # Replayed batches are already in the journal.
+                if self._persist is not None and not self._replaying:
+                    with telemetry.tracer.span("incremental.journal"):
+                        self._persist.record_batch(result.batch_index, batch)
         except BaseException:
             (
                 self._flows,
@@ -218,6 +255,16 @@ class IncrementalNEAT:
             clusters=len(result.clusters),
             seconds=round(batch_span.duration, 6),
         )
+        # Auto-checkpoint *after* the batch committed (journal fsynced):
+        # a failed snapshot write must never undo a journaled batch — the
+        # journal alone already makes it durable.
+        if (
+            self._persist is not None
+            and not self._replaying
+            and self._checkpoint_every > 0
+            and self._batches % self._checkpoint_every == 0
+        ):
+            self.checkpoint()
         return result
 
     def _offset_ids(self, batch: list[Trajectory]) -> list[Trajectory]:
@@ -228,3 +275,291 @@ class IncrementalNEAT:
                 Trajectory(offset + index, trajectory.locations)
             )
         return reindexed
+
+    # ------------------------------------------------------------------
+    # Durability: checkpoint / journal / recover (docs/robustness.md)
+    # ------------------------------------------------------------------
+    @property
+    def state_dir(self) -> Path | None:
+        """The configured state directory (None: persistence disabled)."""
+        return self._persist.state_dir if self._persist is not None else None
+
+    def enable_persistence(
+        self,
+        state_dir: str | Path,
+        checkpoint_every: int | None = None,
+        *,
+        keep: int = 3,
+        fsync: bool = True,
+        faults: "FaultInjector | None" = None,
+    ) -> CheckpointManager:
+        """Attach a state directory: journal every batch, checkpoint on cadence.
+
+        From this call on, every successful ``add_batch`` is journaled
+        before it is acknowledged (a journal failure rolls the batch
+        back), and a snapshot generation is written every
+        ``checkpoint_every`` batches (0 = only on explicit
+        :meth:`checkpoint` calls; default comes from
+        ``config.checkpoint_every``).
+
+        Args:
+            state_dir: Directory holding ``snapshots/`` and ``journal.wal``.
+            checkpoint_every: Override the config's snapshot cadence.
+            keep: Snapshot generations retained for fallback.
+            fsync: Durability barrier on every journal append / snapshot.
+            faults: Optional injector driving the ``snapshot.*`` /
+                ``journal.*`` fault points (recovery gauntlet).
+        """
+        metrics = self.telemetry.metrics if self.telemetry.enabled else None
+        self._persist = CheckpointManager(
+            state_dir, keep=keep, fsync=fsync, faults=faults, metrics=metrics,
+        )
+        if checkpoint_every is not None:
+            self._checkpoint_every = max(0, int(checkpoint_every))
+        _log.info(
+            "persistence enabled",
+            state_dir=str(self._persist.state_dir),
+            checkpoint_every=self._checkpoint_every,
+        )
+        return self._persist
+
+    def checkpoint(self, state_dir: str | Path | None = None) -> int:
+        """Write a snapshot of the full state; returns the generation number.
+
+        Args:
+            state_dir: One-shot target; when given and different from the
+                configured directory, persistence is (re)attached to it.
+
+        Raises:
+            PersistenceError: No state directory is configured, or the
+                write failed in a way that left no new generation.
+        """
+        if state_dir is not None and (
+            self._persist is None
+            or Path(state_dir) != self._persist.state_dir
+        ):
+            self.enable_persistence(state_dir)
+        if self._persist is None:
+            raise PersistenceError(
+                "no state directory configured: call enable_persistence() "
+                "or pass state_dir"
+            )
+        with self.telemetry.tracer.span("incremental.checkpoint"):
+            generation = self._persist.write_checkpoint(
+                self._state_document(),
+                text_cache=self._fragment_text_cache,
+            )
+        _log.info(
+            "checkpoint written", generation=generation, watermark=self._batches
+        )
+        return generation
+
+    @classmethod
+    def recover(
+        cls,
+        state_dir: str | Path,
+        network: RoadNetwork,
+        config: NEATConfig | None = None,
+        telemetry: Telemetry | None = None,
+        *,
+        keep: int = 3,
+        fsync: bool = True,
+        faults: "FaultInjector | None" = None,
+        checkpoint_every: int | None = None,
+    ) -> "IncrementalNEAT":
+        """Rebuild a clusterer from a state directory: snapshot + replay.
+
+        Recovery restores the newest verified snapshot generation (falling
+        back to an older one when the newest is torn or corrupt), then
+        re-applies the journaled batches past its watermark through the
+        normal ``add_batch`` path — so a replay failure rolls back like
+        any other ingest failure and surfaces as :class:`RecoveryError`.
+        The recovered instance keeps persisting to the same directory.
+
+        Raises:
+            CorruptSnapshot: No snapshot generation verifies, or a journal
+                record is undecodable / out of sequence.
+            RecoveryError: The on-disk state decodes but cannot be
+                re-applied (wrong network, replay failure).
+        """
+        clusterer = cls(network, config, telemetry)
+        metrics = (
+            clusterer.telemetry.metrics if clusterer.telemetry.enabled else None
+        )
+        manager = CheckpointManager(
+            state_dir, keep=keep, fsync=fsync, faults=faults, metrics=metrics,
+        )
+        try:
+            recovered = manager.load()
+            if recovered.state is not None:
+                clusterer._restore_state(recovered.state, manager.state_dir)
+            for seq, trajectories in recovered.batches:
+                clusterer._replaying = True
+                try:
+                    applied = clusterer.add_batch(
+                        trajectories, auto_offset_ids=False
+                    )
+                finally:
+                    clusterer._replaying = False
+                if applied.batch_index != seq:
+                    raise RecoveryError(
+                        state_dir,
+                        f"replayed batch landed at index {applied.batch_index}"
+                        f", journal says {seq}",
+                    )
+                if metrics is not None:
+                    metrics.inc(
+                        "persist.journal_replayed_batches",
+                        description=(
+                            "Journaled batches re-applied during recovery"
+                        ),
+                    )
+        except PersistenceError:
+            if metrics is not None:
+                metrics.inc(
+                    "persist.recovery_failures",
+                    description="Recoveries aborted with a typed error",
+                )
+            raise
+        except Exception as error:
+            if metrics is not None:
+                metrics.inc(
+                    "persist.recovery_failures",
+                    description="Recoveries aborted with a typed error",
+                )
+            raise RecoveryError(
+                state_dir, f"journal replay failed: {error!r}"
+            ) from error
+        clusterer._persist = manager
+        if checkpoint_every is not None:
+            clusterer._checkpoint_every = max(0, int(checkpoint_every))
+        if metrics is not None:
+            metrics.inc(
+                "persist.recoveries",
+                description="Successful state recoveries from a state dir",
+            )
+        _log.info(
+            "state recovered",
+            state_dir=str(manager.state_dir),
+            generation=recovered.generation,
+            snapshot_batches=recovered.watermark,
+            replayed_batches=len(recovered.batches),
+            torn_tail=recovered.torn_tail,
+        )
+        return clusterer
+
+    # ------------------------------------------------------------------
+    def snapshot_result(self) -> NEATResult:
+        """A :class:`NEATResult` view of the current *served* state.
+
+        Covers the retained flows only: noise flows were filtered per
+        batch (possibly under different auto thresholds), so including
+        them could not satisfy a single global ``minCard`` — the served
+        clustering is the kept-flow world, self-consistent by
+        construction.  (The durable state document, by contrast, carries
+        the noise flows too — see :meth:`checkpoint`.)
+        """
+        result = NEATResult(mode="opt")
+        members = [member for flow in self._flows for member in flow.members]
+        result.base_clusters = sorted(
+            members, key=lambda cluster: (-cluster.density, cluster.sid)
+        )
+        result.flows = list(self._flows)
+        result.clusters = list(self._clusters)
+        cards = [flow.trajectory_cardinality for flow in result.flows]
+        result.min_card_used = min(cards) if cards else 0
+        return result
+
+    def _state_document(self) -> dict[str, Any]:
+        """The full durable state (flows, noise flows, clusters, id space).
+
+        The document is built *incrementally*: flow pools only ever
+        append (a rollback or recovery replaces the list object, which
+        resets the memo), so each call serializes just the flows added
+        since the last one and re-emits the already-built entries.  The
+        schema is ``result_to_dict``'s — the entry builders are shared.
+        """
+        memo = self._doc_memo
+        flows, noise_flows = self._flows, self._noise_flows
+        if (
+            memo is None
+            or memo["flows"] is not flows
+            or memo["flows_done"] > len(flows)
+            or memo["noise"] is not noise_flows
+            or memo["noise_done"] > len(noise_flows)
+        ):
+            memo = self._doc_memo = {
+                "flows": flows, "flows_done": 0,
+                "noise": noise_flows, "noise_done": 0,
+                "base_entries": [], "base_index": {},
+                "flow_entries": [], "noise_entries": [], "flow_index": {},
+            }
+        base_entries = memo["base_entries"]
+        base_index = memo["base_index"]
+
+        def absorb(pool: list[FlowCluster], done: int, entries: list[Any]) -> None:
+            for flow in pool[done:]:
+                for member in flow.members:
+                    # Members are pinned by the fragment cache, so a live
+                    # id() here always means this exact cluster.
+                    if id(member) not in base_index:
+                        base_index[id(member)] = len(base_entries)
+                        base_entries.append(
+                            _cluster_to_dict(member, self._fragment_cache)
+                        )
+                entries.append(_flow_to_dict(flow, base_index))
+
+        flow_index = memo["flow_index"]
+        for i in range(memo["flows_done"], len(flows)):
+            flow_index[id(flows[i])] = i
+        absorb(flows, memo["flows_done"], memo["flow_entries"])
+        absorb(noise_flows, memo["noise_done"], memo["noise_entries"])
+        memo["flows_done"] = len(flows)
+        memo["noise_done"] = len(noise_flows)
+
+        cards = [flow.trajectory_cardinality for flow in flows]
+        result_document = {
+            "format": FORMAT_TAG,
+            "version": FORMAT_VERSION,
+            "mode": "opt",
+            "min_card_used": min(cards) if cards else 0,
+            "network_name": self.network.name,
+            "stale": False,
+            "dropped_shards": [],
+            "base_clusters": list(base_entries),
+            "flows": list(memo["flow_entries"]),
+            "noise_flows": list(memo["noise_entries"]),
+            "clusters": [
+                {
+                    "cluster_id": cluster.cluster_id,
+                    "flow_indices": [
+                        flow_index[id(flow)] for flow in cluster.flows
+                    ],
+                }
+                for cluster in self._clusters
+            ],
+        }
+        return seal_state_document(
+            watermark=self._batches,
+            seen_trids=self._seen_trids,
+            network_name=self.network.name,
+            result_document=result_document,
+        )
+
+    def _restore_state(self, document: dict[str, Any], source: object) -> None:
+        """Load a state envelope into this (empty) instance."""
+        watermark, seen_trids, network_name, result_document = (
+            open_state_document(document, str(source))
+        )
+        if network_name and network_name != self.network.name:
+            raise RecoveryError(
+                source,
+                f"snapshot was written for network {network_name!r}, "
+                f"not {self.network.name!r}",
+            )
+        result = result_from_dict(result_document, self.network)
+        self._flows = list(result.flows)
+        self._noise_flows = list(result.noise_flows)
+        self._clusters = list(result.clusters)
+        self._seen_trids = set(seen_trids)
+        self._batches = watermark

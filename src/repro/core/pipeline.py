@@ -16,8 +16,12 @@ Section IV of the paper names three usable variants of the framework:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..errors import PersistenceError
 from ..obs import Telemetry, get_logger
 from ..roadnet.network import RoadNetwork
 from ..roadnet.shortest_path import ShortestPathEngine
@@ -28,8 +32,15 @@ from .model import Trajectory, TrajectoryDataset
 from .refinement import RefinementStats, refine_flow_clusters
 from .result import NEATResult, PhaseTimings
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience import FaultInjector
+
 #: The three framework variants, in increasing phase count.
 MODES = ("base", "flow", "opt")
+
+#: Wire format of resumable phase checkpoints (see NEAT.run_resumable).
+PHASE_CHECKPOINT_FORMAT = "repro-phase-checkpoint"
+PHASE_CHECKPOINT_VERSION = 1
 
 _log = get_logger("core.pipeline")
 
@@ -136,8 +147,16 @@ class NEAT:
         # warm shared engine; disabled runs unbind so the hot path pays
         # only the None checks.
         self.engine.bind_metrics(metrics)
-        timings = result.timings
 
+        self._phase1(trajectory_list, result, tracer, metrics)
+        if mode == "base":
+            return
+        self._phase2(result, tracer, metrics)
+        if mode == "flow":
+            return
+        self._phase3(result, tracer, metrics)
+
+    def _phase1(self, trajectory_list, result, tracer, metrics) -> None:
         with tracer.span("phase1.fragmentation") as span:
             result.base_clusters = form_base_clusters(
                 self.network,
@@ -146,20 +165,19 @@ class NEAT:
                 metrics=metrics,
                 workers=self.config.workers,
             )
-        timings.base = span.duration
+        result.timings.base = span.duration
         _log.debug(
             "phase1 done",
             base_clusters=len(result.base_clusters),
             seconds=round(span.duration, 6),
         )
-        if mode == "base":
-            return
 
+    def _phase2(self, result, tracer, metrics) -> None:
         with tracer.span("phase2.flow_formation") as span:
             formation = form_flow_clusters(
                 self.network, result.base_clusters, self.config, metrics=metrics
             )
-        timings.flow = span.duration
+        result.timings.flow = span.duration
         result.flows = formation.flows
         result.noise_flows = formation.noise_flows
         result.min_card_used = formation.min_card_used
@@ -170,9 +188,8 @@ class NEAT:
             min_card=result.min_card_used,
             seconds=round(span.duration, 6),
         )
-        if mode == "flow":
-            return
 
+    def _phase3(self, result, tracer, metrics) -> None:
         stats = RefinementStats()
         with tracer.span("phase3.refinement") as span:
             result.clusters = refine_flow_clusters(
@@ -184,7 +201,7 @@ class NEAT:
                 metrics=metrics,
                 workers=self.config.workers,
             )
-        timings.refine = span.duration
+        result.timings.refine = span.duration
         result.refinement_stats = stats
         _log.debug(
             "phase3 done",
@@ -193,6 +210,156 @@ class NEAT:
             sp_computations=stats.shortest_path_computations,
             seconds=round(span.duration, 6),
         )
+
+    # ------------------------------------------------------------------
+    def run_resumable(
+        self,
+        trajectories,
+        mode: str = "opt",
+        state_dir: str | Path = ".neat-state",
+        *,
+        fsync: bool = True,
+        faults: "FaultInjector | None" = None,
+    ) -> NEATResult:
+        """Like :meth:`run`, but checkpointing after every completed phase.
+
+        A sealed phase checkpoint (``state_dir/phases/``) is written after
+        Phase 1, Phase 2 and the final phase, keyed by a fingerprint of
+        the result-affecting configuration, the network and the input
+        trajectories.  A rerun with the same inputs resumes from the
+        furthest matching checkpoint — a killed Phase 3 run redoes only
+        Phase 3.  A corrupt, torn or mismatched checkpoint is never
+        trusted: the run silently recomputes from scratch (and a failed
+        checkpoint *write* never fails the run — resumability is
+        best-effort, the computation is not).
+
+        Restored phases report zero in ``result.timings`` (nothing was
+        recomputed for them).
+        """
+        from .serialize import result_from_dict, result_to_dict
+
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        trajectory_list = self._as_list(trajectories)
+        fingerprint = self._fingerprint(trajectory_list)
+
+        from ..persist.store import SnapshotStore
+
+        store = SnapshotStore(
+            Path(state_dir) / "phases", keep=2, fsync=fsync, faults=faults,
+        )
+        done = -1  # index into MODES of the furthest restored phase
+        result = NEATResult(mode=mode, timings=PhaseTimings())
+        try:
+            latest = store.read_latest()
+        except PersistenceError as error:
+            _log.warning("phase checkpoints unreadable", error=repr(error))
+            latest = None
+        if latest is not None:
+            generation, payload = latest
+            try:
+                document = json.loads(payload.decode("utf-8"))
+                if (
+                    document.get("format") == PHASE_CHECKPOINT_FORMAT
+                    and document.get("version") == PHASE_CHECKPOINT_VERSION
+                    and document.get("fingerprint") == fingerprint
+                    and document.get("phase") in MODES
+                ):
+                    restored = result_from_dict(document["result"], self.network)
+                    phase = document["phase"]
+                    done = min(MODES.index(phase), MODES.index(mode))
+                    result.base_clusters = restored.base_clusters
+                    if done >= 1:
+                        result.flows = restored.flows
+                        result.noise_flows = restored.noise_flows
+                        result.min_card_used = restored.min_card_used
+                    if done >= 2:
+                        result.clusters = restored.clusters
+                    _log.info(
+                        "resumed from phase checkpoint",
+                        phase=phase, generation=generation.number,
+                    )
+            except Exception as error:
+                # Undecodable or wrong-shaped checkpoint: recompute.
+                _log.warning(
+                    "phase checkpoint ignored",
+                    generation=generation.number, error=repr(error),
+                )
+                done = -1
+
+        telemetry = (
+            self.telemetry if self.telemetry is not None else Telemetry.create()
+        )
+        tracer = telemetry.tracer
+        metrics = telemetry.metrics if telemetry.enabled else None
+        self.engine.bind_metrics(metrics)
+
+        def save(phase: str) -> None:
+            document = {
+                "format": PHASE_CHECKPOINT_FORMAT,
+                "version": PHASE_CHECKPOINT_VERSION,
+                "fingerprint": fingerprint,
+                "phase": phase,
+                "result": result_to_dict(result, self.network.name),
+            }
+            try:
+                store.write(
+                    json.dumps(document, sort_keys=True).encode("utf-8"),
+                    watermark=MODES.index(phase),
+                )
+            except (PersistenceError, OSError) as error:
+                _log.warning(
+                    "phase checkpoint write failed",
+                    phase=phase, error=repr(error),
+                )
+
+        with tracer.span("neat.run_resumable"):
+            if done < 0:
+                self._phase1(trajectory_list, result, tracer, metrics)
+                save("base")
+            if mode != "base" and done < 1:
+                self._phase2(result, tracer, metrics)
+                save("flow")
+            if mode == "opt" and done < 2:
+                self._phase3(result, tracer, metrics)
+                save("opt")
+        if telemetry.enabled:
+            result.telemetry = telemetry.snapshot()
+        _log.info(
+            "resumable run complete",
+            mode=mode,
+            resumed_phases=done + 1,
+            flows=len(result.flows),
+            clusters=len(result.clusters),
+        )
+        return result
+
+    def _fingerprint(self, trajectory_list: list[Trajectory]) -> str:
+        """Identity of (config, network, inputs) for checkpoint matching.
+
+        Covers exactly the result-affecting knobs — operational settings
+        (workers, retries, deadlines) deliberately excluded, so changing
+        them does not invalidate checkpoints.
+        """
+        config = self.config
+        digest = hashlib.sha256()
+        digest.update(json.dumps({
+            "wq": config.wq, "wk": config.wk, "wv": config.wv,
+            "beta": repr(config.beta), "min_card": config.min_card,
+            "eps": config.eps, "min_pts": config.min_pts,
+            "use_elb": config.use_elb,
+            "keep_interior_points": config.keep_interior_points,
+            "network": self.network.name,
+            "segments": self.network.segment_count,
+        }, sort_keys=True).encode("utf-8"))
+        for trajectory in trajectory_list:
+            digest.update(str(trajectory.trid).encode("utf-8"))
+            for location in trajectory.locations:
+                digest.update(
+                    f"{location.sid},{location.x!r},{location.y!r},"
+                    f"{location.t!r},{location.node_id}".encode("utf-8")
+                )
+        return digest.hexdigest()
 
     # Convenience wrappers matching the paper's naming -----------------
     def run_base(self, trajectories) -> NEATResult:

@@ -31,7 +31,7 @@ import json
 from pathlib import Path
 from typing import Any
 
-from ..errors import ClusteringError
+from ..errors import ClusteringError, CorruptSnapshot, RoadNetworkError
 from ..roadnet.network import RoadNetwork
 from .base_cluster import BaseCluster
 from .flow_cluster import FlowCluster
@@ -43,13 +43,72 @@ FORMAT_TAG = "repro-clustering"
 FORMAT_VERSION = 1
 
 
-def _fragment_to_list(fragment: TFragment) -> dict[str, Any]:
-    return {
+def _fragment_to_list(
+    fragment: TFragment,
+    cache: dict[int, tuple[Any, Any]] | None = None,
+) -> dict[str, Any]:
+    if cache is None:
+        return {
+            "trid": fragment.trid,
+            "locations": [
+                [l.sid, l.x, l.y, l.t, l.node_id] for l in fragment.locations
+            ],
+        }
+    hit = cache.get(id(fragment))
+    if hit is not None:
+        return hit[1]
+    # Cached documents use tuples for the location rows: json.dumps
+    # writes tuples and lists identically, but CPython's GC *untracks*
+    # tuples (and dicts) of atomic values — so a long-lived cache of
+    # thousands of fragments adds almost nothing to gen-2 collections,
+    # where an equivalent list-of-lists cache would be rescanned forever.
+    document = {
         "trid": fragment.trid,
-        "locations": [
-            [l.sid, l.x, l.y, l.t, l.node_id] for l in fragment.locations
-        ],
+        "locations": tuple(
+            (l.sid, l.x, l.y, l.t, l.node_id) for l in fragment.locations
+        ),
     }
+    # The fragment itself is kept in the entry so its id() can never
+    # be recycled onto a different object while the cache is alive.
+    cache[id(fragment)] = (fragment, document)
+    return document
+
+
+def _fragments_to_lists(
+    fragments,
+    cache: dict[int, tuple[Any, Any]] | None,
+) -> list[dict[str, Any]]:
+    if cache is not None:
+        try:
+            # Entries pin their fragment, so a live id() can only be a
+            # genuine hit; the slow path below fills any misses.
+            return [cache[id(f)][1] for f in fragments]
+        except KeyError:
+            pass
+    return [_fragment_to_list(f, cache) for f in fragments]
+
+
+def _cluster_to_dict(
+    cluster: BaseCluster,
+    cache: dict[int, tuple[Any, Any, Any]] | None,
+) -> dict[str, Any]:
+    if cache is None:
+        return {
+            "sid": cluster.sid,
+            "fragments": _fragments_to_lists(cluster.fragments, None),
+        }
+    # Whole-cluster memo: a base cluster only ever *grows* (fragments are
+    # appended, never replaced), so an entry pinned on the cluster with a
+    # matching fragment count is still the current serialization.
+    hit = cache.get(id(cluster))
+    if hit is not None and hit[0] is cluster and hit[1] == len(cluster.fragments):
+        return hit[2]
+    entry = {
+        "sid": cluster.sid,
+        "fragments": _fragments_to_lists(cluster.fragments, cache),
+    }
+    cache[id(cluster)] = (cluster, len(cluster.fragments), entry)
+    return entry
 
 
 def _fragment_from_dict(data: dict[str, Any]) -> TFragment:
@@ -62,7 +121,10 @@ def _fragment_from_dict(data: dict[str, Any]) -> TFragment:
 
 
 def result_to_dict(
-    result: NEATResult, network_name: str = "", stale: bool = False
+    result: NEATResult,
+    network_name: str = "",
+    stale: bool = False,
+    fragment_cache: dict[int, tuple[Any, Any]] | None = None,
 ) -> dict[str, Any]:
     """Serialize a NEAT result to a JSON-compatible dictionary.
 
@@ -72,8 +134,12 @@ def result_to_dict(
         stale: Degraded-mode marker — ``True`` when a NEAT server is
             serving a previously validated snapshot because the fresh
             refresh failed (see ``docs/robustness.md``).
+        fragment_cache: Optional memo reused across calls — t-fragments
+            are immutable, so repeated snapshots of a growing state
+            (per-batch checkpoints) skip re-serializing old fragments.
     """
     flow_index = {id(flow): i for i, flow in enumerate(result.flows)}
+    base_index = {id(c): i for i, c in enumerate(result.base_clusters)}
     return {
         "format": FORMAT_TAG,
         "version": FORMAT_VERSION,
@@ -83,10 +149,7 @@ def result_to_dict(
         "stale": bool(stale),
         "dropped_shards": list(result.dropped_shards),
         "base_clusters": [
-            {
-                "sid": cluster.sid,
-                "fragments": [_fragment_to_list(f) for f in cluster.fragments],
-            }
+            _cluster_to_dict(cluster, fragment_cache)
             for cluster in result.base_clusters
         ],
         # Flows reference their member base clusters by *index* into the
@@ -94,11 +157,10 @@ def result_to_dict(
         # readability): incremental/service snapshots can hold several
         # base clusters for the same segment, so sids alone are ambiguous.
         "flows": [
-            _flow_to_dict(flow, result.base_clusters) for flow in result.flows
+            _flow_to_dict(flow, base_index) for flow in result.flows
         ],
         "noise_flows": [
-            _flow_to_dict(flow, result.base_clusters)
-            for flow in result.noise_flows
+            _flow_to_dict(flow, base_index) for flow in result.noise_flows
         ],
         "clusters": [
             {
@@ -110,10 +172,9 @@ def result_to_dict(
     }
 
 
-def _flow_to_dict(flow: FlowCluster, base_clusters: list[BaseCluster]) -> dict:
-    index_of = {id(cluster): i for i, cluster in enumerate(base_clusters)}
+def _flow_to_dict(flow: FlowCluster, base_index: dict[int, int]) -> dict:
     return {
-        "members": [index_of[id(member)] for member in flow.members],
+        "members": [base_index[id(member)] for member in flow.members],
         "member_sids": list(flow.sids),
     }
 
@@ -167,10 +228,58 @@ def result_from_dict(data: dict[str, Any], network: RoadNetwork) -> NEATResult:
 def save_result(
     result: NEATResult, path: str | Path, network_name: str = ""
 ) -> None:
-    """Write a clustering result to a JSON file."""
-    Path(path).write_text(json.dumps(result_to_dict(result, network_name)))
+    """Write a clustering result to a checksum-sealed file, atomically.
+
+    The JSON document is wrapped in the SHA-256 sealed envelope of
+    :mod:`repro.persist.store` and written via temp file + fsync +
+    rename, so a crash mid-save leaves either the previous file or the
+    complete new one — never a torn result.
+    """
+    # Imported here, not at module level: repro.persist depends on core
+    # model types, so a top-level import would be circular.
+    from ..persist.store import atomic_write, seal_snapshot
+
+    payload = json.dumps(result_to_dict(result, network_name)).encode("utf-8")
+    atomic_write(Path(path), seal_snapshot(payload))
 
 
 def load_result(path: str | Path, network: RoadNetwork) -> NEATResult:
-    """Read a clustering result from a JSON file."""
-    return result_from_dict(json.loads(Path(path).read_text()), network)
+    """Read a clustering result from a file, verifying integrity.
+
+    Sealed envelopes (the :func:`save_result` format) are SHA-256
+    verified; legacy plain-JSON files are still accepted.  Every decode
+    failure surfaces as a typed error naming the offending file — a
+    partially-built result is never returned.
+
+    Raises:
+        TornWrite: The file ends mid-envelope (interrupted write).
+        CorruptSnapshot: Checksum mismatch, non-JSON payload, or a
+            payload that does not decode to a clustering document.
+        RoadNetworkError: The document is intact but references segments
+            ``network`` does not have (wrong network, not corruption).
+    """
+    from ..persist.store import SNAPSHOT_MAGIC, unseal_snapshot
+
+    target = Path(path)
+    try:
+        raw = target.read_bytes()
+    except OSError as error:
+        raise CorruptSnapshot(target, f"unreadable: {error}") from error
+
+    if raw[: len(SNAPSHOT_MAGIC)] == SNAPSHOT_MAGIC or raw.lstrip()[:1] != b"{":
+        payload = unseal_snapshot(raw, source=target)
+    else:  # legacy plain-JSON result
+        payload = raw
+
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise CorruptSnapshot(target, f"payload is not JSON: {error}") from error
+    try:
+        return result_from_dict(document, network)
+    except RoadNetworkError:
+        raise
+    except (ClusteringError, KeyError, ValueError, TypeError, IndexError) as error:
+        raise CorruptSnapshot(
+            target, f"undecodable clustering document: {error!r}"
+        ) from error

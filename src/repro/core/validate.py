@@ -20,6 +20,7 @@ Checked invariants:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -30,13 +31,22 @@ from .result import NEATResult
 
 @dataclass
 class ValidationReport:
-    """Outcome of :func:`validate_result`.
+    """Outcome of :func:`validate_result` / :func:`validate_trajectories`.
 
     Attributes:
         errors: Human-readable invariant violations (empty = valid).
+        batch_errors: The subset of violations that condemn a whole
+            trajectory batch (duplicate ids — no single trajectory can be
+            blamed), as opposed to per-trajectory problems.
+        bad_trids: Per-trajectory problems, ``trid -> reason``.  A caller
+            that prefers degraded ingest over rejection (the service's
+            quarantine path) can skip exactly these and admit the rest —
+            but only when ``batch_errors`` is empty.
     """
 
     errors: list[str] = field(default_factory=list)
+    batch_errors: list[str] = field(default_factory=list)
+    bad_trids: dict[int, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -87,27 +97,51 @@ def validate_trajectories(
     admits client batches only after this passes, so a malformed batch is
     rejected at the door instead of poisoning the retained flow pool.
 
-    Checked: every location references a segment of ``network``, and
-    trajectory ids are unique within the batch.  (Per-trajectory shape —
-    at least two samples, non-decreasing timestamps — is enforced by the
-    :class:`~repro.core.model.Trajectory` constructor itself.)
+    Checked per trajectory (reported in ``bad_trids`` so callers can
+    quarantine individuals): every location references a segment of
+    ``network``, coordinates and timestamps are finite (NaN/inf would
+    poison every distance downstream), and timestamps are non-decreasing
+    — checked NaN-safely, since the :class:`~repro.core.model.Trajectory`
+    constructor's ``later < earlier`` comparison is silently ``False``
+    for NaN.  Checked per batch (reported in ``batch_errors``):
+    trajectory ids are unique.
     """
     report = ValidationReport()
     seen_trids: set[int] = set()
     for trajectory in trajectories:
         if trajectory.trid in seen_trids:
-            report.errors.append(
-                f"duplicate trajectory id in batch: {trajectory.trid}"
-            )
+            message = f"duplicate trajectory id in batch: {trajectory.trid}"
+            report.errors.append(message)
+            report.batch_errors.append(message)
         seen_trids.add(trajectory.trid)
-        for location in trajectory.locations:
-            if not network.has_segment(location.sid):
-                report.errors.append(
-                    f"trajectory {trajectory.trid} references unknown "
-                    f"segment {location.sid}"
-                )
-                break
+        reason = _trajectory_problem(network, trajectory)
+        if reason is not None:
+            report.errors.append(f"trajectory {trajectory.trid} {reason}")
+            report.bad_trids.setdefault(trajectory.trid, reason)
     return report
+
+
+def _trajectory_problem(
+    network: RoadNetwork, trajectory: Trajectory
+) -> str | None:
+    """The first admission-blocking defect of one trajectory, or None."""
+    previous_t: float | None = None
+    for location in trajectory.locations:
+        if not network.has_segment(location.sid):
+            return f"references unknown segment {location.sid}"
+        if not (math.isfinite(location.x) and math.isfinite(location.y)):
+            return f"has non-finite coordinates ({location.x}, {location.y})"
+        if not math.isfinite(location.t):
+            return f"has non-finite timestamp {location.t}"
+        # ``not >=`` instead of ``<`` so a NaN that sneaked into an
+        # earlier sample cannot make the comparison silently pass.
+        if previous_t is not None and not (location.t >= previous_t):
+            return (
+                f"has non-monotonic timestamps "
+                f"({location.t} after {previous_t})"
+            )
+        previous_t = location.t
+    return None
 
 
 def _check_base_clusters(

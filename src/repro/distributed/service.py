@@ -39,9 +39,11 @@ wrap this object without changing it.
 
 from __future__ import annotations
 
+import json
 import time
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..core.config import NEATConfig
@@ -51,6 +53,7 @@ from ..core.result import NEATResult
 from ..core.serialize import result_to_dict
 from ..core.validate import validate_result, validate_trajectories
 from ..errors import (
+    CorruptSnapshot,
     DeadlineExceeded,
     RetriesExhausted,
     ServiceOverloaded,
@@ -58,6 +61,7 @@ from ..errors import (
     TrajectoryError,
 )
 from ..obs import Telemetry, get_logger
+from ..persist.store import SnapshotStore
 from ..resilience import CircuitBreaker, Deadline, FaultInjector, RetryPolicy
 from ..roadnet.network import RoadNetwork
 
@@ -84,6 +88,7 @@ class ServiceStats:
     pending_batches: int
     stale_queries: int
     rejected_batches: int
+    quarantined_trajectories: int
     overload_rejections: int
     retries: int
     breaker_trips: int
@@ -127,13 +132,42 @@ class NeatService:
         breaker: CircuitBreaker | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] | None = None,
+        state_dir: str | Path | None = None,
     ) -> None:
         self.network = network
         self.config = config if config is not None else NEATConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry.create()
-        self._incremental = IncrementalNEAT(
-            network, self.config, telemetry=self.telemetry
-        )
+        # The injector exists before the clusterer so recovery itself runs
+        # through the same snapshot.*/journal.* fault points chaos tests
+        # arm (a service restart is exactly when those faults matter).
+        self.faults = FaultInjector()
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self._documents: SnapshotStore | None = None
+        if self.state_dir is None:
+            self._incremental = IncrementalNEAT(
+                network, self.config, telemetry=self.telemetry
+            )
+        else:
+            # Recover clustering state (empty directory = fresh start with
+            # persistence enabled) and the last validated serving document,
+            # so a restarted service degrades to stale serving instead of
+            # ServiceUnavailable.  Corruption raises typed errors here —
+            # construction must never succeed on silently-wrong state.
+            self._incremental = IncrementalNEAT.recover(
+                self.state_dir / "incremental",
+                network,
+                self.config,
+                telemetry=self.telemetry,
+                faults=self.faults,
+            )
+            self._documents = SnapshotStore(
+                self.state_dir / "service",
+                keep=2,
+                faults=self.faults,
+                metrics=(
+                    self.telemetry.metrics if self.telemetry.enabled else None
+                ),
+            )
         self._clock = clock
         self._sleep = sleep
         self.retry_policy = (
@@ -153,9 +187,24 @@ class NeatService:
                 clock=clock,
             )
         )
-        self.faults = FaultInjector()
         self._pending: deque[list[Trajectory]] = deque()
         self._last_document: dict[str, Any] | None = None
+        if self._documents is not None:
+            latest = self._documents.read_latest()
+            if latest is not None:
+                generation, payload = latest
+                try:
+                    self._last_document = json.loads(payload.decode("utf-8"))
+                except ValueError as error:
+                    raise CorruptSnapshot(
+                        generation.path,
+                        f"sealed payload is not JSON: {error}",
+                    ) from error
+                _log.info(
+                    "serving document recovered",
+                    generation=generation.number,
+                    stale_until_first_refresh=True,
+                )
 
         self._submitted_batches = metrics.counter(
             "service.batches_ingested", "Trajectory batches accepted by submit()"
@@ -178,6 +227,11 @@ class NeatService:
         )
         self._rejected_batches = metrics.counter(
             "service.rejected_batches", "Malformed batches rejected at admission"
+        )
+        self._quarantined = metrics.counter(
+            "service.quarantined_trajectories",
+            "Bad trajectories skipped at admission while the rest of "
+            "their batch was ingested",
         )
         self._overload_rejections = metrics.counter(
             "service.overload_rejections",
@@ -233,16 +287,33 @@ class NeatService:
         with self.telemetry.tracer.span("service.submit") as span:
             batch = list(trajectories)
             report = validate_trajectories(self.network, batch)
+            quarantined = 0
             if not report.ok:
-                self._rejected_batches.inc()
+                # Per-trajectory defects are quarantined (counted and
+                # skipped); batch-level defects (duplicate ids) or a batch
+                # with nothing admissible left still reject wholesale.
+                admitted = [
+                    tr for tr in batch if tr.trid not in report.bad_trids
+                ]
+                if report.batch_errors or not admitted:
+                    self._rejected_batches.inc()
+                    _log.warning(
+                        "batch rejected", errors=len(report.errors),
+                        first=report.errors[0],
+                    )
+                    raise TrajectoryError(
+                        "malformed trajectory batch:\n  "
+                        + "\n  ".join(report.errors)
+                    )
+                quarantined = len(batch) - len(admitted)
+                self._quarantined.inc(quarantined)
                 _log.warning(
-                    "batch rejected", errors=len(report.errors),
-                    first=report.errors[0],
+                    "trajectories quarantined",
+                    quarantined=quarantined,
+                    admitted=len(admitted),
+                    reasons=dict(list(report.bad_trids.items())[:5]),
                 )
-                raise TrajectoryError(
-                    "malformed trajectory batch:\n  "
-                    + "\n  ".join(report.errors)
-                )
+                batch = admitted
             if len(self._pending) >= self.config.max_pending:
                 self._overload_rejections.inc()
                 _log.warning(
@@ -256,6 +327,7 @@ class NeatService:
             self._pending.append(batch)
             self._pending_gauge.set(len(self._pending))
             ack = self._drain(self._deadline_for("service.submit", deadline_s))
+            ack["quarantined"] = quarantined
         self._submit_latency.observe(span.duration)
         _log.info(
             "batch accepted",
@@ -359,6 +431,7 @@ class NeatService:
             pending_batches=len(self._pending),
             stale_queries=int(self._stale_queries.value),
             rejected_batches=int(self._rejected_batches.value),
+            quarantined_trajectories=int(self._quarantined.value),
             overload_rejections=int(self._overload_rejections.value),
             retries=int(self._retries.value),
             breaker_trips=int(self._breaker_open.value),
@@ -444,12 +517,27 @@ class NeatService:
 
         Deliberately *not* routed through the ``refresh`` injection point
         — chaos tests arm that against queries; the post-ingest capture
-        is what those queries then fall back to.
+        is what those queries then fall back to.  With a state directory,
+        the validated document is also persisted so a restarted service
+        can serve it stale; a failed write keeps the in-memory copy (the
+        incremental journal is the durable source of truth).
         """
         try:
             self._last_document = self._build_document()
         except Exception as error:  # pragma: no cover - defensive
             _log.warning("post-ingest snapshot failed", error=repr(error))
+            return
+        if self._documents is None:
+            return
+        try:
+            payload = json.dumps(
+                self._last_document, sort_keys=True
+            ).encode("utf-8")
+            self._documents.write(
+                payload, watermark=self._incremental.batch_count
+            )
+        except Exception as error:
+            _log.warning("serving-document persist failed", error=repr(error))
 
     def _refresh_document(self) -> dict[str, Any]:
         """One query-path refresh attempt (the ``refresh`` injection point)."""
@@ -463,24 +551,17 @@ class NeatService:
         return result_to_dict(result, network_name=self.network.name)
 
     def _snapshot(self) -> NEATResult:
-        """Assemble a NEATResult view of the service's current state.
+        """The service's current state as a NEATResult.
 
-        The document covers the *retained* flows only: noise flows were
-        filtered per batch (possibly under different auto thresholds), so
-        including them could not satisfy a single global ``minCard`` — the
-        served clustering is the kept-flow world, self-consistent by
-        construction.
+        Delegates to :meth:`IncrementalNEAT.snapshot_result`, the same
+        view checkpointing is built on — served and durable state cannot
+        drift apart.
         """
-        incremental = self._incremental
-        result = NEATResult(mode="opt")
-        members = [
-            member for flow in incremental.flows for member in flow.members
-        ]
-        result.base_clusters = sorted(
-            members, key=lambda cluster: (-cluster.density, cluster.sid)
-        )
-        result.flows = incremental.flows
-        result.clusters = incremental.clusters
-        cards = [flow.trajectory_cardinality for flow in result.flows]
-        result.min_card_used = min(cards) if cards else 0
-        return result
+        return self._incremental.snapshot_result()
+
+    def checkpoint(self) -> int:
+        """Force a snapshot generation of the clustering state now.
+
+        Requires a ``state_dir``; see :meth:`IncrementalNEAT.checkpoint`.
+        """
+        return self._incremental.checkpoint()

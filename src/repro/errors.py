@@ -140,6 +140,48 @@ class QuorumLost(ResilienceError):
         self.quorum = quorum
 
 
+class PersistenceError(ReproError):
+    """Base class for durable-storage failures (snapshots, journals)."""
+
+
+class CorruptSnapshot(PersistenceError):
+    """A persisted artifact failed its checksum or could not be decoded.
+
+    Raised for any verified-on-read artifact — snapshot generations,
+    journal records, serialized results — whose bytes are present but
+    wrong (bit flips, tampering, schema-breaking truncation inside a
+    complete frame).  ``path`` names the offending file.
+    """
+
+    def __init__(self, path: object, detail: str) -> None:
+        super().__init__(f"corrupt persistence artifact {str(path)!r}: {detail}")
+        self.path = str(path)
+        self.detail = detail
+
+
+class TornWrite(PersistenceError):
+    """A persisted artifact ends mid-record (an interrupted write).
+
+    Distinct from :class:`CorruptSnapshot`: the readable prefix is intact
+    but the declared length runs past end-of-file — the classic signature
+    of a crash between ``write()`` and ``fsync``/rename.
+    """
+
+    def __init__(self, path: object, detail: str) -> None:
+        super().__init__(f"torn write in {str(path)!r}: {detail}")
+        self.path = str(path)
+        self.detail = detail
+
+
+class RecoveryError(PersistenceError):
+    """Recovery could not restore a consistent state from a state dir."""
+
+    def __init__(self, state_dir: object, detail: str) -> None:
+        super().__init__(f"recovery from {str(state_dir)!r} failed: {detail}")
+        self.state_dir = str(state_dir)
+        self.detail = detail
+
+
 class ServiceOverloaded(ReproError):
     """Admission control rejected a batch: the pending queue is full."""
 

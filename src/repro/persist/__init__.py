@@ -1,0 +1,67 @@
+"""Crash-safe persistence: durable store, batch journal, checkpoints.
+
+Layering (each layer only knows the one below):
+
+* :mod:`repro.persist.store` — byte-level durability: atomic writes,
+  checksummed frames, SHA-256 sealed snapshots, generation-numbered
+  snapshot directories with verified-good fallback.
+* :mod:`repro.persist.journal` — an append-only WAL of checksummed
+  records with truncation-tolerant replay.
+* :mod:`repro.persist.checkpoint` — the snapshot + journal protocol
+  (watermarks, compaction, sequence-checked recovery) and the payload
+  codecs for trajectory batches and incremental clustering state.
+
+Consumers (``IncrementalNEAT.recover``, ``NeatService``, the pipeline's
+resumable runner, ``save_result``/``load_result``) sit on top of
+:class:`CheckpointManager` / :class:`~repro.persist.store.SnapshotStore`
+and surface failures through the typed
+:class:`~repro.errors.PersistenceError` taxonomy.
+"""
+
+from .checkpoint import (
+    BATCH_FORMAT,
+    BATCH_VERSION,
+    STATE_FORMAT,
+    STATE_VERSION,
+    CheckpointManager,
+    RecoveredState,
+    decode_batch_record,
+    encode_batch_record,
+    encode_state_payload,
+    open_state_document,
+    seal_state_document,
+)
+from .journal import BatchJournal
+from .store import (
+    FrameScan,
+    Generation,
+    SnapshotStore,
+    atomic_write,
+    encode_frame,
+    scan_frames,
+    seal_snapshot,
+    unseal_snapshot,
+)
+
+__all__ = [
+    "BATCH_FORMAT",
+    "BATCH_VERSION",
+    "STATE_FORMAT",
+    "STATE_VERSION",
+    "BatchJournal",
+    "CheckpointManager",
+    "FrameScan",
+    "Generation",
+    "RecoveredState",
+    "SnapshotStore",
+    "atomic_write",
+    "decode_batch_record",
+    "encode_batch_record",
+    "encode_frame",
+    "encode_state_payload",
+    "open_state_document",
+    "scan_frames",
+    "seal_snapshot",
+    "seal_state_document",
+    "unseal_snapshot",
+]

@@ -1,0 +1,158 @@
+"""The batch journal: an append-only WAL of ingested trajectory batches.
+
+Each committed batch is appended as one checksummed frame
+(:func:`~repro.persist.store.encode_frame`) and fsynced before the
+ingest acknowledges, so the durable history is always a *prefix* of the
+acknowledged history.  Replay (:meth:`BatchJournal.replay`) tolerates a
+torn tail — the half-written frame a crash mid-append leaves behind is
+dropped, counted and truncated by :meth:`repair` — while a checksum
+failure on a *complete* record raises
+:class:`~repro.errors.CorruptSnapshot` (a bit flip must never silently
+erase the records behind it).
+
+The journal knows nothing about trajectories; payload codecs live in
+:mod:`repro.persist.checkpoint`.  The ``journal.mid_append`` fault point
+fires *between* the two halves of a record write, which is how the
+recovery gauntlet manufactures genuinely torn records.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..obs import get_logger
+from .store import FrameScan, atomic_write, encode_frame, scan_frames
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
+    from ..resilience import FaultInjector
+
+_log = get_logger("persist.journal")
+
+
+def _noop() -> None:
+    return None
+
+
+class BatchJournal:
+    """Append-only checksummed record log with truncation-tolerant replay.
+
+    Args:
+        path: The journal file (created on first append).
+        fsync: Whether appends are fsynced before returning.
+        faults: Optional injector for the ``journal.mid_append`` and
+            ``journal.read`` fault points.
+        metrics: Optional registry receiving the ``persist.journal_*``
+            counters.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: bool = True,
+        faults: "FaultInjector | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.faults = faults
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    def append(self, payload: bytes) -> None:
+        """Durably append one record; the batch is committed when this returns.
+
+        The frame is written in two halves with the ``journal.mid_append``
+        fault point between them: an armed plan raising there leaves a
+        torn record on disk, exactly what a kill -9 mid-``write`` does.
+        """
+        frame = encode_frame(payload)
+        split = len(frame) // 2
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab") as handle:
+            handle.write(frame[:split])
+            if self.faults is not None:
+                handle.flush()
+                self.faults.run("journal.mid_append", _noop)
+            handle.write(frame[split:])
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        if self.metrics is not None:
+            self.metrics.inc(
+                "persist.journal_appends",
+                description="Batch records durably appended to the journal",
+            )
+
+    # ------------------------------------------------------------------
+    def replay(self) -> FrameScan:
+        """Scan every record, dropping (and counting) a torn tail.
+
+        Raises:
+            CorruptSnapshot: A complete record failed its checksum.
+        """
+        if not self.path.exists():
+            return FrameScan()
+        if self.faults is not None:
+            data = self.faults.run("journal.read", self.path.read_bytes)
+        else:
+            data = self.path.read_bytes()
+        scan = scan_frames(data, source=self.path)
+        if self.metrics is not None:
+            self.metrics.inc(
+                "persist.journal_replays",
+                description="Journal replay scans performed",
+            )
+            if scan.torn:
+                self.metrics.inc(
+                    "persist.journal_torn_tails",
+                    description="Torn journal tails dropped during replay",
+                )
+        if scan.torn:
+            _log.warning(
+                "journal has a torn tail",
+                good_bytes=scan.good_bytes, records=len(scan.payloads),
+            )
+        return scan
+
+    def repair(self) -> int:
+        """Truncate a torn tail so future appends start on a frame boundary.
+
+        Returns the number of bytes removed (0 for a clean journal).
+        """
+        if not self.path.exists():
+            return 0
+        data = self.path.read_bytes()
+        scan = scan_frames(data, source=self.path)
+        removed = len(data) - scan.good_bytes
+        if removed:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(scan.good_bytes)
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            _log.info(
+                "journal repaired", removed_bytes=removed,
+                records=len(scan.payloads),
+            )
+        return removed
+
+    def rewrite(self, payloads: list[bytes]) -> None:
+        """Atomically replace the journal's contents (compaction).
+
+        Used after a checkpoint to drop records already covered by every
+        retained snapshot generation; the rewrite goes through the same
+        temp + fsync + rename path as snapshots, so a crash mid-compaction
+        leaves the previous journal intact.
+        """
+        data = b"".join(encode_frame(payload) for payload in payloads)
+        atomic_write(
+            self.path, data, fsync=self.fsync,
+            faults=self.faults, fault_point="journal.pre_rewrite",
+        )
+        if self.metrics is not None:
+            self.metrics.inc(
+                "persist.journal_compactions",
+                description="Journal compactions after a checkpoint",
+            )

@@ -17,7 +17,7 @@ See ``docs/robustness.md`` for the fault matrix and degraded-mode
 semantics.
 """
 
-from .faults import FaultInjector, FaultPlan, FaultyCallable, real_sleeper
+from .faults import FaultInjector, FaultPlan, FaultyCallable, bit_flip, real_sleeper
 from .policy import CircuitBreaker, Deadline, RetryPolicy
 
 __all__ = [
@@ -27,5 +27,6 @@ __all__ = [
     "FaultPlan",
     "FaultyCallable",
     "RetryPolicy",
+    "bit_flip",
     "real_sleeper",
 ]

@@ -26,7 +26,7 @@ from typing import Any, Callable, Iterable
 
 from ..errors import ConfigError, FaultInjected
 
-__all__ = ["FaultInjector", "FaultPlan", "FaultyCallable"]
+__all__ = ["FaultInjector", "FaultPlan", "FaultyCallable", "bit_flip"]
 
 
 def _as_indices(value: int | Iterable[int] | None) -> frozenset[int]:
@@ -154,6 +154,26 @@ class FaultyCallable:
 def real_sleeper(seconds: float) -> None:
     """A sleeper that actually sleeps (for latency drills in benchmarks)."""
     time.sleep(seconds)
+
+
+def bit_flip(data: bytes, index: int = 0) -> bytes:
+    """``data`` with one bit inverted — the canonical read-corruptor.
+
+    Use as a ``FaultPlan.corruptor`` against a read-path fault point
+    (``snapshot.read``, ``journal.read``) to simulate media corruption::
+
+        faults.arm("snapshot.read", FaultPlan(corrupt_nth=1, corruptor=bit_flip))
+
+    Args:
+        data: The payload to damage (returned unchanged when empty).
+        index: Byte offset of the flipped bit's byte (wraps modulo
+            ``len(data)``, so any index is safe).
+    """
+    if not data:
+        return data
+    flipped = bytearray(data)
+    flipped[index % len(flipped)] ^= 0x01
+    return bytes(flipped)
 
 
 class FaultInjector:

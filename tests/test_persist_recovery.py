@@ -1,0 +1,286 @@
+"""The recovery gauntlet: every filesystem fault, recovered exactly.
+
+For each injected fault point — crash-before-rename, crash-mid-append,
+bit-flip-on-read — recovery must restore exactly the last durable state,
+byte-identical (as serialized documents) to a never-crashed reference run
+over the same batch prefix.  No fault may ever yield a silently-wrong
+result: the acceptable outcomes are a typed ``PersistenceError`` or a
+correct fallback, nothing else.
+
+``TestGauntletDeterminism`` additionally snapshots the counters of a
+fixed fault scenario; CI runs this file twice with
+``REPRO_GAUNTLET_SNAPSHOT`` pointing at two files and diffs them, so any
+nondeterminism in the fault/recovery path fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from conftest import trajectory_through
+from repro.core import NEATConfig
+from repro.core.incremental import IncrementalNEAT
+from repro.core.serialize import result_to_dict
+from repro.distributed.service import NeatService
+from repro.errors import (
+    CorruptSnapshot,
+    FaultInjected,
+    PersistenceError,
+)
+from repro.obs import Telemetry
+from repro.obs.metrics import Counter
+from repro.resilience import FaultInjector, FaultPlan, bit_flip
+
+CONFIG = NEATConfig(min_card=0)
+
+
+def make_batches(network, count, per_batch=3):
+    batches = []
+    trid = 0
+    for index in range(count):
+        batch = []
+        for _ in range(per_batch):
+            route = [trid % 2, (trid % 2) + 1]
+            batch.append(
+                trajectory_through(network, trid, route, t0=float(index))
+            )
+            trid += 1
+        batches.append(batch)
+    return batches
+
+
+def document_of(clusterer) -> str:
+    """Canonical bytes of a clusterer's state, for exact comparison."""
+    return json.dumps(
+        result_to_dict(clusterer.snapshot_result(), "gauntlet"),
+        sort_keys=True,
+    )
+
+
+def reference_document(network, batches) -> str:
+    """The never-crashed run over the same prefix."""
+    reference = IncrementalNEAT(network, CONFIG)
+    for batch in batches:
+        reference.add_batch(batch)
+    return document_of(reference)
+
+
+class TestCrashBeforeRename:
+    def test_failed_checkpoint_loses_nothing(self, grid3x3, tmp_path):
+        batches = make_batches(grid3x3, 3)
+        faults = FaultInjector()
+        clusterer = IncrementalNEAT(grid3x3, CONFIG)
+        clusterer.enable_persistence(
+            tmp_path, checkpoint_every=1, fsync=False, faults=faults
+        )
+        clusterer.add_batch(batches[0])
+        clusterer.add_batch(batches[1])
+        # The 3rd batch's checkpoint dies between temp-write and rename.
+        faults.arm("snapshot.pre_rename", FaultPlan(fail_nth=1))
+        with pytest.raises(FaultInjected):
+            clusterer.add_batch(batches[2])
+        # The batch itself committed (journal first): nothing was lost.
+        assert clusterer.batch_count == 3
+        recovered = IncrementalNEAT.recover(tmp_path, grid3x3, CONFIG)
+        assert recovered.batch_count == 3
+        assert document_of(recovered) == reference_document(grid3x3, batches)
+        # And no half-written generation is ever visible.
+        snaps = [p.name for p in (tmp_path / "snapshots").iterdir()]
+        assert all(name.endswith(".snap") or name.endswith(".tmp")
+                   for name in snaps)
+
+
+class TestCrashMidAppend:
+    def test_torn_batch_is_rolled_back_and_dropped(self, grid3x3, tmp_path):
+        batches = make_batches(grid3x3, 3)
+        faults = FaultInjector()
+        clusterer = IncrementalNEAT(grid3x3, CONFIG)
+        clusterer.enable_persistence(tmp_path, fsync=False, faults=faults)
+        clusterer.add_batch(batches[0])
+        clusterer.add_batch(batches[1])
+        faults.arm("journal.mid_append", FaultPlan(fail_nth=1))
+        with pytest.raises(FaultInjected):
+            clusterer.add_batch(batches[2])
+        # Acknowledged == durable: the torn batch is gone in memory too.
+        assert clusterer.batch_count == 2
+        assert document_of(clusterer) == reference_document(
+            grid3x3, batches[:2]
+        )
+        recovered = IncrementalNEAT.recover(tmp_path, grid3x3, CONFIG)
+        assert recovered.batch_count == 2
+        assert document_of(recovered) == reference_document(
+            grid3x3, batches[:2]
+        )
+        # The repaired journal accepts new batches afterwards.
+        recovered.add_batch(batches[2])
+        assert document_of(recovered) == reference_document(grid3x3, batches)
+
+
+class TestBitFlipOnRead:
+    def test_corrupt_newest_snapshot_falls_back(self, grid3x3, tmp_path):
+        batches = make_batches(grid3x3, 4)
+        clusterer = IncrementalNEAT(grid3x3, CONFIG)
+        clusterer.enable_persistence(
+            tmp_path, checkpoint_every=2, keep=3, fsync=False
+        )
+        for batch in batches:
+            clusterer.add_batch(batch)
+        faults = FaultInjector()
+        # First snapshot read (the newest generation) is bit-flipped; the
+        # fallback generation plus the journal must reconstruct exactly.
+        faults.arm(
+            "snapshot.read", FaultPlan(corrupt_nth=1, corruptor=bit_flip)
+        )
+        telemetry = Telemetry.create()
+        recovered = IncrementalNEAT.recover(
+            tmp_path, grid3x3, CONFIG, telemetry=telemetry, faults=faults
+        )
+        assert recovered.batch_count == 4
+        assert document_of(recovered) == reference_document(grid3x3, batches)
+        metrics = telemetry.metrics
+        assert metrics.value("persist.checkpoints_rejected") == 1
+        assert metrics.value("persist.journal_replayed_batches") == 2
+        assert metrics.value("persist.recoveries") == 1
+
+    def test_corrupt_journal_read_is_typed_never_silent(
+        self, grid3x3, tmp_path
+    ):
+        batches = make_batches(grid3x3, 2)
+        clusterer = IncrementalNEAT(grid3x3, CONFIG)
+        clusterer.enable_persistence(tmp_path, fsync=False)
+        for batch in batches:
+            clusterer.add_batch(batch)
+        faults = FaultInjector()
+        faults.arm(
+            "journal.read", FaultPlan(corrupt_nth=1, corruptor=bit_flip)
+        )
+        with pytest.raises(PersistenceError):
+            IncrementalNEAT.recover(tmp_path, grid3x3, CONFIG, faults=faults)
+
+    def test_all_generations_corrupt_is_typed(self, grid3x3, tmp_path):
+        clusterer = IncrementalNEAT(grid3x3, CONFIG)
+        clusterer.enable_persistence(tmp_path, checkpoint_every=1, fsync=False)
+        for batch in make_batches(grid3x3, 2):
+            clusterer.add_batch(batch)
+        for snap in (tmp_path / "snapshots").glob("*.snap"):
+            blob = bytearray(snap.read_bytes())
+            blob[len(blob) // 2] ^= 0x01
+            snap.write_bytes(bytes(blob))
+        with pytest.raises(CorruptSnapshot, match="failed"):
+            IncrementalNEAT.recover(tmp_path, grid3x3, CONFIG)
+
+
+class TestRecoverySemantics:
+    def test_recover_then_continue_then_recover_again(self, grid3x3, tmp_path):
+        batches = make_batches(grid3x3, 5)
+        clusterer = IncrementalNEAT(grid3x3, CONFIG)
+        clusterer.enable_persistence(tmp_path, checkpoint_every=2, fsync=False)
+        for batch in batches[:3]:
+            clusterer.add_batch(batch)
+        first = IncrementalNEAT.recover(tmp_path, grid3x3, CONFIG)
+        assert document_of(first) == reference_document(grid3x3, batches[:3])
+        for batch in batches[3:]:
+            first.add_batch(batch)
+        second = IncrementalNEAT.recover(tmp_path, grid3x3, CONFIG)
+        assert document_of(second) == reference_document(grid3x3, batches)
+
+    def test_wrong_network_is_a_recovery_error(self, grid3x3, star4, tmp_path):
+        clusterer = IncrementalNEAT(grid3x3, CONFIG)
+        clusterer.enable_persistence(tmp_path, fsync=False)
+        clusterer.add_batch(make_batches(grid3x3, 1)[0])
+        clusterer.checkpoint()
+        with pytest.raises(PersistenceError):
+            IncrementalNEAT.recover(tmp_path, star4, CONFIG)
+
+
+class TestServiceRestart:
+    def test_restart_restores_state_and_serves(self, grid3x3, tmp_path):
+        service = NeatService(grid3x3, CONFIG, state_dir=tmp_path)
+        for batch in make_batches(grid3x3, 3):
+            service.submit(batch)
+        before = service.get_clustering()
+        flow_count = service.stats().flow_count
+
+        restarted = NeatService(grid3x3, CONFIG, state_dir=tmp_path)
+        assert restarted.stats().flow_count == flow_count
+        after = restarted.get_clustering()
+        assert json.dumps(after, sort_keys=True) == json.dumps(
+            before, sort_keys=True
+        )
+
+    def test_restart_serves_stale_when_refresh_fails(self, grid3x3, tmp_path):
+        service = NeatService(grid3x3, CONFIG, state_dir=tmp_path)
+        for batch in make_batches(grid3x3, 2):
+            service.submit(batch)
+        reference = service.get_clustering()
+
+        restarted = NeatService(grid3x3, CONFIG, state_dir=tmp_path)
+        # Every refresh attempt fails: a freshly restarted process with a
+        # persisted serving document degrades to stale, not unavailable.
+        restarted.faults.arm("refresh", FaultPlan(kill_from=1))
+        response = restarted.get_clustering()
+        assert response["stale"] is True
+        assert restarted.stats().stale_queries == 1
+        body = {k: v for k, v in response.items() if k != "stale"}
+        expected = {k: v for k, v in reference.items() if k != "stale"}
+        assert json.dumps(body, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+
+
+class TestGauntletDeterminism:
+    """A fixed fault scenario must produce identical counters every run."""
+
+    def test_counter_snapshot_is_deterministic(self, grid3x3, tmp_path):
+        batches = make_batches(grid3x3, 4)
+        faults = FaultInjector()
+        telemetry = Telemetry.create()
+        clusterer = IncrementalNEAT(grid3x3, CONFIG, telemetry=telemetry)
+        clusterer.enable_persistence(
+            tmp_path, checkpoint_every=2, fsync=False, faults=faults
+        )
+        clusterer.add_batch(batches[0])
+        faults.arm("journal.mid_append", FaultPlan(fail_nth=1))
+        with pytest.raises(FaultInjected):
+            clusterer.add_batch(batches[1])
+        faults.disarm("journal.mid_append")
+        clusterer.add_batch(batches[1])
+        clusterer.add_batch(batches[2])
+        clusterer.add_batch(batches[3])
+        # Two generations now exist (watermarks 2 and 4); flip a bit in
+        # the newest so recovery must fall back and replay the journal.
+        faults.arm(
+            "snapshot.read", FaultPlan(corrupt_nth=1, corruptor=bit_flip)
+        )
+        recovery_telemetry = Telemetry.create()
+        recovered = IncrementalNEAT.recover(
+            tmp_path, grid3x3, CONFIG,
+            telemetry=recovery_telemetry, faults=faults,
+        )
+        assert document_of(recovered) == reference_document(grid3x3, batches)
+
+        # Counters only: histograms carry wall-clock timings and would
+        # never diff clean across runs.
+        counters = {
+            instrument.name: instrument.value
+            for registry in (telemetry.metrics, recovery_telemetry.metrics)
+            for instrument in registry
+            if isinstance(instrument, Counter)
+            and instrument.name.startswith(("persist.", "incremental."))
+        }
+        assert counters["persist.journal_appends"] == 4
+        assert counters["persist.checkpoints_written"] == 2
+        assert counters["persist.checkpoints_rejected"] == 1
+        assert counters["persist.journal_replayed_batches"] == 2
+        assert counters["persist.recoveries"] == 1
+        assert counters["incremental.rolled_back_batches"] == 1
+
+        snapshot_path = os.environ.get("REPRO_GAUNTLET_SNAPSHOT")
+        if snapshot_path:
+            Path(snapshot_path).write_text(
+                json.dumps(counters, sort_keys=True, indent=2) + "\n"
+            )

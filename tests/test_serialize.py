@@ -116,3 +116,77 @@ class TestFromMembers:
         by_sid = {c.sid: c for c in clusters}
         with pytest.raises(ClusteringError):
             FlowCluster.from_members(line3, [by_sid[0], by_sid[2]])
+
+
+class TestDurableFormat:
+    """save_result seals; load_result verifies and types every failure."""
+
+    def test_saved_file_is_sealed_not_plain_json(self, run, tmp_path):
+        network, result = run
+        path = tmp_path / "clustering.json"
+        save_result(result, path, network_name=network.name)
+        from repro.persist.store import SNAPSHOT_MAGIC
+
+        assert path.read_bytes().startswith(SNAPSHOT_MAGIC)
+
+    def test_truncation_is_torn_write_with_path(self, run, tmp_path):
+        from repro.errors import TornWrite
+
+        network, result = run
+        path = tmp_path / "clustering.json"
+        save_result(result, path, network_name=network.name)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(TornWrite) as excinfo:
+            load_result(path, network)
+        assert str(path) in str(excinfo.value)
+
+    def test_bit_flip_is_corrupt_snapshot_with_path(self, run, tmp_path):
+        from repro.errors import CorruptSnapshot
+
+        network, result = run
+        path = tmp_path / "clustering.json"
+        save_result(result, path, network_name=network.name)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptSnapshot) as excinfo:
+            load_result(path, network)
+        assert str(path) in str(excinfo.value)
+
+    def test_missing_file_is_typed_not_oserror(self, run, tmp_path):
+        from repro.errors import CorruptSnapshot
+
+        network, _ = run
+        with pytest.raises(CorruptSnapshot):
+            load_result(tmp_path / "absent.json", network)
+
+    def test_legacy_plain_json_still_loads(self, run, tmp_path):
+        import json
+
+        network, result = run
+        path = tmp_path / "legacy.json"
+        path.write_text(
+            json.dumps(result_to_dict(result, network_name=network.name))
+        )
+        restored = load_result(path, network)
+        assert len(restored.flows) == len(result.flows)
+
+    def test_mangled_body_never_partial_result(self, run, tmp_path):
+        # A decode failure *inside* a checksum-valid document must still
+        # come back typed, never as a half-populated result object.
+        import json
+
+        from repro.errors import CorruptSnapshot
+
+        network, result = run
+        document = result_to_dict(result, network_name=network.name)
+        del document["flows"]
+        path = tmp_path / "mangled.json"
+        from repro.persist.store import atomic_write, seal_snapshot
+
+        atomic_write(
+            path, seal_snapshot(json.dumps(document).encode("utf-8"))
+        )
+        with pytest.raises(CorruptSnapshot) as excinfo:
+            load_result(path, network)
+        assert str(path) in str(excinfo.value)

@@ -149,3 +149,75 @@ class TestEndToEnd:
         document = svc.get_clustering()
         # All three flows merge into one cluster (identical routes).
         assert len(document["clusters"]) == 1
+
+
+class TestQuarantine:
+    """Bad trajectories are counted and skipped, not whole-batch fatal."""
+
+    def _nan_trajectory(self, network, trid):
+        import math
+
+        return Trajectory(trid, (
+            Location(0, math.nan, 0.0, 0.0),
+            Location(1, 1.0, 0.0, 5.0),
+        ))
+
+    def test_nan_coordinate_quarantined_rest_ingested(self, line3):
+        svc = NeatService(line3, NEATConfig(min_card=0, eps=500.0))
+        batch = [
+            trajectory_through(line3, 0, [0, 1]),
+            self._nan_trajectory(line3, 1),
+            trajectory_through(line3, 2, [1, 2]),
+        ]
+        ack = svc.submit(batch)
+        assert ack["quarantined"] == 1
+        stats = svc.stats()
+        assert stats.quarantined_trajectories == 1
+        assert stats.trajectories_ingested == 2
+        assert stats.rejected_batches == 0
+
+    def test_nan_timestamp_quarantined(self, line3):
+        # NaN compares false to everything, so it slips past the
+        # constructor's ordering check; admission must still catch it.
+        import math
+
+        svc = NeatService(line3, NEATConfig(min_card=0, eps=500.0))
+        bad_time = Trajectory(1, (
+            Location(0, 0.0, 0.0, math.nan),
+            Location(1, 1.0, 0.0, 5.0),
+        ))
+        ack = svc.submit([trajectory_through(line3, 0, [0, 1]), bad_time])
+        assert ack["quarantined"] == 1
+        assert svc.stats().quarantined_trajectories == 1
+
+    def test_all_bad_batch_still_rejected_whole(self, line3):
+        svc = NeatService(line3, NEATConfig(min_card=0))
+        with pytest.raises(TrajectoryError, match="unknown segment"):
+            svc.submit([Trajectory(0, (
+                Location(999, 0.0, 0.0, 0.0), Location(999, 1.0, 0.0, 5.0),
+            ))])
+        stats = svc.stats()
+        assert stats.rejected_batches == 1
+        assert stats.quarantined_trajectories == 0
+
+    def test_duplicates_still_reject_whole_batch(self, line3):
+        # Duplicate ids are a batch-level defect: no quarantine shortcut.
+        svc = NeatService(line3, NEATConfig(min_card=0))
+        with pytest.raises(TrajectoryError, match="duplicate"):
+            svc.submit([
+                trajectory_through(line3, 7, [0, 1]),
+                self._nan_trajectory(line3, 7),
+            ])
+        assert svc.stats().quarantined_trajectories == 0
+
+    def test_quarantine_does_not_skew_clustering(self, line3):
+        clean = NeatService(line3, NEATConfig(min_card=0, eps=500.0))
+        dirty = NeatService(line3, NEATConfig(min_card=0, eps=500.0))
+        good = [trajectory_through(line3, i, [0, 1, 2]) for i in range(3)]
+        clean.submit(good)
+        dirty.submit(good + [self._nan_trajectory(line3, 99)])
+        import json
+
+        a = clean.get_clustering()
+        b = dirty.get_clustering()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
