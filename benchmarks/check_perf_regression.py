@@ -1,0 +1,85 @@
+"""Gate CI on benchmark counter regressions against a committed baseline.
+
+Compares selected (dotted) keys of a freshly produced ``BENCH_*.json``
+artifact against a baseline checked into ``benchmarks/baselines/`` and
+fails when the current value exceeds the baseline by more than the
+allowed fraction.  Counters such as executed Dijkstra searches and
+settled nodes are deterministic for a fixed workload, so the default
+10% headroom only forgives intentional small shifts (e.g. a generator
+tweak) while catching a broken prune tier or grouping planner outright.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        --baseline benchmarks/baselines/BENCH_distance_oracle_smoke.json \
+        --current benchmarks/output/BENCH_distance_oracle.json \
+        --key tiered.sp_computations --key tiered.nodes_expanded
+
+Exit status 0 when every key is within bounds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def lookup(document: dict, dotted: str):
+    """Resolve ``a.b.c`` into nested dictionaries."""
+    node = document
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(dotted)
+        node = node[part]
+    return node
+
+
+def check(baseline: dict, current: dict, keys: list[str], max_regression: float) -> list[str]:
+    """Return one human-readable failure line per violated key."""
+    failures = []
+    for key in keys:
+        try:
+            base_value = float(lookup(baseline, key))
+        except KeyError:
+            failures.append(f"{key}: missing from baseline")
+            continue
+        try:
+            new_value = float(lookup(current, key))
+        except KeyError:
+            failures.append(f"{key}: missing from current artifact")
+            continue
+        allowed = base_value * (1.0 + max_regression)
+        if new_value > allowed:
+            failures.append(
+                f"{key}: {new_value:g} exceeds baseline {base_value:g} "
+                f"by more than {max_regression:.0%} (allowed <= {allowed:g})"
+            )
+        else:
+            print(f"ok: {key} = {new_value:g} (baseline {base_value:g})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="artifact produced by this run")
+    parser.add_argument("--key", action="append", required=True, dest="keys",
+                        help="dotted key to compare (repeatable)")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="allowed fractional increase (default 0.10)")
+    options = parser.parse_args(argv)
+
+    baseline = json.loads(options.baseline.read_text(encoding="utf-8"))
+    current = json.loads(options.current.read_text(encoding="utf-8"))
+    failures = check(baseline, current, options.keys, options.max_regression)
+    for line in failures:
+        print(f"REGRESSION {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

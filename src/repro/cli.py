@@ -95,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
                          default="csr",
                          help="shortest-path backend: flat-array CSR "
                               "(default) or the legacy dict adjacency")
+    cluster.add_argument("--sp-oracle", choices=("tiered", "pairwise"),
+                         default="tiered",
+                         help="Phase 3 distance oracle: batched "
+                              "multi-target kernels (default) or the "
+                              "legacy per-pair searches; identical output")
+    cluster.add_argument("--llb", action="store_true",
+                         help="enable the landmark lower-bound prune tier "
+                              "above the ELB (never changes clusters)")
+    cluster.add_argument("--llb-landmarks", type=int, default=8,
+                         help="landmark count for the LLB tier (default 8)")
     cluster.add_argument("--max-retries", type=int, default=2,
                          help="retries for fallible service-tier operations "
                               "(ingest/refresh/shard dispatch; 0 = try once)")
@@ -203,6 +213,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         wq=args.wq, wk=args.wk, wv=args.wv,
         eps=args.eps, min_card=args.min_card, use_elb=not args.no_elb,
         workers=args.workers, sp_backend=args.sp_backend,
+        sp_oracle=args.sp_oracle, use_llb=args.llb,
+        llb_landmarks=max(1, args.llb_landmarks),
         max_retries=args.max_retries, deadline_s=args.deadline_s,
         max_pending=args.max_pending,
         checkpoint_every=max(0, args.checkpoint_every),

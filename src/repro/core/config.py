@@ -51,6 +51,19 @@ class NEATConfig:
         sp_backend: Shortest-path backend of the Phase 3 engine:
             ``"csr"`` (flat-array bidirectional Dijkstra, the default)
             or ``"dict"`` (legacy adjacency walk).
+        sp_oracle: Phase 3 distance-oracle strategy.  ``"tiered"`` (the
+            default) answers the surviving endpoint pairs with batched
+            multi-target single-source kernels — O(distinct endpoints)
+            searches instead of one per pair; ``"pairwise"`` keeps the
+            legacy per-pair point-to-point searches.  Cluster output and
+            the Figure-7 determinism counters are identical either way.
+        use_llb: Apply the landmark (ALT triangle-inequality) lower
+            bound as a second prune tier above the ELB in Phase 3.
+            Strictly tighter than Euclidean on road graphs; never changes
+            cluster output.  Off by default so the paper's baseline
+            counters stay untouched.
+        llb_landmarks: Landmark count for the LLB tier (farthest-point
+            sampled; tables are built once per network version).
         max_retries: Retries after the first attempt for fallible service
             tier operations (ingest, refresh, shard dispatch); 0 tries
             exactly once.  See :class:`repro.resilience.RetryPolicy`.
@@ -78,6 +91,9 @@ class NEATConfig:
     keep_interior_points: bool = False
     workers: int | None = 1
     sp_backend: str = "csr"
+    sp_oracle: str = "tiered"
+    use_llb: bool = False
+    llb_landmarks: int = 8
     max_retries: int = 2
     deadline_s: float | None = None
     max_pending: int = 64
@@ -110,6 +126,15 @@ class NEATConfig:
         if self.sp_backend not in ("dict", "csr"):
             raise ConfigError(
                 f"sp_backend must be 'dict' or 'csr', got {self.sp_backend!r}"
+            )
+        if self.sp_oracle not in ("tiered", "pairwise"):
+            raise ConfigError(
+                f"sp_oracle must be 'tiered' or 'pairwise', "
+                f"got {self.sp_oracle!r}"
+            )
+        if self.llb_landmarks < 1:
+            raise ConfigError(
+                f"llb_landmarks must be >= 1, got {self.llb_landmarks}"
             )
         if self.max_retries < 0:
             raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")

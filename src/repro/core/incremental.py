@@ -29,6 +29,7 @@ from ..persist.checkpoint import (
     open_state_document,
     seal_state_document,
 )
+from ..persist.distcache import load_distance_cache, save_distance_cache
 from ..roadnet.network import RoadNetwork
 from ..roadnet.shortest_path import ShortestPathEngine
 from .base_cluster import form_base_clusters
@@ -111,6 +112,11 @@ class IncrementalNEAT:
         self._persist: CheckpointManager | None = None
         self._checkpoint_every = max(0, self.config.checkpoint_every)
         self._replaying = False
+        self._persist_fsync = True
+        self._persist_faults: "FaultInjector | None" = None
+        # (exact, bounded) memo-table sizes at the last distance-cache
+        # save; an unchanged cache is not rewritten.
+        self._distcache_saved: tuple[int, int] | None = None
         # Serialization memos for repeated checkpoints; base clusters and
         # flows are immutable once committed, so only state new since the
         # last snapshot costs anything (entry-dict memo for the document,
@@ -265,6 +271,11 @@ class IncrementalNEAT:
             and self._batches % self._checkpoint_every == 0
         ):
             self.checkpoint()
+        # Spill the engine's memo table so a restart warm-starts Phase 3.
+        # Best-effort and outside the rollback scope: the journal is the
+        # durable source of truth, the distance cache only saves work.
+        if self._persist is not None and not self._replaying:
+            self.save_distance_cache()
         return result
 
     def _offset_ids(self, batch: list[Trajectory]) -> list[Trajectory]:
@@ -284,6 +295,49 @@ class IncrementalNEAT:
         """The configured state directory (None: persistence disabled)."""
         return self._persist.state_dir if self._persist is not None else None
 
+    @property
+    def distcache_path(self) -> Path | None:
+        """Where the persistent distance cache lives (None: disabled)."""
+        if self._persist is None:
+            return None
+        return self._persist.state_dir / "distcache.snap"
+
+    def save_distance_cache(self) -> int | None:
+        """Persist the shortest-path memo table, best-effort.
+
+        Returns the entry count written, ``None`` when persistence is
+        disabled, the cache is unchanged since the last save, or the
+        write failed (failure is logged and counted, never raised — the
+        cache only ever saves work, durability comes from the journal).
+        """
+        path = self.distcache_path
+        if path is None:
+            return None
+        exact, bounded = self.engine.export_cache()
+        sizes = (len(exact), len(bounded))
+        if sizes == self._distcache_saved:
+            return None
+        metrics = self.telemetry.metrics if self.telemetry.enabled else None
+        try:
+            with self.telemetry.tracer.span("incremental.distcache"):
+                entries = save_distance_cache(
+                    path,
+                    self.engine,
+                    fsync=self._persist_fsync,
+                    metrics=metrics,
+                    faults=self._persist_faults,
+                )
+        except Exception as error:
+            if metrics is not None:
+                metrics.inc(
+                    "sp.cache.save_failures",
+                    description="Distance-cache writes that failed",
+                )
+            _log.warning("distance-cache save failed", error=repr(error))
+            return None
+        self._distcache_saved = sizes
+        return entries
+
     def enable_persistence(
         self,
         state_dir: str | Path,
@@ -300,7 +354,10 @@ class IncrementalNEAT:
         back), and a snapshot generation is written every
         ``checkpoint_every`` batches (0 = only on explicit
         :meth:`checkpoint` calls; default comes from
-        ``config.checkpoint_every``).
+        ``config.checkpoint_every``).  Each committed batch also spills
+        the shortest-path memo table to ``distcache.snap`` (best-effort,
+        skipped when unchanged), so :meth:`recover` warm-starts Phase 3
+        instead of recomputing distances.
 
         Args:
             state_dir: Directory holding ``snapshots/`` and ``journal.wal``.
@@ -314,6 +371,8 @@ class IncrementalNEAT:
         self._persist = CheckpointManager(
             state_dir, keep=keep, fsync=fsync, faults=faults, metrics=metrics,
         )
+        self._persist_fsync = fsync
+        self._persist_faults = faults
         if checkpoint_every is not None:
             self._checkpoint_every = max(0, int(checkpoint_every))
         _log.info(
@@ -349,6 +408,9 @@ class IncrementalNEAT:
                 self._state_document(),
                 text_cache=self._fragment_text_cache,
             )
+        # A checkpoint captures the distance cache too, so a recovery
+        # that replays nothing still warm-starts later refreshes.
+        self.save_distance_cache()
         _log.info(
             "checkpoint written", generation=generation, watermark=self._batches
         )
@@ -389,6 +451,22 @@ class IncrementalNEAT:
         manager = CheckpointManager(
             state_dir, keep=keep, fsync=fsync, faults=faults, metrics=metrics,
         )
+        # Warm the shortest-path engine *before* journal replay: with an
+        # unchanged network (same CSR mutation version) every distance
+        # the replayed refreshes need is already cached, so recovery
+        # performs zero shortest-path computations.  Best-effort — a
+        # missing or stale cache just means a cold engine.
+        warm_entries = load_distance_cache(
+            manager.state_dir / "distcache.snap",
+            clusterer.engine,
+            metrics=metrics,
+            faults=faults,
+        )
+        if warm_entries is not None:
+            # Baseline the dirty check at the file's content: if replay
+            # computes nothing new, the post-recovery save below no-ops.
+            exact, bounded = clusterer.engine.export_cache()
+            clusterer._distcache_saved = (len(exact), len(bounded))
         try:
             recovered = manager.load()
             if recovered.state is not None:
@@ -431,6 +509,11 @@ class IncrementalNEAT:
                 state_dir, f"journal replay failed: {error!r}"
             ) from error
         clusterer._persist = manager
+        clusterer._persist_fsync = fsync
+        clusterer._persist_faults = faults
+        # Capture whatever replay had to compute (no-op when the warm
+        # cache already covered it).
+        clusterer.save_distance_cache()
         if checkpoint_every is not None:
             clusterer._checkpoint_every = max(0, int(checkpoint_every))
         if metrics is not None:

@@ -36,6 +36,11 @@ class RefinementStats:
     Attributes:
         pair_checks: Candidate (flow, flow) pairs examined in region queries.
         elb_pruned: Pairs discarded by the Euclidean lower bound alone.
+        llb_evaluations: ELB survivors also checked against the landmark
+            (ALT triangle-inequality) lower bound — 0 unless the LLB tier
+            is enabled (``config.use_llb``).
+        llb_pruned: Pairs the landmark lower bound discarded that the
+            Euclidean bound could not.
         hausdorff_evaluations: Pairs for which the exact network-distance
             Hausdorff value was computed.
         shortest_path_computations: Dijkstra searches actually executed
@@ -44,6 +49,8 @@ class RefinementStats:
 
     pair_checks: int = 0
     elb_pruned: int = 0
+    llb_evaluations: int = 0
+    llb_pruned: int = 0
     hausdorff_evaluations: int = 0
     shortest_path_computations: int = 0
 
@@ -136,21 +143,49 @@ def euclidean_lower_bound(
     )
 
 
+def landmark_lower_bound(
+    oracle, flow_a: FlowCluster, flow_b: FlowCluster
+) -> float:
+    """Landmark (ALT) lower bound on the modified Hausdorff distance.
+
+    Composes the per-endpoint-pair triangle-inequality bounds of a
+    :class:`~repro.roadnet.landmarks.LandmarkOracle` through the same
+    max-min structure as Equation 5: each ``lower_bound(s, t)`` is
+    admissible for ``d_N(s, t)``, and max/min are monotone, so the
+    composed value never exceeds the true flow distance — when it
+    exceeds ``ε`` the pair is safely pruned.  Symmetric in its flow
+    arguments, so region queries and prefetch enumeration agree.
+    """
+    a1, a2 = flow_a.endpoints
+    b1, b2 = flow_b.endpoints
+    l11 = oracle.lower_bound(a1, b1)
+    l12 = oracle.lower_bound(a1, b2)
+    l21 = oracle.lower_bound(a2, b1)
+    l22 = oracle.lower_bound(a2, b2)
+    forward = max(min(l11, l12), min(l21, l22))
+    backward = max(min(l11, l21), min(l12, l22))
+    return max(forward, backward)
+
+
 def _surviving_endpoint_pairs(
     network: RoadNetwork,
     flow_list: Sequence[FlowCluster],
     eps: float,
     use_elb: bool,
+    llb=None,
 ) -> list[tuple[int, int]]:
     """Endpoint node pairs the region queries will ask the engine for.
 
-    Enumerates unordered flow pairs that survive the Euclidean lower
-    bound (exactly the pairs whose modified Hausdorff distance Phase 3
-    must evaluate) and expands each into its four endpoint-junction
-    pairs, in deterministic order.  Duplicates are fine — the engine's
-    prefetch deduplicates after symmetric normalization.
+    Enumerates unordered flow pairs that survive the lower-bound tiers
+    (Euclidean, then optionally the landmark bound — exactly the pairs
+    whose modified Hausdorff distance Phase 3 must evaluate) and expands
+    each into its endpoint-junction pairs, in deterministic order.
+    Pairs are deduplicated after symmetric normalization and ``(n, n)``
+    identities are dropped, so the payload pickled to worker processes
+    (and the grouped planner's input) carries each distinct query once.
     """
     pairs: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
     for i in range(len(flow_list)):
         a1, a2 = flow_list[i].endpoints
         for j in range(i + 1, len(flow_list)):
@@ -158,11 +193,22 @@ def _surviving_endpoint_pairs(
                 bound = euclidean_lower_bound(network, flow_list[i], flow_list[j])
                 if bound > eps:
                     continue
+            if llb is not None:
+                if landmark_lower_bound(llb, flow_list[i], flow_list[j]) > eps:
+                    continue
             b1, b2 = flow_list[j].endpoints
-            pairs.append((a1, b1))
-            pairs.append((a1, b2))
-            pairs.append((a2, b1))
-            pairs.append((a2, b2))
+            for source, target in (
+                (a1, b1), (a1, b2), (a2, b1), (a2, b2)
+            ):
+                if source == target:
+                    continue
+                key = (
+                    (source, target) if source <= target else (target, source)
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                pairs.append(key)
     return pairs
 
 
@@ -178,13 +224,15 @@ def refine_flow_clusters(
     """Run Phase 3: merge eps-close flows into final trajectory clusters.
 
     Region queries run their shortest-path searches bounded by ``eps``:
-    the Euclidean lower bound already proves a pruned pair is far apart,
-    and for the survivors a bounded search answering "farther than eps"
-    settles only the eps-ball instead of the whole graph.  With
-    ``workers > 1`` the pairwise route-distance matrix behind those
-    queries is precomputed in parallel batches against a read-only CSR
-    snapshot and merged back into the engine cache; cluster output and
-    every counter match the serial run exactly.
+    the lower-bound tiers (Euclidean, optionally landmark) already prove
+    a pruned pair is far apart, and for the survivors a bounded search
+    answering "farther than eps" settles only the eps-ball instead of
+    the whole graph.  With the default tiered oracle
+    (``config.sp_oracle == "tiered"``) the surviving endpoint pairs are
+    answered by batched multi-target single-source kernels — one search
+    per distinct endpoint instead of one per pair — optionally fanned
+    out across worker processes; cluster output and every determinism
+    counter match the legacy per-pair serial run exactly.
 
     Args:
         network: The road network.
@@ -223,13 +271,36 @@ def refine_flow_clusters(
 
     from ..parallel import resolve_workers
 
-    if resolve_workers(workers) > 1 and engine.oracle is None:
-        # Warm the engine with every distance the region queries below
-        # will need, fanned out across processes.  The engine counts the
-        # prefetched searches as the computations they replace, so
-        # Figure-7 accounting stays exact.
+    llb = None
+    if config.use_llb and not engine.directed:
+        # Landmark tables are engine-memoized per network version; the
+        # sweeps run outside the Figure-7 counters (bounds are free at
+        # query time, like the Euclidean bound).
+        llb = engine.landmark_bounds(config.llb_landmarks)
+
+    if config.sp_oracle == "tiered" and engine.oracle is None:
+        # Tiered oracle: answer every distance the region queries below
+        # will need with batched multi-target single-source kernels —
+        # O(distinct endpoints) searches instead of one per surviving
+        # pair.  Runs at any worker count (the grouping is deterministic
+        # and backend-independent), so serial and parallel runs execute
+        # the same searches and report identical counters.
+        engine.prefetch_grouped(
+            _surviving_endpoint_pairs(
+                network, flow_list, eps, config.use_elb, llb=llb
+            ),
+            cutoff=eps,
+            workers=workers,
+        )
+    elif resolve_workers(workers) > 1 and engine.oracle is None:
+        # Legacy pairwise oracle: warm the engine per pair, fanned out
+        # across processes.  The engine counts the prefetched searches as
+        # the computations they replace, so Figure-7 accounting stays
+        # exact.
         engine.prefetch(
-            _surviving_endpoint_pairs(network, flow_list, eps, config.use_elb),
+            _surviving_endpoint_pairs(
+                network, flow_list, eps, config.use_elb, llb=llb
+            ),
             cutoff=eps,
             workers=workers,
         )
@@ -246,6 +317,13 @@ def refine_flow_clusters(
                 )
                 if bound > eps:
                     stats.elb_pruned += 1
+                    continue
+            if llb is not None:
+                stats.llb_evaluations += 1
+                if landmark_lower_bound(
+                    llb, flow_list[index], flow_list[other]
+                ) > eps:
+                    stats.llb_pruned += 1
                     continue
             stats.hausdorff_evaluations += 1
             distance = flow_distance(
@@ -291,6 +369,14 @@ def _publish_stats(metrics, stats: RefinementStats, cluster_count: int) -> None:
     metrics.counter(
         "neat.phase3.elb_pruned", "Pairs discarded by the Euclidean lower bound"
     ).inc(stats.elb_pruned)
+    metrics.counter(
+        "neat.phase3.llb_evaluations",
+        "ELB survivors checked against the landmark lower bound",
+    ).inc(stats.llb_evaluations)
+    metrics.counter(
+        "neat.phase3.llb_pruned",
+        "Pairs discarded by the landmark lower bound after surviving the ELB",
+    ).inc(stats.llb_pruned)
     metrics.counter(
         "neat.phase3.hausdorff_evaluations",
         "Pairs whose exact modified Hausdorff distance was computed",

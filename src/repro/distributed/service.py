@@ -83,6 +83,7 @@ class ServiceStats:
     flow_count: int
     cluster_count: int
     shortest_path_computations: int
+    warm_distance_hits: int
     submit_seconds_total: float
     query_seconds_total: float
     pending_batches: int
@@ -153,6 +154,10 @@ class NeatService:
             # so a restarted service degrades to stale serving instead of
             # ServiceUnavailable.  Corruption raises typed errors here —
             # construction must never succeed on silently-wrong state.
+            # Recovery also warm-loads the persisted distance cache: with
+            # an unchanged network, journal replay performs zero
+            # shortest-path computations (ServiceStats.warm_distance_hits
+            # counts the queries the warm cache answers).
             self._incremental = IncrementalNEAT.recover(
                 self.state_dir / "incremental",
                 network,
@@ -426,6 +431,7 @@ class NeatService:
             flow_count=len(self._incremental.flows),
             cluster_count=len(self._incremental.clusters),
             shortest_path_computations=self._incremental.engine.computations,
+            warm_distance_hits=self._incremental.engine.warm_hits,
             submit_seconds_total=self._submit_latency.sum,
             query_seconds_total=self._query_latency.sum,
             pending_batches=len(self._pending),

@@ -31,6 +31,14 @@ from .checkpoint import (
     open_state_document,
     seal_state_document,
 )
+from .distcache import (
+    DISTCACHE_FORMAT,
+    DISTCACHE_VERSION,
+    decode_distance_cache,
+    encode_distance_cache,
+    load_distance_cache,
+    save_distance_cache,
+)
 from .journal import BatchJournal
 from .store import (
     FrameScan,
@@ -46,6 +54,8 @@ from .store import (
 __all__ = [
     "BATCH_FORMAT",
     "BATCH_VERSION",
+    "DISTCACHE_FORMAT",
+    "DISTCACHE_VERSION",
     "STATE_FORMAT",
     "STATE_VERSION",
     "BatchJournal",
@@ -56,10 +66,14 @@ __all__ = [
     "SnapshotStore",
     "atomic_write",
     "decode_batch_record",
+    "decode_distance_cache",
     "encode_batch_record",
+    "encode_distance_cache",
     "encode_frame",
     "encode_state_payload",
+    "load_distance_cache",
     "open_state_document",
+    "save_distance_cache",
     "scan_frames",
     "seal_snapshot",
     "seal_state_document",

@@ -29,7 +29,9 @@ from .shortest_path import (
     ShortestPathEngine,
     dijkstra_distance,
     dijkstra_distance_counted,
+    dijkstra_multi_target,
     dijkstra_single_source,
+    plan_source_groups,
     shortest_route,
 )
 from .spatial_index import SegmentGridIndex
@@ -59,6 +61,7 @@ __all__ = [
     "crop_network",
     "dijkstra_distance",
     "dijkstra_distance_counted",
+    "dijkstra_multi_target",
     "dijkstra_single_source",
     "format_table1",
     "generate_grid_network",
@@ -72,6 +75,7 @@ __all__ = [
     "network_from_edges",
     "network_stats",
     "network_to_dict",
+    "plan_source_groups",
     "san_jose_like",
     "save_network",
     "save_network_csv",

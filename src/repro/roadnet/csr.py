@@ -252,6 +252,66 @@ class CSRGraph:
             return best, expansions
         return INFINITY, expansions
 
+    def multi_target_distances(
+        self,
+        source: int,
+        targets: Iterable[int],
+        cutoff: float = INFINITY,
+    ) -> tuple[dict[int, float], int]:
+        """One bounded single-source search answering a whole target set.
+
+        The batched kernel behind the tiered distance oracle: where the
+        per-pair path runs one point-to-point search per ``(source, t)``
+        pair, this settles outward from ``source`` once and stops as soon
+        as every requested target is settled (or the frontier exceeds
+        ``cutoff``).  Distances are unidirectional-Dijkstra sums, so they
+        are bit-identical to :meth:`distance_counted` / the legacy dict
+        walker for the same pair.
+
+        Returns:
+            ``(found, settled_nodes)`` where ``found`` maps each target
+            junction id settled within ``cutoff`` to its distance.  A
+            target absent from ``found`` is proven farther than
+            ``cutoff`` from ``source`` (or unreachable).
+        """
+        s = self._index(source)
+        found: dict[int, float] = {}
+        remaining: set[int] = set()
+        for target in targets:
+            t = self._index(target)
+            if t == s:
+                found[target] = 0.0
+            else:
+                remaining.add(t)
+        if not remaining:
+            return found, 0
+        n = len(self.node_ids)
+        indptr, adj, weights = self.indptr, self.adj, self.weights
+        node_ids = self.node_ids
+        dist = [INFINITY] * n
+        settled = bytearray(n)
+        dist[s] = 0.0
+        heap: list[tuple[float, int]] = [(0.0, s)]
+        expansions = 0
+        while heap:
+            d, u = heappop(heap)
+            if settled[u]:
+                continue
+            settled[u] = 1
+            expansions += 1
+            if u in remaining:
+                remaining.discard(u)
+                found[node_ids[u]] = d
+                if not remaining:
+                    break
+            for k in range(indptr[u], indptr[u + 1]):
+                v = adj[k]
+                nd = d + weights[k]
+                if nd < dist[v] and nd <= cutoff:
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        return found, expansions
+
     def shortest_route(self, source: int, target: int) -> Route:
         """Point-to-point Dijkstra with path recovery.
 

@@ -40,6 +40,10 @@ class LandmarkOracle:
         if landmark_count < 1:
             raise ValueError("landmark_count must be >= 1")
         self._network = network
+        #: Mutation version of the network the tables were swept on;
+        #: consumers memoizing an oracle (the engine's LLB tier) compare
+        #: it against ``network.version`` to detect staleness.
+        self.network_version = network.version
         node_ids = network.node_ids()
         if not node_ids:
             raise ValueError("cannot build landmarks on an empty network")
@@ -91,6 +95,10 @@ class LandmarkOracle:
             if bound > best:
                 best = bound
         return best
+
+    def is_current(self) -> bool:
+        """Whether the tables still describe the network (no mutations)."""
+        return self.network_version == self._network.version
 
     def distance(self, source: int, target: int) -> float:
         """Exact distance via ALT-guided A* (undirected).

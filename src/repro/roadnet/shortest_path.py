@@ -186,6 +186,98 @@ def dijkstra_distance_counted(
     return INFINITY, expansions
 
 
+def dijkstra_multi_target(
+    network: RoadNetwork,
+    source: int,
+    targets: Iterable[int],
+    directed: bool = False,
+    cutoff: float = INFINITY,
+) -> tuple[dict[int, float], int]:
+    """One bounded single-source search answering a whole target set.
+
+    Dict-backend twin of
+    :meth:`~repro.roadnet.csr.CSRGraph.multi_target_distances`: settles
+    outward from ``source`` until every requested target is settled or
+    the frontier exceeds ``cutoff``.  Distances are plain Dijkstra sums,
+    bit-identical to :func:`dijkstra_distance_counted` per pair.
+
+    Returns:
+        ``(found, settled_nodes)``; targets absent from ``found`` are
+        proven farther than ``cutoff`` (or unreachable).
+    """
+    if not network.has_node(source):
+        raise UnknownNodeError(source)
+    found: dict[int, float] = {}
+    remaining: set[int] = set()
+    for target in targets:
+        if not network.has_node(target):
+            raise UnknownNodeError(target)
+        if target == source:
+            found[target] = 0.0
+        else:
+            remaining.add(target)
+    if not remaining:
+        return found, 0
+    neighbors = _neighbor_fn(network, directed)
+    dist: dict[int, float] = {source: 0.0}
+    done: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    expansions = 0
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        expansions += 1
+        if node in remaining:
+            remaining.discard(node)
+            found[node] = d
+            if not remaining:
+                break
+        for neighbor, _sid, length in neighbors(node):
+            nd = d + length
+            if nd <= cutoff and nd < dist.get(neighbor, INFINITY):
+                dist[neighbor] = nd
+                heapq.heappush(heap, (nd, neighbor))
+    return found, expansions
+
+
+def plan_source_groups(
+    pairs: Iterable[tuple[int, int]],
+) -> list[tuple[int, tuple[int, ...]]]:
+    """Group endpoint pairs into multi-target single-source searches.
+
+    Greedy set cover over the pair graph: repeatedly pick the node with
+    the most uncovered partners as the next search source, emit one
+    ``(source, targets)`` group answering every uncovered pair incident
+    to it, and remove those pairs.  Every input pair lands in exactly one
+    group, so ``len(groups)`` searches answer all of them — at most
+    ``O(distinct endpoints)`` searches instead of one per pair.
+
+    Deterministic: ties break toward the highest node id, adjacency sets
+    are iterated sorted, and the result depends only on the *set* of
+    normalized pairs (callers should deduplicate first).
+    """
+    partners: dict[int, set[int]] = {}
+    for a, b in pairs:
+        if a == b:
+            continue
+        partners.setdefault(a, set()).add(b)
+        partners.setdefault(b, set()).add(a)
+    groups: list[tuple[int, tuple[int, ...]]] = []
+    while partners:
+        source = max(partners, key=lambda n: (len(partners[n]), n))
+        targets = partners.pop(source)
+        for target in targets:
+            mates = partners.get(target)
+            if mates is not None:
+                mates.discard(source)
+                if not mates:
+                    del partners[target]
+        groups.append((source, tuple(sorted(targets))))
+    return groups
+
+
 def shortest_route(
     network: RoadNetwork,
     source: int,
@@ -294,6 +386,12 @@ class ShortestPathEngine:
             table (identity queries are not counted).
         nodes_expanded: Total nodes settled across all Dijkstra searches
             (0 for oracle-backed answers, which do not run a search).
+        grouped_searches: Multi-target kernel runs executed by
+            :meth:`prefetch_grouped` (each also counts once in
+            ``computations``).
+        warm_hits: Cache hits answered by entries loaded from a persisted
+            distance cache (:meth:`absorb_cache` with ``mark_warm``) —
+            the restart-warm-start quantity ``sp.cache.warm_hits`` tracks.
     """
 
     network: RoadNetwork
@@ -303,6 +401,8 @@ class ShortestPathEngine:
     backend: str = "csr"
     cache_hits: int = 0
     nodes_expanded: int = 0
+    grouped_searches: int = 0
+    warm_hits: int = 0
     _cache: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
     # key -> largest cutoff the pair is proven to exceed.
     _bounded: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
@@ -311,11 +411,18 @@ class ShortestPathEngine:
     # counters identical between lazy (serial) and prefetched (parallel)
     # execution.
     _prepaid: set[tuple[int, int]] = field(default_factory=set, repr=False)
+    # Keys absorbed from a persisted cache; hits on them count warm_hits.
+    _warm: set[tuple[int, int]] = field(default_factory=set, repr=False)
+    # (network version, landmark count, LandmarkOracle) memo for the LLB
+    # prune tier; rebuilt when the network mutates.
+    _landmarks: tuple | None = field(default=None, repr=False, compare=False)
     _metric_computations: object | None = field(
         default=None, repr=False, compare=False
     )
     _metric_cache_hits: object | None = field(default=None, repr=False, compare=False)
     _metric_expanded: object | None = field(default=None, repr=False, compare=False)
+    _metric_grouped: object | None = field(default=None, repr=False, compare=False)
+    _metric_warm_hits: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.oracle is not None and self.directed:
@@ -331,10 +438,14 @@ class ShortestPathEngine:
             return (target, source)
         return (source, target)
 
-    def _count_hit(self) -> None:
+    def _count_hit(self, key: tuple[int, int] | None = None) -> None:
         self.cache_hits += 1
         if self._metric_cache_hits is not None:
             self._metric_cache_hits.inc()
+        if key is not None and key in self._warm:
+            self.warm_hits += 1
+            if self._metric_warm_hits is not None:
+                self._metric_warm_hits.inc()
 
     def _count_search(self, expanded: int) -> None:
         self.computations += 1
@@ -372,7 +483,7 @@ class ShortestPathEngine:
             if key in self._prepaid:
                 self._prepaid.discard(key)
             else:
-                self._count_hit()
+                self._count_hit(key)
             return cached
         if cutoff is not None:
             bound = self._bounded.get(key)
@@ -382,7 +493,7 @@ class ShortestPathEngine:
                 if key in self._prepaid:
                     self._prepaid.discard(key)
                 else:
-                    self._count_hit()
+                    self._count_hit(key)
                 return INFINITY
         if self.oracle is not None:
             self._count_search(0)
@@ -457,6 +568,65 @@ class ShortestPathEngine:
             self._prepaid.add(key)
         return len(needed)
 
+    def prefetch_grouped(
+        self,
+        pairs: Iterable[tuple[int, int]],
+        cutoff: float | None = None,
+        workers: int | None = 1,
+    ) -> int:
+        """Warm the cache via batched multi-target single-source kernels.
+
+        The tiered-oracle replacement for per-pair :meth:`prefetch`:
+        after the same deduplication (symmetric normalization, identity
+        and already-cached pairs dropped), the surviving pairs are
+        grouped by :func:`plan_source_groups` and each group runs one
+        eps-bounded single-source search with an early-exit target set —
+        ``O(distinct endpoints)`` searches instead of one per pair.  Each
+        kernel run counts once in ``computations`` (its settled nodes in
+        ``nodes_expanded``), and delivery accounting matches
+        :meth:`prefetch`: the next :meth:`distance` call per answered
+        pair is the computation's delivery, not a cache hit — so counters
+        are identical at any worker count and across backends.
+
+        Returns the number of searches executed.
+        """
+        needed: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for source, target in pairs:
+            if source == target:
+                continue
+            key = self._key(source, target)
+            if key in seen or key in self._cache:
+                continue
+            if cutoff is not None and self._bounded.get(key, -1.0) >= cutoff:
+                continue
+            seen.add(key)
+            needed.append(key)
+        if not needed:
+            return 0
+        if self.oracle is not None:
+            # The oracle answers point queries directly; grouping buys
+            # nothing, so fall through to the per-pair path.
+            for key in needed:
+                self._count_search(0)
+                self._cache[key] = self.oracle.distance(key[0], key[1])
+                self._bounded.pop(key, None)
+                self._prepaid.add(key)
+            return len(needed)
+        groups = plan_source_groups(needed)
+        limit = INFINITY if cutoff is None else cutoff
+        results = self._batch_group_search(groups, limit, workers)
+        for (source, targets), (found, expanded) in zip(groups, results):
+            self._count_search(expanded)
+            self.grouped_searches += 1
+            if self._metric_grouped is not None:
+                self._metric_grouped.inc()
+            for target in targets:
+                key = self._key(source, target)
+                self._store(key, found.get(target, INFINITY), cutoff)
+                self._prepaid.add(key)
+        return len(groups)
+
     def distance_many(
         self,
         pairs: Iterable[tuple[int, int]],
@@ -498,6 +668,102 @@ class ShortestPathEngine:
             min_items_per_worker=MIN_PAIRS_PER_WORKER,
         )
 
+    def _batch_group_search(
+        self,
+        groups: list[tuple[int, tuple[int, ...]]],
+        limit: float,
+        workers: int | None,
+    ) -> list[tuple[dict[int, float], int]]:
+        """Run the grouped kernels for ``groups``, serially or in a pool."""
+        from functools import partial
+
+        from ..parallel import effective_workers, map_chunked
+
+        if self.backend == "csr":
+            spec: tuple = ("csr", self.network.csr(self.directed))
+        else:
+            spec = ("dict", self.network, self.directed)
+        if effective_workers(workers, len(groups), MIN_GROUPS_PER_WORKER) <= 1:
+            return _compute_groups(spec, groups, limit)
+        return map_chunked(
+            partial(_compute_groups, spec, cutoff=limit),
+            groups,
+            workers=workers,
+            min_items_per_worker=MIN_GROUPS_PER_WORKER,
+        )
+
+    # ------------------------------------------------------------------
+    # Landmark lower bounds (the LLB prune tier)
+    # ------------------------------------------------------------------
+    def landmark_bounds(self, count: int = 8):
+        """A memoized :class:`~repro.roadnet.landmarks.LandmarkOracle`.
+
+        Built lazily on first use and rebuilt when the network mutates
+        (the memo is keyed on ``network.version``) or when a larger
+        ``count`` is requested.  The landmark sweeps run outside this
+        engine's counters — lower bounds are free at query time, which is
+        what makes them a prune *tier* rather than a search.
+
+        Raises:
+            ValueError: on a directed engine (landmark tables are
+                undirected sweeps, Phase 3's setting).
+        """
+        if self.directed:
+            raise ValueError("landmark bounds are undirected-only")
+        version = self.network.version
+        memo = self._landmarks
+        if memo is not None and memo[0] == version and memo[1] >= count:
+            return memo[2]
+        from .landmarks import LandmarkOracle
+
+        oracle = LandmarkOracle(self.network, landmark_count=count)
+        self._landmarks = (version, count, oracle)
+        return oracle
+
+    # ------------------------------------------------------------------
+    # Persistent-cache interchange (repro.persist.distcache)
+    # ------------------------------------------------------------------
+    def export_cache(
+        self,
+    ) -> tuple[dict[tuple[int, int], float], dict[tuple[int, int], float]]:
+        """Copies of the exact and bounded memo tables, for persistence."""
+        return dict(self._cache), dict(self._bounded)
+
+    def absorb_cache(
+        self,
+        exact: dict[tuple[int, int], float],
+        bounded: dict[tuple[int, int], float],
+        mark_warm: bool = True,
+    ) -> int:
+        """Merge previously exported memo tables into this engine.
+
+        Existing entries win (they were computed against this very
+        network instance); absorbed keys are normalized and, with
+        ``mark_warm``, tracked so hits on them count ``warm_hits``.
+
+        Returns the number of entries absorbed.
+        """
+        added = 0
+        for (source, target), value in exact.items():
+            key = self._key(source, target)
+            if key in self._cache:
+                continue
+            self._cache[key] = value
+            self._bounded.pop(key, None)
+            added += 1
+            if mark_warm:
+                self._warm.add(key)
+        for (source, target), bound in bounded.items():
+            key = self._key(source, target)
+            if key in self._cache:
+                continue
+            if bound > self._bounded.get(key, 0.0):
+                self._bounded[key] = bound
+                added += 1
+                if mark_warm:
+                    self._warm.add(key)
+        return added
+
     def bind_metrics(self, registry) -> None:
         """Mirror this engine's counters into ``registry`` from now on.
 
@@ -513,6 +779,8 @@ class ShortestPathEngine:
             self._metric_computations = None
             self._metric_cache_hits = None
             self._metric_expanded = None
+            self._metric_grouped = None
+            self._metric_warm_hits = None
             return
         self._metric_computations = registry.counter(
             "roadnet.sp.computations", "Shortest-path searches actually executed"
@@ -522,6 +790,14 @@ class ShortestPathEngine:
         )
         self._metric_expanded = registry.counter(
             "roadnet.sp.nodes_expanded", "Nodes settled across all Dijkstra searches"
+        )
+        self._metric_grouped = registry.counter(
+            "roadnet.sp.grouped_searches",
+            "Multi-target single-source kernels run by the tiered oracle",
+        )
+        self._metric_warm_hits = registry.counter(
+            "sp.cache.warm_hits",
+            "Distance queries answered by entries from a persisted cache",
         )
 
     def reset_counters(self) -> None:
@@ -533,18 +809,24 @@ class ShortestPathEngine:
         self.computations = 0
         self.cache_hits = 0
         self.nodes_expanded = 0
+        self.grouped_searches = 0
+        self.warm_hits = 0
 
     def clear(self) -> None:
         """Drop the memo tables (exact and bounded) and zero counters."""
         self._cache.clear()
         self._bounded.clear()
         self._prepaid.clear()
+        self._warm.clear()
         self.reset_counters()
 
 
 #: Below this many uncached pairs per worker a batch runs serially —
 #: pool startup would otherwise dominate the Dijkstra work.
 MIN_PAIRS_PER_WORKER = 8
+
+#: Grouped kernels do more work each, so the pool amortizes sooner.
+MIN_GROUPS_PER_WORKER = 4
 
 
 def _compute_pairs(
@@ -562,4 +844,29 @@ def _compute_pairs(
     return [
         dijkstra_distance_counted(network, a, b, directed=directed, cutoff=cutoff)
         for a, b in pairs
+    ]
+
+
+def _compute_groups(
+    spec: tuple,
+    groups: list[tuple[int, tuple[int, ...]]],
+    cutoff: float = INFINITY,
+) -> list[tuple[dict[int, float], int]]:
+    """Worker-side batch of grouped kernels: ``(found, settled)`` per group.
+
+    Same backend spec as :func:`_compute_pairs`; module level so it
+    pickles for :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
+    if spec[0] == "csr":
+        graph = spec[1]
+        return [
+            graph.multi_target_distances(source, targets, cutoff)
+            for source, targets in groups
+        ]
+    _kind, network, directed = spec
+    return [
+        dijkstra_multi_target(
+            network, source, targets, directed=directed, cutoff=cutoff
+        )
+        for source, targets in groups
     ]

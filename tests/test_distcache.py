@@ -1,0 +1,258 @@
+"""Persistent warm-start distance cache: roundtrip, staleness, restarts.
+
+The cache is a pure accelerator keyed on the network's mutation version:
+these tests pin the byte format, the invalidation rules (a stale cache
+must never answer for a mutated network), and the headline restart
+property — a recovered service replays its journal with **zero**
+shortest-path computations when the network is unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import NEATConfig
+from repro.core.incremental import IncrementalNEAT
+from repro.core.serialize import result_to_dict
+from repro.distributed.service import NeatService
+from repro.obs import Telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.persist import (
+    DISTCACHE_FORMAT,
+    DISTCACHE_VERSION,
+    decode_distance_cache,
+    encode_distance_cache,
+    load_distance_cache,
+    save_distance_cache,
+)
+from repro.resilience import FaultInjector, FaultPlan
+from repro.roadnet import ShortestPathEngine
+from repro.roadnet.geometry import Point
+
+from conftest import trajectory_through
+from test_csr import random_network, sample_pairs
+
+CONFIG = NEATConfig(min_card=0, eps=500.0)
+
+
+def warmed_engine(network, seed: int = 3, cutoff: float = 400.0):
+    engine = ShortestPathEngine(network)
+    for a, b in sample_pairs(network, seed, count=30):
+        engine.distance(a, b, cutoff=cutoff)
+    return engine
+
+
+def make_batches(network, count, per_batch=3):
+    batches, trid = [], 0
+    for index in range(count):
+        batch = []
+        for _ in range(per_batch):
+            batch.append(trajectory_through(
+                network, trid, [trid % 2, (trid % 2) + 1], t0=float(index)
+            ))
+            trid += 1
+        batches.append(batch)
+    return batches
+
+
+class TestEncoding:
+    def test_roundtrip_and_determinism(self):
+        network = random_network(3)
+        engine = warmed_engine(network)
+        payload = encode_distance_cache(engine)
+        assert payload == encode_distance_cache(engine)  # byte-stable
+
+        header, exact, bounded = decode_distance_cache(payload)
+        want_exact, want_bounded = engine.export_cache()
+        assert header["format"] == DISTCACHE_FORMAT
+        assert header["version"] == DISTCACHE_VERSION
+        assert header["network"] == network.name
+        assert header["network_version"] == network.version
+        assert header["directed"] is False
+        assert exact == want_exact
+        assert bounded == want_bounded
+
+    def test_malformed_payloads_raise_corrupt(self):
+        from repro.errors import CorruptSnapshot
+
+        network = random_network(3)
+        payload = encode_distance_cache(warmed_engine(network))
+        for broken in (
+            b"no header newline",
+            b"{not json}\n",
+            b'{"format": "something-else"}\n',
+            json.dumps({
+                "format": DISTCACHE_FORMAT, "version": 99,
+                "exact": 0, "bounded": 0,
+            }).encode() + b"\n",
+            payload[:-8],  # truncated record section
+        ):
+            with pytest.raises(CorruptSnapshot):
+                decode_distance_cache(broken)
+
+
+class TestSaveLoad:
+    def test_warm_engine_answers_without_searching(self, tmp_path):
+        network = random_network(7)
+        path = tmp_path / "distcache.snap"
+        hot = warmed_engine(network, seed=7)
+        queries = [
+            (a, b) for a, b in sample_pairs(network, 7, count=30) if a != b
+        ]
+        expected = [hot.distance(a, b, cutoff=400.0) for a, b in queries]
+        entries = save_distance_cache(path, hot, fsync=False)
+        assert entries > 0
+
+        cold = ShortestPathEngine(network)
+        absorbed = load_distance_cache(path, cold)
+        assert absorbed == entries
+        got = [cold.distance(a, b, cutoff=400.0) for a, b in queries]
+        assert got == expected
+        assert cold.computations == 0  # the restart property, engine-level
+        assert cold.warm_hits > 0
+        assert cold.warm_hits == cold.cache_hits
+
+    def test_metrics_account_saves_and_loads(self, tmp_path):
+        network = random_network(7)
+        path = tmp_path / "distcache.snap"
+        registry = MetricsRegistry()
+        entries = save_distance_cache(
+            path, warmed_engine(network, seed=7), fsync=False, metrics=registry
+        )
+        load_distance_cache(path, ShortestPathEngine(network), metrics=registry)
+        assert registry.value("sp.cache.saves") == 1.0
+        assert registry.value("sp.cache.saved_entries") == float(entries)
+        assert registry.value("sp.cache.loads") == 1.0
+        assert registry.value("sp.cache.loaded_entries") == float(entries)
+
+    def test_missing_file_is_a_counted_miss(self, tmp_path):
+        registry = MetricsRegistry()
+        engine = ShortestPathEngine(random_network(7))
+        assert load_distance_cache(
+            tmp_path / "absent.snap", engine, metrics=registry
+        ) is None
+        assert registry.value("sp.cache.misses") == 1.0
+
+    def test_corrupt_file_is_ignored_never_fatal(self, tmp_path):
+        path = tmp_path / "distcache.snap"
+        path.write_bytes(b"garbage that is certainly not a sealed snapshot")
+        registry = MetricsRegistry()
+        engine = ShortestPathEngine(random_network(7))
+        assert load_distance_cache(path, engine, metrics=registry) is None
+        assert registry.value("sp.cache.invalidations") == 1.0
+        assert engine.export_cache() == ({}, {})
+
+
+class TestStaleness:
+    """Satellite regression: a CSR mutation-version bump kills the cache."""
+
+    def test_network_mutation_invalidates(self, tmp_path):
+        network = random_network(11)
+        path = tmp_path / "distcache.snap"
+        save_distance_cache(path, warmed_engine(network, seed=11), fsync=False)
+
+        network.add_junction(Point(9999.0, 9999.0))  # bumps network.version
+        registry = MetricsRegistry()
+        cold = ShortestPathEngine(network)
+        assert load_distance_cache(path, cold, metrics=registry) is None
+        assert registry.value("sp.cache.invalidations") == 1.0
+        assert cold.export_cache() == ({}, {})  # engine stays cold
+
+    def test_different_network_name_invalidates(self, tmp_path):
+        path = tmp_path / "distcache.snap"
+        save_distance_cache(
+            path, warmed_engine(random_network(11), seed=11), fsync=False
+        )
+        other = random_network(12)  # same shape family, different name
+        assert load_distance_cache(path, ShortestPathEngine(other)) is None
+
+    def test_direction_mode_mismatch_invalidates(self, tmp_path):
+        network = random_network(11)
+        path = tmp_path / "distcache.snap"
+        save_distance_cache(path, warmed_engine(network, seed=11), fsync=False)
+        directed = ShortestPathEngine(network, directed=True, backend="dict")
+        assert load_distance_cache(path, directed) is None
+
+
+class TestIncrementalIntegration:
+    def test_add_batch_spills_and_recover_warm_starts(self, grid3x3, tmp_path):
+        batches = make_batches(grid3x3, 3)
+        clusterer = IncrementalNEAT(grid3x3, CONFIG)
+        clusterer.enable_persistence(tmp_path, fsync=False)
+        for batch in batches:
+            clusterer.add_batch(batch)
+        assert clusterer.distcache_path is not None
+        assert clusterer.distcache_path.exists()
+        assert clusterer.engine.computations > 0
+        reference = json.dumps(
+            result_to_dict(clusterer.snapshot_result(), "warm"), sort_keys=True
+        )
+
+        recovered = IncrementalNEAT.recover(tmp_path, grid3x3, CONFIG)
+        document = json.dumps(
+            result_to_dict(recovered.snapshot_result(), "warm"), sort_keys=True
+        )
+        assert document == reference
+        # The acceptance property: journal replay over an unchanged
+        # network re-ran Phase 3 without one shortest-path search.
+        assert recovered.engine.computations == 0
+        assert recovered.engine.warm_hits > 0
+
+    def test_save_failure_is_best_effort(self, grid3x3, tmp_path):
+        faults = FaultInjector()
+        telemetry = Telemetry.create()
+        clusterer = IncrementalNEAT(grid3x3, CONFIG, telemetry=telemetry)
+        clusterer.enable_persistence(tmp_path, fsync=False, faults=faults)
+        faults.arm("distcache.pre_rename", FaultPlan(fail_nth=1))
+        applied = clusterer.add_batch(make_batches(grid3x3, 1)[0])
+        assert applied.batch_index == 0  # the batch itself committed
+        assert telemetry.metrics.value("sp.cache.save_failures") == 1.0
+
+    def test_unchanged_cache_is_not_rewritten(self, grid3x3, tmp_path):
+        clusterer = IncrementalNEAT(grid3x3, CONFIG)
+        clusterer.enable_persistence(tmp_path, fsync=False)
+        clusterer.add_batch(make_batches(grid3x3, 1)[0])
+        first = clusterer.save_distance_cache()
+        assert first is None  # already saved by add_batch, sizes unchanged
+
+
+class TestServiceRestart:
+    """Acceptance: a restarted service performs zero distance searches."""
+
+    def test_restart_with_unchanged_network_is_all_warm(self, grid3x3, tmp_path):
+        batches = make_batches(grid3x3, 3)
+        service = NeatService(grid3x3, CONFIG, state_dir=tmp_path)
+        for batch in batches:
+            service.submit(batch)
+        before = service.stats()
+        assert before.shortest_path_computations > 0
+        document = service.get_clustering()
+        del service
+
+        reborn = NeatService(grid3x3, CONFIG, state_dir=tmp_path)
+        after = reborn.stats()
+        assert after.flow_count == before.flow_count
+        assert after.cluster_count == before.cluster_count
+        # Counter snapshot: recovery replayed every batch and refreshed
+        # Phase 3 entirely from the persisted distance cache.
+        assert after.shortest_path_computations == 0
+        assert after.warm_distance_hits > 0
+        restored = reborn.get_clustering()
+        for key in ("flows", "clusters", "base_clusters"):
+            assert restored[key] == document[key]
+
+    def test_restart_after_mutation_recomputes(self, grid3x3, tmp_path):
+        service = NeatService(grid3x3, CONFIG, state_dir=tmp_path)
+        for batch in make_batches(grid3x3, 2):
+            service.submit(batch)
+        del service
+
+        grid3x3.add_junction(Point(9999.0, 9999.0))
+        reborn = NeatService(grid3x3, CONFIG, state_dir=tmp_path)
+        stats = reborn.stats()
+        # The stale cache was discarded, so replay searched from scratch
+        # — slower, but never a wrong distance.
+        assert stats.shortest_path_computations > 0
+        assert stats.warm_distance_hits == 0
