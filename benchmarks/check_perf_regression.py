@@ -1,12 +1,23 @@
 """Gate CI on benchmark counter regressions against a committed baseline.
 
 Compares selected (dotted) keys of a freshly produced ``BENCH_*.json``
-artifact against a baseline checked into ``benchmarks/baselines/`` and
-fails when the current value exceeds the baseline by more than the
-allowed fraction.  Counters such as executed Dijkstra searches and
-settled nodes are deterministic for a fixed workload, so the default
-10% headroom only forgives intentional small shifts (e.g. a generator
-tweak) while catching a broken prune tier or grouping planner outright.
+artifact against a baseline and fails when the current value exceeds the
+baseline by more than the allowed fraction.  Counters such as executed
+Dijkstra searches and settled nodes are deterministic for a fixed
+workload, so the default 10% headroom only forgives intentional small
+shifts (e.g. a generator tweak) while catching a broken prune tier or
+grouping planner outright.
+
+The baseline is either a static file checked into
+``benchmarks/baselines/`` (``--baseline``) or the newest matching entry
+of the bench trend ledger (``--history`` + ``--bench``, see
+``bench_history.py``), which turns the gate from "never worse than the
+day the baseline was committed" into "never worse than the last
+recorded run".
+
+``--key-max dotted=limit`` adds absolute ceilings evaluated against the
+current artifact alone — the form a latency-SLO-style bound takes (for
+example ``overhead_disabled_pct=2.0`` for the observability bench).
 
 Usage::
 
@@ -14,6 +25,12 @@ Usage::
         --baseline benchmarks/baselines/BENCH_distance_oracle_smoke.json \
         --current benchmarks/output/BENCH_distance_oracle.json \
         --key tiered.sp_computations --key tiered.nodes_expanded
+
+    python benchmarks/check_perf_regression.py \
+        --history benchmarks/history/BENCH_history.jsonl \
+        --bench observability_overhead \
+        --current benchmarks/output/BENCH_observability_overhead.json \
+        --key t_fragments --key-max overhead_disabled_pct=2.0
 
 Exit status 0 when every key is within bounds, 1 otherwise.
 """
@@ -61,21 +78,100 @@ def check(baseline: dict, current: dict, keys: list[str], max_regression: float)
     return failures
 
 
+def check_ceilings(current: dict, ceilings: list[tuple[str, float]]) -> list[str]:
+    """Absolute ``value <= limit`` gates on the current artifact."""
+    failures = []
+    for key, limit in ceilings:
+        try:
+            value = float(lookup(current, key))
+        except KeyError:
+            failures.append(f"{key}: missing from current artifact")
+            continue
+        if value > limit:
+            failures.append(f"{key}: {value:g} exceeds ceiling {limit:g}")
+        else:
+            print(f"ok: {key} = {value:g} (ceiling {limit:g})")
+    return failures
+
+
+def parse_ceiling(raw: str) -> tuple[str, float]:
+    key, separator, limit = raw.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected dotted.key=limit, got {raw!r}"
+        )
+    try:
+        return key, float(limit)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"limit in {raw!r} is not a number")
+
+
+def load_history_baseline(ledger: Path, bench: str, workload: str | None) -> dict:
+    """The newest matching ledger entry's metrics document."""
+    if str(Path(__file__).parent) not in sys.path:
+        sys.path.insert(0, str(Path(__file__).parent))
+    import bench_history
+
+    entry = bench_history.latest_entry(bench, workload=workload, path=ledger)
+    if entry is None:
+        scope = f" workload {workload!r}" if workload else ""
+        raise SystemExit(
+            f"no ledger entry for bench {bench!r}{scope} in {ledger}"
+        )
+    print(
+        f"baseline: ledger entry {entry['git_sha']} "
+        f"({entry['recorded_utc']}, workload {entry['workload']})"
+    )
+    return entry["metrics"]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", type=Path, required=True,
+    parser.add_argument("--baseline", type=Path, default=None,
                         help="committed baseline JSON")
+    parser.add_argument("--history", type=Path, default=None,
+                        help="bench trend ledger (BENCH_history.jsonl); "
+                             "uses the newest matching entry as baseline")
+    parser.add_argument("--bench", default=None,
+                        help="bench name in the ledger (with --history)")
+    parser.add_argument("--workload", default=None,
+                        help="restrict the ledger lookup to one workload key")
     parser.add_argument("--current", type=Path, required=True,
                         help="artifact produced by this run")
-    parser.add_argument("--key", action="append", required=True, dest="keys",
-                        help="dotted key to compare (repeatable)")
+    parser.add_argument("--key", action="append", default=[], dest="keys",
+                        help="dotted key to compare to baseline (repeatable)")
+    parser.add_argument("--key-max", action="append", default=[],
+                        dest="ceilings", type=parse_ceiling, metavar="KEY=LIMIT",
+                        help="absolute ceiling on a current-artifact key "
+                             "(repeatable; no baseline needed)")
     parser.add_argument("--max-regression", type=float, default=0.10,
                         help="allowed fractional increase (default 0.10)")
     options = parser.parse_args(argv)
 
-    baseline = json.loads(options.baseline.read_text(encoding="utf-8"))
+    if not options.keys and not options.ceilings:
+        parser.error("nothing to check: pass --key and/or --key-max")
+    if options.keys and options.baseline is None and options.history is None:
+        parser.error("--key needs a baseline: pass --baseline or --history")
+    if options.baseline is not None and options.history is not None:
+        parser.error("--baseline and --history are mutually exclusive")
+    if options.history is not None and options.bench is None:
+        parser.error("--history needs --bench")
+
     current = json.loads(options.current.read_text(encoding="utf-8"))
-    failures = check(baseline, current, options.keys, options.max_regression)
+
+    failures = []
+    if options.keys:
+        if options.history is not None:
+            baseline = load_history_baseline(
+                options.history, options.bench, options.workload
+            )
+        else:
+            baseline = json.loads(options.baseline.read_text(encoding="utf-8"))
+        failures.extend(
+            check(baseline, current, options.keys, options.max_regression)
+        )
+    failures.extend(check_ceilings(current, options.ceilings))
+
     for line in failures:
         print(f"REGRESSION {line}", file=sys.stderr)
     return 1 if failures else 0

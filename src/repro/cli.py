@@ -7,7 +7,11 @@ Exposes the full workflow without writing Python:
 * ``simulate``         — generate mobility traces on a saved network;
 * ``cluster``          — run base-/flow-/opt-NEAT over saved traces
   (``--state-dir`` makes the run crash-safe and resumable; add
-  ``--batch-size`` for journaled streaming ingest);
+  ``--batch-size`` for journaled streaming ingest; ``--obs-port``
+  serves ``/metrics`` during the run, ``--trace-out``/``--folded-out``
+  export the timeline, ``--profile-hz`` samples stacks);
+* ``serve``            — run a :class:`NeatService` with its HTTP
+  observability plane (``/metrics /health /statusz /tracez``);
 * ``recover``          — restore clustering state from a ``--state-dir``;
 * ``experiment``       — regenerate one of the paper's tables/figures.
 """
@@ -17,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from .core.config import NEATConfig
@@ -136,6 +141,62 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stream the traces through IncrementalNEAT "
                               "in batches of this size instead of one "
                               "pipeline run")
+    cluster.add_argument("--obs-port", type=int, default=None,
+                         help="serve the HTTP observability plane "
+                              "(/metrics /health /statusz /tracez) on this "
+                              "port for the duration of the run (0 = "
+                              "ephemeral; the URL is printed to stderr)")
+    cluster.add_argument("--trace-out", type=Path, default=None,
+                         help="write the run's span timeline as Chrome "
+                              "trace-event JSON (open in Perfetto / "
+                              "chrome://tracing)")
+    cluster.add_argument("--folded-out", type=Path, default=None,
+                         help="write the run's span timeline as folded "
+                              "flamegraph stacks (flamegraph.pl input)")
+    cluster.add_argument("--profile-hz", type=float, default=0.0,
+                         help="sample Python stacks at this rate during "
+                              "the run (0 = profiler off, the default)")
+    cluster.add_argument("--profile-out", type=Path, default=None,
+                         help="write sampled stacks as folded text "
+                              "(requires --profile-hz > 0)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a NEAT service with its HTTP observability plane",
+    )
+    serve.add_argument("--network", required=True, type=Path)
+    serve.add_argument("--traces", type=Path, default=None,
+                       help="optional traces to ingest on startup")
+    serve.add_argument("--batch-size", type=int, default=100,
+                       help="ingest batch size for --traces (default 100)")
+    serve.add_argument("--eps", type=float, default=1000.0,
+                       help="Phase 3 distance threshold in metres")
+    serve.add_argument("--min-card", type=int, default=None,
+                       help="minCard (default: mean flow cardinality)")
+    serve.add_argument("--obs-port", type=int, default=0,
+                       help="observability-plane port (default 0 = "
+                            "ephemeral; printed, and written to "
+                            "--port-file when given)")
+    serve.add_argument("--obs-host", default="127.0.0.1",
+                       help="observability-plane bind address "
+                            "(default loopback)")
+    serve.add_argument("--port-file", type=Path, default=None,
+                       help="write the bound obs port to this file once "
+                            "listening (supervisors/tests read it back)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for this many seconds after ingest "
+                            "then exit (default: until interrupted)")
+    serve.add_argument("--state-dir", type=Path, default=None,
+                       help="crash-safe state directory for the service")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="snapshot cadence in batches (0 = explicit)")
+    serve.add_argument("--slo-ingest-p99", type=float, default=None,
+                       help="ingest latency SLO: windowed p99 of submit "
+                            "latency must stay at or below this many "
+                            "seconds (breach sheds load)")
+    serve.add_argument("--slo-query-p99", type=float, default=None,
+                       help="query latency SLO: windowed p99 of query "
+                            "latency (breach serves stale snapshots)")
 
     recover = sub.add_parser(
         "recover",
@@ -165,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "simulate": _cmd_simulate,
         "cluster": _cmd_cluster,
+        "serve": _cmd_serve,
         "recover": _cmd_recover,
         "experiment": _cmd_experiment,
     }[args.command]
@@ -206,6 +268,51 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _start_obs_plane(args: argparse.Namespace, telemetry):
+    """The run-scoped observability extras: HTTP plane and profiler."""
+    obs_server = None
+    if getattr(args, "obs_port", None) is not None:
+        from .obs.server import ObservabilityServer
+
+        obs_server = ObservabilityServer(telemetry, port=args.obs_port).start()
+        print(f"observability plane at {obs_server.url}", file=sys.stderr)
+    profiler = None
+    if getattr(args, "profile_hz", 0.0) > 0.0:
+        from .obs.profile import SamplingProfiler, phase_from_tracer
+
+        profiler = SamplingProfiler(
+            hz=args.profile_hz, phase=phase_from_tracer(telemetry.tracer)
+        ).start()
+    return obs_server, profiler
+
+
+def _finish_obs_plane(
+    args: argparse.Namespace, telemetry, obs_server, profiler
+) -> None:
+    """Stop the run-scoped extras and write the requested exports."""
+    log = get_logger("cli")
+    if profiler is not None:
+        profiler.stop()
+        if args.profile_out is not None:
+            profiler.save(args.profile_out)
+            log.info(
+                "profile written",
+                path=str(args.profile_out), samples=profiler.samples,
+            )
+    if obs_server is not None:
+        obs_server.stop()
+    if args.trace_out is not None:
+        from .obs.export import save_chrome_trace
+
+        save_chrome_trace(telemetry.tracer, args.trace_out)
+        log.info("chrome trace written", path=str(args.trace_out))
+    if args.folded_out is not None:
+        from .obs.export import save_folded
+
+        save_folded(telemetry.tracer, args.folded_out)
+        log.info("folded stacks written", path=str(args.folded_out))
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     network = load_network(args.network)
     dataset = load_dataset(args.traces)
@@ -220,15 +327,19 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         checkpoint_every=max(0, args.checkpoint_every),
     )
     telemetry = Telemetry.create()
-    if args.batch_size is not None:
-        return _cluster_streaming(args, network, dataset, config, telemetry)
-    pipeline = NEAT(network, config, telemetry=telemetry)
-    if args.state_dir is not None:
-        result = pipeline.run_resumable(
-            dataset, mode=args.mode, state_dir=args.state_dir
-        )
-    else:
-        result = pipeline.run(dataset, mode=args.mode)
+    obs_server, profiler = _start_obs_plane(args, telemetry)
+    try:
+        if args.batch_size is not None:
+            return _cluster_streaming(args, network, dataset, config, telemetry)
+        pipeline = NEAT(network, config, telemetry=telemetry)
+        if args.state_dir is not None:
+            result = pipeline.run_resumable(
+                dataset, mode=args.mode, state_dir=args.state_dir
+            )
+        else:
+            result = pipeline.run(dataset, mode=args.mode)
+    finally:
+        _finish_obs_plane(args, telemetry, obs_server, profiler)
     if args.metrics_out is not None:
         telemetry.save(args.metrics_out)
         get_logger("cli").info("metrics written", path=str(args.metrics_out))
@@ -298,6 +409,60 @@ def _cluster_streaming(
         f"({resumed} resumed, {len(chunks) - resumed} new): "
         f"{len(result.flows)} flows, {len(result.clusters)} clusters"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: a NeatService plus its HTTP observability plane.
+
+    Starts the plane first (so supervisors can probe ``/health`` during
+    startup ingest), then ingests ``--traces`` in batches, then serves
+    until ``--duration`` elapses or the process is interrupted.
+    """
+    from .distributed.service import NeatService
+    from .errors import ReproError
+
+    network = load_network(args.network)
+    config = NEATConfig(
+        eps=args.eps,
+        min_card=args.min_card,
+        checkpoint_every=max(0, args.checkpoint_every),
+        slo_ingest_p99_s=args.slo_ingest_p99,
+        slo_query_p99_s=args.slo_query_p99,
+    )
+    service = NeatService(network, config, state_dir=args.state_dir)
+    obs = service.serve_obs(port=args.obs_port, host=args.obs_host)
+    print(f"observability plane at {obs.url}")
+    if args.port_file is not None:
+        args.port_file.parent.mkdir(parents=True, exist_ok=True)
+        args.port_file.write_text(f"{obs.port}\n")
+    try:
+        if args.traces is not None:
+            dataset = load_dataset(args.traces)
+            trajectories = list(dataset.trajectories)
+            size = max(1, args.batch_size)
+            try:
+                for start in range(0, len(trajectories), size):
+                    service.submit(trajectories[start : start + size])
+            except ReproError as error:
+                print(f"startup ingest failed: {error}", file=sys.stderr)
+                return 1
+            stats = service.stats()
+            print(
+                f"ingested {stats.batches_ingested} batch(es), "
+                f"{stats.trajectories_ingested} trajectories: "
+                f"{stats.flow_count} flows, {stats.cluster_count} clusters"
+            )
+        try:
+            if args.duration is None:
+                while True:
+                    time.sleep(3600.0)
+            elif args.duration > 0:
+                time.sleep(args.duration)
+        except KeyboardInterrupt:
+            pass
+    finally:
+        service.stop_obs()
     return 0
 
 

@@ -78,6 +78,17 @@ class NEATConfig:
             full snapshot generation is written every N-th ingested
             batch.  ``0`` (the default) journals every batch but writes
             snapshots only on explicit ``checkpoint()`` calls.
+        slo_ingest_p99_s: Latency SLO for service ingest: the p99 of
+            ``service.submit_latency_seconds`` (evaluated over the
+            window between watchdog evaluations) must stay at or below
+            this many seconds.  While breached the service sheds load —
+            the effective pending-queue bound is halved.  ``None`` (the
+            default) disables the rule.
+        slo_query_p99_s: Latency SLO for service queries: the windowed
+            p99 of ``service.query_latency_seconds``.  While breached,
+            ``get_clustering`` serves the last validated snapshot
+            (flagged ``"stale"``/``"slo_degraded"``) instead of
+            refreshing.  ``None`` disables the rule.
     """
 
     wq: float = 1.0 / 3.0
@@ -98,6 +109,8 @@ class NEATConfig:
     deadline_s: float | None = None
     max_pending: int = 64
     checkpoint_every: int = 0
+    slo_ingest_p99_s: float | None = None
+    slo_query_p99_s: float | None = None
 
     def __post_init__(self) -> None:
         for name, weight in (("wq", self.wq), ("wk", self.wk), ("wv", self.wv)):
@@ -149,6 +162,15 @@ class NEATConfig:
                 f"checkpoint_every must be >= 0 (0 = explicit checkpoints "
                 f"only), got {self.checkpoint_every}"
             )
+        for name, slo in (
+            ("slo_ingest_p99_s", self.slo_ingest_p99_s),
+            ("slo_query_p99_s", self.slo_query_p99_s),
+        ):
+            if slo is not None and slo <= 0:
+                raise ConfigError(
+                    f"{name} must be > 0 when set (None disables the "
+                    f"rule), got {slo}"
+                )
 
     def with_weights(self, wq: float, wk: float, wv: float) -> "NEATConfig":
         """A copy with different merging-selectivity weights."""

@@ -29,20 +29,33 @@ misbehaves, so the facade adds a robustness layer
   the last validated snapshot flagged ``"stale": true`` in the wire
   format instead of raising (:class:`~repro.errors.ServiceUnavailable`
   only when no snapshot exists yet);
+* **latency SLO watchdog** — when the config sets ``slo_ingest_p99_s``
+  / ``slo_query_p99_s``, an :class:`~repro.obs.slo.SLOWatchdog`
+  evaluates the windowed p99 of the submit/query latency histograms
+  after every request (inline, so chaos runs are deterministic).  A
+  breached ingest SLO *sheds load* (the pending-queue admission bound
+  halves); a breached query SLO *serves stale* (queries answer from the
+  last validated snapshot without refreshing) — both clear when the
+  windowed p99 recovers, and the ``service.slo_breach*`` gauges flip
+  with them;
 * **fault injection** — the ``ingest`` and ``refresh`` operations are
   named injection points on :attr:`NeatService.faults`, so chaos tests
-  script failures deterministically.
+  script failures deterministically (arm a latency plan with a real
+  sleeper against ``ingest`` to drill the SLO watchdog).
 
 Everything is synchronous and in-process; transports (HTTP, gRPC) would
-wrap this object without changing it.
+wrap this object without changing it — and the **observability plane**
+(:meth:`NeatService.serve_obs`) exposes ``/metrics`` ``/health``
+``/statusz`` ``/tracez`` over HTTP without touching the serving paths.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
@@ -61,6 +74,8 @@ from ..errors import (
     TrajectoryError,
 )
 from ..obs import Telemetry, get_logger
+from ..obs.server import ObservabilityServer
+from ..obs.slo import SLORule, SLOWatchdog
 from ..persist.store import SnapshotStore
 from ..resilience import CircuitBreaker, Deadline, FaultInjector, RetryPolicy
 from ..roadnet.network import RoadNetwork
@@ -94,6 +109,8 @@ class ServiceStats:
     retries: int
     breaker_trips: int
     deadline_exceeded: int
+    slo_breaches: int
+    slo_stale_queries: int
 
 
 class NeatService:
@@ -254,10 +271,35 @@ class NeatService:
         self._pending_gauge = metrics.gauge(
             "service.pending_batches", "Batches queued awaiting (re)ingestion"
         )
+        self._slo_stale_queries = metrics.counter(
+            "service.slo_stale_queries",
+            "Queries answered from the last snapshot because the query "
+            "SLO is breached (refresh skipped, not failed)",
+        )
         # Route breaker trips into telemetry without the breaker knowing
         # about metrics (a user-supplied on_open hook is kept as-is).
         if self.breaker._on_open is None:
             self.breaker._on_open = self._record_breaker_trip
+
+        # Latency SLO watchdog: rules exist only for configured
+        # objectives, evaluated inline after each request so two
+        # identical (chaos) runs produce byte-identical verdicts.
+        self.slo_watchdog = SLOWatchdog(
+            metrics,
+            on_breach=self._on_slo_breach,
+            on_clear=self._on_slo_clear,
+        )
+        if self.config.slo_ingest_p99_s is not None:
+            self.slo_watchdog.add_rule(SLORule(
+                "ingest", self._submit_latency, self.config.slo_ingest_p99_s,
+            ))
+        if self.config.slo_query_p99_s is not None:
+            self.slo_watchdog.add_rule(SLORule(
+                "query", self._query_latency, self.config.slo_query_p99_s,
+            ))
+        self._slo_verdicts: dict[str, bool] = {}
+        self._started_at = clock()
+        self._obs_server: ObservabilityServer | None = None
 
     # ------------------------------------------------------------------
     # Ingestion (the client -> server direction)
@@ -319,21 +361,22 @@ class NeatService:
                     reasons=dict(list(report.bad_trids.items())[:5]),
                 )
                 batch = admitted
-            if len(self._pending) >= self.config.max_pending:
+            max_pending = self.effective_max_pending
+            if len(self._pending) >= max_pending:
                 self._overload_rejections.inc()
                 _log.warning(
                     "batch rejected by admission control",
                     pending=len(self._pending),
-                    max_pending=self.config.max_pending,
+                    max_pending=max_pending,
+                    slo_shed=self._slo_verdicts.get("ingest", False),
                 )
-                raise ServiceOverloaded(
-                    len(self._pending), self.config.max_pending
-                )
+                raise ServiceOverloaded(len(self._pending), max_pending)
             self._pending.append(batch)
             self._pending_gauge.set(len(self._pending))
             ack = self._drain(self._deadline_for("service.submit", deadline_s))
             ack["quarantined"] = quarantined
         self._submit_latency.observe(span.duration)
+        self._evaluate_slo()
         _log.info(
             "batch accepted",
             batch=ack["batch"], trajectories=ack["accepted"],
@@ -367,7 +410,10 @@ class NeatService:
         The response is validated against the framework invariants before
         being returned.  When the refresh fails (after retries), the last
         validated snapshot is served instead with ``"stale": true`` —
-        degraded, not down.
+        degraded, not down.  While the query latency SLO is breached the
+        refresh is skipped outright and the snapshot is served flagged
+        ``"slo_degraded": true`` — the watchdog's load-shedding answer to
+        a slow query path.
 
         Raises:
             ServiceUnavailable: The refresh failed and no snapshot has
@@ -376,33 +422,49 @@ class NeatService:
                 a deadline is the caller's own abort request).
         """
         with self.telemetry.tracer.span("service.get_clustering") as span:
-            deadline = self._deadline_for("service.get_clustering", deadline_s)
-            try:
-                document = self.retry_policy.call(
-                    self._refresh_document,
-                    operation="service.refresh",
-                    deadline=deadline,
-                    sleep=self._sleep,
-                    on_retry=self._on_retry,
-                )
-                self._last_document = document
-                response = dict(document)
-            except DeadlineExceeded:
-                self._deadline_exceeded.inc()
-                raise
-            except Exception as error:
-                if self._last_document is None:
-                    raise ServiceUnavailable(
-                        "refresh failed and no validated snapshot exists"
-                    ) from error
-                self._stale_queries.inc()
-                _log.warning(
-                    "serving stale snapshot", error=repr(error),
-                )
+            if (
+                self._slo_verdicts.get("query", False)
+                and self._last_document is not None
+            ):
+                # SLO shedding: skip the refresh entirely — the stale
+                # snapshot keeps the query path fast, which is what lets
+                # the windowed p99 (and the breach) recover.
+                self._slo_stale_queries.inc()
+                _log.warning("serving stale snapshot: query SLO breached")
                 response = dict(self._last_document)
                 response["stale"] = True
+                response["slo_degraded"] = True
+            else:
+                deadline = self._deadline_for(
+                    "service.get_clustering", deadline_s
+                )
+                try:
+                    document = self.retry_policy.call(
+                        self._refresh_document,
+                        operation="service.refresh",
+                        deadline=deadline,
+                        sleep=self._sleep,
+                        on_retry=self._on_retry,
+                    )
+                    self._last_document = document
+                    response = dict(document)
+                except DeadlineExceeded:
+                    self._deadline_exceeded.inc()
+                    raise
+                except Exception as error:
+                    if self._last_document is None:
+                        raise ServiceUnavailable(
+                            "refresh failed and no validated snapshot exists"
+                        ) from error
+                    self._stale_queries.inc()
+                    _log.warning(
+                        "serving stale snapshot", error=repr(error),
+                    )
+                    response = dict(self._last_document)
+                    response["stale"] = True
         self._queries.inc()
         self._query_latency.observe(span.duration)
+        self._evaluate_slo()
         return response
 
     def get_flow_summaries(self) -> list[dict[str, Any]]:
@@ -420,6 +482,7 @@ class NeatService:
             ]
         self._queries.inc()
         self._query_latency.observe(span.duration)
+        self._evaluate_slo()
         return summaries
 
     def stats(self) -> ServiceStats:
@@ -442,6 +505,10 @@ class NeatService:
             retries=int(self._retries.value),
             breaker_trips=int(self._breaker_open.value),
             deadline_exceeded=int(self._deadline_exceeded.value),
+            slo_breaches=int(
+                self.telemetry.metrics.value("service.slo_breaches")
+            ),
+            slo_stale_queries=int(self._slo_stale_queries.value),
         )
 
     def metrics_snapshot(self) -> dict[str, Any]:
@@ -467,6 +534,38 @@ class NeatService:
     def _record_breaker_trip(self) -> None:
         self._breaker_open.inc()
         _log.error("ingest circuit opened", breaker=self.breaker.name)
+
+    # ------------------------------------------------------------------
+    # Latency SLO watchdog
+    # ------------------------------------------------------------------
+    @property
+    def effective_max_pending(self) -> int:
+        """The admission bound in force right now.
+
+        ``config.max_pending`` normally; halved (floor 1) while the
+        ingest latency SLO is breached — the watchdog's load-shedding
+        answer to a slow ingest path.
+        """
+        if self._slo_verdicts.get("ingest", False):
+            return max(1, self.config.max_pending // 2)
+        return self.config.max_pending
+
+    def _evaluate_slo(self) -> None:
+        """One inline watchdog evaluation (no-op without configured rules)."""
+        if not self.slo_watchdog.rules:
+            return
+        self._slo_verdicts = self.slo_watchdog.evaluate()
+
+    def _on_slo_breach(self, rule: SLORule) -> None:
+        _log.warning(
+            "latency SLO breached",
+            rule=rule.name,
+            threshold_s=rule.threshold_s,
+            quantile=rule.quantile,
+        )
+
+    def _on_slo_clear(self, rule: SLORule) -> None:
+        _log.info("latency SLO recovered", rule=rule.name)
 
     def _drain(self, deadline: Deadline | None) -> dict[str, Any]:
         """Process the pending queue oldest-first; ack the last batch done.
@@ -571,3 +670,82 @@ class NeatService:
         Requires a ``state_dir``; see :meth:`IncrementalNEAT.checkpoint`.
         """
         return self._incremental.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Observability plane (/metrics /health /statusz /tracez)
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """The ``/health`` document: admission, breaker and SLO state.
+
+        ``status`` is ``"degraded"`` while the ingest breaker is not
+        closed or any latency SLO is breached — still serving (HTTP 200),
+        but shedding load or answering stale.
+        """
+        breaker_state = self.breaker.state
+        degraded = (
+            breaker_state != CircuitBreaker.CLOSED
+            or self.slo_watchdog.breached
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "breaker": breaker_state,
+            "pending_batches": len(self._pending),
+            "max_pending": self.config.max_pending,
+            "effective_max_pending": self.effective_max_pending,
+            "slo": self.slo_watchdog.snapshot(),
+            "flows": len(self._incremental.flows),
+            "clusters": len(self._incremental.clusters),
+            "has_snapshot": self._last_document is not None,
+            "uptime_s": round(self._clock() - self._started_at, 3),
+        }
+
+    def statusz(self) -> dict[str, Any]:
+        """The ``/statusz`` document: full stats plus effective config."""
+        return {
+            "stats": asdict(self.stats()),
+            "config": {
+                key: (value if _json_safe(value) else repr(value))
+                for key, value in asdict(self.config).items()
+            },
+            "network": {
+                "name": self.network.name,
+                "junctions": self.network.junction_count,
+                "segments": self.network.segment_count,
+            },
+            "batches": self._incremental.batch_count,
+            "uptime_s": round(self._clock() - self._started_at, 3),
+        }
+
+    def serve_obs(
+        self, port: int = 0, host: str = "127.0.0.1"
+    ) -> ObservabilityServer:
+        """Start (or return) the HTTP observability plane for this service.
+
+        Binds ``host:port`` (``port=0`` picks an ephemeral port — read it
+        back from the returned server's ``.port``) and serves
+        ``/metrics``, ``/health``, ``/statusz`` and ``/tracez`` from this
+        service's telemetry on daemon threads.  Idempotent while running.
+        """
+        if self._obs_server is not None and self._obs_server.running:
+            return self._obs_server
+        self._obs_server = ObservabilityServer(
+            self.telemetry,
+            health=self.health,
+            statusz=self.statusz,
+            host=host,
+            port=port,
+        )
+        return self._obs_server.start()
+
+    def stop_obs(self) -> None:
+        """Stop the observability plane if it is running (idempotent)."""
+        if self._obs_server is not None:
+            self._obs_server.stop()
+            self._obs_server = None
+
+
+def _json_safe(value: Any) -> bool:
+    """Whether ``value`` survives strict JSON round-tripping as-is."""
+    if isinstance(value, float):
+        return math.isfinite(value)
+    return isinstance(value, (bool, int, str, type(None)))

@@ -74,6 +74,18 @@ def export_metrics(snapshot: dict[str, Any], path: str | Path) -> Path:
     return target
 
 
+def export_trace(snapshot: dict[str, Any], path: str | Path) -> Path:
+    """Write a snapshot's span forest as Chrome trace-event JSON.
+
+    Accepts the same documents :func:`result_metrics` produces (legacy
+    snapshots without timeline offsets are laid out sequentially), so any
+    benchmark artifact can be opened in Perfetto next to its text table.
+    """
+    from ..obs.export import save_chrome_trace
+
+    return save_chrome_trace(snapshot, path)
+
+
 def format_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Render a fixed-width text table with a separator under the header."""
     text_rows = [[str(cell) for cell in row] for row in rows]

@@ -7,15 +7,35 @@ Three zero-dependency pillars shared by every subsystem:
 * :mod:`repro.obs.tracing` — nested wall-clock spans collected into an
   exportable trace tree, with a no-op tracer for disabled runs;
 * :mod:`repro.obs.metrics` — named counters, gauges and histograms in a
-  :class:`MetricsRegistry`, exportable as a JSON dict or Prometheus text.
+  thread-safe :class:`MetricsRegistry`, exportable as a JSON dict or
+  Prometheus text.
 
 :class:`~repro.obs.telemetry.Telemetry` bundles one tracer and one
 registry and is what the NEAT pipeline, the incremental clusterer and the
 service thread through their phases.  Instrument names follow the
 ``subsystem.phaseN.quantity`` convention documented in
 ``docs/observability.md``.
+
+On top of the pillars sits the **operational plane**:
+
+* :mod:`repro.obs.server` — an HTTP exposition server
+  (``/metrics`` ``/health`` ``/statusz`` ``/tracez``);
+* :mod:`repro.obs.export` — Chrome trace-event JSON and folded
+  flamegraph stacks from the span forest;
+* :mod:`repro.obs.profile` — a sampling profiler over
+  ``sys._current_frames()`` (off by default);
+* :mod:`repro.obs.slo` — windowed latency-SLO evaluation flipping
+  ``service.slo_breach`` gauges.
 """
 
+from .export import (
+    chrome_trace,
+    folded_stacks,
+    folded_text,
+    save_chrome_trace,
+    save_folded,
+    trace_events,
+)
 from .logging import (
     JsonLinesFormatter,
     KeyValueFormatter,
@@ -24,6 +44,9 @@ from .logging import (
     get_logger,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import SamplingProfiler, phase_from_tracer
+from .server import ObservabilityServer
+from .slo import SLORule, SLOWatchdog
 from .telemetry import Telemetry
 from .tracing import NULL_TRACER, NullTracer, Span, Tracer
 
@@ -36,10 +59,21 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ObservabilityServer",
+    "SLORule",
+    "SLOWatchdog",
+    "SamplingProfiler",
     "Span",
     "StructuredLogger",
     "Telemetry",
     "Tracer",
+    "chrome_trace",
     "configure_logging",
+    "folded_stacks",
+    "folded_text",
     "get_logger",
+    "phase_from_tracer",
+    "save_chrome_trace",
+    "save_folded",
+    "trace_events",
 ]

@@ -1,0 +1,204 @@
+"""Timeline exporters: Chrome trace-event JSON and folded flamegraph stacks.
+
+Two views of the same span forest:
+
+* :func:`chrome_trace` — the Trace Event Format consumed by Perfetto /
+  ``chrome://tracing`` (one complete ``"ph": "X"`` event per span, with
+  microsecond ``ts``/``dur`` on the tracer's monotonic timeline);
+* :func:`folded_stacks` / :func:`folded_text` — Brendan Gregg's folded
+  stack format (``neat.run;phase3.refinement 812345``), where each line
+  carries a span path's *self* time in integer microseconds, so piping
+  the text through ``flamegraph.pl`` renders the run as a flame graph.
+
+Every function accepts the same ``source`` shapes: a live
+:class:`~repro.obs.tracing.Tracer`, a telemetry snapshot
+(``{"trace": [...], ...}`` — what :attr:`NEATResult.telemetry` and
+``--metrics-out`` carry), or the bare list of span-tree dicts.  Spans
+exported before the timeline fields existed (no ``start_offset_s``) are
+laid out sequentially from their durations, so old snapshots still load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .tracing import Tracer
+
+#: Microseconds per second (trace-event timestamps are integer-ish µs).
+_US = 1_000_000.0
+
+
+def _as_roots(source: Any) -> list[dict[str, Any]]:
+    """Normalize any supported ``source`` into span-tree dicts."""
+    if isinstance(source, Tracer):
+        return source.to_dict()
+    if isinstance(source, dict):
+        trace = source.get("trace")
+        if trace is None:
+            raise TypeError(
+                "snapshot dict has no 'trace' key; pass a Telemetry "
+                "snapshot, a Tracer, or the span-tree list itself"
+            )
+        return list(trace)
+    return list(source)
+
+
+def _layout(node: dict[str, Any], cursor_s: float) -> dict[str, Any]:
+    """``node`` with offsets present, children laid out sequentially.
+
+    Spans recorded with the timeline fields pass through unchanged;
+    legacy spans (duration only) are placed at ``cursor_s`` with their
+    children packed back-to-back from the parent's start.
+    """
+    start = node.get("start_offset_s")
+    duration = float(node.get("duration_s", 0.0))
+    if start is None:
+        start = cursor_s
+    start = float(start)
+    end = float(node.get("end_offset_s", start + duration))
+    placed: dict[str, Any] = {
+        "name": str(node.get("name", "<anonymous>")),
+        "duration_s": duration,
+        "start_offset_s": start,
+        "end_offset_s": end,
+    }
+    child_cursor = start
+    children = []
+    for child in node.get("children", ()):
+        placed_child = _layout(child, child_cursor)
+        child_cursor = placed_child["end_offset_s"]
+        children.append(placed_child)
+    if children:
+        placed["children"] = children
+    return placed
+
+
+def normalized_spans(source: Any) -> list[dict[str, Any]]:
+    """The span forest of ``source`` with timeline offsets guaranteed."""
+    roots: list[dict[str, Any]] = []
+    cursor = 0.0
+    for root in _as_roots(source):
+        placed = _layout(root, cursor)
+        cursor = placed["end_offset_s"]
+        roots.append(placed)
+    return roots
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def trace_events(
+    source: Any, pid: int = 1, tid: int = 1, cat: str = "neat"
+) -> list[dict[str, Any]]:
+    """Complete (``"ph": "X"``) trace events for every span, depth-first."""
+    events: list[dict[str, Any]] = []
+
+    def emit(node: dict[str, Any]) -> None:
+        events.append(
+            {
+                "name": node["name"],
+                "cat": cat,
+                "ph": "X",
+                "ts": round(node["start_offset_s"] * _US, 3),
+                "dur": round(node["duration_s"] * _US, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": {},
+            }
+        )
+        for child in node.get("children", ()):
+            emit(child)
+
+    for root in normalized_spans(source):
+        emit(root)
+    return events
+
+
+def chrome_trace(
+    source: Any, pid: int = 1, tid: int = 1, process_name: str = "repro"
+) -> dict[str, Any]:
+    """A Perfetto-loadable Trace Event Format document.
+
+    The two metadata events name the process/thread in the viewer; the
+    tracer's wall-clock epoch (when the source is a live tracer) rides
+    along in ``otherData`` so a trace can be correlated with logs.
+    """
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "pipeline"},
+        },
+    ]
+    document: dict[str, Any] = {
+        "traceEvents": metadata + trace_events(source, pid=pid, tid=tid),
+        "displayTimeUnit": "ms",
+    }
+    if isinstance(source, Tracer):
+        document["otherData"] = {"epoch_unix": source.epoch_unix}
+    return document
+
+
+def save_chrome_trace(source: Any, path: str | Path) -> Path:
+    """Write :func:`chrome_trace` as JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(chrome_trace(source), indent=2) + "\n")
+    return target
+
+
+# ----------------------------------------------------------------------
+# Folded flamegraph stacks
+# ----------------------------------------------------------------------
+def _span_us(node: dict[str, Any]) -> int:
+    return int(round(float(node["duration_s"]) * _US))
+
+
+def folded_stacks(source: Any) -> dict[str, int]:
+    """``{"a;b;c": self_time_us}`` for every span path in the forest.
+
+    Self time is the span's duration minus its children's, in integer
+    microseconds, so summing every value telescopes back to the total
+    duration of the root spans (the total profiled time) exactly —
+    ``assert sum(folded.values()) == sum(root µs)`` holds by
+    construction whenever children nest inside their parents.
+    """
+    stacks: dict[str, int] = {}
+
+    def walk(node: dict[str, Any], prefix: str) -> None:
+        path = f"{prefix};{node['name']}" if prefix else node["name"]
+        children = node.get("children", ())
+        self_us = _span_us(node) - sum(_span_us(child) for child in children)
+        stacks[path] = stacks.get(path, 0) + max(self_us, 0)
+        for child in children:
+            walk(child, path)
+
+    for root in normalized_spans(source):
+        walk(root, "")
+    return stacks
+
+
+def folded_text(source: Any) -> str:
+    """:func:`folded_stacks` in the one-line-per-stack flamegraph format."""
+    stacks = folded_stacks(source)
+    return "\n".join(f"{path} {value}" for path, value in sorted(stacks.items()))
+
+
+def save_folded(source: Any, path: str | Path) -> Path:
+    """Write :func:`folded_text` (plus trailing newline); returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    text = folded_text(source)
+    target.write_text(text + "\n" if text else "")
+    return target

@@ -13,11 +13,20 @@ as Prometheus text exposition format (:meth:`to_prometheus`, dots
 becoming underscores).  Everything is plain Python on purpose: an
 ``inc()`` is one float add, cheap enough to leave enabled in production
 paths.
+
+The registry itself is **thread-safe**: get-or-create, lookups and the
+bulk exports hold an internal lock, so the exposition server can scrape
+``to_prometheus()`` while pipeline threads register and bump
+instruments.  Individual instrument mutations stay lock-free — each
+instrument has a single writer by design (one tracer/pipeline per run),
+and a scrape racing one float add reads an at-most-one-event-stale
+value, which Prometheus semantics tolerate.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from bisect import bisect_left
 from typing import Any, Iterator
 
@@ -141,6 +150,22 @@ class Histogram:
         pairs.append((float("inf"), self.count))
         return pairs
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating cumulative buckets.
+
+        Same estimator as Prometheus' ``histogram_quantile``: linear
+        interpolation inside the bucket the target rank falls into, with
+        the first bucket's lower edge taken as 0.  Observations beyond
+        the last finite bound cannot be interpolated, so a rank landing
+        in the ``+Inf`` tail returns the highest finite bucket bound.
+
+        Returns 0.0 for an empty histogram.
+
+        Raises:
+            ValueError: ``q`` outside ``[0, 1]``.
+        """
+        return quantile_from_cumulative(self.cumulative_buckets(), self.count, q)
+
     def reset(self) -> None:
         self.bucket_counts = [0] * len(self.buckets)
         self.count = 0
@@ -161,28 +186,70 @@ class Histogram:
         return f"Histogram({self.name!r}, count={self.count}, sum={self.sum})"
 
 
+def quantile_from_cumulative(
+    pairs: list[tuple[float, int]], count: int, q: float
+) -> float:
+    """The ``q``-quantile of ``(upper_bound, cumulative_count)`` pairs.
+
+    Shared by :meth:`Histogram.quantile` and windowed evaluations (the
+    SLO watchdog diffs two bucket snapshots and interpolates the delta).
+    ``pairs`` must be sorted by bound and end with the ``+Inf`` bucket.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count <= 0:
+        return 0.0
+    target = q * count
+    highest_finite = 0.0
+    previous_bound = 0.0
+    previous_cumulative = 0
+    for bound, cumulative in pairs:
+        if bound != float("inf"):
+            highest_finite = bound
+        if cumulative >= target:
+            if bound == float("inf"):
+                return highest_finite
+            in_bucket = cumulative - previous_cumulative
+            if in_bucket <= 0:
+                return bound
+            fraction = (target - previous_cumulative) / in_bucket
+            fraction = min(max(fraction, 0.0), 1.0)
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_cumulative = bound, cumulative
+    return highest_finite
+
+
 Instrument = Counter | Gauge | Histogram
 
 
 class MetricsRegistry:
-    """Named instruments with get-or-create access and bulk export."""
+    """Named instruments with get-or-create access and bulk export.
+
+    Registry-level operations (creation, lookup, iteration, the bulk
+    exports, :meth:`reset`) are serialized by an internal re-entrant
+    lock, so concurrent readers (the ``/metrics`` exposition server) and
+    writers (pipeline/service threads creating instruments on first use)
+    never observe a half-built instrument table.
+    """
 
     def __init__(self) -> None:
         self._instruments: dict[str, Instrument] = {}
+        self._lock = threading.RLock()
 
     # -- creation / lookup ---------------------------------------------
     def _get_or_create(self, cls, name: str, description: str, **kwargs):
-        existing = self._instruments.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise TypeError(
-                    f"metric {name!r} already registered as {existing.kind}, "
-                    f"requested {cls.kind}"
-                )
-            return existing
-        instrument = cls(name, description, **kwargs)
-        self._instruments[name] = instrument
-        return instrument
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, description, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
 
     def counter(self, name: str, description: str = "") -> Counter:
         """The counter called ``name`` (created on first request)."""
@@ -212,11 +279,13 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Instrument | None:
         """The instrument called ``name``, or None."""
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def value(self, name: str, default: float = 0.0) -> float:
         """A counter/gauge's current value (``default`` when absent)."""
-        instrument = self._instruments.get(name)
+        with self._lock:
+            instrument = self._instruments.get(name)
         if instrument is None:
             return default
         if isinstance(instrument, Histogram):
@@ -224,21 +293,31 @@ class MetricsRegistry:
         return instrument.value
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        with self._lock:
+            return name in self._instruments
 
     def __iter__(self) -> Iterator[Instrument]:
-        return iter(self._instruments.values())
+        with self._lock:
+            return iter(list(self._instruments.values()))
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     # -- lifecycle ------------------------------------------------------
     def reset(self) -> None:
         """Zero every instrument (registrations are kept)."""
-        for instrument in self._instruments.values():
-            instrument.reset()
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument.reset()
 
     # -- export ---------------------------------------------------------
+    def _sorted_instruments(self) -> list[Instrument]:
+        with self._lock:
+            return [
+                self._instruments[name] for name in sorted(self._instruments)
+            ]
+
     def as_dict(self) -> dict[str, Any]:
         """Snapshot: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""
         document: dict[str, dict[str, Any]] = {
@@ -246,19 +325,26 @@ class MetricsRegistry:
             "gauges": {},
             "histograms": {},
         }
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
-            document[instrument.kind + "s"][name] = instrument.as_dict()
+        for instrument in self._sorted_instruments():
+            document[instrument.kind + "s"][instrument.name] = instrument.as_dict()
         return document
 
     def to_prometheus(self) -> str:
-        """The registry in Prometheus text exposition format."""
+        """The registry in Prometheus text exposition format.
+
+        ``HELP`` text is escaped per the exposition format (backslashes
+        and newlines), and dotted names are sanitized through
+        :func:`prometheus_name` — two dotted names may collide after
+        sanitization (``a.b`` and ``a_b``); both series are emitted and
+        the scraper's last-wins/duplicate handling applies.
+        """
         lines: list[str] = []
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
-            prom = prometheus_name(name)
+        for instrument in self._sorted_instruments():
+            prom = prometheus_name(instrument.name)
             if instrument.description:
-                lines.append(f"# HELP {prom} {instrument.description}")
+                lines.append(
+                    f"# HELP {prom} {escape_help(instrument.description)}"
+                )
             lines.append(f"# TYPE {prom} {instrument.kind}")
             if isinstance(instrument, Histogram):
                 for bound, total in instrument.cumulative_buckets():
@@ -277,3 +363,12 @@ def prometheus_name(name: str) -> str:
     if sanitized and sanitized[0].isdigit():
         sanitized = "_" + sanitized
     return sanitized
+
+
+def escape_help(text: str) -> str:
+    """``HELP`` text escaped per the exposition format.
+
+    Backslashes and line feeds are the two characters the format
+    escapes in HELP lines; anything else passes through verbatim.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")

@@ -1,0 +1,234 @@
+"""The /metrics exposition server: the telemetry layer's HTTP face.
+
+:class:`ObservabilityServer` wraps a stdlib ``ThreadingHTTPServer`` (no
+dependencies, daemon threads) around one
+:class:`~repro.obs.telemetry.Telemetry` bundle and serves the
+operational plane:
+
+========== =============================================================
+Endpoint   Body
+========== =============================================================
+/metrics   Prometheus text exposition format (``to_prometheus()``)
+/health    JSON health document (status, breaker, SLO verdicts) from the
+           owner's ``health`` callable; HTTP 200 while ``ok``/
+           ``degraded``, 503 otherwise — load balancers can act on the
+           status code alone
+/statusz   JSON operational status (stats + config) from the owner's
+           ``statusz`` callable
+/tracez    JSON: the most recent span trees (timeline offsets included)
+/          tiny plain-text index of the endpoints above
+========== =============================================================
+
+The server binds ``127.0.0.1`` by default and ``port=0`` asks the OS for
+an ephemeral port (read it back from :attr:`ObservabilityServer.port`) —
+what tests and supervisors running many instances want.  Scrapes run on
+short-lived daemon threads, reading the registry through its internal
+lock while pipeline threads write; handler exceptions are converted to
+HTTP 500 JSON bodies, never crashes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from .logging import get_logger
+from .telemetry import Telemetry
+
+__all__ = ["ObservabilityServer", "PROMETHEUS_CONTENT_TYPE"]
+
+_log = get_logger("obs.server")
+
+#: Content type of the Prometheus text exposition format, v0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+class _ObsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # Bound by ObservabilityServer before serving starts.
+    obs: "ObservabilityServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        _log.debug("request", peer=self.address_string(),
+                   line=format % args if args else format)
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, document: Any) -> None:
+        body = json.dumps(document, sort_keys=True, indent=2).encode("utf-8")
+        self._send(status, _JSON_CONTENT_TYPE, body + b"\n")
+
+    # -- routing --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        obs = self.server.obs  # type: ignore[attr-defined]
+        try:
+            if path == "/metrics":
+                body = obs.telemetry.metrics.to_prometheus().encode("utf-8")
+                self._send(200, PROMETHEUS_CONTENT_TYPE, body)
+            elif path == "/health":
+                document = obs.health_document()
+                status = str(document.get("status", "ok"))
+                code = 200 if status in ("ok", "degraded") else 503
+                self._send_json(code, document)
+            elif path == "/statusz":
+                self._send_json(200, obs.statusz_document())
+            elif path == "/tracez":
+                self._send_json(200, obs.tracez_document())
+            elif path == "/":
+                body = (
+                    "repro observability plane\n"
+                    "  /metrics  Prometheus text exposition\n"
+                    "  /health   health + degraded/SLO state (JSON)\n"
+                    "  /statusz  service stats + config (JSON)\n"
+                    "  /tracez   recent span trees (JSON)\n"
+                ).encode("utf-8")
+                self._send(200, "text/plain; charset=utf-8", body)
+            else:
+                self._send_json(404, {"error": "not found", "path": path})
+        except Exception as error:  # pragma: no cover - defensive
+            _log.error("handler failed", path=path, error=repr(error))
+            try:
+                self._send_json(500, {"error": repr(error)})
+            except Exception:
+                pass
+
+
+class ObservabilityServer:
+    """Serves one telemetry bundle (and optional owner views) over HTTP.
+
+    Args:
+        telemetry: The bundle whose registry/tracer back ``/metrics`` and
+            the default ``/tracez``.
+        health: Zero-argument callable returning the ``/health`` JSON
+            document (``{"status": "ok" | "degraded" | ...}``); default
+            reports ``ok`` with the instrument count.
+        statusz: Zero-argument callable returning the ``/statusz`` JSON
+            document; default is the instrument snapshot.
+        host: Bind address (loopback by default — expose deliberately).
+        port: TCP port; 0 picks an ephemeral one.
+        max_tracez_roots: Most recent span trees served by ``/tracez``.
+
+    Use :meth:`start`/:meth:`stop` or a ``with`` block::
+
+        with ObservabilityServer(telemetry, port=0) as obs:
+            scrape(f"http://127.0.0.1:{obs.port}/metrics")
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        health: Callable[[], dict[str, Any]] | None = None,
+        statusz: Callable[[], dict[str, Any]] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_tracez_roots: int = 50,
+    ) -> None:
+        if max_tracez_roots < 1:
+            raise ValueError(
+                f"max_tracez_roots must be >= 1, got {max_tracez_roots}"
+            )
+        self.telemetry = telemetry
+        self._health = health
+        self._statusz = statusz
+        self.max_tracez_roots = max_tracez_roots
+        self._server = _ObsHTTPServer((host, port), _Handler)
+        self._server.obs = self
+        self._thread: threading.Thread | None = None
+
+    # -- address --------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The bound address."""
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved even when constructed with 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the plane (no trailing slash)."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the serving thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ObservabilityServer":
+        """Serve on a daemon thread (idempotent while running)."""
+        if self.running:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-obs-server:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("observability plane listening", url=self.url)
+        return self
+
+    def stop(self) -> None:
+        """Shut down and join the serving thread (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._server.shutdown()
+        thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- documents ------------------------------------------------------
+    def health_document(self) -> dict[str, Any]:
+        """The ``/health`` body (owner-supplied, or a minimal default)."""
+        if self._health is not None:
+            return self._health()
+        return {
+            "status": "ok",
+            "instruments": len(self.telemetry.metrics),
+        }
+
+    def statusz_document(self) -> dict[str, Any]:
+        """The ``/statusz`` body (owner-supplied, or the metric dict)."""
+        if self._statusz is not None:
+            return self._statusz()
+        return {"metrics": self.telemetry.metrics.as_dict()}
+
+    def tracez_document(self) -> dict[str, Any]:
+        """The ``/tracez`` body: the most recent span trees.
+
+        Reads the live tracer; roots being appended concurrently are
+        tolerated (the list is copied before export).
+        """
+        tracer = self.telemetry.tracer
+        roots = list(tracer.roots)[-self.max_tracez_roots :]
+        return {
+            "epoch_unix": getattr(tracer, "epoch_unix", 0.0),
+            "span_count": sum(1 for root in roots for _ in root.walk()),
+            "spans": [root.to_dict(tracer.epoch) for root in roots],
+        }

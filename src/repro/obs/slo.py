@@ -1,0 +1,200 @@
+"""Latency SLO evaluation over metrics histograms.
+
+An :class:`SLORule` names one latency histogram, a quantile and a
+threshold ("ingest p99 must stay under 250 ms").  The
+:class:`SLOWatchdog` evaluates its rules **deterministically and
+inline** — no background thread, no wall clock of its own: every
+:meth:`SLOWatchdog.evaluate` call diffs each rule's histogram against
+the snapshot taken at the previous evaluation and interpolates the
+quantile of exactly the observations recorded in between.  Windowed
+evaluation (rather than the cumulative histogram) is what lets a breach
+*clear* once latencies recover; evaluating inline (the service calls it
+after each request) is what makes chaos runs byte-identical — the same
+requests produce the same windows, the same verdicts and the same
+counters on every run.
+
+Verdicts are published to the shared registry:
+
+* ``service.slo_breach`` — gauge, 1 while *any* rule is breached;
+* ``service.slo_breach.<rule>`` — gauge per rule;
+* ``service.slo_breaches`` / ``service.slo_recoveries`` — counters of
+  ok→breach / breach→ok transitions.
+
+The owner reacts through the ``on_breach`` / ``on_clear`` callbacks —
+:class:`~repro.distributed.service.NeatService` uses them to flip its
+degraded/admission machinery (shed ingest load, serve stale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .metrics import Histogram, MetricsRegistry, quantile_from_cumulative
+
+__all__ = ["SLORule", "SLOWatchdog"]
+
+#: Gauge flipped while any rule is breached.
+BREACH_GAUGE = "service.slo_breach"
+#: Counter of ok -> breached transitions (any rule).
+BREACH_COUNTER = "service.slo_breaches"
+#: Counter of breached -> ok transitions (any rule).
+RECOVERY_COUNTER = "service.slo_recoveries"
+
+
+@dataclass
+class SLORule:
+    """One latency objective: ``quantile(histogram) <= threshold_s``.
+
+    Attributes:
+        name: Short rule name (``"ingest"``); keyed into the per-rule
+            gauge ``service.slo_breach.<name>``.
+        histogram: The latency histogram the rule watches.
+        threshold_s: The objective, in seconds.
+        quantile: Which quantile to hold to the threshold (default p99).
+        min_samples: Observations a window needs before it is judged;
+            smaller windows carry the previous verdict forward (and stay
+            pending until enough observations accumulate).
+    """
+
+    name: str
+    histogram: Histogram
+    threshold_s: float
+    quantile: float = 0.99
+    min_samples: int = 1
+
+    # Evaluation state: the histogram snapshot the next window diffs
+    # against, and the standing verdict.
+    _last_count: int = field(default=0, repr=False)
+    _last_buckets: tuple[int, ...] = field(default=(), repr=False)
+    breached: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.threshold_s <= 0:
+            raise ValueError(
+                f"SLO threshold must be > 0, got {self.threshold_s}"
+            )
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError(
+                f"SLO quantile must be in (0, 1], got {self.quantile}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+        self._last_buckets = tuple([0] * len(self.histogram.buckets))
+
+    def window_quantile(self) -> tuple[int, float] | None:
+        """``(window_count, windowed_quantile)`` since the last judgment.
+
+        Returns None (and leaves the snapshot untouched, so observations
+        keep accumulating) when fewer than ``min_samples`` landed.
+        """
+        histogram = self.histogram
+        counts = tuple(histogram.bucket_counts)
+        window_count = histogram.count - self._last_count
+        if window_count < self.min_samples:
+            return None
+        diff = [
+            current - previous
+            for current, previous in zip(counts, self._last_buckets)
+        ]
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(histogram.buckets, diff):
+            running += bucket
+            pairs.append((bound, running))
+        pairs.append((float("inf"), window_count))
+        value = quantile_from_cumulative(pairs, window_count, self.quantile)
+        self._last_count = histogram.count
+        self._last_buckets = counts
+        return window_count, value
+
+
+class SLOWatchdog:
+    """Evaluates :class:`SLORule` s and publishes breach state.
+
+    Args:
+        metrics: Registry receiving the breach gauges/counters (normally
+            the same registry the watched histograms live in).
+        on_breach: Called with the rule when it transitions ok → breach.
+        on_clear: Called with the rule when it transitions breach → ok.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        on_breach: Callable[[SLORule], None] | None = None,
+        on_clear: Callable[[SLORule], None] | None = None,
+    ) -> None:
+        self.metrics = metrics
+        self.on_breach = on_breach
+        self.on_clear = on_clear
+        self.rules: list[SLORule] = []
+        self._any_breach = metrics.gauge(
+            BREACH_GAUGE, "1 while any latency SLO rule is breached"
+        )
+        self._breaches = metrics.counter(
+            BREACH_COUNTER, "Latency SLO ok -> breached transitions"
+        )
+        self._recoveries = metrics.counter(
+            RECOVERY_COUNTER, "Latency SLO breached -> ok transitions"
+        )
+
+    def add_rule(self, rule: SLORule) -> SLORule:
+        """Register ``rule`` (its per-rule gauge is created immediately)."""
+        self.rules.append(rule)
+        self._rule_gauge(rule).set(0.0)
+        return rule
+
+    def _rule_gauge(self, rule: SLORule):
+        return self.metrics.gauge(
+            f"{BREACH_GAUGE}.{rule.name}",
+            f"1 while the {rule.name} latency SLO is breached",
+        )
+
+    @property
+    def breached(self) -> bool:
+        """Whether any rule is currently breached."""
+        return any(rule.breached for rule in self.rules)
+
+    def evaluate(self) -> dict[str, bool]:
+        """Judge every rule's window; returns ``{rule_name: breached}``.
+
+        Rules whose window is still below ``min_samples`` keep their
+        previous verdict.  Gauges, transition counters and callbacks
+        fire only on verdict changes, so calling this after every
+        request is cheap and idempotent between observations.
+        """
+        verdicts: dict[str, bool] = {}
+        for rule in self.rules:
+            window = rule.window_quantile()
+            if window is not None:
+                _, value = window
+                breached_now = value > rule.threshold_s
+                if breached_now != rule.breached:
+                    rule.breached = breached_now
+                    self._rule_gauge(rule).set(1.0 if breached_now else 0.0)
+                    if breached_now:
+                        self._breaches.inc()
+                        if self.on_breach is not None:
+                            self.on_breach(rule)
+                    else:
+                        self._recoveries.inc()
+                        if self.on_clear is not None:
+                            self.on_clear(rule)
+            verdicts[rule.name] = rule.breached
+        self._any_breach.set(1.0 if self.breached else 0.0)
+        return verdicts
+
+    def snapshot(self) -> dict[str, Any]:
+        """Rule states for health endpoints: thresholds and verdicts."""
+        return {
+            rule.name: {
+                "threshold_s": rule.threshold_s,
+                "quantile": rule.quantile,
+                "breached": rule.breached,
+                "observed": rule.histogram.count,
+            }
+            for rule in self.rules
+        }

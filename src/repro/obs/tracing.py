@@ -13,6 +13,15 @@ dicts (:meth:`Tracer.to_dict`) for JSON dumping, and :meth:`Tracer.find`
 fetches a span by name for assertions and derived views (the pipeline's
 ``PhaseTimings`` is exactly that).
 
+Every tracer carries an **epoch**: the ``perf_counter`` reading taken at
+construction (and again on :meth:`Tracer.reset`), paired with the
+wall-clock time at the same instant (:attr:`Tracer.epoch_unix`).  Spans
+record raw ``perf_counter`` stamps, so ``span.start - tracer.epoch`` is
+a monotonic offset into the trace — what timeline exporters
+(:mod:`repro.obs.export`) need to lay spans out on a shared axis.
+:meth:`Tracer.to_dict` includes those offsets (``start_offset_s`` /
+``end_offset_s``) next to the compatibility field ``duration_s``.
+
 :class:`NullTracer` (singleton :data:`NULL_TRACER`) implements the same
 surface with a single reusable no-op context manager, so instrumented hot
 paths cost one attribute lookup and an empty ``with`` block when tracing
@@ -21,7 +30,7 @@ is disabled.
 
 from __future__ import annotations
 
-from time import perf_counter
+from time import perf_counter, time as wall_time
 from typing import Any, Iterator
 
 
@@ -54,14 +63,26 @@ class Span:
                 return span
         return None
 
-    def to_dict(self) -> dict[str, Any]:
-        """JSON-compatible subtree: name, duration and children."""
+    def to_dict(self, epoch: float | None = None) -> dict[str, Any]:
+        """JSON-compatible subtree: name, duration, offsets and children.
+
+        Args:
+            epoch: The owning tracer's epoch (a ``perf_counter`` reading).
+                When given, ``start_offset_s``/``end_offset_s`` — the
+                span's position on the tracer's monotonic timeline — are
+                included alongside ``duration_s``.
+        """
         document: dict[str, Any] = {
             "name": self.name,
             "duration_s": self.duration,
         }
+        if epoch is not None:
+            document["start_offset_s"] = max(self.start - epoch, 0.0)
+            document["end_offset_s"] = max(self.end - epoch, 0.0)
         if self.children:
-            document["children"] = [child.to_dict() for child in self.children]
+            document["children"] = [
+                child.to_dict(epoch) for child in self.children
+            ]
         return document
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -95,6 +116,13 @@ class Tracer:
 
     Not thread-safe: one tracer per run/worker, by design (the pipeline
     creates a fresh one per :meth:`~repro.core.pipeline.NEAT.run`).
+
+    Attributes:
+        epoch: ``perf_counter`` reading when this tracer started (or was
+            last reset); span offsets are measured from here.
+        epoch_unix: Wall-clock seconds (``time.time``) captured at the
+            same instant, anchoring the monotonic timeline to real time
+            for exporters.
     """
 
     enabled = True
@@ -102,6 +130,8 @@ class Tracer:
     def __init__(self) -> None:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
+        self.epoch = perf_counter()
+        self.epoch_unix = wall_time()
 
     def span(self, name: str) -> _SpanContext:
         """A context manager timing ``name`` nested under the open span."""
@@ -116,14 +146,19 @@ class Tracer:
         return None
 
     def to_dict(self) -> list[dict[str, Any]]:
-        """The recorded trees as JSON-compatible dicts."""
-        return [root.to_dict() for root in self.roots]
+        """The recorded trees as JSON-compatible dicts (with offsets)."""
+        return [root.to_dict(self.epoch) for root in self.roots]
 
     def reset(self) -> None:
-        """Drop every recorded span (open spans must not be on the stack)."""
+        """Drop every recorded span (open spans must not be on the stack).
+
+        The epoch is re-anchored, so the next trace starts at offset 0.
+        """
         if self._stack:
             raise RuntimeError("cannot reset a tracer with open spans")
         self.roots.clear()
+        self.epoch = perf_counter()
+        self.epoch_unix = wall_time()
 
 
 class _NullSpan(Span):

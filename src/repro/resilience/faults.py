@@ -193,10 +193,27 @@ class FaultInjector:
         self._sleeper = sleeper
         self._wrappers: dict[str, FaultyCallable] = {}
 
-    def arm(self, operation: str, plan: FaultPlan) -> None:
-        """Attach ``plan`` to ``operation`` (replacing any armed plan)."""
+    def arm(
+        self,
+        operation: str,
+        plan: FaultPlan,
+        sleeper: Callable[[float], None] | None = None,
+    ) -> None:
+        """Attach ``plan`` to ``operation`` (replacing any armed plan).
+
+        Args:
+            operation: The injection-point name.
+            plan: The fault schedule.
+            sleeper: Override for this operation's latency sleeper —
+                pass :func:`real_sleeper` to actually stall the call
+                (latency-SLO chaos drills); default: the injector-wide
+                sleeper (a no-op recorder unless one was given).
+        """
         self._wrappers[operation] = FaultyCallable(
-            _identity_target, plan, operation=operation, sleeper=self._sleeper
+            _identity_target,
+            plan,
+            operation=operation,
+            sleeper=sleeper if sleeper is not None else self._sleeper,
         )
 
     def disarm(self, operation: str) -> None:

@@ -174,3 +174,106 @@ class TestParser:
     def test_experiment_choices(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestTimelineExports:
+    def test_trace_out_and_folded_out(
+        self, saved_network, saved_traces, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "trace.json"
+        folded_path = tmp_path / "run.folded"
+        assert main([
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces),
+            "--trace-out", str(trace_path),
+            "--folded-out", str(folded_path),
+        ]) == 0
+        document = json.loads(trace_path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} >= {
+            "neat.run", "phase1.fragmentation",
+            "phase2.flow_formation", "phase3.refinement",
+        }
+        for event in complete:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+        lines = folded_path.read_text().splitlines()
+        assert any(line.startswith("neat.run ") for line in lines)
+        # Folded self-times telescope back to the root spans' total
+        # (integer microseconds, exact by construction).
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        root_events = [
+            e for e in complete
+            if e["name"] in ("neat.run", "pipeline.resume_probe")
+        ]
+        assert total > 0
+        assert total <= sum(int(round(e["dur"])) for e in complete)
+        assert root_events
+
+    def test_profiler_flags(self, saved_network, saved_traces, tmp_path):
+        profile_path = tmp_path / "profile.folded"
+        assert main([
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces),
+            "--profile-hz", "500", "--profile-out", str(profile_path),
+        ]) == 0
+        assert profile_path.exists()  # may be empty on a fast run
+
+    def test_streaming_trace_out(
+        self, saved_network, saved_traces, tmp_path
+    ):
+        trace_path = tmp_path / "stream-trace.json"
+        assert main([
+            "cluster", "--network", str(saved_network),
+            "--traces", str(saved_traces), "--batch-size", "10",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        document = json.loads(trace_path.read_text())
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "incremental.add_batch" in names or len(names) > 2
+
+
+class TestServe:
+    def test_serves_all_endpoints_live(
+        self, saved_network, saved_traces, tmp_path
+    ):
+        import json as json_module
+        import threading
+        import time
+        import urllib.request
+
+        port_file = tmp_path / "port.txt"
+        codes = []
+
+        def run() -> None:
+            codes.append(main([
+                "serve", "--network", str(saved_network),
+                "--traces", str(saved_traces), "--batch-size", "10",
+                "--obs-port", "0", "--port-file", str(port_file),
+                "--duration", "8", "--slo-ingest-p99", "60",
+            ]))
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 20.0
+        while not port_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert port_file.exists(), "serve never wrote its port file"
+        base = f"http://127.0.0.1:{int(port_file.read_text())}"
+
+        def get_json(path: str):
+            with urllib.request.urlopen(base + path, timeout=10) as response:
+                return json_module.loads(response.read())
+
+        health = get_json("/health")
+        assert health["status"] in ("ok", "degraded")
+        assert health["slo"]["ingest"]["threshold_s"] == 60
+        statusz = get_json("/statusz")
+        assert statusz["config"]["slo_ingest_p99_s"] == 60
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
+            text = response.read().decode("utf-8")
+        assert "service_batches_ingested" in text
+        tracez = get_json("/tracez")
+        assert tracez["span_count"] >= 1
+        thread.join(timeout=30.0)
+        assert codes == [0]

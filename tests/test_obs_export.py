@@ -1,0 +1,186 @@
+"""Tests for repro.obs.export: Chrome trace JSON and folded stacks."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    folded_stacks,
+    folded_text,
+    normalized_spans,
+    save_chrome_trace,
+    save_folded,
+    trace_events,
+)
+from repro.obs.tracing import Tracer
+
+
+def traced_run() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("neat.run"):
+        with tracer.span("phase1.fragmentation"):
+            time.sleep(0.002)
+        with tracer.span("phase3.refinement"):
+            with tracer.span("sp.batch"):
+                time.sleep(0.001)
+    return tracer
+
+
+LEGACY_SNAPSHOT = {
+    "trace": [
+        {
+            "name": "neat.run",
+            "duration_s": 1.0,
+            "children": [
+                {"name": "phase1.fragmentation", "duration_s": 0.25},
+                {"name": "phase3.refinement", "duration_s": 0.5},
+            ],
+        },
+        {"name": "validate", "duration_s": 0.125},
+    ]
+}
+
+
+class TestTraceEvents:
+    def test_event_schema(self):
+        events = trace_events(traced_run())
+        assert len(events) == 4
+        for event in events:
+            assert set(event) == {
+                "name", "cat", "ph", "ts", "dur", "pid", "tid", "args",
+            }
+            assert event["ph"] == "X"
+            assert event["pid"] == 1
+            assert event["tid"] == 1
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+
+    def test_nesting_is_consistent(self):
+        events = {e["name"]: e for e in trace_events(traced_run())}
+        run = events["neat.run"]
+        for child in ("phase1.fragmentation", "phase3.refinement"):
+            event = events[child]
+            assert event["ts"] >= run["ts"]
+            # A microsecond of rounding slack on the closing edge.
+            assert event["ts"] + event["dur"] <= run["ts"] + run["dur"] + 1.0
+        sp = events["sp.batch"]
+        refine = events["phase3.refinement"]
+        assert sp["ts"] >= refine["ts"]
+        assert sp["ts"] + sp["dur"] <= refine["ts"] + refine["dur"] + 1.0
+
+    def test_microsecond_timestamps(self):
+        tracer = traced_run()
+        (run,) = [
+            e for e in trace_events(tracer) if e["name"] == "neat.run"
+        ]
+        span = tracer.find("neat.run")
+        assert run["dur"] == pytest.approx(span.duration * 1e6, abs=1.0)
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        document = chrome_trace(traced_run())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["epoch_unix"] > 0
+        phases = [e["ph"] for e in document["traceEvents"]]
+        assert phases[:2] == ["M", "M"]
+        assert set(phases[2:]) == {"X"}
+        names = [e["name"] for e in document["traceEvents"][:2]]
+        assert names == ["process_name", "thread_name"]
+
+    def test_json_round_trip(self, tmp_path):
+        path = save_chrome_trace(traced_run(), tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        assert any(
+            e["name"] == "phase3.refinement" for e in document["traceEvents"]
+        )
+
+    def test_accepts_snapshot_dict_and_span_list(self):
+        from_snapshot = trace_events(LEGACY_SNAPSHOT)
+        from_list = trace_events(LEGACY_SNAPSHOT["trace"])
+        assert from_snapshot == from_list
+        assert len(from_snapshot) == 4
+        # No epoch available for non-tracer sources.
+        assert "otherData" not in chrome_trace(LEGACY_SNAPSHOT)
+
+    def test_snapshot_without_trace_key_rejected(self):
+        with pytest.raises(TypeError):
+            trace_events({"metrics": {}})
+
+
+class TestLegacyLayout:
+    def test_sequential_layout_from_durations(self):
+        first, second = normalized_spans(LEGACY_SNAPSHOT)
+        assert first["start_offset_s"] == 0.0
+        assert first["end_offset_s"] == pytest.approx(1.0)
+        # Children pack back-to-back from the parent's start.
+        child_a, child_b = first["children"]
+        assert child_a["start_offset_s"] == 0.0
+        assert child_a["end_offset_s"] == pytest.approx(0.25)
+        assert child_b["start_offset_s"] == pytest.approx(0.25)
+        # The second root starts where the first ended.
+        assert second["start_offset_s"] == pytest.approx(1.0)
+
+    def test_live_tracer_offsets_pass_through(self):
+        tracer = traced_run()
+        (root,) = normalized_spans(tracer)
+        (exported,) = tracer.to_dict()
+        assert root["start_offset_s"] == exported["start_offset_s"]
+        assert root["end_offset_s"] == exported["end_offset_s"]
+
+
+class TestFoldedStacks:
+    def test_paths_and_nesting(self):
+        stacks = folded_stacks(traced_run())
+        assert set(stacks) == {
+            "neat.run",
+            "neat.run;phase1.fragmentation",
+            "neat.run;phase3.refinement",
+            "neat.run;phase3.refinement;sp.batch",
+        }
+
+    def test_values_sum_to_total_profiled_time(self):
+        tracer = traced_run()
+        stacks = folded_stacks(tracer)
+        total_us = sum(
+            int(round(root.duration * 1e6)) for root in tracer.roots
+        )
+        assert sum(stacks.values()) == total_us
+
+    def test_legacy_snapshot_sums_too(self):
+        stacks = folded_stacks(LEGACY_SNAPSHOT)
+        assert sum(stacks.values()) == int(1.125e6)
+        assert stacks["neat.run;phase1.fragmentation"] == 250_000
+        assert stacks["neat.run"] == 250_000  # 1.0 - 0.25 - 0.5 self time
+
+    def test_repeated_paths_aggregate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("loop"):
+                time.sleep(0.001)
+        stacks = folded_stacks(tracer)
+        assert set(stacks) == {"loop"}
+        total_us = sum(
+            int(round(root.duration * 1e6)) for root in tracer.roots
+        )
+        assert stacks["loop"] == total_us
+
+    def test_folded_text_format(self, tmp_path):
+        text = folded_text(LEGACY_SNAPSHOT)
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            path, _, value = line.rpartition(" ")
+            assert path
+            assert value.isdigit()
+        saved = save_folded(LEGACY_SNAPSHOT, tmp_path / "out.folded")
+        assert saved.read_text() == text + "\n"
+
+    def test_empty_source(self, tmp_path):
+        assert folded_text([]) == ""
+        saved = save_folded([], tmp_path / "empty.folded")
+        assert saved.read_text() == ""

@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import json
+import re
+import threading
+import time
 
 import pytest
 
@@ -11,7 +14,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_help,
     prometheus_name,
+    quantile_from_cumulative,
 )
 
 
@@ -163,3 +168,145 @@ class TestPrometheusExport:
             "neat_phase3_sp_computations"
         )
         assert prometheus_name("9lives").startswith("_")
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_returns_zero(self):
+        assert Histogram("h").quantile(0.99) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_single_bucket_interpolates_from_zero(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        for _ in range(4):
+            histogram.observe(5.0)
+        # All mass in (0, 10]: median interpolates to the bucket midpoint.
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+        assert histogram.quantile(1.0) == pytest.approx(10.0)
+
+    def test_interpolation_between_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            histogram.observe(value)
+        # Rank 2 of 4 falls at the top of the (1, 2] bucket's first half.
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+        assert histogram.quantile(0.25) == pytest.approx(1.0)
+
+    def test_inf_tail_returns_highest_finite_bound(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(100.0)  # beyond every finite bucket
+        assert histogram.quantile(0.99) == pytest.approx(2.0)
+
+    def test_all_observations_in_inf_tail(self):
+        histogram = Histogram("h", buckets=(0.001,))
+        histogram.observe(50.0)
+        assert histogram.quantile(0.5) == pytest.approx(0.001)
+
+    def test_quantile_from_cumulative_zero_count(self):
+        assert quantile_from_cumulative([(1.0, 0), (float("inf"), 0)], 0, 0.9) == 0.0
+
+
+class TestRegistryThreadSafety:
+    def test_concurrent_get_or_create_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        instruments = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            for index in range(50):
+                instruments.append(registry.counter(f"shared.{index % 5}"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(registry) == 5
+        for index in range(5):
+            name = f"shared.{index}"
+            matching = {id(i) for i in instruments if i.name == name}
+            assert len(matching) == 1
+
+    def test_scrape_races_registration(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def register():
+            for index in range(2000):
+                registry.counter(f"race.{index % 64}").inc()
+
+        def scrape():
+            try:
+                while not stop.is_set():
+                    text = registry.to_prometheus()
+                    assert isinstance(text, str)
+                    registry.as_dict()
+                    list(registry)
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        workers = [
+            threading.Thread(target=register, daemon=True) for _ in range(3)
+        ]
+        scraper = threading.Thread(target=scrape, daemon=True)
+        try:
+            for thread in (*workers, scraper):
+                thread.start()
+            for thread in workers:
+                thread.join(timeout=30.0)
+        finally:
+            stop.set()
+        scraper.join(timeout=30.0)
+        assert errors == []
+        assert len(registry) == 64
+
+
+class TestPrometheusEdgeCases:
+    def test_sanitization_collision_emits_both_series(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(1)
+        registry.counter("a_b").inc(2)
+        text = registry.to_prometheus()
+        assert text.count("# TYPE a_b counter") == 2
+        assert "a_b 1" in text
+        assert "a_b 2" in text
+
+    def test_digit_leading_name_gets_prefixed(self):
+        assert prometheus_name("404.responses") == "_404_responses"
+        registry = MetricsRegistry()
+        registry.counter("404.responses").inc()
+        assert "_404_responses 1" in registry.to_prometheus()
+
+    def test_help_newlines_and_backslashes_escaped(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+        registry = MetricsRegistry()
+        registry.counter("c", "first line\nsecond \\ slash").inc()
+        text = registry.to_prometheus()
+        (help_line,) = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert help_line == "# HELP c first line\\nsecond \\\\ slash"
+
+    def test_empty_registry_is_empty_string(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_every_line_parses_as_prometheus(self):
+        registry = MetricsRegistry()
+        registry.counter("svc.requests", "Requests").inc(3)
+        registry.gauge("svc.pending", "Pending").set(1.5)
+        registry.histogram("svc.latency", "Latency", buckets=(0.1, 1.0)).observe(0.05)
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? -?[0-9.einf+]+$"
+        )
+        for line in registry.to_prometheus().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert sample.match(line), line

@@ -1,0 +1,207 @@
+"""Tests for repro.obs.profile: the sampling profiler."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import SamplingProfiler, phase_from_tracer
+from repro.obs.tracing import Tracer
+
+
+def spin(stop: threading.Event) -> None:
+    while not stop.is_set():
+        time.sleep(0.001)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=-5)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_depth=0)
+
+    def test_starts_idle(self):
+        profiler = SamplingProfiler()
+        assert not profiler.running
+        assert profiler.samples == 0
+        assert profiler.folded() == {}
+
+
+class TestSampleOnce:
+    def test_samples_other_threads_not_itself(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(thread_id=worker.ident)
+            recorded = profiler.sample_once()
+            assert recorded == 1
+            assert profiler.samples == 1
+            (path,) = profiler.folded()
+            assert "spin" in path
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_stack_is_root_first(self):
+        stop = threading.Event()
+
+        def outer(event: threading.Event) -> None:
+            spin(event)
+
+        worker = threading.Thread(target=outer, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(thread_id=worker.ident)
+            profiler.sample_once()
+            (path,) = profiler.folded()
+            frames = path.split(";")
+            assert frames.index(
+                [f for f in frames if "outer" in f][0]
+            ) < frames.index([f for f in frames if "spin" in f][0])
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_phase_prefix(self):
+        tracer = Tracer()
+        stop = threading.Event()
+        worker = threading.Thread(target=spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(
+                phase=phase_from_tracer(tracer), thread_id=worker.ident
+            )
+            with tracer.span("phase3.refinement"):
+                profiler.sample_once()
+            (path,) = profiler.folded()
+            assert path.startswith("phase3.refinement;")
+            # Outside any span: no prefix.
+            profiler.reset()
+            profiler.sample_once()
+            (path,) = profiler.folded()
+            assert not path.startswith("phase3.refinement")
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_phase_provider_errors_are_swallowed(self):
+        def broken() -> str:
+            raise RuntimeError("boom")
+
+        stop = threading.Event()
+        worker = threading.Thread(target=spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(phase=broken, thread_id=worker.ident)
+            assert profiler.sample_once() == 1
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_max_depth_bounds_path(self):
+        stop = threading.Event()
+
+        def deep(n: int, event: threading.Event) -> None:
+            if n > 0:
+                deep(n - 1, event)
+            else:
+                spin(event)
+
+        worker = threading.Thread(target=deep, args=(30, stop), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(thread_id=worker.ident, max_depth=5)
+            profiler.sample_once()
+            (path,) = profiler.folded()
+            assert len(path.split(";")) == 5
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_aggregates_repeated_samples(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(thread_id=worker.ident)
+            for _ in range(5):
+                profiler.sample_once()
+            stacks = profiler.folded()
+            assert sum(stacks.values()) == 5
+        finally:
+            stop.set()
+            worker.join()
+
+
+class TestLifecycle:
+    def test_background_sampling_collects(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            with SamplingProfiler(hz=200.0, thread_id=worker.ident) as profiler:
+                assert profiler.running
+                deadline = time.monotonic() + 5.0
+                while profiler.samples < 3 and time.monotonic() < deadline:
+                    time.sleep(0.01)
+            assert not profiler.running
+            assert profiler.samples >= 3
+            assert sum(profiler.folded().values()) >= 3
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(hz=500.0)
+        assert profiler.start() is profiler.start()
+        thread = profiler._thread
+        profiler.start()
+        assert profiler._thread is thread
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_reset(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(thread_id=worker.ident)
+            profiler.sample_once()
+            profiler.reset()
+            assert profiler.samples == 0
+            assert profiler.folded() == {}
+        finally:
+            stop.set()
+            worker.join()
+
+
+class TestExport:
+    def test_folded_text_and_save(self, tmp_path):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(thread_id=worker.ident)
+            profiler.sample_once()
+            text = profiler.folded_text()
+            (line,) = text.splitlines()
+            path, _, count = line.rpartition(" ")
+            assert "spin" in path
+            assert count.isdigit()
+            saved = profiler.save(tmp_path / "profile.folded")
+            assert saved.read_text() == text + "\n"
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_empty_save(self, tmp_path):
+        profiler = SamplingProfiler()
+        saved = profiler.save(tmp_path / "empty.folded")
+        assert saved.read_text() == ""

@@ -1,0 +1,241 @@
+"""Tests for repro.obs.server: the HTTP observability plane."""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import NEATConfig
+from repro.distributed.service import NeatService
+from repro.obs import Telemetry
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, ObservabilityServer
+from repro.resilience import FaultPlan
+
+from conftest import trajectory_through
+
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? -?[0-9.einf+]+$"
+)
+
+
+def get(url: str) -> tuple[int, dict[str, str], bytes]:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def get_json(url: str):
+    _, _, body = get(url)
+    return json.loads(body)
+
+
+def assert_prometheus_parseable(body: str) -> None:
+    for line in body.splitlines():
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE ")), line
+        else:
+            assert _PROM_SAMPLE.match(line), line
+
+
+@pytest.fixture
+def telemetry() -> Telemetry:
+    bundle = Telemetry.create()
+    bundle.metrics.counter("neat.runs", "Pipeline runs").inc(3)
+    bundle.metrics.histogram("neat.latency", buckets=(0.1, 1.0)).observe(0.05)
+    with bundle.tracer.span("neat.run"):
+        with bundle.tracer.span("phase1.fragmentation"):
+            pass
+    return bundle
+
+
+class TestEndpoints:
+    def test_metrics_is_prometheus(self, telemetry):
+        with ObservabilityServer(telemetry) as obs:
+            status, headers, body = get(obs.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "neat_runs 3" in text
+        assert 'neat_latency_bucket{le="0.1"} 1' in text
+        assert_prometheus_parseable(text)
+
+    def test_default_health(self, telemetry):
+        with ObservabilityServer(telemetry) as obs:
+            document = get_json(obs.url + "/health")
+        assert document["status"] == "ok"
+        assert document["instruments"] == len(telemetry.metrics)
+
+    def test_health_degraded_still_200(self, telemetry):
+        health = lambda: {"status": "degraded", "reason": "slo"}  # noqa: E731
+        with ObservabilityServer(telemetry, health=health) as obs:
+            status, _, body = get(obs.url + "/health")
+        assert status == 200
+        assert json.loads(body)["status"] == "degraded"
+
+    def test_health_down_is_503(self, telemetry):
+        health = lambda: {"status": "down"}  # noqa: E731
+        with ObservabilityServer(telemetry, health=health) as obs:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(obs.url + "/health")
+            assert excinfo.value.code == 503
+
+    def test_default_statusz(self, telemetry):
+        with ObservabilityServer(telemetry) as obs:
+            document = get_json(obs.url + "/statusz")
+        assert document["metrics"]["counters"]["neat.runs"] == 3
+
+    def test_tracez(self, telemetry):
+        with ObservabilityServer(telemetry) as obs:
+            document = get_json(obs.url + "/tracez")
+        assert document["span_count"] == 2
+        (root,) = document["spans"]
+        assert root["name"] == "neat.run"
+        assert root["children"][0]["name"] == "phase1.fragmentation"
+        assert "start_offset_s" in root
+        assert document["epoch_unix"] > 0
+
+    def test_tracez_bounded(self, telemetry):
+        for index in range(10):
+            with telemetry.tracer.span(f"extra.{index}"):
+                pass
+        with ObservabilityServer(telemetry, max_tracez_roots=3) as obs:
+            document = get_json(obs.url + "/tracez")
+        assert len(document["spans"]) == 3
+        assert document["spans"][-1]["name"] == "extra.9"
+
+    def test_index_and_404(self, telemetry):
+        with ObservabilityServer(telemetry) as obs:
+            status, _, body = get(obs.url + "/")
+            assert status == 200
+            assert b"/metrics" in body
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(obs.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_query_strings_and_trailing_slash(self, telemetry):
+        with ObservabilityServer(telemetry) as obs:
+            status, _, _ = get(obs.url + "/metrics/?name=x")
+            assert status == 200
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolved(self, telemetry):
+        obs = ObservabilityServer(telemetry, port=0)
+        try:
+            assert obs.port > 0
+            assert obs.url == f"http://127.0.0.1:{obs.port}"
+        finally:
+            obs.stop()
+
+    def test_start_stop_idempotent(self, telemetry):
+        obs = ObservabilityServer(telemetry)
+        assert obs.start() is obs.start()
+        assert obs.running
+        obs.stop()
+        obs.stop()
+        assert not obs.running
+
+    def test_rejects_bad_max_tracez(self, telemetry):
+        with pytest.raises(ValueError):
+            ObservabilityServer(telemetry, max_tracez_roots=0)
+
+    def test_concurrent_scrapes(self, telemetry):
+        errors: list[Exception] = []
+
+        def scrape(url: str) -> None:
+            try:
+                for _ in range(5):
+                    get(url)
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        with ObservabilityServer(telemetry) as obs:
+            threads = [
+                threading.Thread(target=scrape, args=(obs.url + path,))
+                for path in ("/metrics", "/health", "/statusz", "/tracez")
+                for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+
+
+class TestServiceIntegration:
+    """The acceptance drill: scrape a live service mid-ingest."""
+
+    def test_all_endpoints_mid_ingest(self, line3):
+        svc = NeatService(
+            line3,
+            NEATConfig(min_card=0, eps=500.0, slo_ingest_p99_s=0.05),
+        )
+        # Every ingest stalls 0.4 s for real: the first submit breaches
+        # the 50 ms SLO, the second gives us a wide mid-ingest window.
+        svc.faults.arm(
+            "ingest", FaultPlan(latency_s=0.4), sleeper=time.sleep
+        )
+        obs = svc.serve_obs(port=0)
+        try:
+            svc.submit([trajectory_through(line3, 0, [0, 1])])
+            assert svc.slo_watchdog.breached
+
+            started = threading.Event()
+            done = threading.Event()
+
+            def ingest() -> None:
+                started.set()
+                try:
+                    svc.submit([trajectory_through(line3, 1, [1, 2])])
+                finally:
+                    done.set()
+
+            worker = threading.Thread(target=ingest, daemon=True)
+            worker.start()
+            started.wait(timeout=5.0)
+            time.sleep(0.05)  # inside the injected 0.4 s stall
+            assert not done.is_set(), "scrape window missed the ingest"
+
+            status, headers, body = get(obs.url + "/metrics")
+            assert status == 200
+            assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            metrics_text = body.decode("utf-8")
+            assert_prometheus_parseable(metrics_text)
+            assert "service_batches_ingested 1" in metrics_text
+            assert "service_slo_breach 1" in metrics_text
+
+            health = get_json(obs.url + "/health")
+            assert health["status"] == "degraded"
+            assert health["slo"]["ingest"]["breached"] is True
+            assert health["effective_max_pending"] < health["max_pending"]
+
+            statusz = get_json(obs.url + "/statusz")
+            assert statusz["stats"]["batches_ingested"] == 1
+            assert statusz["stats"]["slo_breaches"] == 1
+            assert statusz["config"]["slo_ingest_p99_s"] == 0.05
+            assert statusz["network"]["segments"] == 3
+
+            tracez = get_json(obs.url + "/tracez")
+            names = [span["name"] for span in tracez["spans"]]
+            assert "service.submit" in names
+
+            assert not done.is_set(), "scrapes outlasted the fault window"
+            worker.join(timeout=10.0)
+            assert svc.stats().batches_ingested == 2
+        finally:
+            svc.stop_obs()
+        assert not obs.running
+
+    def test_serve_obs_idempotent(self, line3):
+        svc = NeatService(line3)
+        first = svc.serve_obs()
+        try:
+            assert svc.serve_obs() is first
+        finally:
+            svc.stop_obs()
+        svc.stop_obs()  # idempotent

@@ -1,0 +1,173 @@
+"""Tests for repro.obs.slo: windowed latency-SLO evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.slo import (
+    BREACH_COUNTER,
+    BREACH_GAUGE,
+    RECOVERY_COUNTER,
+    SLORule,
+    SLOWatchdog,
+)
+
+BUCKETS = (0.001, 0.01, 0.1, 1.0)
+
+
+def make_rule(threshold_s: float = 0.05, **kwargs) -> SLORule:
+    return SLORule(
+        "ingest", Histogram("lat", buckets=BUCKETS), threshold_s, **kwargs
+    )
+
+
+class TestSLORule:
+    def test_validation(self):
+        histogram = Histogram("lat", buckets=BUCKETS)
+        with pytest.raises(ValueError):
+            SLORule("r", histogram, threshold_s=0.0)
+        with pytest.raises(ValueError):
+            SLORule("r", histogram, threshold_s=1.0, quantile=0.0)
+        with pytest.raises(ValueError):
+            SLORule("r", histogram, threshold_s=1.0, quantile=1.5)
+        with pytest.raises(ValueError):
+            SLORule("r", histogram, threshold_s=1.0, min_samples=0)
+
+    def test_empty_window_returns_none(self):
+        rule = make_rule()
+        assert rule.window_quantile() is None
+
+    def test_window_is_a_delta_not_cumulative(self):
+        rule = make_rule()
+        rule.histogram.observe(0.5)  # slow
+        count, value = rule.window_quantile()
+        assert count == 1
+        assert value > 0.1
+        # Second window: only fast observations — the slow one is gone.
+        for _ in range(10):
+            rule.histogram.observe(0.0005)
+        count, value = rule.window_quantile()
+        assert count == 10
+        assert value <= 0.001
+
+    def test_min_samples_accumulates_across_calls(self):
+        rule = make_rule(min_samples=3)
+        rule.histogram.observe(0.5)
+        assert rule.window_quantile() is None
+        rule.histogram.observe(0.5)
+        assert rule.window_quantile() is None
+        rule.histogram.observe(0.5)
+        count, value = rule.window_quantile()
+        # The pending observations were kept, not dropped.
+        assert count == 3
+        assert value > 0.1
+
+
+class TestSLOWatchdog:
+    def test_instruments_created_up_front(self):
+        metrics = MetricsRegistry()
+        watchdog = SLOWatchdog(metrics)
+        assert BREACH_GAUGE in metrics
+        assert BREACH_COUNTER in metrics
+        assert RECOVERY_COUNTER in metrics
+        watchdog.add_rule(make_rule())
+        assert f"{BREACH_GAUGE}.ingest" in metrics
+        assert metrics.value(f"{BREACH_GAUGE}.ingest") == 0.0
+
+    def test_no_rules_evaluates_empty(self):
+        watchdog = SLOWatchdog(MetricsRegistry())
+        assert watchdog.evaluate() == {}
+        assert not watchdog.breached
+
+    def test_breach_and_recovery_cycle(self):
+        metrics = MetricsRegistry()
+        events: list[str] = []
+        watchdog = SLOWatchdog(
+            metrics,
+            on_breach=lambda rule: events.append(f"breach:{rule.name}"),
+            on_clear=lambda rule: events.append(f"clear:{rule.name}"),
+        )
+        rule = watchdog.add_rule(make_rule(threshold_s=0.05))
+
+        rule.histogram.observe(0.5)
+        assert watchdog.evaluate() == {"ingest": True}
+        assert watchdog.breached
+        assert metrics.value(BREACH_GAUGE) == 1.0
+        assert metrics.value(f"{BREACH_GAUGE}.ingest") == 1.0
+        assert metrics.value(BREACH_COUNTER) == 1
+        assert events == ["breach:ingest"]
+
+        # Fast window clears the breach.
+        rule.histogram.observe(0.0005)
+        assert watchdog.evaluate() == {"ingest": False}
+        assert not watchdog.breached
+        assert metrics.value(BREACH_GAUGE) == 0.0
+        assert metrics.value(RECOVERY_COUNTER) == 1
+        assert events == ["breach:ingest", "clear:ingest"]
+
+    def test_transitions_fire_once(self):
+        metrics = MetricsRegistry()
+        watchdog = SLOWatchdog(metrics)
+        rule = watchdog.add_rule(make_rule(threshold_s=0.05))
+        for _ in range(3):
+            rule.histogram.observe(0.5)
+            watchdog.evaluate()
+        assert metrics.value(BREACH_COUNTER) == 1
+        assert metrics.value(f"{BREACH_GAUGE}.ingest") == 1.0
+
+    def test_empty_window_keeps_previous_verdict(self):
+        metrics = MetricsRegistry()
+        watchdog = SLOWatchdog(metrics)
+        rule = watchdog.add_rule(make_rule(threshold_s=0.05))
+        rule.histogram.observe(0.5)
+        watchdog.evaluate()
+        # No new observations: still breached.
+        assert watchdog.evaluate() == {"ingest": True}
+        assert metrics.value(BREACH_COUNTER) == 1
+
+    def test_independent_rules(self):
+        metrics = MetricsRegistry()
+        watchdog = SLOWatchdog(metrics)
+        slow = watchdog.add_rule(make_rule(threshold_s=0.05))
+        fast_histogram = Histogram("q", buckets=BUCKETS)
+        watchdog.add_rule(SLORule("query", fast_histogram, 0.05))
+        slow.histogram.observe(0.5)
+        fast_histogram.observe(0.0005)
+        verdicts = watchdog.evaluate()
+        assert verdicts == {"ingest": True, "query": False}
+        assert metrics.value(f"{BREACH_GAUGE}.ingest") == 1.0
+        assert metrics.value(f"{BREACH_GAUGE}.query") == 0.0
+        assert metrics.value(BREACH_GAUGE) == 1.0
+
+    def test_snapshot(self):
+        watchdog = SLOWatchdog(MetricsRegistry())
+        rule = watchdog.add_rule(make_rule(threshold_s=0.25, quantile=0.9))
+        rule.histogram.observe(0.5)
+        watchdog.evaluate()
+        snapshot = watchdog.snapshot()
+        assert snapshot == {
+            "ingest": {
+                "threshold_s": 0.25,
+                "quantile": 0.9,
+                "breached": True,
+                "observed": 1,
+            }
+        }
+
+    def test_determinism_across_identical_runs(self):
+        def run() -> tuple:
+            metrics = MetricsRegistry()
+            watchdog = SLOWatchdog(metrics)
+            rule = watchdog.add_rule(make_rule(threshold_s=0.05))
+            trail = []
+            for value in (0.0005, 0.5, 0.5, 0.0005, 0.0005, 0.7):
+                rule.histogram.observe(value)
+                trail.append(tuple(sorted(watchdog.evaluate().items())))
+            return (
+                tuple(trail),
+                metrics.value(BREACH_COUNTER),
+                metrics.value(RECOVERY_COUNTER),
+            )
+
+        assert run() == run()

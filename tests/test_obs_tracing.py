@@ -127,3 +127,70 @@ class TestNullTracer:
         with NULL_TRACER.span("outer"):
             with NULL_TRACER.span("inner") as inner:
                 assert inner.name == "<null>"
+
+
+class TestTimelineOffsets:
+    def test_tracer_carries_epoch(self):
+        before = time.time()
+        tracer = Tracer()
+        after = time.time()
+        assert tracer.epoch > 0.0
+        assert before <= tracer.epoch_unix <= after
+
+    def test_to_dict_includes_offsets(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                time.sleep(0.002)
+        (root,) = tracer.to_dict()
+        assert root["start_offset_s"] >= 0.0
+        assert root["end_offset_s"] >= root["start_offset_s"]
+        (child,) = root["children"]
+        # Children nest inside the parent's window on the shared axis.
+        assert child["start_offset_s"] >= root["start_offset_s"]
+        assert child["end_offset_s"] <= root["end_offset_s"] + 1e-9
+        assert child["end_offset_s"] - child["start_offset_s"] == pytest.approx(
+            child["duration_s"]
+        )
+
+    def test_offsets_measured_from_epoch(self):
+        tracer = Tracer()
+        with tracer.span("a") as span:
+            pass
+        (exported,) = tracer.to_dict()
+        assert exported["start_offset_s"] == pytest.approx(
+            span.start - tracer.epoch
+        )
+        assert exported["end_offset_s"] == pytest.approx(
+            span.end - tracer.epoch
+        )
+
+    def test_span_to_dict_without_epoch_has_no_offsets(self):
+        span = Span("bare")
+        span.start, span.end = 10.0, 11.0
+        exported = span.to_dict()
+        assert "start_offset_s" not in exported
+        assert "end_offset_s" not in exported
+        assert exported["duration_s"] == pytest.approx(1.0)
+
+    def test_reset_reanchors_epoch(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            time.sleep(0.002)
+        old_epoch = tracer.epoch
+        tracer.reset()
+        assert tracer.epoch > old_epoch
+        with tracer.span("second"):
+            pass
+        (root,) = tracer.to_dict()
+        # The new trace starts near offset zero again.
+        assert root["start_offset_s"] < 0.002 + 0.05
+
+    def test_monotonic_ordering_of_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.to_dict()
+        assert second["start_offset_s"] >= first["end_offset_s"]

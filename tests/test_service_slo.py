@@ -1,0 +1,156 @@
+"""Latency SLO watchdog drills against the NEAT service.
+
+Chaos-style: latency faults are injected through the service's named
+injection points with a *real* sleeper, so the latency histograms see the
+stall; the watchdog evaluates inline, so two identical runs must produce
+byte-identical counters and gauges.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.config import NEATConfig
+from repro.distributed.service import NeatService
+from repro.resilience import FaultPlan
+
+from conftest import trajectory_through
+
+pytestmark = pytest.mark.usefixtures("line3")
+
+
+def batch(network, trid: int):
+    return [trajectory_through(network, trid, [0, 1])]
+
+
+def make_service(network, **slo) -> NeatService:
+    return NeatService(network, NEATConfig(min_card=0, eps=500.0, **slo))
+
+
+class TestIngestSLO:
+    def test_breach_sheds_load_and_clears(self, line3):
+        svc = make_service(line3, slo_ingest_p99_s=0.05)
+        assert svc.effective_max_pending == svc.config.max_pending
+
+        svc.faults.arm("ingest", FaultPlan(latency_s=0.2), sleeper=time.sleep)
+        svc.submit(batch(line3, 0))
+        assert svc.slo_watchdog.breached
+        assert svc.effective_max_pending == svc.config.max_pending // 2
+        assert svc.health()["status"] == "degraded"
+        assert svc.telemetry.metrics.value("service.slo_breach") == 1.0
+        assert svc.stats().slo_breaches == 1
+
+        # Faults gone, latencies recover, the breach clears.
+        svc.faults.disarm("ingest")
+        svc.submit(batch(line3, 1))
+        assert not svc.slo_watchdog.breached
+        assert svc.effective_max_pending == svc.config.max_pending
+        assert svc.health()["status"] == "ok"
+        assert svc.telemetry.metrics.value("service.slo_breach") == 0.0
+        assert svc.telemetry.metrics.value("service.slo_recoveries") == 1.0
+
+    def test_shed_admission_rejects_earlier(self, line3):
+        from repro.errors import RetriesExhausted, ServiceOverloaded
+
+        svc = make_service(line3, slo_ingest_p99_s=0.05, max_pending=2)
+        svc.faults.arm("ingest", FaultPlan(latency_s=0.2), sleeper=time.sleep)
+        svc.submit(batch(line3, 0))
+        assert svc.effective_max_pending == 1
+        # One batch stuck in the queue now trips admission immediately.
+        svc.faults.arm("ingest", FaultPlan(kill_from=1))
+        with pytest.raises(RetriesExhausted):
+            svc.submit(batch(line3, 1))  # fails, stays pending
+        assert svc.pending_batches == 1
+        with pytest.raises(ServiceOverloaded):
+            svc.submit(batch(line3, 2))
+
+    def test_no_slo_configured_never_evaluates(self, line3):
+        svc = make_service(line3)
+        svc.faults.arm("ingest", FaultPlan(latency_s=0.2), sleeper=time.sleep)
+        svc.submit(batch(line3, 0))
+        assert svc.slo_watchdog.rules == []
+        assert not svc.slo_watchdog.breached
+        assert svc.effective_max_pending == svc.config.max_pending
+        assert svc.stats().slo_breaches == 0
+
+
+class TestQuerySLO:
+    def test_breach_serves_stale_then_recovers(self, line3):
+        svc = make_service(line3, slo_query_p99_s=0.05)
+        svc.submit(batch(line3, 0))
+
+        svc.faults.arm("refresh", FaultPlan(latency_s=0.2), sleeper=time.sleep)
+        slow = svc.get_clustering()
+        assert slow["stale"] is False  # breach judged after the call
+        assert "slo_degraded" not in slow
+        assert svc.slo_watchdog.breached
+
+        # While breached: refresh skipped, snapshot served, flagged.
+        stale = svc.get_clustering()
+        assert stale["stale"] is True
+        assert stale["slo_degraded"] is True
+        assert svc.stats().slo_stale_queries == 1
+        # The stale answer was fast, so that window cleared the breach …
+        assert not svc.slo_watchdog.breached
+
+        # … and with the fault disarmed the next query refreshes live.
+        svc.faults.disarm("refresh")
+        fresh = svc.get_clustering()
+        assert "slo_degraded" not in fresh
+        assert fresh["stale"] is False
+
+    def test_stale_needs_a_snapshot(self, line3):
+        # Breached query SLO but no snapshot yet: the refresh still runs.
+        svc = make_service(line3, slo_query_p99_s=0.05)
+        svc.faults.arm("refresh", FaultPlan(latency_s=0.2), sleeper=time.sleep)
+        first = svc.get_clustering()  # slow, but served live
+        assert "slo_degraded" not in first
+        assert first["stale"] is False
+        assert first["clusters"] == []
+
+
+class TestChaosDeterminism:
+    """Two identical chaos runs must flip the same state the same way."""
+
+    @staticmethod
+    def run_drill(network) -> str:
+        svc = make_service(
+            network, slo_ingest_p99_s=0.05, slo_query_p99_s=0.05
+        )
+        svc.faults.arm("ingest", FaultPlan(latency_s=0.2), sleeper=time.sleep)
+        svc.submit(batch(network, 0))  # ingest breach
+        svc.submit(batch(network, 1))  # still breached, no transition
+        svc.faults.disarm("ingest")
+        svc.submit(batch(network, 2))  # recovery
+        svc.faults.arm("refresh", FaultPlan(latency_s=0.2), sleeper=time.sleep)
+        svc.get_clustering()  # query breach
+        svc.get_clustering()  # stale, fast -> recovery
+        svc.faults.disarm("refresh")
+        svc.get_clustering()  # live again
+        snapshot = svc.telemetry.metrics.as_dict()
+        # Counters and gauges are deterministic; histogram sums carry
+        # wall-clock noise, so only their observation counts are kept.
+        return json.dumps(
+            {
+                "counters": snapshot["counters"],
+                "gauges": snapshot["gauges"],
+                "observations": {
+                    name: body["count"]
+                    for name, body in snapshot["histograms"].items()
+                },
+            },
+            sort_keys=True,
+        )
+
+    def test_two_runs_byte_identical(self, line3):
+        first = self.run_drill(line3)
+        second = self.run_drill(line3)
+        assert first == second
+        document = json.loads(first)
+        assert document["counters"]["service.slo_breaches"] == 2
+        assert document["counters"]["service.slo_recoveries"] == 2
+        assert document["counters"]["service.slo_stale_queries"] == 1
+        assert document["gauges"]["service.slo_breach"] == 0.0
