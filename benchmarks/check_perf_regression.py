@@ -18,6 +18,12 @@ recorded run".
 ``--key-max dotted=limit`` adds absolute ceilings evaluated against the
 current artifact alone — the form a latency-SLO-style bound takes (for
 example ``overhead_disabled_pct=2.0`` for the observability bench).
+``--key-min dotted=floor`` is the mirror image: an absolute floor for
+values that must stay *high*, such as ``phase3.phase3_speedup`` from the
+sp-core bench.  ``--skip-unless dotted=min`` guards either kind of gate
+on an environment precondition carried in the artifact itself — e.g.
+``phase3.available_cpus=4`` skips the speedup floor (exit 0, loudly) on
+runners where worker processes can only time-slice a single CPU.
 
 Usage::
 
@@ -94,6 +100,42 @@ def check_ceilings(current: dict, ceilings: list[tuple[str, float]]) -> list[str
     return failures
 
 
+def check_floors(current: dict, floors: list[tuple[str, float]]) -> list[str]:
+    """Absolute ``value >= floor`` gates on the current artifact."""
+    failures = []
+    for key, floor in floors:
+        try:
+            value = float(lookup(current, key))
+        except (KeyError, TypeError, ValueError):
+            failures.append(f"{key}: missing from current artifact")
+            continue
+        if value < floor:
+            failures.append(f"{key}: {value:g} is below floor {floor:g}")
+        else:
+            print(f"ok: {key} = {value:g} (floor {floor:g})")
+    return failures
+
+
+def unmet_preconditions(
+    current: dict, preconditions: list[tuple[str, float]]
+) -> list[str]:
+    """Human-readable lines for ``--skip-unless`` conditions that fail.
+
+    A missing key counts as unmet — an artifact that does not carry the
+    precondition field cannot prove the gate is meaningful.
+    """
+    unmet = []
+    for key, minimum in preconditions:
+        try:
+            value = float(lookup(current, key))
+        except (KeyError, TypeError, ValueError):
+            unmet.append(f"{key} missing from current artifact")
+            continue
+        if value < minimum:
+            unmet.append(f"{key} = {value:g} < {minimum:g}")
+    return unmet
+
+
 def parse_ceiling(raw: str) -> tuple[str, float]:
     key, separator, limit = raw.partition("=")
     if not separator or not key:
@@ -144,12 +186,24 @@ def main(argv: list[str] | None = None) -> int:
                         dest="ceilings", type=parse_ceiling, metavar="KEY=LIMIT",
                         help="absolute ceiling on a current-artifact key "
                              "(repeatable; no baseline needed)")
+    parser.add_argument("--key-min", action="append", default=[],
+                        dest="floors", type=parse_ceiling, metavar="KEY=FLOOR",
+                        help="absolute floor on a current-artifact key "
+                             "(repeatable; no baseline needed) — e.g. "
+                             "phase3.phase3_speedup=2.0")
+    parser.add_argument("--skip-unless", action="append", default=[],
+                        dest="preconditions", type=parse_ceiling,
+                        metavar="KEY=MIN",
+                        help="skip every check (exit 0) unless this "
+                             "current-artifact key is >= MIN — gates "
+                             "environment-dependent bounds, e.g. "
+                             "phase3.available_cpus=4")
     parser.add_argument("--max-regression", type=float, default=0.10,
                         help="allowed fractional increase (default 0.10)")
     options = parser.parse_args(argv)
 
-    if not options.keys and not options.ceilings:
-        parser.error("nothing to check: pass --key and/or --key-max")
+    if not options.keys and not options.ceilings and not options.floors:
+        parser.error("nothing to check: pass --key, --key-max and/or --key-min")
     if options.keys and options.baseline is None and options.history is None:
         parser.error("--key needs a baseline: pass --baseline or --history")
     if options.baseline is not None and options.history is not None:
@@ -158,6 +212,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--history needs --bench")
 
     current = json.loads(options.current.read_text(encoding="utf-8"))
+
+    unmet = unmet_preconditions(current, options.preconditions)
+    if unmet:
+        for line in unmet:
+            print(f"skipped: precondition unmet ({line})")
+        return 0
 
     failures = []
     if options.keys:
@@ -171,6 +231,7 @@ def main(argv: list[str] | None = None) -> int:
             check(baseline, current, options.keys, options.max_regression)
         )
     failures.extend(check_ceilings(current, options.ceilings))
+    failures.extend(check_floors(current, options.floors))
 
     for line in failures:
         print(f"REGRESSION {line}", file=sys.stderr)

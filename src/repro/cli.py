@@ -105,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Phase 3 distance oracle: batched "
                               "multi-target kernels (default) or the "
                               "legacy per-pair searches; identical output")
+    cluster.add_argument("--vector-backend",
+                         choices=("auto", "numpy", "python"),
+                         default="auto",
+                         help="batched bound-kernel implementation: numpy "
+                              "when importable (auto, the default), numpy "
+                              "required, or the stdlib loops; output is "
+                              "byte-identical either way")
     cluster.add_argument("--llb", action="store_true",
                          help="enable the landmark lower-bound prune tier "
                               "above the ELB (never changes clusters)")
@@ -321,6 +328,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         eps=args.eps, min_card=args.min_card, use_elb=not args.no_elb,
         workers=args.workers, sp_backend=args.sp_backend,
         sp_oracle=args.sp_oracle, use_llb=args.llb,
+        vector_backend=args.vector_backend,
         llb_landmarks=max(1, args.llb_landmarks),
         max_retries=args.max_retries, deadline_s=args.deadline_s,
         max_pending=args.max_pending,

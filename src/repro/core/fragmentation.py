@@ -17,7 +17,7 @@ from typing import Iterable
 
 from ..errors import UnknownSegmentError
 from ..mapmatch.path_inference import infer_crossings
-from ..parallel import map_chunked
+from ..parallel import map_chunked, network_resource
 from ..roadnet.network import RoadNetwork
 from .model import Location, TFragment, Trajectory
 
@@ -107,14 +107,14 @@ MIN_TRAJECTORIES_PER_WORKER = 16
 
 
 def _fragment_chunk(
-    network: RoadNetwork,
     keep_interior_points: bool,
+    network: RoadNetwork,
     trajectories: list[Trajectory],
 ) -> list[TFragment]:
     """Worker-side Phase 1 unit: fragment one contiguous trajectory chunk.
 
-    Module level (picklable) so :func:`repro.parallel.map_chunked` can
-    ship it to a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    Module level (picklable); the network arrives as a pool resource
+    broadcast once per worker start, not pickled per chunk.
     """
     fragments: list[TFragment] = []
     for trajectory in trajectories:
@@ -133,15 +133,17 @@ def fragment_all(
     """Fragment every trajectory, concatenating results in input order.
 
     Args:
-        workers: Fan the trajectories out per-chunk over a process pool
-            (``None``/``0`` = one per CPU, ``<=1`` = serial, the
-            default).  Chunks are contiguous and results merge in input
-            order, so the output is identical to a serial run.
+        workers: Fan the trajectories out per-chunk over the persistent
+            worker pool (``None``/``0`` = one per CPU, ``<=1`` = serial,
+            the default).  The network is registered as a broadcast-once
+            pool resource; chunks are contiguous and results merge in
+            input order, so the output is identical to a serial run.
     """
     trajectory_list = list(trajectories)
     return map_chunked(
-        partial(_fragment_chunk, network, keep_interior_points),
+        partial(_fragment_chunk, keep_interior_points),
         trajectory_list,
         workers=workers,
         min_items_per_worker=MIN_TRAJECTORIES_PER_WORKER,
+        resource=network_resource(network),
     )

@@ -45,6 +45,50 @@ PHASE_CHECKPOINT_VERSION = 1
 _log = get_logger("core.pipeline")
 
 
+def _pool_snapshot(metrics) -> dict[str, int] | None:
+    """Baseline of the process-wide ``pool.*`` counters for one run."""
+    if metrics is None:
+        return None
+    from ..parallel import pool_counters
+
+    return pool_counters()
+
+
+def _publish_pool_deltas(metrics, before: dict[str, int] | None) -> None:
+    """Publish this run's worker-pool activity as ``pool.*`` counters.
+
+    The pool is a process-wide singleton, so its counters accumulate
+    across runs; each run publishes only its own delta into the bound
+    metrics registry.  Zero deltas are skipped — a serial run adds no
+    ``pool.*`` instruments at all.
+    """
+    if metrics is None or before is None:
+        return
+    from ..parallel import pool_counters
+
+    after = pool_counters()
+    for name, value in after.items():
+        delta = value - before.get(name, 0)
+        if delta:
+            metrics.counter(name, _POOL_COUNTER_HELP[name]).inc(delta)
+
+
+#: Catalogue text for the pool counters (docs/observability.md mirrors it).
+_POOL_COUNTER_HELP = {
+    "pool.starts": "Worker-pool executor starts (cold starts)",
+    "pool.restarts": "Worker-pool restarts (new resources, growth, crashes)",
+    "pool.batches": "Parallel batches dispatched to the pool",
+    "pool.reuses": "Batches served by already-running workers",
+    "pool.tasks": "Individual tasks shipped to workers",
+    "pool.bytes_shipped": "Pickled task payload bytes shipped to workers",
+    "pool.broadcast_bytes": "Bytes of broadcast-once object resources",
+    "pool.shm_segments": "Shared-memory segments published",
+    "pool.shm_bytes": "Bytes published to shared-memory segments",
+    "pool.crash_recoveries": "Batches retried after a worker crash",
+    "pool.serial_fallbacks": "Batches that fell back to inline execution",
+}
+
+
 class NEAT:
     """Road-network-aware trajectory clustering (the paper's contribution).
 
@@ -148,13 +192,17 @@ class NEAT:
         # only the None checks.
         self.engine.bind_metrics(metrics)
 
-        self._phase1(trajectory_list, result, tracer, metrics)
-        if mode == "base":
-            return
-        self._phase2(result, tracer, metrics)
-        if mode == "flow":
-            return
-        self._phase3(result, tracer, metrics)
+        pool_before = _pool_snapshot(metrics)
+        try:
+            self._phase1(trajectory_list, result, tracer, metrics)
+            if mode == "base":
+                return
+            self._phase2(result, tracer, metrics)
+            if mode == "flow":
+                return
+            self._phase3(result, tracer, metrics)
+        finally:
+            _publish_pool_deltas(metrics, pool_before)
 
     def _phase1(self, trajectory_list, result, tracer, metrics) -> None:
         with tracer.span("phase1.fragmentation") as span:
@@ -313,16 +361,20 @@ class NEAT:
                     phase=phase, error=repr(error),
                 )
 
-        with tracer.span("neat.run_resumable"):
-            if done < 0:
-                self._phase1(trajectory_list, result, tracer, metrics)
-                save("base")
-            if mode != "base" and done < 1:
-                self._phase2(result, tracer, metrics)
-                save("flow")
-            if mode == "opt" and done < 2:
-                self._phase3(result, tracer, metrics)
-                save("opt")
+        pool_before = _pool_snapshot(metrics)
+        try:
+            with tracer.span("neat.run_resumable"):
+                if done < 0:
+                    self._phase1(trajectory_list, result, tracer, metrics)
+                    save("base")
+                if mode != "base" and done < 1:
+                    self._phase2(result, tracer, metrics)
+                    save("flow")
+                if mode == "opt" and done < 2:
+                    self._phase3(result, tracer, metrics)
+                    save("opt")
+        finally:
+            _publish_pool_deltas(metrics, pool_before)
         if telemetry.enabled:
             result.telemetry = telemetry.snapshot()
         _log.info(

@@ -173,6 +173,8 @@ def _surviving_endpoint_pairs(
     eps: float,
     use_elb: bool,
     llb=None,
+    elb_mask: bytearray | None = None,
+    llb_mask: bytearray | None = None,
 ) -> list[tuple[int, int]]:
     """Endpoint node pairs the region queries will ask the engine for.
 
@@ -181,19 +183,32 @@ def _surviving_endpoint_pairs(
     whose modified Hausdorff distance Phase 3 must evaluate) and expands
     each into its endpoint-junction pairs, in deterministic order.
     Pairs are deduplicated after symmetric normalization and ``(n, n)``
-    identities are dropped, so the payload pickled to worker processes
+    identities are dropped, so the payload shipped to worker processes
     (and the grouped planner's input) carries each distinct query once.
+
+    When precomputed ``n x n`` prune masks are given
+    (:func:`repro.core.bounds.elb_far_mask` /
+    :func:`~repro.core.bounds.llb_far_mask`) they replace the scalar
+    bound evaluations — the masks encode the same decisions, batched.
     """
+    n = len(flow_list)
     pairs: list[tuple[int, int]] = []
     seen: set[tuple[int, int]] = set()
-    for i in range(len(flow_list)):
+    for i in range(n):
         a1, a2 = flow_list[i].endpoints
-        for j in range(i + 1, len(flow_list)):
-            if use_elb:
+        row = i * n
+        for j in range(i + 1, n):
+            if elb_mask is not None:
+                if elb_mask[row + j]:
+                    continue
+            elif use_elb:
                 bound = euclidean_lower_bound(network, flow_list[i], flow_list[j])
                 if bound > eps:
                     continue
-            if llb is not None:
+            if llb_mask is not None:
+                if llb_mask[row + j]:
+                    continue
+            elif llb is not None:
                 if landmark_lower_bound(llb, flow_list[i], flow_list[j]) > eps:
                     continue
             b1, b2 = flow_list[j].endpoints
@@ -278,6 +293,28 @@ def refine_flow_clusters(
         # query time, like the Euclidean bound).
         llb = engine.landmark_bounds(config.llb_landmarks)
 
+    # Batch the lower-bound tiers over flat endpoint arrays once, up
+    # front (numpy-accelerated when available; decisions are identical
+    # either way — see repro.core.bounds).  Region queries and prefetch
+    # enumeration below then index the masks instead of recomputing
+    # per-pair bounds, so the counters they drive cannot drift.
+    from ..vec import resolve_vector_backend
+    from .bounds import elb_far_mask, llb_far_mask
+
+    vector_backend = resolve_vector_backend(
+        getattr(config, "vector_backend", "auto")
+    )
+    elb_mask = (
+        elb_far_mask(network, flow_list, eps, vector_backend)
+        if config.use_elb
+        else None
+    )
+    llb_mask = (
+        llb_far_mask(llb, flow_list, eps, vector_backend)
+        if llb is not None
+        else None
+    )
+
     if config.sp_oracle == "tiered" and engine.oracle is None:
         # Tiered oracle: answer every distance the region queries below
         # will need with batched multi-target single-source kernels —
@@ -287,7 +324,8 @@ def refine_flow_clusters(
         # the same searches and report identical counters.
         engine.prefetch_grouped(
             _surviving_endpoint_pairs(
-                network, flow_list, eps, config.use_elb, llb=llb
+                network, flow_list, eps, config.use_elb, llb=llb,
+                elb_mask=elb_mask, llb_mask=llb_mask,
             ),
             cutoff=eps,
             workers=workers,
@@ -299,7 +337,8 @@ def refine_flow_clusters(
         # exact.
         engine.prefetch(
             _surviving_endpoint_pairs(
-                network, flow_list, eps, config.use_elb, llb=llb
+                network, flow_list, eps, config.use_elb, llb=llb,
+                elb_mask=elb_mask, llb_mask=llb_mask,
             ),
             cutoff=eps,
             workers=workers,
@@ -307,22 +346,18 @@ def refine_flow_clusters(
 
     def region_query(index: int) -> list[int]:
         found = []
+        row = index * len(flow_list)
         for other in range(len(flow_list)):
             if other == index:
                 continue
             stats.pair_checks += 1
-            if config.use_elb:
-                bound = euclidean_lower_bound(
-                    network, flow_list[index], flow_list[other]
-                )
-                if bound > eps:
+            if elb_mask is not None:
+                if elb_mask[row + other]:
                     stats.elb_pruned += 1
                     continue
-            if llb is not None:
+            if llb_mask is not None:
                 stats.llb_evaluations += 1
-                if landmark_lower_bound(
-                    llb, flow_list[index], flow_list[other]
-                ) > eps:
+                if llb_mask[row + other]:
                     stats.llb_pruned += 1
                     continue
             stats.hausdorff_evaluations += 1

@@ -16,8 +16,18 @@ dense ``0..n-1`` node index — and runs Dijkstra over plain list reads:
   ``2*sqrt`` of the nodes a unidirectional search would;
 * :meth:`CSRGraph.shortest_route` — point-to-point with path recovery.
 
-Snapshots are immutable and picklable, so read-only copies can be fanned
-out to worker processes (see :mod:`repro.parallel`).  ``RoadNetwork.csr``
+Storage is typed :class:`array.array` buffers (``'q'`` int64 for the
+structure arrays, ``'d'`` float64 for weights), so every column exposes
+the buffer protocol: a snapshot can be copied byte-for-byte into a
+:mod:`multiprocessing.shared_memory` segment and *attached* zero-copy in
+worker processes as ``memoryview`` casts over the shared buffer (see
+:mod:`repro.roadnet.sharedcsr`).  Indexing semantics are identical
+across backings — the Dijkstra loops below never know whether they read
+a private array or a shared mapping.
+
+Snapshots are immutable and picklable (attached views materialize into
+private arrays on pickle), so read-only copies can still be shipped the
+legacy way when shared memory is unavailable.  ``RoadNetwork.csr``
 builds and caches one per direction mode, invalidating on mutation.
 
 Exactness: for a unique shortest path, the unidirectional searches
@@ -30,6 +40,7 @@ callers comparing across backends should allow a relative tolerance of
 
 from __future__ import annotations
 
+from array import array
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -84,7 +95,7 @@ class CSRGraph:
         :func:`build_csr` to derive one from a :class:`RoadNetwork`.
         """
         self.directed = directed
-        self.node_ids = list(node_ids)
+        self.node_ids = array("q", node_ids)
         self.index_of = {nid: i for i, nid in enumerate(self.node_ids)}
         self.indptr, self.adj, self.sids, self.weights = _pack(
             len(node_ids), edges
@@ -94,6 +105,92 @@ class CSRGraph:
             self.rindptr, self.radj, self.rsids, self.rweights = _pack(
                 len(node_ids), reverse
             )
+        else:
+            self.rindptr = self.indptr
+            self.radj = self.adj
+            self.rsids = self.sids
+            self.rweights = self.weights
+
+    @classmethod
+    def from_arrays(
+        cls,
+        directed: bool,
+        node_ids,
+        indptr,
+        adj,
+        sids,
+        weights,
+        rindptr=None,
+        radj=None,
+        rsids=None,
+        rweights=None,
+    ) -> "CSRGraph":
+        """Wrap already-packed CSR columns without copying them.
+
+        The columns may be :class:`array.array` buffers or typed
+        ``memoryview`` casts over a shared-memory segment (the zero-copy
+        attach path of :class:`~repro.roadnet.sharedcsr.SharedCSR`); the
+        search kernels only ever index them.  For a directed graph the
+        reverse columns are required; undirected graphs alias the forward
+        ones.
+        """
+        graph = cls.__new__(cls)
+        graph.directed = directed
+        graph.node_ids = node_ids
+        graph.index_of = {nid: i for i, nid in enumerate(node_ids)}
+        graph.indptr = indptr
+        graph.adj = adj
+        graph.sids = sids
+        graph.weights = weights
+        if directed:
+            if rindptr is None or radj is None or rsids is None or rweights is None:
+                raise ValueError("directed CSR needs its reverse columns")
+            graph.rindptr = rindptr
+            graph.radj = radj
+            graph.rsids = rsids
+            graph.rweights = rweights
+        else:
+            graph.rindptr = indptr
+            graph.radj = adj
+            graph.rsids = sids
+            graph.rweights = weights
+        return graph
+
+    # ------------------------------------------------------------------
+    # Pickling: materialize the columns into private typed arrays so a
+    # snapshot ships to a process even when its storage is a memoryview
+    # over someone else's shared segment; ``index_of`` is rebuilt on the
+    # receiving side instead of being serialized.
+    def __getstate__(self) -> dict:
+        state = {
+            "directed": self.directed,
+            "node_ids": array("q", self.node_ids),
+            "indptr": array("q", self.indptr),
+            "adj": array("q", self.adj),
+            "sids": array("q", self.sids),
+            "weights": array("d", self.weights),
+        }
+        if self.directed:
+            state["rindptr"] = array("q", self.rindptr)
+            state["radj"] = array("q", self.radj)
+            state["rsids"] = array("q", self.rsids)
+            state["rweights"] = array("d", self.rweights)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        directed = state["directed"]
+        self.directed = directed
+        self.node_ids = state["node_ids"]
+        self.index_of = {nid: i for i, nid in enumerate(self.node_ids)}
+        self.indptr = state["indptr"]
+        self.adj = state["adj"]
+        self.sids = state["sids"]
+        self.weights = state["weights"]
+        if directed:
+            self.rindptr = state["rindptr"]
+            self.radj = state["radj"]
+            self.rsids = state["rsids"]
+            self.rweights = state["rweights"]
         else:
             self.rindptr = self.indptr
             self.radj = self.adj
@@ -392,22 +489,27 @@ class CSRGraph:
 
 def _pack(
     node_count: int, edges: Iterable[tuple[int, int, int, float]]
-) -> tuple[list[int], list[int], list[int], list[float]]:
-    """Counting-sort an edge list into CSR arrays (stable per source)."""
+) -> tuple[array, array, array, array]:
+    """Counting-sort an edge list into typed CSR arrays (stable per source).
+
+    Returns int64 (``'q'``) structure columns and a float64 (``'d'``)
+    weight column — contiguous buffers a shared-memory publisher can copy
+    byte-for-byte.
+    """
     edge_list = list(edges)
     counts = [0] * (node_count + 1)
     for src, _dst, _sid, _w in edge_list:
         counts[src + 1] += 1
-    indptr = [0] * (node_count + 1)
+    indptr = array("q", bytes(8 * (node_count + 1)))
     total = 0
     for i in range(node_count + 1):
         total += counts[i]
         indptr[i] = total
     cursor = list(indptr[:node_count])
     m = len(edge_list)
-    adj = [0] * m
-    sids = [0] * m
-    weights = [0.0] * m
+    adj = array("q", bytes(8 * m))
+    sids = array("q", bytes(8 * m))
+    weights = array("d", bytes(8 * m))
     for src, dst, sid, w in edge_list:
         k = cursor[src]
         cursor[src] = k + 1

@@ -96,6 +96,21 @@ class LandmarkOracle:
                 best = bound
         return best
 
+    def landmark_table_rows(self, nodes: Sequence[int]) -> list[list[float]]:
+        """Per node, its distance to every landmark (``nan`` = uncovered).
+
+        The batch view of the tables behind :meth:`lower_bound`, used by
+        the vectorized bound kernels: row ``i`` lists ``d(L, nodes[i])``
+        for each landmark ``L`` in :attr:`landmarks` order, with
+        ``math.nan`` marking nodes a landmark's sweep never reached.
+        """
+        import math
+
+        return [
+            [table.get(node, math.nan) for table in self._tables]
+            for node in nodes
+        ]
+
     def is_current(self) -> bool:
         """Whether the tables still describe the network (no mutations)."""
         return self.network_version == self._network.version
@@ -160,17 +175,21 @@ class LandmarkOracle:
         return len(done)
 
 
-def _source_tables_chunk(
-    graph, targets: tuple[int, ...], sources: list[int]
+def _source_tables_kernel(
+    graph, view, lo: int, hi: int
 ) -> list[list[float]]:
-    """Worker-side unit: per source, the distances to every target.
+    """Span kernel: per source in ``view[lo:hi]``, distances to targets.
 
-    ``graph`` is a read-only :class:`~repro.roadnet.csr.CSRGraph`
-    snapshot; module level so it pickles to a process pool.
+    The batch is flat-encoded as ``[n_targets, targets..., sources...]``,
+    so every span kernel reads the shared target header at offset 0 and
+    walks only its own source slots.  ``graph`` is the worker's zero-copy
+    attached CSR snapshot.
     """
+    n_targets = view[0]
+    targets = tuple(view[1:1 + n_targets])
     rows: list[list[float]] = []
-    for source in sources:
-        table = graph.single_source(source)
+    for i in range(lo, hi):
+        table = graph.single_source(view[i])
         rows.append([table.get(target, INFINITY) for target in targets])
     return rows
 
@@ -185,25 +204,33 @@ def many_to_many_distances(
 
     The bulk primitive behind batched Phase 3 refreshes: with ``S``
     sources it costs ``S`` single-source searches (over the flat-array
-    CSR snapshot) instead of ``S*T`` point queries.
+    CSR snapshot) instead of ``S*T`` point queries.  Parallel sweeps
+    attach the network's shared-memory CSR snapshot zero-copy and read
+    their source ids out of a span descriptor — no graph pickling.
 
     Args:
         workers: Fan the per-source sweeps out over a process pool
             (``None``/``0`` = one per CPU, ``<=1`` serial); results are
             identical at any setting.
     """
-    from functools import partial
+    from array import array
 
-    from ..parallel import map_chunked
+    from ..parallel import csr_resource, map_flat
 
     source_list = list(sources)
     target_tuple = tuple(targets)
-    graph = network.csr(directed=False)
-    rows = map_chunked(
-        partial(_source_tables_chunk, graph, target_tuple),
-        source_list,
+    if not source_list:
+        return {}
+    header = 1 + len(target_tuple)
+    flat = array("q", [len(target_tuple), *target_tuple, *source_list])
+    rows = map_flat(
+        _source_tables_kernel,
+        "q",
+        flat,
+        range(header, header + len(source_list) + 1),
         workers=workers,
         min_items_per_worker=4,
+        resource=csr_resource(network, directed=False),
     )
     results: dict[tuple[int, int], float] = {}
     for source, row in zip(source_list, rows):

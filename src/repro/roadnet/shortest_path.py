@@ -650,22 +650,48 @@ class ShortestPathEngine:
         limit: float,
         workers: int | None,
     ) -> list[tuple[float, int]]:
-        """Run the searches for ``keys``, serially or across processes."""
+        """Run the searches for ``keys``, serially or across processes.
+
+        The parallel CSR path is zero-copy: workers attach the shared
+        snapshot registered with the persistent pool, and the pair list
+        is shipped as one flat int64 batch segment with per-task
+        (offset, length) descriptors.  The dict backend broadcasts the
+        network once per pool start instead of pickling it per chunk.
+        """
+        from array import array
         from functools import partial
 
-        from ..parallel import effective_workers, map_chunked
+        from ..parallel import (
+            csr_resource,
+            effective_workers,
+            map_chunked,
+            map_flat,
+            network_resource,
+        )
 
-        if self.backend == "csr":
-            spec: tuple = ("csr", self.network.csr(self.directed))
-        else:
-            spec = ("dict", self.network, self.directed)
         if effective_workers(workers, len(keys), MIN_PAIRS_PER_WORKER) <= 1:
+            if self.backend == "csr":
+                spec: tuple = ("csr", self.network.csr(self.directed))
+            else:
+                spec = ("dict", self.network, self.directed)
             return _compute_pairs(spec, keys, limit)
+        if self.backend == "csr":
+            flat = array("q", [node for pair in keys for node in pair])
+            return map_flat(
+                partial(_csr_pairs_kernel, limit),
+                "q",
+                flat,
+                range(0, 2 * len(keys) + 1, 2),
+                workers=workers,
+                min_items_per_worker=MIN_PAIRS_PER_WORKER,
+                resource=csr_resource(self.network, self.directed),
+            )
         return map_chunked(
-            partial(_compute_pairs, spec, cutoff=limit),
+            partial(_dict_pairs_chunk, self.directed, limit),
             keys,
             workers=workers,
             min_items_per_worker=MIN_PAIRS_PER_WORKER,
+            resource=network_resource(self.network),
         )
 
     def _batch_group_search(
@@ -674,22 +700,52 @@ class ShortestPathEngine:
         limit: float,
         workers: int | None,
     ) -> list[tuple[dict[int, float], int]]:
-        """Run the grouped kernels for ``groups``, serially or in a pool."""
+        """Run the grouped kernels for ``groups``, serially or in a pool.
+
+        Parallel batches follow :meth:`_batch_search`'s zero-copy scheme;
+        each group is flat-encoded as ``[source, n_targets, targets...]``
+        (self-delimiting, so a worker walks exactly its span).
+        """
+        from array import array
         from functools import partial
 
-        from ..parallel import effective_workers, map_chunked
+        from ..parallel import (
+            csr_resource,
+            effective_workers,
+            map_chunked,
+            map_flat,
+            network_resource,
+        )
 
-        if self.backend == "csr":
-            spec: tuple = ("csr", self.network.csr(self.directed))
-        else:
-            spec = ("dict", self.network, self.directed)
         if effective_workers(workers, len(groups), MIN_GROUPS_PER_WORKER) <= 1:
+            if self.backend == "csr":
+                spec: tuple = ("csr", self.network.csr(self.directed))
+            else:
+                spec = ("dict", self.network, self.directed)
             return _compute_groups(spec, groups, limit)
+        if self.backend == "csr":
+            flat = array("q")
+            boundaries = [0]
+            for source, targets in groups:
+                flat.append(source)
+                flat.append(len(targets))
+                flat.extend(targets)
+                boundaries.append(len(flat))
+            return map_flat(
+                partial(_csr_groups_kernel, limit),
+                "q",
+                flat,
+                boundaries,
+                workers=workers,
+                min_items_per_worker=MIN_GROUPS_PER_WORKER,
+                resource=csr_resource(self.network, self.directed),
+            )
         return map_chunked(
-            partial(_compute_groups, spec, cutoff=limit),
+            partial(_dict_groups_chunk, self.directed, limit),
             groups,
             workers=workers,
             min_items_per_worker=MIN_GROUPS_PER_WORKER,
+            resource=network_resource(self.network),
         )
 
     # ------------------------------------------------------------------
@@ -864,6 +920,69 @@ def _compute_groups(
             for source, targets in groups
         ]
     _kind, network, directed = spec
+    return [
+        dijkstra_multi_target(
+            network, source, targets, directed=directed, cutoff=cutoff
+        )
+        for source, targets in groups
+    ]
+
+
+def _csr_pairs_kernel(
+    cutoff: float, graph, view, lo: int, hi: int
+) -> list[tuple[float, int]]:
+    """Span kernel over a flat pair batch against a shared CSR snapshot.
+
+    ``view[lo:hi]`` holds ``(source, target)`` int64 slots back-to-back
+    (stride 2).  ``graph`` is the worker's zero-copy attached snapshot —
+    the searches themselves are identical to :func:`_compute_pairs`.
+    """
+    search = graph.bidirectional_distance_counted
+    return [
+        search(view[i], view[i + 1], cutoff) for i in range(lo, hi, 2)
+    ]
+
+
+def _csr_groups_kernel(
+    cutoff: float, graph, view, lo: int, hi: int
+) -> list[tuple[dict[int, float], int]]:
+    """Span kernel over a flat grouped-search batch.
+
+    Each group is self-delimiting: ``[source, n_targets, targets...]``.
+    The kernel walks its ``[lo, hi)`` element range and runs one bounded
+    multi-target search per group, exactly as :func:`_compute_groups`.
+    """
+    results = []
+    i = lo
+    while i < hi:
+        source = view[i]
+        n_targets = view[i + 1]
+        targets = tuple(view[i + 2:i + 2 + n_targets])
+        i += 2 + n_targets
+        results.append(graph.multi_target_distances(source, targets, cutoff))
+    return results
+
+
+def _dict_pairs_chunk(
+    directed: bool,
+    cutoff: float,
+    network,
+    pairs: list[tuple[int, int]],
+) -> list[tuple[float, int]]:
+    """Chunk kernel for the dict backend over a broadcast network."""
+    return [
+        dijkstra_distance_counted(network, a, b, directed=directed, cutoff=cutoff)
+        for a, b in pairs
+    ]
+
+
+def _dict_groups_chunk(
+    directed: bool,
+    cutoff: float,
+    network,
+    groups: list[tuple[int, tuple[int, ...]]],
+) -> list[tuple[dict[int, float], int]]:
+    """Grouped chunk kernel for the dict backend over a broadcast network."""
     return [
         dijkstra_multi_target(
             network, source, targets, directed=directed, cutoff=cutoff

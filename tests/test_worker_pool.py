@@ -1,0 +1,295 @@
+"""WorkerPool lifecycle: reuse, resources, crashes, shutdown, no leaks.
+
+The persistent pool replaces the old executor-per-call fan-out; these
+tests pin the lifecycle guarantees the zero-copy core depends on:
+workers are reused across batches, registering new shared resources
+restarts them exactly once, a crashed batch recovers (retry, then
+inline fallback) without wrong answers, shutdown is idempotent, and no
+shared-memory segment outlives its owner.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro import parallel
+from repro.parallel import (
+    WorkerPool,
+    available_cpus,
+    csr_resource,
+    get_pool,
+    map_chunked,
+    map_flat,
+    pool_counters,
+    resolve_workers,
+    shared_object,
+    shutdown_pool,
+)
+from repro.roadnet import GridConfig, generate_grid_network
+
+_PARENT_PID = os.getpid()
+
+
+def _double_chunk(chunk):
+    return [2 * x for x in chunk]
+
+
+def _lookup_chunk(table, chunk):
+    return [table[x] for x in chunk]
+
+
+def _crash_in_worker_chunk(chunk):
+    """Dies in any pool worker; computes normally in the parent.
+
+    The pid guard matters: after two crashed attempts the pool falls
+    back to inline execution in the parent, which must not be killed.
+    """
+    if os.getpid() != _PARENT_PID:
+        os._exit(1)
+    return [x + 1 for x in chunk]
+
+
+def _pair_distance_kernel(graph, view, lo, hi):
+    return [
+        graph.bidirectional_distance_counted(view[i], view[i + 1])
+        for i in range(lo, hi, 2)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _clean_pool():
+    """Every test starts and ends without a live global pool."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def _delta(before: dict, name: str) -> int:
+    return pool_counters()[name] - before[name]
+
+
+class TestAffinityAwareResolution:
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+    def test_auto_uses_affinity_not_machine_count(self):
+        # On Linux the affinity mask is authoritative; auto must agree
+        # with it even when os.cpu_count() reports more.
+        try:
+            affinity = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            pytest.skip("no sched_getaffinity on this platform")
+        if hasattr(os, "process_cpu_count"):
+            assert resolve_workers(None) == os.process_cpu_count()
+        else:
+            assert resolve_workers(None) == affinity
+
+
+class TestPoolReuse:
+    def test_batches_reuse_workers(self):
+        before = pool_counters()
+        items = list(range(20))
+        first = map_chunked(_double_chunk, items, workers=2, min_items_per_worker=1)
+        second = map_chunked(_double_chunk, items, workers=2, min_items_per_worker=1)
+        assert first == second == [2 * x for x in items]
+        assert _delta(before, "pool.starts") == 1
+        assert _delta(before, "pool.batches") == 2
+        assert _delta(before, "pool.reuses") == 1
+        assert _delta(before, "pool.bytes_shipped") > 0
+
+    def test_get_pool_is_singleton_and_grows(self):
+        pool = get_pool(2)
+        assert get_pool() is pool
+        get_pool(3)
+        assert pool.max_workers == 3
+        get_pool(2)  # never shrinks
+        assert pool.max_workers == 3
+
+
+class TestResources:
+    def test_object_resource_broadcast_once(self):
+        table = {x: -x for x in range(30)}
+        resource = shared_object(("table", id(table)), 0, table)
+        before = pool_counters()
+        out = map_chunked(
+            _lookup_chunk,
+            list(range(30)),
+            workers=2,
+            min_items_per_worker=1,
+            resource=resource,
+        )
+        assert out == [-x for x in range(30)]
+        assert _delta(before, "pool.broadcast_bytes") > 0
+        # Same resource again: no new broadcast, no restart.
+        map_chunked(
+            _lookup_chunk,
+            list(range(30)),
+            workers=2,
+            min_items_per_worker=1,
+            resource=resource,
+        )
+        assert _delta(before, "pool.broadcast_bytes") == pool_counters()[
+            "pool.broadcast_bytes"
+        ] - before["pool.broadcast_bytes"]
+        assert _delta(before, "pool.restarts") == 0
+
+    def test_new_resource_after_start_restarts_once(self):
+        pool = get_pool(2)
+        before = pool_counters()
+        map_chunked(_double_chunk, list(range(10)), workers=2, min_items_per_worker=1)
+        assert _delta(before, "pool.starts") == 1
+        late = shared_object(("late", 1), 0, {"x": 1})
+        pool.ensure_resource(late)
+        assert _delta(before, "pool.restarts") == 1
+        assert pool.resource_value(late.key) == {"x": 1}
+
+    def test_new_version_evicts_stale_ident(self):
+        pool = WorkerPool(2)
+        try:
+            v0 = shared_object(("thing", 7), 0, "old")
+            v1 = shared_object(("thing", 7), 1, "new")
+            key0 = pool.ensure_resource(v0)
+            key1 = pool.ensure_resource(v1)
+            assert key0 != key1
+            assert pool.resource_value(key1) == "new"
+            with pytest.raises(KeyError):
+                pool.resource_value(key0)
+        finally:
+            pool.shutdown()
+
+
+class TestSharedSegments:
+    def test_csr_segment_unlinked_on_shutdown(self):
+        from repro.roadnet.sharedcsr import SharedCSR
+
+        network = generate_grid_network(GridConfig(rows=5, cols=5, seed=1))
+        pool = WorkerPool(2)
+        resource = csr_resource(network, directed=False)
+        key = pool.ensure_resource(resource)
+        name = pool._published[key].name
+        # Alive while registered...
+        SharedCSR.attach(name).close()
+        pool.shutdown()
+        # ...gone after shutdown: the owner reclaimed it.
+        with pytest.raises(FileNotFoundError):
+            SharedCSR.attach(name)
+
+    def test_map_flat_parity_and_batch_segment_cleanup(self, tmp_path):
+        from array import array
+        from multiprocessing import shared_memory
+
+        network = generate_grid_network(GridConfig(rows=6, cols=6, seed=2))
+        resource = csr_resource(network, directed=False)
+        ids = network.node_ids()
+        pairs = [(ids[i], ids[-1 - i]) for i in range(12)]
+        flat = array("q", [n for pair in pairs for n in pair])
+        boundaries = range(0, 2 * len(pairs) + 1, 2)
+        serial = map_flat(
+            _pair_distance_kernel, "q", flat, boundaries,
+            workers=1, resource=resource,
+        )
+        before = pool_counters()
+        fanned = map_flat(
+            _pair_distance_kernel, "q", flat, boundaries,
+            workers=3, min_items_per_worker=1, resource=resource,
+        )
+        assert serial == fanned
+        assert _delta(before, "pool.shm_segments") >= 1
+        shutdown_pool()
+        # The transient batch segment and the published CSR are both
+        # reclaimed; nothing of ours is left in /dev/shm.
+        leaked = []
+        for name in os.listdir("/dev/shm") if os.path.isdir("/dev/shm") else []:
+            if name.startswith("psm_"):
+                try:
+                    segment = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    continue
+                segment.close()
+                leaked.append(name)
+        assert leaked == []
+
+
+class TestCrashRecovery:
+    def test_crash_mid_batch_recovers_with_correct_results(self):
+        items = list(range(8))
+        before = pool_counters()
+        out = map_chunked(
+            _crash_in_worker_chunk, items, workers=2, min_items_per_worker=1
+        )
+        assert out == [x + 1 for x in items]
+        assert _delta(before, "pool.crash_recoveries") >= 1
+        assert _delta(before, "pool.serial_fallbacks") == 1
+
+    def test_pool_usable_after_crash(self):
+        map_chunked(
+            _crash_in_worker_chunk, list(range(4)), workers=2, min_items_per_worker=1
+        )
+        out = map_chunked(
+            _double_chunk, list(range(10)), workers=2, min_items_per_worker=1
+        )
+        assert out == [2 * x for x in range(10)]
+
+
+class TestShutdown:
+    def test_double_shutdown_is_safe(self):
+        pool = get_pool(2)
+        map_chunked(_double_chunk, list(range(6)), workers=2, min_items_per_worker=1)
+        pool.shutdown()
+        pool.shutdown()
+        shutdown_pool()
+        shutdown_pool()
+
+    def test_pool_restarts_after_global_shutdown(self):
+        first = get_pool(2)
+        shutdown_pool()
+        second = get_pool(2)
+        assert second is not first
+        out = map_chunked(
+            _double_chunk, list(range(6)), workers=2, min_items_per_worker=1
+        )
+        assert out == [2 * x for x in range(6)]
+
+
+class TestInlineFallbackPayloads:
+    def test_run_inline_matches_worker_results(self):
+        # The serial fallback decodes the same pre-pickled payloads the
+        # workers would have: exercise both payload kinds directly.
+        from array import array
+
+        network = generate_grid_network(GridConfig(rows=5, cols=5, seed=4))
+        pool = WorkerPool(2)
+        try:
+            resource = csr_resource(network, directed=False)
+            key = pool.ensure_resource(resource)
+            chunk_payload = pickle.dumps(
+                ("chunk", _double_chunk, None, [1, 2, 3]),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            assert pool._run_inline(chunk_payload) == [2, 4, 6]
+
+            ids = network.node_ids()
+            flat = array("q", [ids[0], ids[-1], ids[1], ids[-2]])
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(create=True, size=len(flat) * 8)
+            try:
+                segment.buf[:] = flat.tobytes()
+                span_payload = pickle.dumps(
+                    ("span", _pair_distance_kernel, key, segment.name, "q", 0, 4),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                graph = network.csr(False)
+                expected = [
+                    graph.bidirectional_distance_counted(ids[0], ids[-1]),
+                    graph.bidirectional_distance_counted(ids[1], ids[-2]),
+                ]
+                assert pool._run_inline(span_payload) == expected
+            finally:
+                segment.close()
+                segment.unlink()
+        finally:
+            pool.shutdown()
