@@ -105,12 +105,17 @@ def run_overhead(
     objects: int | None = None,
     batches: int | None = None,
     repeats: int = 3,
+    network_scale: float | None = None,
 ) -> dict:
     """Time the three persistence modes over identical batches."""
-    network = build_network(region)
+    network = build_network(region, network_scale)
     dataset = build_dataset(
         network,
-        WorkloadSpec(region, objects if objects is not None else _object_count()),
+        WorkloadSpec(
+            region,
+            objects if objects is not None else _object_count(),
+            network_scale=network_scale,
+        ),
     )
     batch_list = _split(dataset, batches if batches is not None else _batch_count())
     config = NEATConfig(min_card=0)
@@ -209,15 +214,27 @@ def main(argv: list[str] | None = None) -> int:
     """Standalone runner (CI smoke mode shrinks the workload)."""
     import argparse
 
+    from repro.tune.profiles import add_profile_argument, resolve_profile
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny workload: checks the harness runs, not the overhead gate",
     )
+    add_profile_argument(parser)
     options = parser.parse_args(argv)
 
-    if options.smoke:
+    if options.profile:
+        spec = resolve_profile(options.profile).bench_spec(smoke=options.smoke)
+        report = run_overhead(
+            region=spec.region,
+            objects=spec.object_count,
+            batches=4 if options.smoke else None,
+            repeats=1 if options.smoke else 3,
+            network_scale=spec.network_scale,
+        )
+    elif options.smoke:
         report = run_overhead(region="ATL", objects=40, batches=4, repeats=1)
     else:
         report = run_overhead()

@@ -84,15 +84,24 @@ def _run_variant(network, dataset, config: NEATConfig) -> dict:
     }
 
 
-def run_oracle_comparison(region: str = "SJ", objects: int | None = None) -> dict:
+def run_oracle_comparison(
+    region: str = "SJ",
+    objects: int | None = None,
+    network_scale: float | None = None,
+) -> dict:
     """Cluster one workload through all three oracle configurations.
 
     ``min_card=0`` keeps every flow so the pairwise distance matrix is
     large enough for grouping to matter (mirrors ``bench_sp_core``).
     """
-    network = build_network(region)
+    network = build_network(region, network_scale)
     dataset = build_dataset(
-        network, WorkloadSpec(region, objects if objects is not None else _object_count())
+        network,
+        WorkloadSpec(
+            region,
+            objects if objects is not None else _object_count(),
+            network_scale=network_scale,
+        ),
     )
     eps = 2.0 * DEFAULT_EPS.get(region, 800.0)
 
@@ -188,15 +197,25 @@ def main(argv: list[str] | None = None) -> int:
     """Standalone runner (CI smoke mode shrinks the workload)."""
     import argparse
 
+    from repro.tune.profiles import add_profile_argument, resolve_profile
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny workload: checks the harness runs, not the reductions",
     )
+    add_profile_argument(parser)
     options = parser.parse_args(argv)
 
-    if options.smoke:
+    if options.profile:
+        spec = resolve_profile(options.profile).bench_spec(smoke=options.smoke)
+        report = run_oracle_comparison(
+            region=spec.region,
+            objects=spec.object_count,
+            network_scale=spec.network_scale,
+        )
+    elif options.smoke:
         report = run_oracle_comparison(region="ATL", objects=40)
     else:
         report = run_oracle_comparison()

@@ -42,7 +42,10 @@ KNOWN_BENCHES = (
     "checkpoint_overhead",
     "distance_oracle",
     "observability_overhead",
+    "paper_scale",
+    "passports",
     "sp_core",
+    "tune_sweep",
 )
 
 REQUIRED_FIELDS = ("bench", "workload", "git_sha", "recorded_utc", "metrics")
@@ -129,9 +132,15 @@ def append_entry(
     workload: str | None = None,
     sha: str | None = None,
     recorded_utc: str | None = None,
+    profile: str | None = None,
     path: Path = LEDGER,
 ) -> dict:
-    """Append one artifact to the ledger; returns the written entry."""
+    """Append one artifact to the ledger; returns the written entry.
+
+    ``profile`` labels the entry with its workload-ladder rung
+    (small/medium/stress) so a stress smoke never becomes the baseline
+    a small run is gated against — ``latest_entry`` filters on it.
+    """
     document = json.loads(artifact.read_text(encoding="utf-8"))
     entry = {
         "bench": bench_name(artifact),
@@ -143,6 +152,8 @@ def append_entry(
         ),
         "metrics": document,
     }
+    if profile is not None:
+        entry["profile"] = profile
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("a", encoding="utf-8") as handle:
         handle.write(json.dumps(entry, sort_keys=True) + "\n")
@@ -150,14 +161,24 @@ def append_entry(
 
 
 def latest_entry(
-    bench: str, workload: str | None = None, path: Path = LEDGER
+    bench: str,
+    workload: str | None = None,
+    profile: str | None = None,
+    path: Path = LEDGER,
 ) -> dict | None:
-    """The newest ledger entry for a bench (optionally one workload)."""
+    """The newest ledger entry for a bench (optionally one workload).
+
+    With ``profile``, only entries labeled with exactly that profile
+    match — runs of the same bench at different ladder rungs must never
+    compare against each other's baselines.
+    """
     found = None
     for entry in load_ledger(path):
         if entry["bench"] != bench:
             continue
         if workload is not None and entry["workload"] != workload:
+            continue
+        if profile is not None and entry.get("profile") != profile:
             continue
         found = entry  # append-only: last match is newest
     return found
@@ -189,20 +210,22 @@ def _trend_keys(metrics: dict) -> list[str]:
 
 
 def render_report(entries: list[dict], bench: str | None = None) -> str:
-    """Markdown trend tables, one per (bench, workload) series."""
-    series: dict[tuple[str, str], list[dict]] = {}
+    """Markdown trend tables, one per (bench, workload, profile) series."""
+    series: dict[tuple[str, str, str], list[dict]] = {}
     for entry in entries:
         if bench is not None and entry["bench"] != bench:
             continue
-        series.setdefault((entry["bench"], entry["workload"]), []).append(entry)
+        key = (entry["bench"], entry["workload"], entry.get("profile") or "")
+        series.setdefault(key, []).append(entry)
     if not series:
         scope = f" for bench {bench!r}" if bench else ""
         return f"# Bench trends\n\nNo ledger entries{scope}.\n"
 
     lines = ["# Bench trends", ""]
-    for (name, workload), rows in sorted(series.items()):
+    for (name, workload, profile), rows in sorted(series.items()):
         keys = _trend_keys(rows[-1]["metrics"])
-        lines.append(f"## {name} ({workload})")
+        rung = f", profile {profile}" if profile else ""
+        lines.append(f"## {name} ({workload}{rung})")
         lines.append("")
         lines.append("| recorded (UTC) | git | " + " | ".join(keys) + " |")
         lines.append("|---" * (2 + len(keys)) + "|")
@@ -267,6 +290,12 @@ def main(argv: list[str] | None = None) -> int:
         "--workload", default=None,
         help="override the workload key derived from the artifact",
     )
+    append_cmd.add_argument(
+        "--profile", default=None,
+        help="label the entry with its workload-ladder rung "
+             "(small/medium/stress); profile-filtered baselines never "
+             "cross rungs",
+    )
 
     report_cmd = commands.add_parser(
         "report", help="render the markdown trend report"
@@ -282,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     latest_cmd.add_argument("--bench", required=True)
     latest_cmd.add_argument("--workload", default=None)
+    latest_cmd.add_argument("--profile", default=None)
 
     commands.add_parser("verify", help="CI health check for the ledger")
 
@@ -289,10 +319,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if options.command == "append":
         entry = append_entry(
-            options.artifact, workload=options.workload, path=options.ledger
+            options.artifact, workload=options.workload,
+            profile=options.profile, path=options.ledger,
         )
+        label = f", profile {entry['profile']}" if "profile" in entry else ""
         print(
-            f"appended {entry['bench']} ({entry['workload']}) "
+            f"appended {entry['bench']} ({entry['workload']}{label}) "
             f"@ {entry['git_sha']} to {options.ledger}"
         )
         return 0
@@ -309,7 +341,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if options.command == "latest":
         entry = latest_entry(
-            options.bench, workload=options.workload, path=options.ledger
+            options.bench, workload=options.workload,
+            profile=options.profile, path=options.ledger,
         )
         if entry is None:
             print(

@@ -54,9 +54,13 @@ EPS = 1000.0
 REGION = "ATL"
 
 
-def _workload(objects: int):
-    network = build_network(REGION)
-    dataset = build_dataset(network, WorkloadSpec(REGION, objects))
+def _workload(
+    objects: int, region: str = REGION, network_scale: float | None = None
+):
+    network = build_network(region, network_scale)
+    dataset = build_dataset(
+        network, WorkloadSpec(region, objects, network_scale=network_scale)
+    )
     return network, list(dataset.trajectories)
 
 
@@ -76,9 +80,14 @@ def _best_of_interleaved(fns: dict, rounds: int) -> dict:
     return best
 
 
-def run_overhead(objects: int = OBJECTS, rounds: int = ROUNDS) -> dict:
+def run_overhead(
+    objects: int = OBJECTS,
+    rounds: int = ROUNDS,
+    region: str = REGION,
+    network_scale: float | None = None,
+) -> dict:
     """Best-of-N opt-NEAT wall time: bare phases vs disabled vs enabled."""
-    network, trajectories = _workload(objects)
+    network, trajectories = _workload(objects, region, network_scale)
     config = NEATConfig(eps=EPS)
 
     def bare():
@@ -113,7 +122,7 @@ def run_overhead(objects: int = OBJECTS, rounds: int = ROUNDS) -> dict:
     counters = result.telemetry["metrics"]["counters"]
 
     return {
-        "network": REGION,
+        "network": region,
         "objects": objects,
         "rounds": rounds,
         "eps": EPS,
@@ -194,15 +203,26 @@ def main(argv: list[str] | None = None) -> int:
     """Standalone runner (CI smoke mode shrinks the workload)."""
     import argparse
 
+    from repro.tune.profiles import add_profile_argument, resolve_profile
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny workload: checks the harness runs, not the 2%% bar",
     )
+    add_profile_argument(parser)
     options = parser.parse_args(argv)
 
-    if options.smoke:
+    if options.profile:
+        spec = resolve_profile(options.profile).bench_spec(smoke=options.smoke)
+        report = run_overhead(
+            objects=spec.object_count,
+            rounds=25 if options.smoke else ROUNDS,
+            region=spec.region,
+            network_scale=spec.network_scale,
+        )
+    elif options.smoke:
         report = run_overhead(objects=100, rounds=25)
     else:
         report = run_overhead()

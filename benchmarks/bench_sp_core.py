@@ -17,8 +17,10 @@ Two measurements, one artifact (``output/BENCH_sp_core.json``):
 
 Scale knobs: ``REPRO_BENCH_SP_PAIRS`` (query count, default 250) and
 ``REPRO_BENCH_SP_OBJECTS`` (Phase 3 dataset size, default 300).  Run
-standalone with ``python benchmarks/bench_sp_core.py [--smoke]`` (the CI
-smoke mode shrinks both workloads so the run finishes in seconds).
+standalone with ``python benchmarks/bench_sp_core.py [--smoke]
+[--profile small|medium|stress]`` (the CI smoke mode shrinks both
+workloads so the run finishes in seconds; ``--profile`` pins the
+workload to a named rung of the ladder instead of the env-var knobs).
 """
 
 from __future__ import annotations
@@ -78,9 +80,13 @@ def _time_queries(fn, pairs, repeats: int = 5) -> tuple[float, list[float]]:
     return best, values
 
 
-def run_backend_microbench(region: str = "MIA", pairs: int | None = None) -> dict:
+def run_backend_microbench(
+    region: str = "MIA",
+    pairs: int | None = None,
+    network_scale: float | None = None,
+) -> dict:
     """Dict vs CSR vs bidirectional point queries on one network."""
-    network = build_network(region)
+    network = build_network(region, network_scale)
     queries = _sample_pairs(network, pairs if pairs is not None else _pair_count())
     graph = network.csr(directed=False)
 
@@ -114,7 +120,10 @@ def run_backend_microbench(region: str = "MIA", pairs: int | None = None) -> dic
 
 
 def run_phase3_fanout(
-    region: str = "SJ", objects: int | None = None, workers: int = 4
+    region: str = "SJ",
+    objects: int | None = None,
+    workers: int = 4,
+    network_scale: float | None = None,
 ) -> dict:
     """opt-NEAT Phase 3 wall-clock, serial vs process-parallel.
 
@@ -126,9 +135,14 @@ def run_phase3_fanout(
     """
     from repro.experiments.figures import DEFAULT_EPS
 
-    network = build_network(region)
+    network = build_network(region, network_scale)
     dataset = build_dataset(
-        network, WorkloadSpec(region, objects if objects is not None else _object_count())
+        network,
+        WorkloadSpec(
+            region,
+            objects if objects is not None else _object_count(),
+            network_scale=network_scale,
+        ),
     )
     eps = 2.0 * DEFAULT_EPS.get(region, 800.0)
 
@@ -234,12 +248,15 @@ def main(argv: list[str] | None = None) -> int:
     """Standalone runner (CI smoke mode shrinks the workloads)."""
     import argparse
 
+    from repro.tune.profiles import add_profile_argument, resolve_profile
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny workloads: checks the harness runs, not the speedups",
     )
+    add_profile_argument(parser)
     parser.add_argument(
         "--append-history",
         action="store_true",
@@ -247,7 +264,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     options = parser.parse_args(argv)
 
-    if options.smoke:
+    if options.profile:
+        spec = resolve_profile(options.profile).bench_spec(smoke=options.smoke)
+        micro = run_backend_microbench(
+            region=spec.region,
+            pairs=40 if options.smoke else None,
+            network_scale=spec.network_scale,
+        )
+        fanout = run_phase3_fanout(
+            region=spec.region,
+            objects=spec.object_count,
+            network_scale=spec.network_scale,
+        )
+    elif options.smoke:
         micro = run_backend_microbench(region="ATL", pairs=40)
         fanout = run_phase3_fanout(region="ATL", objects=40, workers=4)
     else:
@@ -259,10 +288,11 @@ def main(argv: list[str] | None = None) -> int:
     if options.append_history:
         from bench_history import append_entry
 
-        entry = append_entry(ARTIFACT)
+        entry = append_entry(ARTIFACT, profile=options.profile)
+        label = f", profile {entry['profile']}" if "profile" in entry else ""
         print(
-            f"appended sp_core ({entry['workload']}) @ {entry['git_sha']} "
-            "to the bench ledger"
+            f"appended sp_core ({entry['workload']}{label}) "
+            f"@ {entry['git_sha']} to the bench ledger"
         )
     return 0
 

@@ -24,6 +24,9 @@ sp-core bench.  ``--skip-unless dotted=min`` guards either kind of gate
 on an environment precondition carried in the artifact itself — e.g.
 ``phase3.available_cpus=4`` skips the speedup floor (exit 0, loudly) on
 runners where worker processes can only time-slice a single CPU.
+``--profile small|medium|stress`` scopes a ``--history`` lookup to ledger
+entries labeled with that workload-ladder rung, so smoke and stress runs
+of the same bench never compare against each other's baselines.
 
 Usage::
 
@@ -148,21 +151,33 @@ def parse_ceiling(raw: str) -> tuple[str, float]:
         raise argparse.ArgumentTypeError(f"limit in {raw!r} is not a number")
 
 
-def load_history_baseline(ledger: Path, bench: str, workload: str | None) -> dict:
-    """The newest matching ledger entry's metrics document."""
+def load_history_baseline(
+    ledger: Path, bench: str, workload: str | None, profile: str | None = None
+) -> dict:
+    """The newest matching ledger entry's metrics document.
+
+    ``profile`` restricts the lookup to entries labeled with that
+    workload-ladder rung — small/medium/stress runs of the same bench
+    must never compare against each other's baselines.
+    """
     if str(Path(__file__).parent) not in sys.path:
         sys.path.insert(0, str(Path(__file__).parent))
     import bench_history
 
-    entry = bench_history.latest_entry(bench, workload=workload, path=ledger)
+    entry = bench_history.latest_entry(
+        bench, workload=workload, profile=profile, path=ledger
+    )
     if entry is None:
         scope = f" workload {workload!r}" if workload else ""
+        if profile:
+            scope += f" profile {profile!r}"
         raise SystemExit(
             f"no ledger entry for bench {bench!r}{scope} in {ledger}"
         )
+    rung = f", profile {entry['profile']}" if "profile" in entry else ""
     print(
         f"baseline: ledger entry {entry['git_sha']} "
-        f"({entry['recorded_utc']}, workload {entry['workload']})"
+        f"({entry['recorded_utc']}, workload {entry['workload']}{rung})"
     )
     return entry["metrics"]
 
@@ -178,6 +193,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="bench name in the ledger (with --history)")
     parser.add_argument("--workload", default=None,
                         help="restrict the ledger lookup to one workload key")
+    parser.add_argument("--profile", default=None,
+                        help="restrict the ledger lookup to entries labeled "
+                             "with this workload-ladder rung "
+                             "(small/medium/stress), so profile rungs of "
+                             "the same bench never compare against each "
+                             "other's baselines (requires --history)")
     parser.add_argument("--current", type=Path, required=True,
                         help="artifact produced by this run")
     parser.add_argument("--key", action="append", default=[], dest="keys",
@@ -210,6 +231,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--baseline and --history are mutually exclusive")
     if options.history is not None and options.bench is None:
         parser.error("--history needs --bench")
+    if options.profile is not None and options.history is None:
+        parser.error("--profile only scopes ledger baselines: pass --history")
 
     current = json.loads(options.current.read_text(encoding="utf-8"))
 
@@ -223,7 +246,8 @@ def main(argv: list[str] | None = None) -> int:
     if options.keys:
         if options.history is not None:
             baseline = load_history_baseline(
-                options.history, options.bench, options.workload
+                options.history, options.bench, options.workload,
+                options.profile,
             )
         else:
             baseline = json.loads(options.baseline.read_text(encoding="utf-8"))

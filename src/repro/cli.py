@@ -13,7 +13,13 @@ Exposes the full workflow without writing Python:
 * ``serve``            — run a :class:`NeatService` with its HTTP
   observability plane (``/metrics /health /statusz /tracez``);
 * ``recover``          — restore clustering state from a ``--state-dir``;
-* ``experiment``       — regenerate one of the paper's tables/figures.
+* ``experiment``       — regenerate one of the paper's tables/figures;
+* ``tune``             — the auto-tuning harness: ``tune passport``
+  (per-dataset sanity statistics + summary CSV), ``tune sweep`` (grid
+  sweep over a committed ``tune_grid.yaml``, electing a ``best_config``
+  per network) and ``tune reproduce`` (byte-identical replay of a
+  committed winner), all over the named small/medium/stress workload
+  ladder (``--profile``); see ``docs/tuning.md``.
 """
 
 from __future__ import annotations
@@ -166,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--profile-out", type=Path, default=None,
                          help="write sampled stacks as folded text "
                               "(requires --profile-hz > 0)")
+    cluster.add_argument("--config", type=Path, default=None,
+                         dest="config_file",
+                         help="load the NEATConfig from a JSON document "
+                              "(a tune best_config file or a bare config "
+                              "mapping); the individual knob flags are "
+                              "ignored when given")
 
     serve = sub.add_parser(
         "serve",
@@ -221,6 +233,60 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", choices=EXPERIMENTS)
     experiment.add_argument("--out-dir", type=Path, default=Path("experiment-output"))
 
+    from .tune.profiles import add_profile_argument
+
+    tune = sub.add_parser(
+        "tune",
+        help="auto-tuning harness: dataset passports, grid sweeps, "
+             "best_config replay (docs/tuning.md)",
+    )
+    tune_sub = tune.add_subparsers(dest="tune_command", required=True)
+
+    passport = tune_sub.add_parser(
+        "passport",
+        help="per-dataset sanity statistics for a workload profile",
+    )
+    add_profile_argument(passport, default="small")
+    passport.add_argument("--smoke", action="store_true",
+                          help="use the profile's smoke-sized workloads")
+    passport.add_argument("--out-dir", type=Path,
+                          default=Path("benchmarks/output/passports"),
+                          help="directory for the per-dataset passport "
+                               "JSONs and the summary CSV")
+    passport.add_argument("--artifact", type=Path, default=None,
+                          help="also write a BENCH-style artifact for the "
+                               "trend ledger (e.g. benchmarks/output/"
+                               "BENCH_passports.json)")
+
+    sweep = tune_sub.add_parser(
+        "sweep",
+        help="grid sweep over a committed tune_grid.yaml; elects one "
+             "best_config per network",
+    )
+    sweep.add_argument("--grid", type=Path, required=True,
+                       help="grid document (tune_grid.yaml)")
+    add_profile_argument(sweep, default="small")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="use the profile's smoke-sized workloads")
+    sweep.add_argument("--out-dir", type=Path,
+                       default=Path("benchmarks/output/tuning"),
+                       help="directory for sweep CSVs, best_config/ and "
+                            "RESULTS_tuning.md")
+    sweep.add_argument("--artifact", type=Path,
+                       default=Path("benchmarks/output/BENCH_tune_sweep.json"),
+                       help="BENCH-style sweep artifact path")
+    sweep.add_argument("--append-history", action="store_true",
+                       help="append the sweep artifact to the bench trend "
+                            "ledger, labeled with the profile")
+
+    reproduce = tune_sub.add_parser(
+        "reproduce",
+        help="replay a committed best_config on its recorded workload "
+             "and verify the cluster digest byte-for-byte",
+    )
+    reproduce.add_argument("--best", type=Path, required=True,
+                           help="best_config JSON written by tune sweep")
+
     return parser
 
 
@@ -236,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "recover": _cmd_recover,
         "experiment": _cmd_experiment,
+        "tune": _cmd_tune,
     }[args.command]
     return handler(args)
 
@@ -323,17 +390,24 @@ def _finish_obs_plane(
 def _cmd_cluster(args: argparse.Namespace) -> int:
     network = load_network(args.network)
     dataset = load_dataset(args.traces)
-    config = NEATConfig(
-        wq=args.wq, wk=args.wk, wv=args.wv,
-        eps=args.eps, min_card=args.min_card, use_elb=not args.no_elb,
-        workers=args.workers, sp_backend=args.sp_backend,
-        sp_oracle=args.sp_oracle, use_llb=args.llb,
-        vector_backend=args.vector_backend,
-        llb_landmarks=max(1, args.llb_landmarks),
-        max_retries=args.max_retries, deadline_s=args.deadline_s,
-        max_pending=args.max_pending,
-        checkpoint_every=max(0, args.checkpoint_every),
-    )
+    if args.config_file is not None:
+        from .tune.sweep import best_config_to_neat
+
+        config = best_config_to_neat(
+            json.loads(args.config_file.read_text(encoding="utf-8"))
+        )
+    else:
+        config = NEATConfig(
+            wq=args.wq, wk=args.wk, wv=args.wv,
+            eps=args.eps, min_card=args.min_card, use_elb=not args.no_elb,
+            workers=args.workers, sp_backend=args.sp_backend,
+            sp_oracle=args.sp_oracle, use_llb=args.llb,
+            vector_backend=args.vector_backend,
+            llb_landmarks=max(1, args.llb_landmarks),
+            max_retries=args.max_retries, deadline_s=args.deadline_s,
+            max_pending=args.max_pending,
+            checkpoint_every=max(0, args.checkpoint_every),
+        )
     telemetry = Telemetry.create()
     obs_server, profiler = _start_obs_plane(args, telemetry)
     try:
@@ -522,6 +596,112 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print()
         (out_dir / f"{experiment_id}.txt").write_text(text + "\n")
     print(f"wrote {len(selected)} report(s) to {out_dir}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """``repro tune``: passports, grid sweeps and best_config replay."""
+    handler = {
+        "passport": _cmd_tune_passport,
+        "sweep": _cmd_tune_sweep,
+        "reproduce": _cmd_tune_reproduce,
+    }[args.tune_command]
+    return handler(args)
+
+
+def _cmd_tune_passport(args: argparse.Namespace) -> int:
+    from .tune.passport import (
+        build_passport,
+        passports_artifact,
+        summary_csv,
+        write_passport,
+    )
+    from .tune.profiles import resolve_profile
+
+    profile = resolve_profile(args.profile)
+    documents = []
+    for spec in profile.resolved_specs(smoke=args.smoke):
+        document = build_passport(spec, profile=profile.name)
+        path = write_passport(
+            document, args.out_dir / f"passport_{spec.name}.json"
+        )
+        print(
+            f"wrote {path}: {document['dataset']['trajectories']} "
+            f"trajectories, {document['dataset']['total_points']} points, "
+            f"{document['network']['segments']} segments"
+        )
+        documents.append(document)
+    summary_path = args.out_dir / "passport_summary.csv"
+    summary_path.write_text(summary_csv(documents), encoding="utf-8")
+    print(f"wrote {summary_path}")
+    if args.artifact is not None:
+        artifact = passports_artifact(documents, profile.name)
+        args.artifact.parent.mkdir(parents=True, exist_ok=True)
+        args.artifact.write_text(
+            json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.artifact}")
+    return 0
+
+
+def _cmd_tune_sweep(args: argparse.Namespace) -> int:
+    from .tune.sweep import run_sweep
+
+    summary = run_sweep(
+        args.grid, args.profile, args.out_dir, smoke=args.smoke
+    )
+    reports = summary.pop("reports")
+    for report in reports:
+        if report["best_index"] is None:
+            print(
+                f"{report['region']}: no configuration met the guardrails "
+                f"(0/{report['grid_configs']} qualified)", file=sys.stderr,
+            )
+            continue
+        best = report["best_config"]
+        print(
+            f"{report['region']}: best grid point {report['best_index']} "
+            f"score={best['score']:g} clusters={best['metrics']['clusters']} "
+            f"-> {args.out_dir / 'best_config' / (report['region'] + '.json')}"
+        )
+    args.artifact.parent.mkdir(parents=True, exist_ok=True)
+    args.artifact.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.artifact}")
+    if args.append_history:
+        bench_dir = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+        if str(bench_dir) not in sys.path:
+            sys.path.insert(0, str(bench_dir))
+        import bench_history
+
+        entry = bench_history.append_entry(
+            args.artifact, workload=args.profile, profile=args.profile
+        )
+        print(
+            f"appended tune_sweep ({entry['workload']}) @ "
+            f"{entry['git_sha']} to the bench ledger"
+        )
+    # Every region must elect a winner for the sweep to count as green.
+    return 0 if all(r["best_index"] is not None for r in reports) else 1
+
+
+def _cmd_tune_reproduce(args: argparse.Namespace) -> int:
+    from .tune.sweep import reproduce_best_config
+
+    document = json.loads(args.best.read_text(encoding="utf-8"))
+    matches, digest = reproduce_best_config(document)
+    if not matches:
+        print(
+            f"digest mismatch: committed {document['digest']} but replay "
+            f"produced {digest}", file=sys.stderr,
+        )
+        return 1
+    print(
+        f"reproduced {document['region']} best_config byte-identically "
+        f"(digest {digest[:16]}…)"
+    )
     return 0
 
 

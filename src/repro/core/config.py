@@ -9,7 +9,7 @@ Phase 3 refinement distance ``ε`` with its ELB switch.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from ..errors import ConfigError
 
@@ -184,6 +184,39 @@ class NEATConfig:
                     f"{name} must be > 0 when set (None disables the "
                     f"rule), got {slo}"
                 )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible document of every field (``inf`` -> ``"inf"``).
+
+        The inverse of :meth:`from_dict`; the tuning harness commits this
+        document as the ``config`` section of a ``best_config`` file.
+        """
+        document = {}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, float) and math.isinf(value):
+                value = "inf"
+            document[field.name] = value
+        return document
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "NEATConfig":
+        """Rebuild a validated config from a :meth:`to_dict` document.
+
+        Unknown keys raise :class:`~repro.errors.ConfigError` (a typo in
+        a tuning grid must fail loudly, not silently no-op); missing keys
+        keep their defaults, so partial documents work too.
+        """
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise ConfigError(f"unknown config fields: {unknown}")
+        kwargs = {}
+        for key, value in document.items():
+            if value == "inf":
+                value = math.inf
+            kwargs[key] = value
+        return cls(**kwargs)
 
     def with_weights(self, wq: float, wk: float, wv: float) -> "NEATConfig":
         """A copy with different merging-selectivity weights."""

@@ -1,0 +1,247 @@
+"""Dataset passports: per-dataset/per-network sanity statistics.
+
+A *passport* is the one-page identity card of a (network, dataset) pair:
+trajectory counts, point densities, segment-length and degree
+distributions, and the observed ranges of the three SF components of
+Definition 9/10 — the per-segment trajectory flow (``q``), the
+per-segment point density (``k``) and the speed limits (``v``).  Tuning
+decisions (which ``eps`` ladder, which weight presets are worth sweeping)
+read straight off these numbers, and a regenerated passport that drifts
+from its committed twin flags a silent workload change before it can
+masquerade as a perf shift.
+
+Every statistic is a deterministic function of the workload spec, so the
+JSON documents are byte-stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import statistics
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..core.model import TrajectoryDataset
+from ..experiments.workloads import WorkloadSpec, build_dataset, build_network
+from ..roadnet.network import RoadNetwork
+
+#: Document schema tag (bump on incompatible layout changes).
+SCHEMA = "neat.passport/1"
+
+#: Columns of the summary CSV, in order.
+SUMMARY_COLUMNS = (
+    "dataset",
+    "region",
+    "junctions",
+    "segments",
+    "total_length_km",
+    "avg_degree",
+    "max_degree",
+    "trajectories",
+    "total_points",
+    "points_per_trajectory_mean",
+    "visited_segments",
+    "segment_coverage",
+    "points_per_km",
+    "flow_q_max",
+    "density_k_max",
+    "speed_v_max",
+)
+
+
+def _round(value: float, digits: int = 6) -> float:
+    """Stable rounding so passports are byte-identical across platforms."""
+    return round(float(value), digits)
+
+
+def distribution(values: Sequence[float]) -> dict:
+    """min/mean/median/p90/max summary of a numeric sample.
+
+    ``p90`` uses the deterministic nearest-rank index ``int(0.9*(n-1))``
+    over the sorted sample — no interpolation, no platform wobble.
+    """
+    if not values:
+        return {"count": 0, "min": 0, "max": 0, "mean": 0, "median": 0, "p90": 0}
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "min": _round(ordered[0]),
+        "max": _round(ordered[-1]),
+        "mean": _round(statistics.fmean(ordered)),
+        "median": _round(statistics.median(ordered)),
+        "p90": _round(ordered[int(0.9 * (len(ordered) - 1))]),
+    }
+
+
+def network_passport(network: RoadNetwork) -> dict:
+    """Table-I-and-beyond statistics of one road network."""
+    segment_lengths = [segment.length for segment in network.segments()]
+    speed_limits = [segment.speed_limit for segment in network.segments()]
+    degrees = [network.degree(node_id) for node_id in network.node_ids()]
+    histogram: dict[str, int] = {}
+    for degree in sorted(degrees):
+        histogram[str(degree)] = histogram.get(str(degree), 0) + 1
+    return {
+        "name": network.name,
+        "junctions": network.junction_count,
+        "segments": network.segment_count,
+        "total_length_km": _round(network.total_length() / 1000.0),
+        "segment_length_m": distribution(segment_lengths),
+        "degree": {
+            "mean": _round(statistics.fmean(degrees)) if degrees else 0,
+            "max": max(degrees, default=0),
+            "histogram": histogram,
+        },
+        "speed_limit_mps": distribution(speed_limits),
+    }
+
+
+def dataset_passport(network: RoadNetwork, dataset: TrajectoryDataset) -> dict:
+    """Trajectory, density and SF-component statistics of one dataset."""
+    points_per_trajectory = [len(trajectory) for trajectory in dataset]
+    durations = [trajectory.duration for trajectory in dataset]
+    intervals = [
+        later.t - earlier.t
+        for trajectory in dataset
+        for earlier, later in zip(
+            trajectory.locations, trajectory.locations[1:]
+        )
+    ]
+
+    segment_points: dict[int, int] = {}
+    segment_trajectories: dict[int, set[int]] = {}
+    for trajectory in dataset:
+        for location in trajectory:
+            segment_points[location.sid] = segment_points.get(location.sid, 0) + 1
+        for sid in trajectory.segment_ids():
+            segment_trajectories.setdefault(sid, set()).add(trajectory.trid)
+
+    total_points = dataset.total_points
+    total_length_km = network.total_length() / 1000.0
+    visited = sorted(segment_points)
+    visited_speeds = [
+        network.segment(sid).speed_limit for sid in visited
+        if network.has_segment(sid)
+    ]
+    return {
+        "name": dataset.name,
+        "trajectories": len(dataset),
+        "total_points": total_points,
+        "points_per_trajectory": distribution(points_per_trajectory),
+        "duration_s": distribution(durations),
+        "sample_interval_s": distribution(intervals),
+        "density": {
+            "visited_segments": len(visited),
+            "segment_coverage": _round(
+                len(visited) / network.segment_count
+            ) if network.segment_count else 0,
+            "points_per_visited_segment": distribution(
+                [segment_points[sid] for sid in visited]
+            ),
+            "points_per_km": _round(total_points / total_length_km)
+            if total_length_km else 0,
+        },
+        # The observed ranges of the Definition 9 SF ingredients: the
+        # per-segment trajectory flow (q numerators), the per-segment
+        # point density (k numerators) and the speed limits (v).
+        "sf_components": {
+            "flow_q": distribution(
+                [len(segment_trajectories[sid]) for sid in visited]
+            ),
+            "density_k": distribution(
+                [segment_points[sid] for sid in visited]
+            ),
+            "speed_v": distribution(visited_speeds),
+        },
+    }
+
+
+def build_passport(spec: WorkloadSpec, profile: str | None = None) -> dict:
+    """The full passport document for one workload spec."""
+    network = build_network(spec.region, spec.network_scale, spec.seed)
+    dataset = build_dataset(network, spec)
+    document = {
+        "schema": SCHEMA,
+        "profile": profile,
+        "spec": {
+            "region": spec.region,
+            "object_count": spec.object_count,
+            "network_scale": spec.resolved_scale,
+            "sample_interval": spec.sample_interval,
+            "seed": spec.seed,
+        },
+        "network": network_passport(network),
+        "dataset": dataset_passport(network, dataset),
+    }
+    return document
+
+
+def write_passport(document: dict, path: str | Path) -> Path:
+    """Write one passport as stable pretty-printed JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def summary_row(document: dict) -> dict:
+    """The one-line summary of a passport (a SUMMARY_COLUMNS record)."""
+    network = document["network"]
+    dataset = document["dataset"]
+    return {
+        "dataset": dataset["name"],
+        "region": document["spec"]["region"],
+        "junctions": network["junctions"],
+        "segments": network["segments"],
+        "total_length_km": network["total_length_km"],
+        "avg_degree": network["degree"]["mean"],
+        "max_degree": network["degree"]["max"],
+        "trajectories": dataset["trajectories"],
+        "total_points": dataset["total_points"],
+        "points_per_trajectory_mean": dataset["points_per_trajectory"]["mean"],
+        "visited_segments": dataset["density"]["visited_segments"],
+        "segment_coverage": dataset["density"]["segment_coverage"],
+        "points_per_km": dataset["density"]["points_per_km"],
+        "flow_q_max": dataset["sf_components"]["flow_q"]["max"],
+        "density_k_max": dataset["sf_components"]["density_k"]["max"],
+        "speed_v_max": dataset["sf_components"]["speed_v"]["max"],
+    }
+
+
+def summary_csv(documents: Iterable[dict]) -> str:
+    """Render the summary CSV (header + one row per passport)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=SUMMARY_COLUMNS, lineterminator="\n"
+    )
+    writer.writeheader()
+    for document in documents:
+        writer.writerow(summary_row(document))
+    return buffer.getvalue()
+
+
+def passports_artifact(documents: Sequence[dict], profile: str) -> dict:
+    """The BENCH-style artifact the trend ledger ingests.
+
+    Flattens each passport to its summary numbers so
+    ``bench_history.py report`` gets trendable columns, and carries the
+    totals at the top level for the workload key and quick gates.
+    """
+    return {
+        "profile": profile,
+        "datasets_count": len(documents),
+        "total_trajectories": sum(
+            document["dataset"]["trajectories"] for document in documents
+        ),
+        "total_points": sum(
+            document["dataset"]["total_points"] for document in documents
+        ),
+        "datasets": {
+            document["dataset"]["name"]: summary_row(document)
+            for document in documents
+        },
+    }

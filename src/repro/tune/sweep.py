@@ -1,0 +1,364 @@
+"""The grid sweep runner: score configs, elect and reproduce best_configs.
+
+One sweep = one profile × one grid.  For every workload in the profile
+the runner clusters the dataset once per grid point, records runtime and
+quality metrics (reusing the benchmark harness' metrics conventions),
+scores the rows on the grid's declared objective and writes, per network:
+
+* ``sweep_<profile>_<region>.csv`` — every row, in grid order;
+* ``best_config/<region>.json``   — the winning configuration, carrying
+  enough provenance (workload spec, objective, cluster digest, git sha)
+  to reproduce the winning run byte-identically;
+* ``RESULTS_tuning.md``           — the human-readable results doc.
+
+``reproduce_best_config`` is the round-trip check: it rebuilds the
+workload from the recorded spec, replays the stored config through the
+normal pipeline and compares the cluster digest — the acceptance bar for
+committing a best_config.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..analysis.metrics import trajectory_coverage
+from ..core.config import NEATConfig
+from ..core.pipeline import NEAT
+from ..core.serialize import result_to_dict
+from ..experiments.harness import format_table
+from ..experiments.workloads import WorkloadSpec, build_dataset, build_network
+from .grid import expand_grid, load_grid, overlay_config, pick_best, score_rows
+from .profiles import WorkloadProfile, resolve_profile
+
+#: best_config document schema tag.
+BEST_CONFIG_SCHEMA = "neat.best_config/1"
+
+#: Axis columns come first in the sweep CSV, then these measured fields.
+ROW_FIELDS = (
+    "clusters",
+    "flows",
+    "noise_flows",
+    "trajectory_coverage",
+    "sp_computations",
+    "pair_checks",
+    "t_fragments",
+    "phase3_s",
+    "total_s",
+    "score",
+    "qualified",
+    "digest",
+)
+
+
+def cluster_digest(result) -> str:
+    """Byte-level fingerprint of a clustering (canonical serialization).
+
+    Matches the digest the oracle and parity benches gate on: SHA-256
+    over the sorted, separator-normalized ``result_to_dict`` document —
+    timing-free, so identical clusters always hash identically.
+    """
+    document = result_to_dict(result)
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_config(network, dataset, config: NEATConfig) -> dict:
+    """Cluster one workload under one config; returns the metrics row."""
+    neat = NEAT(network, config)
+    started = time.perf_counter()
+    result = neat.run_opt(dataset)
+    wall = time.perf_counter() - started
+    stats = result.refinement_stats
+    return {
+        "clusters": len(result.clusters),
+        "flows": len(result.flows),
+        "noise_flows": len(result.noise_flows),
+        "trajectory_coverage": round(
+            trajectory_coverage(result, len(dataset)), 4
+        ),
+        "sp_computations": neat.engine.computations,
+        "pair_checks": stats.pair_checks,
+        "t_fragments": sum(
+            len(cluster.fragments) for cluster in result.base_clusters
+        ),
+        "phase3_s": round(result.timings.refine, 4),
+        "total_s": round(wall, 4),
+        "digest": cluster_digest(result),
+    }
+
+
+def sweep_workload(
+    spec: WorkloadSpec, grid_document: dict, profile_name: str
+) -> dict:
+    """Sweep the full grid over one workload; returns the region report."""
+    network = build_network(spec.region, spec.network_scale, spec.seed)
+    dataset = build_dataset(network, spec)
+    overlays = expand_grid(grid_document["grid"])
+    base = grid_document.get("base", {})
+    objective = grid_document.get("objective", {})
+
+    rows = []
+    configs = []
+    for overlay in overlays:
+        config = overlay_config(base, overlay, spec.region)
+        row = run_config(network, dataset, config)
+        row.update({f"axis.{name}": value for name, value in overlay.items()})
+        rows.append(row)
+        configs.append(config)
+
+    scored = score_rows(rows, objective)
+    best_index = pick_best(scored)
+    report = {
+        "profile": profile_name,
+        "region": spec.region,
+        "objects": len(dataset),
+        "grid_configs": len(overlays),
+        "qualified": sum(1 for row in scored if row["qualified"]),
+        "overlays": overlays,
+        "rows": scored,
+        "best_index": best_index,
+    }
+    if best_index is not None:
+        report["best_config"] = _best_config_document(
+            spec, configs[best_index], scored[best_index],
+            overlays[best_index], objective, profile_name,
+        )
+    return report
+
+
+def _best_config_document(
+    spec: WorkloadSpec,
+    config: NEATConfig,
+    row: dict,
+    overlay: dict,
+    objective: dict,
+    profile_name: str,
+) -> dict:
+    return {
+        "schema": BEST_CONFIG_SCHEMA,
+        "profile": profile_name,
+        "region": spec.region,
+        "workload": {
+            "region": spec.region,
+            "object_count": spec.object_count,
+            "network_scale": spec.network_scale,
+            "sample_interval": spec.sample_interval,
+            "seed": spec.seed,
+        },
+        "objective": dict(objective),
+        "grid_point": overlay,
+        "config": config.to_dict(),
+        "score": row["score"],
+        "metrics": {
+            name: row[name]
+            for name in ROW_FIELDS
+            if name not in ("score", "qualified", "digest")
+        },
+        "digest": row["digest"],
+    }
+
+
+def best_config_to_neat(document: dict) -> NEATConfig:
+    """Rebuild the committed winning configuration (round-trip check).
+
+    Accepts either a full best_config document or a bare config mapping,
+    so ``repro cluster --config`` can consume both.
+    """
+    payload = document.get("config", document)
+    if "schema" in payload:
+        payload = {k: v for k, v in payload.items() if k != "schema"}
+    return NEATConfig.from_dict(payload)
+
+
+def reproduce_best_config(document: dict) -> tuple[bool, str]:
+    """Replay a best_config on its recorded workload.
+
+    Returns ``(digests_match, fresh_digest)`` — the acceptance check
+    that a committed winner still reproduces its clusters byte-for-byte.
+    """
+    workload = document["workload"]
+    spec = WorkloadSpec(
+        region=workload["region"],
+        object_count=workload["object_count"],
+        network_scale=workload["network_scale"],
+        sample_interval=workload["sample_interval"],
+        seed=workload["seed"],
+    )
+    network = build_network(spec.region, spec.network_scale, spec.seed)
+    dataset = build_dataset(network, spec)
+    config = best_config_to_neat(document)
+    result = NEAT(network, config).run_opt(dataset)
+    fresh = cluster_digest(result)
+    return fresh == document["digest"], fresh
+
+
+# --------------------------------------------------------------------------
+# Outputs
+
+
+def _axis_names(report: dict) -> list[str]:
+    return sorted(report["grid"]) if "grid" in report else sorted(
+        {name for overlay in report["overlays"] for name in overlay}
+    )
+
+
+def write_sweep_csv(report: dict, path: Path) -> Path:
+    """Every scored row in grid order, axes first."""
+    axes = _axis_names(report)
+    columns = (
+        ["index"] + [f"axis.{name}" for name in axes] + list(ROW_FIELDS)
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+    writer.writeheader()
+    for index, row in enumerate(report["rows"]):
+        record = {"index": index}
+        for name in axes:
+            record[f"axis.{name}"] = json.dumps(row.get(f"axis.{name}"))
+        for name in ROW_FIELDS:
+            record[name] = row.get(name)
+        writer.writerow(record)
+    path.write_text(buffer.getvalue(), encoding="utf-8")
+    return path
+
+
+def render_results_doc(
+    profile: WorkloadProfile, grid_path: str, reports: Sequence[dict]
+) -> str:
+    """The committed RESULTS_tuning.md: objective, winners, full tables."""
+    lines = [
+        "# Tuning sweep results",
+        "",
+        f"Profile: **{profile.name}** — {profile.description}.",
+        f"Grid: `{grid_path}` "
+        f"({reports[0]['grid_configs'] if reports else 0} configurations).",
+        "",
+        "Regenerate with "
+        f"`repro tune sweep --grid {grid_path} --profile {profile.name}`; "
+        "verify a committed winner with `repro tune reproduce --best "
+        "benchmarks/tuning/best_config/<region>.json` (the digest must "
+        "match byte-for-byte).",
+        "",
+    ]
+    for report in reports:
+        lines.append(f"## {report['region']} ({report['objects']} objects)")
+        lines.append("")
+        best = report.get("best_config")
+        if best is None:
+            lines.append(
+                "No configuration met the guardrails — nothing committed."
+            )
+            lines.append("")
+            continue
+        lines.append(
+            f"Winner: grid point {report['best_index']} "
+            f"`{json.dumps(best['grid_point'], sort_keys=True)}` with "
+            f"{best['objective'].get('minimize', 'total_s')} = "
+            f"{best['score']:g} "
+            f"({report['qualified']}/{report['grid_configs']} qualified); "
+            f"digest `{best['digest'][:16]}…`."
+        )
+        lines.append("")
+        axes = _axis_names(report)
+        header = (
+            ["#"] + axes
+            + ["clusters", "coverage", "phase3 s", "total s", "score", "ok"]
+        )
+        rows = []
+        for index, row in enumerate(report["rows"]):
+            rows.append(
+                [
+                    ("*" if index == report["best_index"] else "")
+                    + str(index)
+                ]
+                + [json.dumps(row.get(f"axis.{name}")) for name in axes]
+                + [
+                    row["clusters"],
+                    row["trajectory_coverage"],
+                    row["phase3_s"],
+                    row["total_s"],
+                    f"{row['score']:g}",
+                    "yes" if row["qualified"] else "no",
+                ]
+            )
+        lines.append("```")
+        lines.append(format_table(header, rows))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def sweep_artifact(reports: Sequence[dict], profile_name: str, wall_s: float) -> dict:
+    """The BENCH-style artifact for the trend ledger."""
+    return {
+        "profile": profile_name,
+        "grid_configs": reports[0]["grid_configs"] if reports else 0,
+        "networks": len(reports),
+        "runs": sum(report["grid_configs"] for report in reports),
+        "qualified": sum(report["qualified"] for report in reports),
+        "sweep_s": round(wall_s, 2),
+        "regions": {
+            report["region"]: {
+                "best_index": report["best_index"],
+                "score": report["rows"][report["best_index"]]["score"]
+                if report["best_index"] is not None else None,
+                "clusters": report["rows"][report["best_index"]]["clusters"]
+                if report["best_index"] is not None else None,
+                "qualified": report["qualified"],
+            }
+            for report in reports
+        },
+    }
+
+
+def run_sweep(
+    grid_path: str | Path,
+    profile_name: str,
+    out_dir: str | Path,
+    smoke: bool = False,
+) -> dict:
+    """The full sweep: every profile workload × every grid point.
+
+    Writes the per-region CSVs, best_config JSONs and the results doc
+    under ``out_dir`` and returns a summary report (the artifact document
+    plus per-region reports under ``"reports"``).
+    """
+    from .grid import validate_grid
+
+    grid_document = validate_grid(load_grid(grid_path))
+    profile = resolve_profile(profile_name)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    started = time.perf_counter()
+    reports = []
+    for spec in profile.resolved_specs(smoke=smoke):
+        report = sweep_workload(spec, grid_document, profile.name)
+        write_sweep_csv(
+            report, out / f"sweep_{profile.name}_{spec.region}.csv"
+        )
+        best = report.get("best_config")
+        if best is not None:
+            target = out / "best_config" / f"{spec.region}.json"
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(
+                json.dumps(best, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        reports.append(report)
+    wall = time.perf_counter() - started
+
+    (out / "RESULTS_tuning.md").write_text(
+        render_results_doc(profile, str(grid_path), reports) + "\n",
+        encoding="utf-8",
+    )
+    summary = sweep_artifact(reports, profile.name, wall)
+    summary["reports"] = reports
+    return summary

@@ -78,6 +78,39 @@ class TestLedger:
         )
         assert bench_history.latest_entry("missing", path=ledger) is None
 
+    def test_profile_labels_and_filters(self, bench_history, tmp_path):
+        # Profile-labeled entries form separate baseline series: a lookup
+        # scoped to one ladder rung never sees another rung's runs.
+        ledger = tmp_path / "ledger.jsonl"
+        artifact = write_artifact(tmp_path, "x", {"v": 1})
+        bench_history.append_entry(artifact, profile="small", path=ledger)
+        artifact.write_text(json.dumps({"v": 2}))
+        bench_history.append_entry(artifact, profile="stress", path=ledger)
+        artifact.write_text(json.dumps({"v": 3}))
+        bench_history.append_entry(artifact, path=ledger)  # unlabeled
+
+        small = bench_history.latest_entry("x", profile="small", path=ledger)
+        stress = bench_history.latest_entry("x", profile="stress", path=ledger)
+        assert small["metrics"]["v"] == 1 and small["profile"] == "small"
+        assert stress["metrics"]["v"] == 2
+        # Unfiltered lookups still see everything (newest wins) and the
+        # unlabeled entry carries no profile field at all.
+        newest = bench_history.latest_entry("x", path=ledger)
+        assert newest["metrics"]["v"] == 3 and "profile" not in newest
+        assert (
+            bench_history.latest_entry("x", profile="medium", path=ledger)
+            is None
+        )
+
+    def test_report_splits_series_per_profile(self, bench_history, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        artifact = write_artifact(tmp_path, "x", {"network": "ATL", "v": 1})
+        bench_history.append_entry(artifact, profile="small", path=ledger)
+        bench_history.append_entry(artifact, profile="stress", path=ledger)
+        report = bench_history.render_report(bench_history.load_ledger(ledger))
+        assert "## x (ATL, profile small)" in report
+        assert "## x (ATL, profile stress)" in report
+
     def test_bench_name_requires_convention(self, bench_history, tmp_path):
         rogue = tmp_path / "results.json"
         rogue.write_text("{}")
@@ -176,6 +209,35 @@ class TestRegressionGate:
             "--current", str(current), "--key-max", "missing=1.0",
         ]) == 1
 
+    def test_history_baseline_scoped_by_profile(
+        self, bench_history, check_perf, tmp_path
+    ):
+        # A stress smoke appended after a small run must not become the
+        # small gate's baseline: --profile restricts the ledger lookup.
+        ledger = tmp_path / "ledger.jsonl"
+        artifact = write_artifact(tmp_path, "x", {"count": 100})
+        bench_history.append_entry(artifact, profile="small", path=ledger)
+        artifact.write_text(json.dumps({"count": 4000}))
+        bench_history.append_entry(artifact, profile="stress", path=ledger)
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps({"count": 105}))
+        assert check_perf.main([
+            "--history", str(ledger), "--bench", "x", "--profile", "small",
+            "--current", str(current), "--key", "count",
+        ]) == 0
+        current.write_text(json.dumps({"count": 150}))
+        assert check_perf.main([
+            "--history", str(ledger), "--bench", "x", "--profile", "small",
+            "--current", str(current), "--key", "count",
+        ]) == 1
+        # No entry for the requested rung: the gate refuses to guess.
+        with pytest.raises(SystemExit):
+            check_perf.main([
+                "--history", str(ledger), "--bench", "x",
+                "--profile", "medium",
+                "--current", str(current), "--key", "count",
+            ])
+
     def test_argument_validation(self, check_perf, tmp_path):
         current = tmp_path / "current.json"
         current.write_text("{}")
@@ -189,4 +251,9 @@ class TestRegressionGate:
             check_perf.main([  # --history without --bench
                 "--current", str(current), "--key", "a",
                 "--history", str(current),
+            ])
+        with pytest.raises(SystemExit):
+            check_perf.main([  # --profile only scopes ledger baselines
+                "--current", str(current), "--key-max", "a=1.0",
+                "--profile", "small",
             ])
