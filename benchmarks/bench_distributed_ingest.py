@@ -1,0 +1,238 @@
+"""Ingest scaling of the real multi-process distributed tier.
+
+One measurement, one artifact
+(``output/BENCH_distributed_ingest.json``): the same opt-NEAT workload
+clustered serially and through 1/2/4 local ``repro shard-node`` worker
+processes — real OS processes, real TCP, region sharding over the
+consistent-hash ring.  For every shard count the run must produce a
+result document *byte-identical* to the serial one (the distributed
+tier's core invariant); the artifact records the SHA-256 digest match
+alongside wall times, the per-shard trajectory split and the
+deterministic result counters (flows, clusters, boundary segments)
+that ``check_perf_regression.py`` gates against the committed
+baseline.
+
+The wall-time columns are honest about what they measure: on a small
+workload the wire serialization dominates and shards cost more than
+serial — the point of the bench is the invariant and the trend, not a
+speedup claim.  ``--smoke`` shrinks the workload for CI;
+``--append-history`` feeds the trend ledger of ``bench_history.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+ARTIFACT = OUTPUT_DIR / "BENCH_distributed_ingest.json"
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import NEATConfig  # noqa: E402
+from repro.core.pipeline import NEAT  # noqa: E402
+from repro.core.serialize import result_to_dict  # noqa: E402
+from repro.distributed import (  # noqa: E402
+    NeatCoordinator,
+    RegionShardMap,
+    RemoteDataNode,
+    TransportClient,
+    spawn_local_shards,
+    stop_shards,
+)
+from repro.experiments.harness import export_metrics, format_table  # noqa: E402
+from repro.experiments.workloads import (  # noqa: E402
+    WorkloadSpec,
+    build_dataset,
+    build_network,
+)
+from repro.roadnet.io import save_network  # noqa: E402
+
+ROUNDS = 3
+OBJECTS = 200
+EPS = 1000.0
+REGION = "ATL"
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _digest(document: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(document, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def run_ingest_scaling(
+    objects: int = OBJECTS,
+    rounds: int = ROUNDS,
+    region: str = REGION,
+    network_scale: float | None = None,
+    shard_counts: tuple[int, ...] = SHARD_COUNTS,
+) -> dict:
+    """Serial vs N-shard-process wall time, digest-checked per rung."""
+    network = build_network(region, network_scale)
+    dataset = build_dataset(
+        network, WorkloadSpec(region, objects, network_scale=network_scale)
+    )
+    trajectories = list(dataset.trajectories)
+    config = NEATConfig(eps=EPS)
+
+    serial_neat = NEAT(network, config)
+    serial_best = float("inf")
+    serial_result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        serial_result = serial_neat.run(trajectories, mode="opt")
+        serial_best = min(serial_best, time.perf_counter() - started)
+    serial_doc = result_to_dict(serial_result, network_name=network.name)
+    serial_digest = _digest(serial_doc)
+
+    rungs = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shards-") as tmp:
+        network_path = Path(tmp) / "network.json"
+        save_network(network, network_path)
+        for count in shard_counts:
+            shards = spawn_local_shards(
+                network_path, count, work_dir=Path(tmp) / f"shards-{count}"
+            )
+            try:
+                best = float("inf")
+                result = None
+                for _ in range(rounds):
+                    # Fresh nodes/ring per round: a node death or
+                    # rebalance in one round must not leak into the next.
+                    nodes = [
+                        RemoteDataNode(
+                            s.node_id, TransportClient(s.host, s.port)
+                        )
+                        for s in shards
+                    ]
+                    shardmap = RegionShardMap(
+                        network, [s.node_id for s in shards]
+                    )
+                    coordinator = NeatCoordinator(
+                        network, config, nodes=nodes, shardmap=shardmap
+                    )
+                    started = time.perf_counter()
+                    result = coordinator.run(trajectories, mode="opt")
+                    best = min(best, time.perf_counter() - started)
+                split = [
+                    len(shard)
+                    for _, shard in sorted(shardmap.shard(trajectories).items())
+                ]
+            finally:
+                stop_shards(shards)
+            document = result_to_dict(result, network_name=network.name)
+            rungs.append({
+                "shards": count,
+                "wall_s": round(best, 4),
+                "vs_serial": round(best / serial_best, 3),
+                "digest_match": _digest(document) == serial_digest,
+                "shard_split": split,
+                "dropped_shards": list(result.dropped_shards),
+            })
+
+    return {
+        "network": region,
+        "objects": objects,
+        "rounds": rounds,
+        "eps": EPS,
+        "trajectories": len(trajectories),
+        "serial_s": round(serial_best, 4),
+        "flows": len(serial_result.flows),
+        "clusters": len(serial_result.clusters),
+        "digest": serial_digest,
+        "all_digests_match": all(r["digest_match"] for r in rungs),
+        "rungs": rungs,
+    }
+
+
+def render_ingest_scaling(report: dict) -> str:
+    rows = [(
+        "serial", f"{report['serial_s']:.4f}", "1.000", "—", "—",
+    )]
+    for rung in report["rungs"]:
+        rows.append((
+            f"{rung['shards']} shard proc(s)",
+            f"{rung['wall_s']:.4f}",
+            f"{rung['vs_serial']:.3f}",
+            "yes" if rung["digest_match"] else "NO",
+            "/".join(str(n) for n in rung["shard_split"]),
+        ))
+    table = format_table(
+        ("configuration", f"best-of-{report['rounds']} (s)",
+         "x serial", "byte-identical", "split"),
+        rows,
+    )
+    return "\n".join([
+        "Distributed ingest scaling over local shard processes "
+        f"({report['network']}, {report['objects']} objects, "
+        f"eps={report['eps']})",
+        table,
+        f"serial result: {report['flows']} flows, "
+        f"{report['clusters']} clusters, digest {report['digest'][:16]}…",
+    ])
+
+
+def bench_distributed_ingest(emit):
+    """Pytest entry point: smoke-scale scaling run, digests must match."""
+    report = run_ingest_scaling(objects=40, rounds=1, shard_counts=(1, 2))
+    export_metrics(report, ARTIFACT)
+    emit("distributed_ingest", render_ingest_scaling(report))
+    assert report["all_digests_match"], (
+        "a distributed rung diverged from the serial result: "
+        + json.dumps(report["rungs"], indent=2)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone runner (CI smoke mode shrinks the workload)."""
+    import argparse
+
+    from repro.tune.profiles import add_profile_argument, resolve_profile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload: checks the harness runs, not the scaling",
+    )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help="append the artifact to benchmarks/history/BENCH_history.jsonl",
+    )
+    add_profile_argument(parser)
+    options = parser.parse_args(argv)
+
+    if options.profile:
+        spec = resolve_profile(options.profile).bench_spec(smoke=options.smoke)
+        report = run_ingest_scaling(
+            objects=spec.object_count,
+            rounds=1 if options.smoke else ROUNDS,
+            region=spec.region,
+            network_scale=spec.network_scale,
+        )
+    elif options.smoke:
+        report = run_ingest_scaling(objects=60, rounds=1)
+    else:
+        report = run_ingest_scaling()
+    export_metrics(report, ARTIFACT)
+    print(render_ingest_scaling(report))
+    print(f"\nwrote {ARTIFACT}")
+    if options.append_history:
+        from bench_history import append_entry
+
+        entry = append_entry(ARTIFACT, profile=options.profile)
+        print(f"appended ledger entry for workload {entry['workload']!r}")
+    if not report["all_digests_match"]:
+        print("FAIL: a distributed rung diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

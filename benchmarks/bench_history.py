@@ -41,6 +41,7 @@ LEDGER = BENCH_DIR / "history" / "BENCH_history.jsonl"
 KNOWN_BENCHES = (
     "checkpoint_overhead",
     "distance_oracle",
+    "distributed_ingest",
     "observability_overhead",
     "paper_scale",
     "passports",

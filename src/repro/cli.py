@@ -216,6 +216,54 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo-query-p99", type=float, default=None,
                        help="query latency SLO: windowed p99 of query "
                             "latency (breach serves stale snapshots)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="run the distributed tier: spawn this many "
+                            "local shard-node worker processes, shard "
+                            "--traces by map region over a consistent-"
+                            "hash ring and cluster through the TCP wire "
+                            "protocol (0 = the single-process service, "
+                            "the default)")
+    serve.add_argument("--shard-dir", type=Path, default=None,
+                       help="directory for shard port/pid files and "
+                            "per-shard logs (default: a temp dir; CI "
+                            "uploads it on failure)")
+    serve.add_argument("--mode", choices=MODES, default="opt",
+                       help="clustering mode for the --shards run")
+    serve.add_argument("--min-quorum", type=float, default=0.0,
+                       help="minimum fraction of dispatched shards that "
+                            "must survive re-dispatch (below it the run "
+                            "fails with QuorumLost; default 0.0)")
+    serve.add_argument("--rpc-timeout", type=float, default=5.0,
+                       help="socket timeout in seconds for shard RPCs "
+                            "(the real deadline a stalled shard hits)")
+    serve.add_argument("--fault-spec", default=None,
+                       help="chaos schedule: a JSON object (or @file) "
+                            "mapping injection points to FaultPlan "
+                            "fields, e.g. '{\"transport.node0\": "
+                            "{\"refuse_nth\": 1}}'")
+    serve.add_argument("--result-out", type=Path, default=None,
+                       help="write the --shards clustering result "
+                            "document (sorted JSON) to this file")
+    serve.add_argument("--counters-out", type=Path, default=None,
+                       help="write the run's counter instruments "
+                            "(sorted JSON; deterministic under a fixed "
+                            "fault spec) to this file")
+
+    shard_node = sub.add_parser(
+        "shard-node",
+        help="run one shard worker process (the repro serve --shards "
+             "backend): Phase 1 over the framed TCP wire protocol",
+    )
+    shard_node.add_argument("--network", required=True, type=Path)
+    shard_node.add_argument("--node-id", type=int, default=0,
+                            help="identifier reported in handshakes")
+    shard_node.add_argument("--host", default="127.0.0.1",
+                            help="bind address (default loopback)")
+    shard_node.add_argument("--port", type=int, default=0,
+                            help="TCP port (default 0 = ephemeral)")
+    shard_node.add_argument("--port-file", type=Path, default=None,
+                            help="write the bound port here once "
+                                 "listening (the spawn rendezvous)")
 
     recover = sub.add_parser(
         "recover",
@@ -300,6 +348,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "cluster": _cmd_cluster,
         "serve": _cmd_serve,
+        "shard-node": _cmd_shard_node,
         "recover": _cmd_recover,
         "experiment": _cmd_experiment,
         "tune": _cmd_tune,
@@ -494,13 +543,60 @@ def _cluster_streaming(
     return 0
 
 
+def _install_shutdown_handlers():
+    """SIGTERM/SIGINT -> a shutdown event (graceful-drain trigger).
+
+    Returns the event; the previous handlers are replaced for the rest
+    of the process (the CLI exits right after serving anyway).  Signal
+    handlers can only be installed from the main thread — embedders
+    calling :func:`main` from a worker thread get the event without
+    them (their own interpreter keeps signal ownership).
+    """
+    import signal
+    import threading
+
+    shutdown = threading.Event()
+
+    def _request_shutdown(signum: int, frame: object) -> None:
+        shutdown.set()
+
+    try:
+        signal.signal(signal.SIGTERM, _request_shutdown)
+        signal.signal(signal.SIGINT, _request_shutdown)
+    except ValueError:  # not the main thread
+        pass
+    return shutdown
+
+
+def _serve_wait(args: argparse.Namespace, shutdown) -> None:
+    """Block until ``--duration`` elapses or a shutdown signal arrives."""
+    try:
+        if args.duration is None:
+            while not shutdown.wait(timeout=3600.0):
+                pass
+        elif args.duration > 0:
+            shutdown.wait(timeout=args.duration)
+    except KeyboardInterrupt:
+        pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: a NeatService plus its HTTP observability plane.
 
     Starts the plane first (so supervisors can probe ``/health`` during
     startup ingest), then ingests ``--traces`` in batches, then serves
-    until ``--duration`` elapses or the process is interrupted.
+    until ``--duration`` elapses or the process is interrupted.  SIGTERM
+    and SIGINT shut down gracefully: pending ingests are drained, a
+    final checkpoint is taken when ``--state-dir`` is set, and the
+    process exits 0.
+
+    With ``--shards N`` the distributed tier runs instead: N local
+    shard-node worker processes, region sharding over a consistent-hash
+    ring, and the clustering dispatched over the TCP wire protocol.
     """
+    if args.shards:
+        return _serve_distributed(args)
+
     from .distributed.service import NeatService
     from .errors import ReproError
 
@@ -513,8 +609,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_query_p99_s=args.slo_query_p99,
     )
     service = NeatService(network, config, state_dir=args.state_dir)
+    shutdown = _install_shutdown_handlers()
     obs = service.serve_obs(port=args.obs_port, host=args.obs_host)
-    print(f"observability plane at {obs.url}")
+    print(f"observability plane at {obs.url}", flush=True)
     if args.port_file is not None:
         args.port_file.parent.mkdir(parents=True, exist_ok=True)
         args.port_file.write_text(f"{obs.port}\n")
@@ -525,6 +622,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             size = max(1, args.batch_size)
             try:
                 for start in range(0, len(trajectories), size):
+                    if shutdown.is_set():
+                        break
                     service.submit(trajectories[start : start + size])
             except ReproError as error:
                 print(f"startup ingest failed: {error}", file=sys.stderr)
@@ -533,19 +632,214 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(
                 f"ingested {stats.batches_ingested} batch(es), "
                 f"{stats.trajectories_ingested} trajectories: "
-                f"{stats.flow_count} flows, {stats.cluster_count} clusters"
+                f"{stats.flow_count} flows, {stats.cluster_count} clusters",
+                flush=True,
             )
-        try:
-            if args.duration is None:
-                while True:
-                    time.sleep(3600.0)
-            elif args.duration > 0:
-                time.sleep(args.duration)
-        except KeyboardInterrupt:
-            pass
+        _serve_wait(args, shutdown)
     finally:
+        # Graceful drain: retry anything still queued, make the state
+        # durable, then leave 0 — a supervisor's TERM is not an error.
+        try:
+            if service.pending_batches:
+                service.flush_pending()
+        except Exception as error:
+            print(f"shutdown drain failed: {error}", file=sys.stderr)
+        if args.state_dir is not None:
+            try:
+                service.checkpoint()
+            except Exception as error:
+                print(f"final checkpoint failed: {error}", file=sys.stderr)
         service.stop_obs()
+        if shutdown.is_set():
+            print("shut down gracefully", flush=True)
     return 0
+
+
+def _cmd_shard_node(args: argparse.Namespace) -> int:
+    """``repro shard-node``: one worker process of the distributed tier.
+
+    Serves the wire protocol until a ``shutdown`` op or SIGTERM/SIGINT,
+    publishing its bound port through ``--port-file`` (written
+    atomically, so the spawner never reads a half-written port).
+    """
+    import os
+    import signal
+
+    from .distributed.transport import ShardNodeServer
+
+    network = load_network(args.network)
+    server = ShardNodeServer(
+        network, node_id=args.node_id, host=args.host, port=args.port
+    )
+    server.start()
+
+    def _request_shutdown(signum: int, frame: object) -> None:
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+    if args.port_file is not None:
+        args.port_file.parent.mkdir(parents=True, exist_ok=True)
+        temp = args.port_file.with_name(args.port_file.name + ".tmp")
+        temp.write_text(f"{server.port}\n", encoding="utf-8")
+        os.replace(temp, args.port_file)
+    print(
+        f"shard node {args.node_id} listening on {server.address}",
+        flush=True,
+    )
+    server.serve_until_shutdown()
+    print(f"shard node {args.node_id} stopped", flush=True)
+    return 0
+
+
+def _serve_distributed(args: argparse.Namespace) -> int:
+    """``repro serve --shards N``: the real multi-process distributed tier.
+
+    Spawns N shard-node workers, shards ``--traces`` by map region over
+    the consistent-hash ring, runs Phase 1 on the workers through the
+    wire protocol (retry -> ring rebalance -> re-dispatch on failure)
+    and Phases 2-3 centrally.  The result is byte-identical to a serial
+    run, or explicitly degraded (``dropped_shards`` / exit 3 on
+    ``QuorumLost``) — never silently partial.
+    """
+    import tempfile
+
+    from .distributed.nodes import NeatCoordinator
+    from .distributed.shardmap import RegionShardMap
+    from .distributed.transport import (
+        RemoteDataNode,
+        TransportClient,
+        spawn_local_shards,
+        stop_shards,
+    )
+    from .errors import QuorumLost, ReproError
+    from .obs.server import ObservabilityServer
+    from .resilience import FaultInjector, FaultPlan
+
+    network = load_network(args.network)
+    config = NEATConfig(eps=args.eps, min_card=args.min_card)
+    telemetry = Telemetry.create()
+    faults = FaultInjector()
+    if args.fault_spec:
+        spec_text = args.fault_spec
+        if spec_text.startswith("@"):
+            spec_text = Path(spec_text[1:]).read_text(encoding="utf-8")
+        for operation, fields in json.loads(spec_text).items():
+            faults.arm(operation, FaultPlan(**fields))
+
+    shutdown = _install_shutdown_handlers()
+    cleanup_dir = None
+    if args.shard_dir is not None:
+        shard_dir = args.shard_dir
+    else:
+        cleanup_dir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+        shard_dir = Path(cleanup_dir.name)
+    shards = spawn_local_shards(
+        args.network, args.shards, work_dir=shard_dir, log_dir=shard_dir
+    )
+    nodes = [
+        RemoteDataNode(
+            shard.node_id,
+            TransportClient(
+                shard.host, shard.port,
+                timeout_s=args.rpc_timeout,
+                faults=faults,
+                fault_operation=f"transport.node{shard.node_id}",
+                metrics=telemetry.metrics,
+            ),
+        )
+        for shard in shards
+    ]
+    shardmap = RegionShardMap(network, [shard.node_id for shard in shards])
+    coordinator = NeatCoordinator(
+        network, config,
+        nodes=nodes, shardmap=shardmap,
+        telemetry=telemetry, min_quorum=args.min_quorum,
+    )
+
+    def statusz() -> dict:
+        return {
+            "shards": coordinator.shard_table(),
+            "ring": {
+                "nodes": list(shardmap.ring.node_ids),
+                "rebalances": shardmap.rebalances,
+            },
+            "network": {
+                "name": network.name,
+                "junctions": network.junction_count,
+                "segments": network.segment_count,
+            },
+        }
+
+    obs = ObservabilityServer(
+        telemetry, statusz=statusz, host=args.obs_host, port=args.obs_port
+    ).start()
+    print(f"observability plane at {obs.url}", flush=True)
+    print(
+        f"spawned {len(shards)} shard node(s): "
+        + ", ".join(s.address for s in shards),
+        flush=True,
+    )
+    if args.port_file is not None:
+        args.port_file.parent.mkdir(parents=True, exist_ok=True)
+        args.port_file.write_text(f"{obs.port}\n")
+
+    exit_code = 0
+    try:
+        if args.traces is not None:
+            dataset = load_dataset(args.traces)
+            result = None
+            try:
+                result = coordinator.run(
+                    list(dataset.trajectories), mode=args.mode
+                )
+            except QuorumLost as error:
+                print(f"quorum lost: {error}", file=sys.stderr)
+                exit_code = 3
+            except ReproError as error:
+                print(f"distributed run failed: {error}", file=sys.stderr)
+                exit_code = 1
+            if result is not None:
+                print(
+                    f"clustered {len(dataset)} trajectories over "
+                    f"{len(shards)} shard(s): {len(result.flows)} flows, "
+                    f"{len(result.clusters)} clusters, "
+                    f"dropped_shards={result.dropped_shards}",
+                    flush=True,
+                )
+                if args.result_out is not None:
+                    args.result_out.parent.mkdir(parents=True, exist_ok=True)
+                    args.result_out.write_text(
+                        json.dumps(
+                            result_to_dict(result, network_name=network.name),
+                            sort_keys=True,
+                        ) + "\n",
+                        encoding="utf-8",
+                    )
+        if args.counters_out is not None:
+            counters = {
+                instrument.name: (
+                    int(instrument.value)
+                    if float(instrument.value).is_integer()
+                    else instrument.value
+                )
+                for instrument in telemetry.metrics
+                if instrument.kind == "counter"
+            }
+            args.counters_out.parent.mkdir(parents=True, exist_ok=True)
+            args.counters_out.write_text(
+                json.dumps(counters, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+        _serve_wait(args, shutdown)
+    finally:
+        stop_shards(shards)
+        obs.stop()
+        if cleanup_dir is not None:
+            cleanup_dir.cleanup()
+        if shutdown.is_set():
+            print("shut down gracefully", flush=True)
+    return exit_code
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:

@@ -2,27 +2,51 @@
 
 The NEAT system "distributes trajectory datasets across multiple nodes in
 a cluster.  These data nodes can perform some data preprocessing tasks."
-This package simulates that 3-tier deployment in-process: data nodes run
-Phase 1 over their trajectory shards, the coordinator merges the partial
-base clusters (base-cluster formation is a group-by, so the merge is
-exact) and runs Phases 2-3 centrally.
+This package implements that 3-tier deployment two ways: simulated
+in-process :class:`DataNode` s, and *real* shard worker processes
+(``repro shard-node``) reached over the framed TCP wire protocol of
+:mod:`repro.distributed.transport`, partitioned by map region through
+the consistent-hash ring of :mod:`repro.distributed.shardmap`.  Either
+way, data nodes run Phase 1 over their trajectory shards, the
+coordinator merges the partial base clusters (base-cluster formation is
+a group-by, so the merge is exact) and runs Phases 2-3 centrally —
+byte-identical to a serial run under any partition.
 
 The tier is fault-tolerant: dispatches retry under
-:class:`~repro.resilience.RetryPolicy`, dead nodes are tracked and their
-shards re-dispatched (or reported in ``NEATResult.dropped_shards``), and
-the :class:`NeatService` facade adds admission control, per-call
+:class:`~repro.resilience.RetryPolicy`, dead nodes are tracked, trigger
+a deterministic ring rebalance, and their shards are re-dispatched in
+ring preference order (or reported in ``NEATResult.dropped_shards``),
+and the :class:`NeatService` facade adds admission control, per-call
 deadlines, a circuit breaker and degraded-mode (stale-snapshot) serving.
 See ``docs/robustness.md``.
 """
 
 from .nodes import DataNode, NeatCoordinator, merge_base_clusters, shard_round_robin
 from .service import NeatService, ServiceStats
+from .shardmap import HashRing, RegionShardMap, boundary_sids
+from .transport import (
+    RemoteDataNode,
+    ShardNodeServer,
+    ShardProcess,
+    TransportClient,
+    spawn_local_shards,
+    stop_shards,
+)
 
 __all__ = [
     "DataNode",
+    "HashRing",
     "NeatCoordinator",
     "NeatService",
+    "RegionShardMap",
+    "RemoteDataNode",
     "ServiceStats",
+    "ShardNodeServer",
+    "ShardProcess",
+    "TransportClient",
+    "boundary_sids",
     "merge_base_clusters",
     "shard_round_robin",
+    "spawn_local_shards",
+    "stop_shards",
 ]

@@ -42,6 +42,7 @@ from ..obs import Telemetry, get_logger
 from ..resilience import FaultPlan, FaultyCallable, RetryPolicy
 from ..roadnet.network import RoadNetwork
 from ..roadnet.shortest_path import ShortestPathEngine
+from .shardmap import RegionShardMap, boundary_sids
 
 _log = get_logger("distributed.nodes")
 
@@ -132,11 +133,22 @@ class DataNode:
 
 def merge_base_clusters(
     partials: Iterable[Sequence[BaseCluster]],
+    trajectory_order: Sequence[int] | None = None,
 ) -> list[BaseCluster]:
     """Union partial base clusters by sid (exact, order-independent).
 
     Returns the merged clusters sorted density-descending, sid ascending —
     the same contract as centralized Phase 1 output.
+
+    Args:
+        partials: Per-shard Phase 1 outputs, in any order.
+        trajectory_order: When given (the original input trids, in input
+            order), each merged cluster's fragments are stably re-sorted
+            into that trajectory order.  A trajectory's fragments arrive
+            from exactly one shard already in extraction order, so the
+            stable sort reconstructs the *centralized* fragment order
+            byte-for-byte — regardless of dispatch order, region
+            sharding or re-dispatch after a node death.
     """
     merged: dict[int, BaseCluster] = {}
     for partial in partials:
@@ -147,6 +159,13 @@ def merge_base_clusters(
                 merged[cluster.sid] = target
             for fragment in cluster.fragments:
                 target.add(fragment)
+    if trajectory_order is not None:
+        rank = {trid: index for index, trid in enumerate(trajectory_order)}
+        fallback = len(rank)
+        for cluster in merged.values():
+            cluster.fragments.sort(
+                key=lambda fragment: rank.get(fragment.trid, fallback)
+            )
     return sorted(merged.values(), key=lambda s: (-s.density, s.sid))
 
 
@@ -171,6 +190,20 @@ class NeatCoordinator:
             merged (after re-dispatch); going below raises
             :class:`~repro.errors.QuorumLost`.  0.0 (default) always
             proceeds with whatever survived.
+        nodes: Explicit node objects to dispatch to instead of the
+            simulated in-process :class:`DataNode` s — anything with the
+            node duck type works, notably
+            :class:`~repro.distributed.transport.RemoteDataNode` stubs
+            fronting real shard processes.  ``node_count`` is ignored
+            when given.
+        shardmap: Optional
+            :class:`~repro.distributed.shardmap.RegionShardMap`: shards
+            are cut by map region through its consistent-hash ring
+            instead of round-robin, a dead node triggers a deterministic
+            ring rebalance (counted in ``ring.rebalances``) and
+            re-dispatch follows ring preference order.  Results are
+            byte-identical either way — Phase 1 merges exactly under any
+            partition.
     """
 
     def __init__(
@@ -182,14 +215,23 @@ class NeatCoordinator:
         telemetry: Telemetry | None = None,
         redispatch: bool = True,
         min_quorum: float = 0.0,
+        nodes: Sequence | None = None,
+        shardmap: "RegionShardMap | None" = None,
     ) -> None:
-        if node_count < 1:
+        if nodes is None and node_count < 1:
             raise ValueError("node_count must be >= 1")
+        if nodes is not None and not nodes:
+            raise ValueError("nodes must be non-empty when given")
         if not 0.0 <= min_quorum <= 1.0:
             raise ValueError(f"min_quorum must be in [0, 1], got {min_quorum}")
         self.network = network
         self.config = config if config is not None else NEATConfig()
-        self.nodes = [DataNode(i, network) for i in range(node_count)]
+        self.nodes = (
+            list(nodes)
+            if nodes is not None
+            else [DataNode(i, network) for i in range(node_count)]
+        )
+        self.shardmap = shardmap
         self.engine = ShortestPathEngine(network, directed=False)
         self.retry_policy = (
             retry_policy
@@ -208,6 +250,30 @@ class NeatCoordinator:
         """Liveness by node id (the coordinator's health-tracking view)."""
         return {node.node_id: node.healthy for node in self.nodes}
 
+    def shard_table(self) -> list[dict]:
+        """The ``/statusz`` shard table: one row per node.
+
+        Remote nodes contribute their wire address; ring membership
+        reflects any rebalances performed so far.
+        """
+        in_ring = (
+            set(self.shardmap.ring.node_ids)
+            if self.shardmap is not None else None
+        )
+        rows = []
+        for node in self.nodes:
+            client = getattr(node, "client", None)
+            rows.append({
+                "node": node.node_id,
+                "healthy": bool(node.healthy),
+                "trajectories": len(node.trajectories),
+                "address": getattr(client, "address", None),
+                "in_ring": (
+                    node.node_id in in_ring if in_ring is not None else None
+                ),
+            })
+        return rows
+
     def run(self, trajectories: Sequence[Trajectory], mode: str = "opt") -> NEATResult:
         """Distribute, preprocess on nodes, merge, finish centrally.
 
@@ -221,7 +287,13 @@ class NeatCoordinator:
             raise ValueError(f"unknown mode {mode!r}")
         for node in self.nodes:
             node.trajectories.clear()
-        shards = shard_round_robin(trajectories, len(self.nodes))
+        if self.shardmap is not None:
+            by_node = self.shardmap.shard(trajectories)
+            shards = [
+                by_node.get(node.node_id, []) for node in self.nodes
+            ]
+        else:
+            shards = shard_round_robin(trajectories, len(self.nodes))
         # Surplus nodes get empty shards; an empty shard is never
         # dispatched (the regression this guards: empty shards used to be
         # preprocessed, producing empty partials on every surplus node).
@@ -265,9 +337,21 @@ class NeatCoordinator:
         if assignments and surviving < math.ceil(self.min_quorum * len(assignments)):
             raise QuorumLost(surviving, len(assignments), self.min_quorum)
 
+        if metrics is not None:
+            # Boundary accounting: segments whose fragments arrived from
+            # more than one shard.  The merge handles them exactly; the
+            # counter makes the partition's edge effects observable.
+            metrics.inc(
+                "ring.boundary_segments",
+                amount=len(boundary_sids(partials)),
+                description="Segments whose fragments arrived from "
+                            "multiple shards in the last merge",
+            )
         result = NEATResult(mode=mode, timings=PhaseTimings())
         result.dropped_shards = dropped
-        result.base_clusters = merge_base_clusters(partials)
+        result.base_clusters = merge_base_clusters(
+            partials, trajectory_order=[tr.trid for tr in trajectories]
+        )
         if mode == "base":
             return result
 
@@ -324,6 +408,17 @@ class NeatCoordinator:
             )
         except (RetriesExhausted, NodeDown) as error:
             node.kill()
+            if self.shardmap is not None and self.shardmap.remove_node(
+                node.node_id
+            ):
+                # Deterministic ring rebalance: only regions the dead
+                # node owned move, each to its ring successor.
+                if metrics is not None:
+                    metrics.inc(
+                        "ring.rebalances",
+                        description="Consistent-hash ring rebalances "
+                                    "after a node death",
+                    )
             if metrics is not None:
                 metrics.inc(
                     "resilience.node_failures",
@@ -341,9 +436,27 @@ class NeatCoordinator:
         shard: list[Trajectory],
         partials: list[Sequence[BaseCluster]],
     ) -> bool:
-        """Re-run a failed shard on surviving nodes; True when recovered."""
+        """Re-run a failed shard on surviving nodes; True when recovered.
+
+        With a shard map, candidates are tried in the ring's preference
+        order for the shard's region — the failover target is the node a
+        real rebalance would hand the region to.  Without one, nodes are
+        tried in id order.
+        """
         metrics = self.telemetry.metrics if self.telemetry.enabled else None
-        for node in self.nodes:
+        candidates = self.nodes
+        if self.shardmap is not None:
+            rank = {
+                node_id: position
+                for position, node_id in enumerate(
+                    self.shardmap.redispatch_order(shard)
+                )
+            }
+            candidates = sorted(
+                self.nodes,
+                key=lambda n: rank.get(n.node_id, len(rank)),
+            )
+        for node in candidates:
             if not node.healthy:
                 continue
             partial = self._dispatch(node, shard, shard_index=shard_index)

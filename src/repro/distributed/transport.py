@@ -1,0 +1,899 @@
+"""The shard-node wire protocol: framed JSON RPC over localhost TCP.
+
+This is the real transport behind the distributed tier — shard nodes
+run as separate OS processes (``repro shard-node``) and the coordinator
+talks to them through :class:`TransportClient`, so node loss is a
+killed process and a refused connect, not a simulated exception.
+
+**Framing** follows :mod:`repro.persist.store`: every message is one
+frame of ``magic | payload-length u32 BE | crc32 u32 BE | payload``
+with its own magic (``RPW1``).  A frame that ends early is *torn* (the
+peer died mid-send — the connection is closed); a complete frame whose
+CRC fails is *garbled* (the server answers with a typed error so the
+client can tell corruption from loss).
+
+**Handshake**: the first exchange on every connection is a versioned
+hello — the client sends ``{"op": "hello", "proto": N}``, the server
+accepts or rejects with its own version.  A mismatch raises
+:class:`~repro.errors.HandshakeFailed` before any payload moves.
+
+**RPCs** are JSON objects (``sort_keys=True`` end to end, so two
+identical runs put byte-identical frames on the wire): ``ping``,
+``preprocess`` (Phase 1 over shipped trajectories), ``stats`` and
+``shutdown``.  Trajectories and base clusters travel in the location-row
+schema of :mod:`repro.core.serialize`.
+
+**Fault injection** is scheduled by the ordinary
+:class:`~repro.resilience.FaultPlan` connection-fault fields and
+*performed* here, at the socket layer, so the observed errors are
+organic:
+
+* ``refuse`` — the client never connects (as if the process is gone);
+* ``drop``   — the client sends half the request frame and closes; the
+  server sees a torn frame, the client reads EOF;
+* ``stall``  — the request carries a ``_stall_s`` chaos field the server
+  honors before replying, so the client's real socket timeout fires;
+* ``garble`` — one payload bit of the outgoing frame is flipped; the
+  server's CRC check rejects it.
+
+Every wire call and failure is counted in the ``transport.*`` family
+(requests, bytes, handshakes, errors and one counter per fault kind).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ..core.base_cluster import BaseCluster, form_base_clusters
+from ..core.model import Location, TFragment, Trajectory
+from ..errors import HandshakeFailed, NodeDown, TransportError
+from ..obs import get_logger
+from ..resilience import FaultInjector
+from ..roadnet.network import RoadNetwork
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RemoteDataNode",
+    "ShardNodeServer",
+    "ShardProcess",
+    "TransportClient",
+    "clusters_from_wire",
+    "clusters_to_wire",
+    "decode_frame",
+    "encode_frame",
+    "spawn_local_shards",
+    "stop_shards",
+    "trajectories_from_wire",
+    "trajectories_to_wire",
+]
+
+_log = get_logger("distributed.transport")
+
+#: Wire protocol version; bumped on any frame- or message-schema change.
+PROTOCOL_VERSION = 1
+
+#: Frame header: magic (4) | payload length u32 BE (4) | crc32 u32 BE (4).
+FRAME_MAGIC = b"RPW1"
+FRAME_HEADER = struct.Struct(">4sII")
+
+#: Upper bound on a single frame payload (a shard of trajectories is
+#: megabytes, not gigabytes; anything larger is a corrupt length field).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Ceiling on the honored chaos stall (a runaway plan must not wedge a
+#: server thread forever).
+MAX_STALL_S = 30.0
+
+
+class FrameError(Exception):
+    """A complete-but-wrong frame (bad magic, bad CRC, absurd length)."""
+
+
+class TornFrame(Exception):
+    """The stream ended mid-frame (peer died or dropped mid-send)."""
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+def encode_frame(payload: bytes) -> bytes:
+    """One wire frame around ``payload``."""
+    return FRAME_HEADER.pack(
+        FRAME_MAGIC, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+    ) + payload
+
+
+def decode_frame(data: bytes) -> bytes:
+    """The payload of a complete frame in ``data`` (exact length).
+
+    Raises:
+        TornFrame: ``data`` is shorter than the frame declares.
+        FrameError: Bad magic, oversized length, or CRC mismatch.
+    """
+    if len(data) < FRAME_HEADER.size:
+        raise TornFrame(f"{len(data)} byte(s), header needs {FRAME_HEADER.size}")
+    magic, length, crc = FRAME_HEADER.unpack_from(data)
+    if magic != FRAME_MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    payload = data[FRAME_HEADER.size : FRAME_HEADER.size + length]
+    if len(payload) < length:
+        raise TornFrame(f"payload {len(payload)}/{length} byte(s)")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise FrameError("crc mismatch")
+    return payload
+
+
+def _read_exact(rfile: Any, count: int) -> bytes:
+    """Exactly ``count`` bytes from a socket file, or what EOF left."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = rfile.read(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(rfile: Any) -> bytes | None:
+    """The next frame payload from a socket file.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer closed
+    the connection between messages — the normal end of a session).
+
+    Raises:
+        TornFrame: EOF inside a frame.
+        FrameError: A complete frame that fails validation.
+    """
+    header = _read_exact(rfile, FRAME_HEADER.size)
+    if not header:
+        return None
+    if len(header) < FRAME_HEADER.size:
+        raise TornFrame(f"header {len(header)}/{FRAME_HEADER.size} byte(s)")
+    magic, length, crc = FRAME_HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    payload = _read_exact(rfile, length)
+    if len(payload) < length:
+        raise TornFrame(f"payload {len(payload)}/{length} byte(s)")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise FrameError("crc mismatch")
+    return payload
+
+
+def _encode_message(message: dict[str, Any]) -> bytes:
+    return encode_frame(
+        json.dumps(message, sort_keys=True).encode("utf-8")
+    )
+
+
+# ----------------------------------------------------------------------
+# Payload schemas (the location-row format of repro.core.serialize)
+# ----------------------------------------------------------------------
+def trajectories_to_wire(
+    trajectories: Iterable[Trajectory],
+) -> list[dict[str, Any]]:
+    """Trajectories as JSON-compatible rows."""
+    return [
+        {
+            "trid": tr.trid,
+            "locations": [
+                [l.sid, l.x, l.y, l.t, l.node_id] for l in tr.locations
+            ],
+        }
+        for tr in trajectories
+    ]
+
+
+def trajectories_from_wire(rows: Iterable[dict[str, Any]]) -> list[Trajectory]:
+    """Trajectories rebuilt from :func:`trajectories_to_wire` output."""
+    return [
+        Trajectory(
+            int(row["trid"]),
+            tuple(
+                Location(
+                    int(sid), float(x), float(y), float(t),
+                    None if node_id is None else int(node_id),
+                )
+                for sid, x, y, t, node_id in row["locations"]
+            ),
+        )
+        for row in rows
+    ]
+
+
+def clusters_to_wire(clusters: Iterable[BaseCluster]) -> list[dict[str, Any]]:
+    """Base clusters as JSON-compatible rows (serialize schema)."""
+    return [
+        {
+            "sid": cluster.sid,
+            "fragments": [
+                {
+                    "trid": fragment.trid,
+                    "locations": [
+                        [l.sid, l.x, l.y, l.t, l.node_id]
+                        for l in fragment.locations
+                    ],
+                }
+                for fragment in cluster.fragments
+            ],
+        }
+        for cluster in clusters
+    ]
+
+
+def clusters_from_wire(rows: Iterable[dict[str, Any]]) -> list[BaseCluster]:
+    """Base clusters rebuilt from :func:`clusters_to_wire` output."""
+    clusters: list[BaseCluster] = []
+    for row in rows:
+        cluster = BaseCluster(int(row["sid"]))
+        for fragment in row["fragments"]:
+            locations = tuple(
+                Location(
+                    int(sid), float(x), float(y), float(t),
+                    None if node_id is None else int(node_id),
+                )
+                for sid, x, y, t, node_id in fragment["locations"]
+            )
+            cluster.add(
+                TFragment(int(fragment["trid"]), locations[0].sid, locations)
+            )
+        clusters.append(cluster)
+    return clusters
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+class _ShardTCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # Bound by ShardNodeServer before serving starts.
+    shard: "ShardNodeServer"
+
+
+class _ShardHandler(socketserver.StreamRequestHandler):
+    """One connection: hello handshake, then request frames until EOF."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver contract
+        shard = self.server.shard  # type: ignore[attr-defined]
+        greeted = False
+        while True:
+            try:
+                payload = read_frame(self.rfile)
+            except TornFrame as error:
+                shard.torn_frames += 1
+                _log.debug("torn frame", peer=self.client_address, error=str(error))
+                return
+            except FrameError as error:
+                shard.bad_frames += 1
+                self._reply({
+                    "ok": False, "kind": "garbled",
+                    "error": f"rejected frame: {error}",
+                })
+                return
+            if payload is None:
+                return
+            try:
+                message = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                shard.bad_frames += 1
+                self._reply({
+                    "ok": False, "kind": "protocol",
+                    "error": f"payload is not JSON: {error}",
+                })
+                return
+            if not greeted:
+                if not self._handshake(shard, message):
+                    return
+                greeted = True
+                continue
+            if not self._serve_request(shard, message):
+                return
+
+    # -- steps ----------------------------------------------------------
+    def _handshake(self, shard: "ShardNodeServer", message: dict) -> bool:
+        if message.get("op") != "hello":
+            shard.bad_frames += 1
+            self._reply({
+                "ok": False, "kind": "handshake",
+                "error": "first message must be a hello",
+            })
+            return False
+        proto = message.get("proto")
+        if proto != PROTOCOL_VERSION:
+            self._reply({
+                "ok": False, "kind": "handshake",
+                "error": (
+                    f"unsupported protocol version {proto!r} "
+                    f"(server speaks {PROTOCOL_VERSION})"
+                ),
+            })
+            return False
+        self._reply({
+            "ok": True,
+            "proto": PROTOCOL_VERSION,
+            "node_id": shard.node_id,
+            "network": shard.network.name,
+        })
+        return True
+
+    def _serve_request(self, shard: "ShardNodeServer", message: dict) -> bool:
+        stall_s = message.get("_stall_s")
+        if stall_s:
+            # The chaos hook behind FaultPlan.stall_nth: hold the reply
+            # past the client's read deadline so its timeout fires for
+            # real.  Bounded so a bad plan cannot wedge the thread.
+            time.sleep(min(float(stall_s), MAX_STALL_S))
+        op = message.get("op")
+        shard.requests += 1
+        try:
+            if op == "ping":
+                self._reply({"ok": True, "result": {"node_id": shard.node_id}})
+            elif op == "preprocess":
+                payload = message.get("payload") or {}
+                trajectories = trajectories_from_wire(
+                    payload.get("trajectories", [])
+                )
+                clusters = form_base_clusters(
+                    shard.network,
+                    trajectories,
+                    keep_interior_points=bool(
+                        payload.get("keep_interior_points", False)
+                    ),
+                )
+                shard.preprocess_calls += 1
+                shard.trajectories_processed += len(trajectories)
+                self._reply({
+                    "ok": True,
+                    "result": {"clusters": clusters_to_wire(clusters)},
+                })
+            elif op == "stats":
+                self._reply({"ok": True, "result": shard.stats()})
+            elif op == "shutdown":
+                self._reply({"ok": True, "result": {"stopping": True}})
+                shard.request_shutdown()
+                return False
+            else:
+                self._reply({
+                    "ok": False, "kind": "protocol",
+                    "error": f"unknown op {op!r}",
+                })
+        except Exception as error:  # surface, never kill the connection loop
+            _log.error("request failed", op=op, error=repr(error))
+            self._reply({
+                "ok": False, "kind": "protocol",
+                "error": f"{type(error).__name__}: {error}",
+            })
+        return True
+
+    def _reply(self, message: dict[str, Any]) -> None:
+        try:
+            self.wfile.write(_encode_message(message))
+            self.wfile.flush()
+        except OSError:  # peer vanished mid-reply; nothing to salvage
+            pass
+
+
+class ShardNodeServer:
+    """One shard node: serves Phase 1 over its road network on TCP.
+
+    Args:
+        network: The (replicated) road network this node preprocesses on.
+        node_id: Identifier reported in handshakes and stats.
+        host: Bind address (loopback by default).
+        port: TCP port; 0 picks an ephemeral one.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        node_id: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.requests = 0
+        self.preprocess_calls = 0
+        self.trajectories_processed = 0
+        self.bad_frames = 0
+        self.torn_frames = 0
+        self._server = _ShardTCPServer((host, port), _ShardHandler)
+        self._server.shard = self
+        self._thread: threading.Thread | None = None
+        self._shutdown_requested = threading.Event()
+
+    # -- address --------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ShardNodeServer":
+        """Serve on a daemon thread (idempotent while running)."""
+        if self.running:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-shard-node:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("shard node listening", node=self.node_id, address=self.address)
+        return self
+
+    def serve_until_shutdown(self, poll_s: float = 0.2) -> None:
+        """Serve on the calling thread until a ``shutdown`` op or signal.
+
+        The blocking mode ``repro shard-node`` uses: :meth:`stop` (e.g.
+        from a signal handler) and the wire ``shutdown`` op both return
+        control here.
+        """
+        self.start()
+        while self.running and not self._shutdown_requested.wait(poll_s):
+            pass
+        self.stop()
+
+    def request_shutdown(self) -> None:
+        """Ask the serving loop to stop (safe from handler threads)."""
+        self._shutdown_requested.set()
+
+    def stop(self) -> None:
+        """Shut down and join the serving thread (idempotent)."""
+        self._shutdown_requested.set()
+        thread = self._thread
+        if thread is None:
+            return
+        self._server.shutdown()
+        thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "ShardNodeServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def stats(self) -> dict[str, Any]:
+        """Served-request counters (the ``stats`` RPC body)."""
+        return {
+            "node_id": self.node_id,
+            "requests": self.requests,
+            "preprocess_calls": self.preprocess_calls,
+            "trajectories_processed": self.trajectories_processed,
+            "bad_frames": self.bad_frames,
+            "torn_frames": self.torn_frames,
+        }
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class TransportClient:
+    """A wire client for one shard node (one connection per call).
+
+    Args:
+        host: Shard node address.
+        port: Shard node port.
+        timeout_s: Socket timeout for connect and reads — the *real*
+            deadline a stalled peer runs into.
+        faults: Optional injector; when armed against
+            ``fault_operation``, connection faults fire at their
+            scheduled 1-based call indexes.
+        fault_operation: The injection-point name for this client
+            (convention: ``transport.node{id}``).
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving the ``transport.*`` counters.
+        proto: Protocol version offered in the handshake (overridable
+            only to test mismatch handling).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 5.0,
+        faults: FaultInjector | None = None,
+        fault_operation: str | None = None,
+        metrics: Any = None,
+        proto: int = PROTOCOL_VERSION,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.faults = faults
+        self.fault_operation = fault_operation
+        self.metrics = metrics
+        self.proto = proto
+        self.calls = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def _inc(self, name: str, description: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, amount=amount, description=description)
+
+    def _fail(self, kind: str, detail: str) -> TransportError:
+        self._inc("transport.errors", "Wire calls that failed")
+        counter = {
+            "refused": "transport.refused",
+            "dropped": "transport.dropped",
+            "stalled": "transport.stalled",
+            "garbled": "transport.garbled",
+        }.get(kind)
+        if counter is not None:
+            self._inc(counter, f"Wire calls that failed as {kind!r}")
+        return TransportError(self.address, kind, detail)
+
+    def call(self, op: str, payload: dict[str, Any] | None = None) -> Any:
+        """One RPC: connect, handshake, request, response.
+
+        Returns the response's ``result`` value.
+
+        Raises:
+            HandshakeFailed: Version mismatch or a rejected hello.
+            TransportError: Any socket-level or protocol failure, with
+                ``kind`` naming the failure mode.
+        """
+        self.calls += 1
+        fault = None
+        plan = None
+        if self.faults is not None and self.fault_operation is not None:
+            fault, plan = self.faults.connection_fault(self.fault_operation)
+        if fault is not None:
+            self.faults.record_injected(self.fault_operation)
+        self._inc("transport.requests", "Wire calls issued")
+
+        if fault == "refuse":
+            # Never reaches the peer — indistinguishable from a dead
+            # process as far as the caller can tell.
+            raise self._fail(
+                "refused", f"connection refused (injected, call #{self.calls})"
+            )
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        except OSError as error:
+            raise self._fail("refused", str(error)) from error
+
+        try:
+            with sock:
+                rfile = sock.makefile("rb")
+                self._handshake(sock, rfile)
+                request: dict[str, Any] = {"op": op}
+                if payload is not None:
+                    request["payload"] = payload
+                if fault == "stall":
+                    request["_stall_s"] = plan.stall_s
+                frame = _encode_message(request)
+                if fault == "garble":
+                    # Flip one payload bit: the header stays parseable,
+                    # the CRC check fails server-side.
+                    damaged = bytearray(frame)
+                    damaged[FRAME_HEADER.size] ^= 0x01
+                    frame = bytes(damaged)
+                if fault == "drop":
+                    # Half a frame, then a close: the server reads a torn
+                    # frame, this client reads EOF where the response
+                    # should be.
+                    sock.sendall(frame[: max(1, len(frame) // 2)])
+                    self._inc(
+                        "transport.bytes_sent", "Payload bytes written to the wire",
+                        amount=max(1, len(frame) // 2),
+                    )
+                    sock.shutdown(socket.SHUT_WR)
+                else:
+                    sock.sendall(frame)
+                    self._inc(
+                        "transport.bytes_sent", "Payload bytes written to the wire",
+                        amount=len(frame),
+                    )
+                return self._read_response(rfile)
+        except TransportError:
+            raise
+        except socket.timeout as error:
+            raise self._fail(
+                "stalled", f"no response within {self.timeout_s}s"
+            ) from error
+        except OSError as error:
+            raise self._fail("dropped", str(error)) from error
+
+    # ------------------------------------------------------------------
+    def _handshake(self, sock: socket.socket, rfile: Any) -> None:
+        hello = _encode_message({"op": "hello", "proto": self.proto})
+        sock.sendall(hello)
+        self._inc(
+            "transport.bytes_sent", "Payload bytes written to the wire",
+            amount=len(hello),
+        )
+        try:
+            payload = read_frame(rfile)
+        except socket.timeout as error:
+            raise self._fail(
+                "stalled", f"no handshake within {self.timeout_s}s"
+            ) from error
+        except (TornFrame, OSError) as error:
+            raise self._fail("dropped", f"handshake: {error}") from error
+        except FrameError as error:
+            raise self._fail("garbled", f"handshake: {error}") from error
+        if payload is None:
+            raise self._fail("dropped", "connection closed during handshake")
+        self._inc(
+            "transport.bytes_received", "Payload bytes read from the wire",
+            amount=len(payload),
+        )
+        message = json.loads(payload.decode("utf-8"))
+        if not message.get("ok"):
+            self._inc("transport.errors", "Wire calls that failed")
+            raise HandshakeFailed(
+                self.address, str(message.get("error", "rejected"))
+            )
+        self._inc("transport.handshakes", "Versioned handshakes completed")
+
+    def _read_response(self, rfile: Any) -> Any:
+        try:
+            payload = read_frame(rfile)
+        except socket.timeout as error:
+            raise self._fail(
+                "stalled", f"no response within {self.timeout_s}s"
+            ) from error
+        except (TornFrame, OSError) as error:
+            raise self._fail("dropped", str(error)) from error
+        except FrameError as error:
+            raise self._fail("garbled", str(error)) from error
+        if payload is None:
+            raise self._fail("dropped", "connection closed before the response")
+        self._inc(
+            "transport.bytes_received", "Payload bytes read from the wire",
+            amount=len(payload),
+        )
+        message = json.loads(payload.decode("utf-8"))
+        if message.get("ok"):
+            return message.get("result")
+        kind = str(message.get("kind", "protocol"))
+        detail = str(message.get("error", "request rejected"))
+        if kind not in ("refused", "dropped", "stalled", "garbled"):
+            kind = "protocol"
+        raise self._fail(kind, detail)
+
+
+# ----------------------------------------------------------------------
+# Remote data node (the coordinator-facing adapter)
+# ----------------------------------------------------------------------
+class RemoteDataNode:
+    """A :class:`~repro.distributed.nodes.DataNode` twin over the wire.
+
+    Duck-types the coordinator's node contract (``node_id`` /
+    ``healthy`` / ``trajectories`` / ``ingest`` / ``kill`` / ``revive``
+    / ``preprocess_batch``) while the actual Phase 1 runs in a shard
+    process reached through ``client``.  ``kill`` marks this *stub* dead
+    (the coordinator's view); the process itself lives and dies on its
+    own.
+    """
+
+    def __init__(self, node_id: int, client: TransportClient) -> None:
+        self.node_id = node_id
+        self.client = client
+        self.healthy = True
+        self.trajectories: list[Trajectory] = []
+
+    def ingest(self, trajectories: Iterable[Trajectory]) -> None:
+        self.trajectories.extend(trajectories)
+
+    def kill(self) -> None:
+        self.healthy = False
+
+    def revive(self) -> None:
+        self.healthy = True
+
+    def ping(self) -> bool:
+        """Whether the shard process answers (never raises)."""
+        try:
+            self.client.call("ping")
+            return True
+        except Exception:
+            return False
+
+    def preprocess_batch(
+        self,
+        trajectories: Sequence[Trajectory],
+        keep_interior_points: bool = False,
+    ) -> list[BaseCluster]:
+        """Phase 1 over ``trajectories``, executed in the shard process."""
+        if not self.healthy:
+            raise NodeDown(self.node_id)
+        result = self.client.call(
+            "preprocess",
+            {
+                "trajectories": trajectories_to_wire(trajectories),
+                "keep_interior_points": bool(keep_interior_points),
+            },
+        )
+        return clusters_from_wire(result["clusters"])
+
+
+# ----------------------------------------------------------------------
+# Local shard processes
+# ----------------------------------------------------------------------
+@dataclass
+class ShardProcess:
+    """One spawned ``repro shard-node`` worker."""
+
+    node_id: int
+    process: subprocess.Popen
+    host: str
+    port: int
+    log_path: Path | None = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+def spawn_local_shards(
+    network_path: str | Path,
+    count: int,
+    work_dir: str | Path | None = None,
+    log_dir: str | Path | None = None,
+    host: str = "127.0.0.1",
+    python: str = sys.executable,
+    startup_timeout_s: float = 30.0,
+) -> list[ShardProcess]:
+    """Start ``count`` shard-node worker processes on ephemeral ports.
+
+    Each worker is ``python -m repro shard-node`` over the saved network
+    at ``network_path``; its bound port is read back through a
+    ``--port-file`` rendezvous.  On any startup failure every spawned
+    process is killed before raising — no orphans.
+
+    Args:
+        network_path: A saved road-network JSON (``repro.roadnet.io``).
+        count: Worker count.
+        work_dir: Directory for port files (a temp dir when omitted).
+        log_dir: When given, each worker's stdout+stderr goes to
+            ``shard-{i}.log`` there (the CI failure artifact).
+        host: Bind address for the workers.
+        python: Interpreter to launch (defaults to this one).
+        startup_timeout_s: Budget for all workers to report their port.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    base = Path(work_dir) if work_dir is not None else Path(
+        tempfile.mkdtemp(prefix="repro-shards-")
+    )
+    base.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parent.parent.parent)
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src_root
+    )
+
+    shards: list[ShardProcess] = []
+    handles: list[Any] = []
+    try:
+        for node_id in range(count):
+            port_file = base / f"shard-{node_id}.port"
+            port_file.unlink(missing_ok=True)
+            log_path = None
+            stdout: Any = subprocess.DEVNULL
+            if log_dir is not None:
+                log_path = Path(log_dir) / f"shard-{node_id}.log"
+                log_path.parent.mkdir(parents=True, exist_ok=True)
+                stdout = open(log_path, "wb")
+                handles.append(stdout)
+            process = subprocess.Popen(
+                [
+                    python, "-m", "repro", "shard-node",
+                    "--network", str(network_path),
+                    "--node-id", str(node_id),
+                    "--host", host,
+                    "--port", "0",
+                    "--port-file", str(port_file),
+                ],
+                stdout=stdout,
+                stderr=subprocess.STDOUT if log_dir is not None else subprocess.DEVNULL,
+                env=env,
+            )
+            shards.append(ShardProcess(node_id, process, host, 0, log_path))
+
+        deadline = time.monotonic() + startup_timeout_s
+        for node_id, shard in enumerate(shards):
+            port_file = base / f"shard-{node_id}.port"
+            while True:
+                text = ""
+                if port_file.exists():
+                    text = port_file.read_text(encoding="utf-8").strip()
+                if text:
+                    shard.port = int(text)
+                    break
+                if shard.process.poll() is not None:
+                    raise TransportError(
+                        f"{host}:?", "refused",
+                        f"shard {node_id} exited with "
+                        f"{shard.process.returncode} before binding",
+                    )
+                if time.monotonic() > deadline:
+                    raise TransportError(
+                        f"{host}:?", "stalled",
+                        f"shard {node_id} did not report a port within "
+                        f"{startup_timeout_s}s",
+                    )
+                time.sleep(0.05)
+        # Write pid files after the rendezvous so a supervisor (or a
+        # chaos test) can deliver real signals to a specific shard.
+        for shard in shards:
+            (base / f"shard-{shard.node_id}.pid").write_text(
+                f"{shard.process.pid}\n", encoding="utf-8"
+            )
+    except BaseException:
+        stop_shards(shards)
+        for handle in handles:
+            handle.close()
+        raise
+    for handle in handles:
+        handle.close()
+    return shards
+
+
+def stop_shards(shards: Iterable[ShardProcess], grace_s: float = 5.0) -> None:
+    """Terminate shard processes: polite shutdown op, then SIGKILL."""
+    shards = list(shards)
+    for shard in shards:
+        if not shard.alive:
+            continue
+        try:
+            TransportClient(shard.host, shard.port, timeout_s=1.0).call("shutdown")
+        except Exception:
+            pass
+    deadline = time.monotonic() + grace_s
+    for shard in shards:
+        if not shard.alive:
+            continue
+        shard.process.terminate()
+    for shard in shards:
+        try:
+            shard.process.wait(timeout=max(0.1, deadline - time.monotonic()))
+        except subprocess.TimeoutExpired:
+            shard.process.kill()
+            shard.process.wait()

@@ -127,6 +127,31 @@ class NodeDown(ResilienceError):
         self.node_id = node_id
 
 
+class TransportError(ResilienceError):
+    """A wire-protocol call to a remote shard node failed.
+
+    Raised by the distributed transport for every socket-level failure —
+    refused connections, connections dropped mid-message, responses that
+    never arrive, frames that fail their CRC.  ``kind`` names the
+    failure mode (``"refused"``, ``"dropped"``, ``"stalled"``,
+    ``"garbled"``, ``"protocol"``) so retry policies and tests can
+    discriminate without string matching.
+    """
+
+    def __init__(self, address: str, kind: str, detail: str) -> None:
+        super().__init__(f"transport to {address} failed ({kind}): {detail}")
+        self.address = address
+        self.kind = kind
+        self.detail = detail
+
+
+class HandshakeFailed(TransportError):
+    """The versioned wire handshake with a shard node was rejected."""
+
+    def __init__(self, address: str, detail: str) -> None:
+        super().__init__(address, "handshake", detail)
+
+
 class QuorumLost(ResilienceError):
     """Too few shards survived for the coordinator's configured quorum."""
 

@@ -24,12 +24,16 @@ an ephemeral port (read it back from :attr:`ObservabilityServer.port`) —
 what tests and supervisors running many instances want.  Scrapes run on
 short-lived daemon threads, reading the registry through its internal
 lock while pipeline threads write; handler exceptions are converted to
-HTTP 500 JSON bodies, never crashes.
+HTTP 500 JSON bodies, never crashes.  Malformed or oversized requests
+(garbage request lines, >64 KiB request lines or header lines) are
+rejected with 400/414/431 JSON bodies — counted in
+``server.bad_requests``, never a handler traceback.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
@@ -53,6 +57,17 @@ class _ObsHTTPServer(ThreadingHTTPServer):
     # Bound by ObservabilityServer before serving starts.
     obs: "ObservabilityServer"
 
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        # The stdlib default prints a traceback to stderr for any
+        # exception a handler thread leaks (e.g. a peer slamming the
+        # connection mid-response).  A hostile or broken client must
+        # never look like a server crash: log one structured line.
+        error = sys.exc_info()[1]
+        _log.warning(
+            "connection handler error",
+            peer=str(client_address), error=repr(error),
+        )
+
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-obs/1.0"
@@ -62,6 +77,51 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         _log.debug("request", peer=self.address_string(),
                    line=format % args if args else format)
+
+    def send_error(
+        self, code: int, message: str | None = None,
+        explain: str | None = None,
+    ) -> None:
+        """Malformed-request rejection: counted, compact, traceback-free.
+
+        The stdlib parse path routes every protocol defect here — bad
+        request lines (400), oversized request lines (414), oversized or
+        too-many headers (431).  Each one bumps ``server.bad_requests``
+        and gets a small JSON body instead of the stdlib HTML error
+        page; the connection is closed (a peer that cannot frame a
+        request cannot be trusted to keep-alive).
+        """
+        obs = getattr(self.server, "obs", None)
+        if obs is not None and code >= 400:
+            obs.telemetry.metrics.inc(
+                "server.bad_requests",
+                description="Malformed or oversized HTTP requests rejected",
+            )
+        _log.warning(
+            "bad request rejected",
+            peer=self.address_string(), code=code, message=message,
+        )
+        self.close_connection = True
+        # A garbage request line parses as HTTP/0.9, for which the stdlib
+        # suppresses the status line entirely — force a real one so the
+        # peer always sees "HTTP/1.1 <code>".
+        if getattr(self, "request_version", "HTTP/0.9") == "HTTP/0.9":
+            self.request_version = self.protocol_version
+        try:
+            body = json.dumps(
+                {"error": message or self.responses.get(code, ("", ""))[0],
+                 "code": code},
+                sort_keys=True,
+            ).encode("utf-8") + b"\n"
+            self.send_response(code, message)
+            self.send_header("Content-Type", _JSON_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            if getattr(self, "command", None) != "HEAD" and code >= 200:
+                self.wfile.write(body)
+        except OSError:  # peer already gone; nothing to report to it
+            pass
 
     def _send(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)

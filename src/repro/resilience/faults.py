@@ -9,7 +9,14 @@ index, so a plan is reproducible by construction:
 * ``latency_s`` — add synthetic latency to every call (recorded through
   an injectable sleeper, so tests observe it without actually sleeping);
 * ``corrupt_nth`` — pass the given calls' results through ``corruptor``
-  (payload corruption on the wire).
+  (payload corruption on the wire);
+* ``refuse_nth`` / ``drop_nth`` / ``stall_nth`` / ``garble_nth`` —
+  *connection* faults, interpreted by the distributed transport at the
+  socket layer: a refused connect, a connection closed mid-message, a
+  response stalled past the read deadline, a frame whose CRC fails.
+  They are scheduling only — :meth:`FaultPlan.connection_fault` names
+  the fault for a call index and the transport performs the real
+  socket-level misbehavior (see ``repro.distributed.transport``).
 
 :meth:`FaultPlan.wrap` turns any callable into a :class:`FaultyCallable`
 that applies the plan and counts what it injected.  A
@@ -55,6 +62,16 @@ class FaultPlan:
             the payload with ``None``).
         exception: Factory ``(operation, call_index) -> BaseException``
             for injected failures (default :class:`FaultInjected`).
+        refuse_nth: 1-based call number(s) whose connection is refused
+            (the transport never reaches the peer).
+        drop_nth: 1-based call number(s) whose connection is closed
+            mid-message (a partial request frame reaches the peer).
+        stall_nth: 1-based call number(s) whose response stalls past the
+            client's read deadline (``stall_s`` seconds, served through
+            the peer's chaos hook so the timeout fires for real).
+        garble_nth: 1-based call number(s) whose request frame has one
+            bit flipped on the wire (the peer's CRC check rejects it).
+        stall_s: Stall duration for ``stall_nth`` calls.
     """
 
     fail_nth: int | Iterable[int] | None = None
@@ -63,14 +80,23 @@ class FaultPlan:
     corrupt_nth: int | Iterable[int] | None = None
     corruptor: Callable[[Any], Any] | None = None
     exception: Callable[[str, int], BaseException] = FaultInjected
+    refuse_nth: int | Iterable[int] | None = None
+    drop_nth: int | Iterable[int] | None = None
+    stall_nth: int | Iterable[int] | None = None
+    garble_nth: int | Iterable[int] | None = None
+    stall_s: float = 0.25
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "fail_nth", _as_indices(self.fail_nth))
         object.__setattr__(self, "corrupt_nth", _as_indices(self.corrupt_nth))
+        for name in ("refuse_nth", "drop_nth", "stall_nth", "garble_nth"):
+            object.__setattr__(self, name, _as_indices(getattr(self, name)))
         if self.kill_from is not None and self.kill_from < 1:
             raise ConfigError(f"kill_from is 1-based, got {self.kill_from}")
         if self.latency_s < 0:
             raise ConfigError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.stall_s <= 0:
+            raise ConfigError(f"stall_s must be > 0, got {self.stall_s}")
 
     # ------------------------------------------------------------------
     def should_fail(self, call_index: int) -> bool:
@@ -82,6 +108,29 @@ class FaultPlan:
     def should_corrupt(self, call_index: int) -> bool:
         """Whether the plan corrupts this call's result."""
         return call_index in self.corrupt_nth
+
+    def connection_fault(self, call_index: int) -> str | None:
+        """The connection fault injected into this call, if any.
+
+        Returns ``"refuse"``, ``"drop"``, ``"stall"`` or ``"garble"``
+        (checked in that order when a call index appears in several
+        schedules), or ``None`` for a clean call.
+        """
+        if call_index in self.refuse_nth:
+            return "refuse"
+        if call_index in self.drop_nth:
+            return "drop"
+        if call_index in self.stall_nth:
+            return "stall"
+        if call_index in self.garble_nth:
+            return "garble"
+        return None
+
+    def has_connection_faults(self) -> bool:
+        """Whether any connection-fault schedule is non-empty."""
+        return bool(
+            self.refuse_nth or self.drop_nth or self.stall_nth or self.garble_nth
+        )
 
     def corrupt(self, result: Any) -> Any:
         """The corrupted form of ``result``."""
@@ -227,6 +276,29 @@ class FaultInjector:
     def wrapper(self, operation: str) -> FaultyCallable | None:
         """The armed wrapper (to read its injection counters), or None."""
         return self._wrappers.get(operation)
+
+    def connection_fault(self, operation: str) -> tuple[str | None, "FaultPlan | None"]:
+        """Advance ``operation``'s call counter; name the fault to inject.
+
+        The transport layer calls this once per wire call (the 1-based
+        index is the armed wrapper's ``calls`` counter, shared with
+        :meth:`run`, so connection faults and result faults count the
+        same call stream).  Returns ``(kind, plan)`` where ``kind`` is
+        ``None`` for a clean call; the caller performs the real
+        socket-level misbehavior and bumps ``injected_failures`` via
+        :meth:`record_injected`.
+        """
+        wrapper = self._wrappers.get(operation)
+        if wrapper is None:
+            return None, None
+        wrapper.calls += 1
+        return wrapper.plan.connection_fault(wrapper.calls), wrapper.plan
+
+    def record_injected(self, operation: str) -> None:
+        """Count one transport-performed injection on ``operation``."""
+        wrapper = self._wrappers.get(operation)
+        if wrapper is not None:
+            wrapper.injected_failures += 1
 
     def run(self, operation: str, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Run ``fn`` through the plan armed against ``operation`` (if any)."""

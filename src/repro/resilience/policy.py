@@ -22,6 +22,7 @@ and benchmarks run instantly and deterministically.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
@@ -202,6 +203,11 @@ class CircuitBreaker:
     to ``half_open_max_calls`` trial calls are admitted; one success
     closes the circuit (counters reset), one failure re-opens it.
 
+    State transitions are serialized by an internal lock, so concurrent
+    callers cannot over-admit half-open probes: with
+    ``half_open_max_calls=1``, exactly one of N racing :meth:`allow`
+    calls passes (the check-then-increment is atomic).
+
     Args:
         name: Identifier used in errors and logs.
         failure_threshold: Consecutive failures that trip the breaker.
@@ -245,12 +251,12 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._half_open_in_flight = 0
+        self._lock = threading.Lock()
         self.trip_count = 0
 
     # ------------------------------------------------------------------
-    @property
-    def state(self) -> str:
-        """Current state, accounting for recovery-interval expiry."""
+    def _current_state(self) -> str:
+        """State with recovery-interval expiry applied; lock held."""
         if (
             self._state == self.OPEN
             and self._clock() - self._opened_at >= self.recovery_s
@@ -259,17 +265,29 @@ class CircuitBreaker:
             self._half_open_in_flight = 0
         return self._state
 
+    @property
+    def state(self) -> str:
+        """Current state, accounting for recovery-interval expiry."""
+        with self._lock:
+            return self._current_state()
+
     def allow(self) -> bool:
-        """Whether a call may proceed right now (half-open slots count)."""
-        state = self.state
-        if state == self.CLOSED:
-            return True
-        if state == self.HALF_OPEN:
-            if self._half_open_in_flight < self.half_open_max_calls:
-                self._half_open_in_flight += 1
+        """Whether a call may proceed right now (half-open slots count).
+
+        Atomic: the half-open slot check and the in-flight increment
+        happen under the breaker's lock, so two concurrent probes can
+        never both be admitted past ``half_open_max_calls``.
+        """
+        with self._lock:
+            state = self._current_state()
+            if state == self.CLOSED:
                 return True
+            if state == self.HALF_OPEN:
+                if self._half_open_in_flight < self.half_open_max_calls:
+                    self._half_open_in_flight += 1
+                    return True
+                return False
             return False
-        return False
 
     def check(self) -> None:
         """Raise :class:`CircuitOpenError` unless a call may proceed."""
@@ -279,18 +297,20 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """Report a successful protected call (closes a half-open circuit)."""
-        self._consecutive_failures = 0
-        self._half_open_in_flight = 0
-        self._state = self.CLOSED
+        with self._lock:
+            self._consecutive_failures = 0
+            self._half_open_in_flight = 0
+            self._state = self.CLOSED
 
     def record_failure(self) -> None:
         """Report a failed protected call; may trip the circuit open."""
-        if self._state == self.HALF_OPEN:
-            self._trip()
-            return
-        self._consecutive_failures += 1
-        if self._consecutive_failures >= self.failure_threshold:
-            self._trip()
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
 
     def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Guard one call: admission check, then success/failure recording."""
@@ -305,6 +325,7 @@ class CircuitBreaker:
 
     # ------------------------------------------------------------------
     def _trip(self) -> None:
+        # Lock held by the caller (record_success/record_failure).
         self._state = self.OPEN
         self._opened_at = self._clock()
         self._consecutive_failures = 0

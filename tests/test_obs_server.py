@@ -239,3 +239,70 @@ class TestServiceIntegration:
         finally:
             svc.stop_obs()
         svc.stop_obs()  # idempotent
+
+
+class TestBadRequestHardening:
+    """Hostile peers get 400/431 JSON and a counter bump, never a traceback."""
+
+    def raw_request(self, obs: ObservabilityServer, data: bytes) -> bytes:
+        import socket
+
+        with socket.create_connection((obs.host, obs.port), timeout=10) as sock:
+            sock.sendall(data)
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks)
+
+    def counter_value(self, telemetry: Telemetry) -> float:
+        instrument = telemetry.metrics.get("server.bad_requests")
+        return instrument.value if instrument is not None else 0.0
+
+    def test_garbage_request_line_is_400(self, telemetry):
+        with ObservabilityServer(telemetry) as obs:
+            response = self.raw_request(obs, b"GARBAGE\r\n\r\n")
+            assert response.startswith(b"HTTP/1.1 400")
+            header, _, body = response.partition(b"\r\n\r\n")
+            assert b"Content-Type: application/json" in header
+            assert json.loads(body)["code"] == 400
+            assert self.counter_value(telemetry) == 1
+            # The server still serves well-formed peers afterwards.
+            status, _, _ = get(obs.url + "/health")
+            assert status == 200
+
+    def test_oversized_header_is_431(self, telemetry):
+        huge = b"X-Flood: " + b"a" * (64 * 1024 + 1024) + b"\r\n"
+        request = b"GET /health HTTP/1.1\r\nHost: x\r\n" + huge + b"\r\n"
+        with ObservabilityServer(telemetry) as obs:
+            response = self.raw_request(obs, request)
+            assert response.startswith(b"HTTP/1.1 431")
+            assert json.loads(response.partition(b"\r\n\r\n")[2])["code"] == 431
+            assert self.counter_value(telemetry) == 1
+            status, _, _ = get(obs.url + "/metrics")
+            assert status == 200
+
+    def test_each_bad_request_counts(self, telemetry):
+        with ObservabilityServer(telemetry) as obs:
+            for _ in range(3):
+                self.raw_request(obs, b"NOT HTTP AT ALL\r\n\r\n")
+            assert self.counter_value(telemetry) == 3
+            # The counter is visible on the exposition surface itself.
+            _, _, body = get(obs.url + "/metrics")
+            assert b"server_bad_requests 3" in body.replace(b".", b"_") or (
+                b"server.bad_requests" in body or b"server_bad_requests" in body
+            )
+
+    def test_half_closed_peer_never_tracebacks(self, telemetry, capsys):
+        import socket
+
+        with ObservabilityServer(telemetry) as obs:
+            # A peer that connects and immediately slams the connection.
+            with socket.create_connection((obs.host, obs.port), timeout=10):
+                pass
+            status, _, _ = get(obs.url + "/health")
+            assert status == 200
+        assert "Traceback" not in capsys.readouterr().err

@@ -311,6 +311,79 @@ class TestCircuitBreaker:
             CircuitBreaker("bad", **kwargs)
 
 
+class TestCircuitBreakerThreadSafety:
+    """Half-open admission is atomic: N racing probes admit exactly max."""
+
+    def race_allow(self, breaker, thread_count: int) -> int:
+        import threading
+
+        barrier = threading.Barrier(thread_count)
+        admitted = []
+        lock = threading.Lock()
+
+        def probe() -> None:
+            barrier.wait()
+            if breaker.allow():
+                with lock:
+                    admitted.append(1)
+
+        threads = [
+            threading.Thread(target=probe) for _ in range(thread_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return len(admitted)
+
+    @pytest.mark.parametrize("max_calls", [1, 2])
+    def test_concurrent_probes_admit_exactly_max(self, max_calls):
+        for _ in range(10):  # the race is probabilistic; hammer it
+            clock = FakeClock()
+            breaker = CircuitBreaker(
+                "raced", failure_threshold=1, recovery_s=1.0,
+                half_open_max_calls=max_calls, clock=clock,
+            )
+            breaker.record_failure()
+            clock.advance(1.0)
+            assert self.race_allow(breaker, 16) == max_calls
+            assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_concurrent_records_keep_counters_consistent(self):
+        import threading
+
+        breaker = CircuitBreaker(
+            "stress", failure_threshold=2, recovery_s=0.001,
+            half_open_max_calls=1,
+        )
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def churn() -> None:
+            barrier.wait()
+            try:
+                for i in range(200):
+                    breaker.allow()
+                    if i % 3:
+                        breaker.record_failure()
+                    else:
+                        breaker.record_success()
+                    breaker.state
+            except Exception as error:  # pragma: no cover - the regression
+                errors.append(error)
+
+        threads = [threading.Thread(target=churn) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert breaker.state in (
+            CircuitBreaker.CLOSED, CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN
+        )
+        assert breaker.trip_count >= 1
+
+
 class TestFaultPlan:
     def test_fail_nth_single_call(self):
         wrapped = FaultPlan(fail_nth=2).wrap(lambda: "ok", "op")
