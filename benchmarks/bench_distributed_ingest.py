@@ -4,25 +4,35 @@ One measurement, one artifact
 (``output/BENCH_distributed_ingest.json``): the same opt-NEAT workload
 clustered serially and through 1/2/4 local ``repro shard-node`` worker
 processes — real OS processes, real TCP, region sharding over the
-consistent-hash ring.  For every shard count the run must produce a
+consistent-hash ring, pooled persistent connections, pipelined dispatch
+and shard-side Phase 3.  For every shard count the run must produce a
 result document *byte-identical* to the serial one (the distributed
 tier's core invariant); the artifact records the SHA-256 digest match
-alongside wall times, the per-shard trajectory split and the
-deterministic result counters (flows, clusters, boundary segments)
-that ``check_perf_regression.py`` gates against the committed
+alongside wall times, the per-shard trajectory split, the per-rung wire
+profile (``rpc_count`` / ``bytes_sent`` / ``batched_calls`` /
+``reconnects`` — the *why* behind a scaling change, not just the what)
+and the deterministic result counters (flows, clusters, boundary
+segments) that ``check_perf_regression.py`` gates against the committed
 baseline.
 
-The wall-time columns are honest about what they measure: on a small
-workload the wire serialization dominates and shards cost more than
-serial — the point of the bench is the invariant and the trend, not a
-speedup claim.  ``--smoke`` shrinks the workload for CI;
-``--append-history`` feeds the trend ledger of ``bench_history.py``.
+``vs_serial`` is a *speedup* (serial best over distributed best, higher
+is better; ≥ 1.0 means the distributed tier at least breaks even), and
+the flat ``vs_serial_by_shards`` map exists so CI can gate it with
+``--key-min vs_serial_by_shards.4=1.0 --skip-unless cpu_count=4``: on a
+single-core host every shard process time-slices the same CPU, so the
+ratio there measures pure dispatch overhead, not parallel speedup —
+the artifact's ``cpu_count`` field says which regime a run measured.  Every rung times only
+``coordinator.run`` — shard spawn and teardown are excluded — and takes
+the best of ``--rounds`` (default 3) to shave scheduler noise.
+``--smoke`` shrinks the workload for CI; ``--append-history`` feeds the
+trend ledger of ``bench_history.py``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import sys
 import tempfile
 import time
@@ -50,13 +60,19 @@ from repro.experiments.workloads import (  # noqa: E402
     build_dataset,
     build_network,
 )
+from repro.obs import Telemetry  # noqa: E402
 from repro.roadnet.io import save_network  # noqa: E402
 
 ROUNDS = 3
 OBJECTS = 200
-EPS = 1000.0
+# The paper's Phase 3 threshold for the Atlanta-like evaluation
+# (eps = 6500 m for ATL500).  A real eps gives Phase 3 real distance
+# work, which is exactly the part shard-side Phase 3 distributes for
+# free wire-wise — benching at a token eps would hide that.
+EPS = 6500.0
 REGION = "ATL"
 SHARD_COUNTS = (1, 2, 4)
+RPC_TIMEOUT_S = 60.0
 
 
 def _digest(document: dict) -> str:
@@ -71,8 +87,16 @@ def run_ingest_scaling(
     region: str = REGION,
     network_scale: float | None = None,
     shard_counts: tuple[int, ...] = SHARD_COUNTS,
+    pool_size: int = 1,
+    remote_phase3: bool = True,
 ) -> dict:
-    """Serial vs N-shard-process wall time, digest-checked per rung."""
+    """Serial vs N-shard-process wall time, digest-checked per rung.
+
+    Each rung reports the best of ``rounds`` timings of
+    ``coordinator.run`` alone (spawn and teardown excluded) plus the
+    wire profile of its last round — RPC and byte counts are
+    deterministic across rounds, so "last" is as good as any.
+    """
     network = build_network(region, network_scale)
     dataset = build_dataset(
         network, WorkloadSpec(region, objects, network_scale=network_scale)
@@ -80,10 +104,15 @@ def run_ingest_scaling(
     trajectories = list(dataset.trajectories)
     config = NEATConfig(eps=EPS)
 
-    serial_neat = NEAT(network, config)
     serial_best = float("inf")
     serial_result = None
     for _ in range(rounds):
+        # Fresh NEAT per round: a warm distance memo from round 1 would
+        # turn rounds 2+ into cache-hit replays and make serial look
+        # faster than a cold run ever is.  The distributed rungs below
+        # are reset to cold per round too — best-of-N compares like
+        # with like.
+        serial_neat = NEAT(network, config)
         started = time.perf_counter()
         serial_result = serial_neat.run(trajectories, mode="opt")
         serial_best = min(serial_best, time.perf_counter() - started)
@@ -101,24 +130,57 @@ def run_ingest_scaling(
             try:
                 best = float("inf")
                 result = None
+                wire: dict = {}
                 for _ in range(rounds):
-                    # Fresh nodes/ring per round: a node death or
-                    # rebalance in one round must not leak into the next.
+                    # Fresh nodes/ring/telemetry per round: a node death,
+                    # rebalance or counter in one round must not leak
+                    # into the next.
+                    telemetry = Telemetry()
                     nodes = [
                         RemoteDataNode(
-                            s.node_id, TransportClient(s.host, s.port)
+                            s.node_id,
+                            TransportClient(
+                                s.host, s.port,
+                                timeout_s=RPC_TIMEOUT_S,
+                                metrics=telemetry.metrics,
+                                pool_size=pool_size,
+                            ),
                         )
                         for s in shards
                     ]
+                    # trid routing: near-uniform shard load.  Region
+                    # routing piles hotspot-started trips onto a few
+                    # nodes, and the largest shard's share caps the
+                    # parallel speedup.
                     shardmap = RegionShardMap(
-                        network, [s.node_id for s in shards]
+                        network, [s.node_id for s in shards], route="trid"
                     )
                     coordinator = NeatCoordinator(
-                        network, config, nodes=nodes, shardmap=shardmap
+                        network, config, nodes=nodes, shardmap=shardmap,
+                        telemetry=telemetry, remote_phase3=remote_phase3,
                     )
                     started = time.perf_counter()
                     result = coordinator.run(trajectories, mode="opt")
                     best = min(best, time.perf_counter() - started)
+                    metrics = telemetry.metrics
+                    wire = {
+                        "rpc_count": int(metrics.value("transport.requests")),
+                        "bytes_sent": int(metrics.value("transport.bytes_sent")),
+                        "batched_calls": int(
+                            metrics.value("transport.batched_calls")
+                        ),
+                        "reconnects": int(metrics.value("transport.reconnects")),
+                        "handshakes": int(metrics.value("transport.handshakes")),
+                    }
+                    for node in nodes:
+                        # Cold next round: drop each shard's warm
+                        # distance engine (outside the timed window),
+                        # then the pooled connections.
+                        try:
+                            node.client.call("reset")
+                        except Exception:
+                            pass
+                        node.client.close()
                 split = [
                     len(shard)
                     for _, shard in sorted(shardmap.shard(trajectories).items())
@@ -129,30 +191,48 @@ def run_ingest_scaling(
             rungs.append({
                 "shards": count,
                 "wall_s": round(best, 4),
-                "vs_serial": round(best / serial_best, 3),
+                "vs_serial": round(serial_best / best, 3),
                 "digest_match": _digest(document) == serial_digest,
                 "shard_split": split,
                 "dropped_shards": list(result.dropped_shards),
+                **wire,
             })
 
+    try:
+        cpu_count = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        cpu_count = os.cpu_count() or 1
     return {
         "network": region,
         "objects": objects,
         "rounds": rounds,
         "eps": EPS,
+        "pool_size": pool_size,
+        "remote_phase3": remote_phase3,
+        # Scaling context for gates: on a single-core host the shard
+        # processes time-slice one CPU, so vs_serial measures pure
+        # dispatch overhead, not parallel speedup — CI skips the
+        # speedup floor unless cpu_count says the parallelism exists.
+        "cpu_count": cpu_count,
         "trajectories": len(trajectories),
         "serial_s": round(serial_best, 4),
         "flows": len(serial_result.flows),
         "clusters": len(serial_result.clusters),
         "digest": serial_digest,
         "all_digests_match": all(r["digest_match"] for r in rungs),
+        # Flat speedup-by-shard-count map (string keys) so the CI gate
+        # can assert e.g. --key-min vs_serial_by_shards.4=1.0 without
+        # indexing into the rungs list.
+        "vs_serial_by_shards": {
+            str(r["shards"]): r["vs_serial"] for r in rungs
+        },
         "rungs": rungs,
     }
 
 
 def render_ingest_scaling(report: dict) -> str:
     rows = [(
-        "serial", f"{report['serial_s']:.4f}", "1.000", "—", "—",
+        "serial", f"{report['serial_s']:.4f}", "1.000", "—", "—", "—", "—",
     )]
     for rung in report["rungs"]:
         rows.append((
@@ -161,16 +241,20 @@ def render_ingest_scaling(report: dict) -> str:
             f"{rung['vs_serial']:.3f}",
             "yes" if rung["digest_match"] else "NO",
             "/".join(str(n) for n in rung["shard_split"]),
+            str(rung.get("rpc_count", "—")),
+            f"{rung.get('bytes_sent', 0) / 1024:.0f}",
         ))
     table = format_table(
         ("configuration", f"best-of-{report['rounds']} (s)",
-         "x serial", "byte-identical", "split"),
+         "speedup", "byte-identical", "split", "rpcs", "KiB sent"),
         rows,
     )
     return "\n".join([
         "Distributed ingest scaling over local shard processes "
         f"({report['network']}, {report['objects']} objects, "
-        f"eps={report['eps']})",
+        f"eps={report['eps']}, pool_size={report['pool_size']}, "
+        f"remote_phase3={report['remote_phase3']}, "
+        f"cpus={report.get('cpu_count', '?')})",
         table,
         f"serial result: {report['flows']} flows, "
         f"{report['clusters']} clusters, digest {report['digest'][:16]}…",
@@ -212,12 +296,11 @@ def main(argv: list[str] | None = None) -> int:
         spec = resolve_profile(options.profile).bench_spec(smoke=options.smoke)
         report = run_ingest_scaling(
             objects=spec.object_count,
-            rounds=1 if options.smoke else ROUNDS,
             region=spec.region,
             network_scale=spec.network_scale,
         )
     elif options.smoke:
-        report = run_ingest_scaling(objects=60, rounds=1)
+        report = run_ingest_scaling(objects=120)
     else:
         report = run_ingest_scaling()
     export_metrics(report, ARTIFACT)

@@ -236,6 +236,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rpc-timeout", type=float, default=5.0,
                        help="socket timeout in seconds for shard RPCs "
                             "(the real deadline a stalled shard hits)")
+    serve.add_argument("--pool-size", type=int, default=1,
+                       help="idle connections kept open per shard node "
+                            "(handshake once per connection; 0 = one "
+                            "connection per call, the pre-pool behavior)")
+    serve.add_argument("--remote-phase3", action="store_true",
+                       help="fan Phase 3 distance work out to the shard "
+                            "nodes (byte-identical clusters; the "
+                            "coordinator only merges and re-sorts)")
+    serve.add_argument("--shard-startup-timeout", type=float, default=30.0,
+                       help="seconds to wait for every spawned shard to "
+                            "write its port file before failing the "
+                            "rendezvous")
     serve.add_argument("--fault-spec", default=None,
                        help="chaos schedule: a JSON object (or @file) "
                             "mapping injection points to FaultPlan "
@@ -735,7 +747,8 @@ def _serve_distributed(args: argparse.Namespace) -> int:
         cleanup_dir = tempfile.TemporaryDirectory(prefix="repro-shards-")
         shard_dir = Path(cleanup_dir.name)
     shards = spawn_local_shards(
-        args.network, args.shards, work_dir=shard_dir, log_dir=shard_dir
+        args.network, args.shards, work_dir=shard_dir, log_dir=shard_dir,
+        startup_timeout_s=args.shard_startup_timeout,
     )
     nodes = [
         RemoteDataNode(
@@ -746,6 +759,7 @@ def _serve_distributed(args: argparse.Namespace) -> int:
                 faults=faults,
                 fault_operation=f"transport.node{shard.node_id}",
                 metrics=telemetry.metrics,
+                pool_size=args.pool_size,
             ),
         )
         for shard in shards
@@ -755,6 +769,7 @@ def _serve_distributed(args: argparse.Namespace) -> int:
         network, config,
         nodes=nodes, shardmap=shardmap,
         telemetry=telemetry, min_quorum=args.min_quorum,
+        remote_phase3=args.remote_phase3,
     )
 
     def statusz() -> dict:
@@ -833,6 +848,8 @@ def _serve_distributed(args: argparse.Namespace) -> int:
             )
         _serve_wait(args, shutdown)
     finally:
+        for node in nodes:
+            node.client.close()
         stop_shards(shards)
         obs.stop()
         if cleanup_dir is not None:

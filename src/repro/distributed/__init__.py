@@ -23,8 +23,9 @@ See ``docs/robustness.md``.
 
 from .nodes import DataNode, NeatCoordinator, merge_base_clusters, shard_round_robin
 from .service import NeatService, ServiceStats
-from .shardmap import HashRing, RegionShardMap, boundary_sids
+from .shardmap import HashRing, RegionShardMap, boundary_sids, partition_slices
 from .transport import (
+    ConnectionPool,
     RemoteDataNode,
     ShardNodeServer,
     ShardProcess,
@@ -34,6 +35,7 @@ from .transport import (
 )
 
 __all__ = [
+    "ConnectionPool",
     "DataNode",
     "HashRing",
     "NeatCoordinator",
@@ -46,6 +48,7 @@ __all__ = [
     "TransportClient",
     "boundary_sids",
     "merge_base_clusters",
+    "partition_slices",
     "shard_round_robin",
     "spawn_local_shards",
     "stop_shards",

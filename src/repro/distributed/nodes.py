@@ -42,9 +42,13 @@ from ..obs import Telemetry, get_logger
 from ..resilience import FaultPlan, FaultyCallable, RetryPolicy
 from ..roadnet.network import RoadNetwork
 from ..roadnet.shortest_path import ShortestPathEngine
-from .shardmap import RegionShardMap, boundary_sids
+from .shardmap import RegionShardMap, boundary_sids, partition_slices
 
 _log = get_logger("distributed.nodes")
+
+#: Marks a pipelined call whose request half already failed; the
+#: collection loop falls back to the blocking retry-wrapped dispatch.
+_PIPELINE_FAILED = object()
 
 
 def shard_round_robin(
@@ -204,6 +208,17 @@ class NeatCoordinator:
             re-dispatch follows ring preference order.  Results are
             byte-identical either way — Phase 1 merges exactly under any
             partition.
+        remote_phase3: Fan the Phase 3 distance work out to the nodes.
+            The coordinator enumerates exactly the endpoint pairs its
+            local refinement would search (the lower-bound survivors),
+            partitions them contiguously across healthy remote nodes,
+            pipelines ``distances`` calls and absorbs the answers into
+            its own engine — refinement then runs without a single
+            local shortest-path search, and the clusters stay
+            byte-identical because eps-bounded distances are exact
+            values, not approximations.  A node that fails its slice is
+            simply not absorbed (refinement computes those pairs
+            locally), so faults degrade throughput, never correctness.
     """
 
     def __init__(
@@ -217,6 +232,7 @@ class NeatCoordinator:
         min_quorum: float = 0.0,
         nodes: Sequence | None = None,
         shardmap: "RegionShardMap | None" = None,
+        remote_phase3: bool = False,
     ) -> None:
         if nodes is None and node_count < 1:
             raise ValueError("node_count must be >= 1")
@@ -244,6 +260,7 @@ class NeatCoordinator:
         self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         self.redispatch = redispatch
         self.min_quorum = min_quorum
+        self.remote_phase3 = remote_phase3
 
     # ------------------------------------------------------------------
     def node_health(self) -> dict[int, bool]:
@@ -306,14 +323,7 @@ class NeatCoordinator:
             node.ingest(shard)
 
         metrics = self.telemetry.metrics if self.telemetry.enabled else None
-        partials: list[Sequence[BaseCluster]] = []
-        failed: list[tuple[int, list[Trajectory]]] = []
-        for index, node, shard in assignments:
-            partial = self._dispatch(node, shard, shard_index=index)
-            if partial is None:
-                failed.append((index, shard))
-            else:
-                partials.append(partial)
+        partials, failed = self._gather_partials(assignments)
         if metrics is not None:
             metrics.inc(
                 "coordinator.shards_dispatched",
@@ -365,12 +375,199 @@ class NeatCoordinator:
             return result
 
         stats = RefinementStats()
+        if self.remote_phase3 and result.flows:
+            # Seed the stats with the shard-side search count so the
+            # Figure-7 accounting still reports the work done, wherever
+            # it ran (refinement's own delta only sees local searches).
+            stats.shortest_path_computations += self._phase3_remote_prefetch(
+                result.flows
+            )
         result.clusters = refine_flow_clusters(
             self.network, result.flows, self.config,
             engine=self.engine, stats=stats,
         )
         result.refinement_stats = stats
         return result
+
+    # ------------------------------------------------------------------
+    def _gather_partials(
+        self, assignments: list[tuple[int, DataNode, list[Trajectory]]]
+    ) -> tuple[list[Sequence[BaseCluster]], list[tuple[int, list[Trajectory]]]]:
+        """Phase 1 over every assigned shard, pipelined where possible.
+
+        Nodes exposing the ``start_preprocess`` / ``finish_preprocess``
+        half-call contract (remote stubs) get their requests written
+        *before any response is read* — every shard process computes
+        concurrently instead of one-at-a-time behind a blocking call.
+        In-process nodes, and any pipelined call that fails, go through
+        the blocking retry-wrapped :meth:`_dispatch` (a failed pipelined
+        attempt counts one ``resilience.retries``, matching what the
+        retry policy would have recorded for its first failure).
+        """
+        pending: list[tuple[int, DataNode, list[Trajectory], object]] = []
+        for index, node, shard in assignments:
+            starter = getattr(node, "start_preprocess", None)
+            if starter is None or not node.healthy:
+                pending.append((index, node, shard, None))
+                continue
+            try:
+                call = starter(
+                    shard,
+                    keep_interior_points=self.config.keep_interior_points,
+                )
+            except Exception as error:
+                self._count_pipeline_retry(node, index, error)
+                call = _PIPELINE_FAILED
+            pending.append((index, node, shard, call))
+
+        partials: list[Sequence[BaseCluster]] = []
+        failed: list[tuple[int, list[Trajectory]]] = []
+        for index, node, shard, call in pending:
+            if call is None or call is _PIPELINE_FAILED:
+                partial = self._dispatch(node, shard, shard_index=index)
+            else:
+                try:
+                    partial = node.finish_preprocess(call)
+                except Exception as error:
+                    self._count_pipeline_retry(node, index, error)
+                    partial = self._dispatch(node, shard, shard_index=index)
+            if partial is None:
+                failed.append((index, shard))
+            else:
+                partials.append(partial)
+        return partials, failed
+
+    def _count_pipeline_retry(
+        self, node: DataNode, shard_index: int, error: BaseException
+    ) -> None:
+        """Account a failed pipelined attempt like a policy retry."""
+        metrics = self.telemetry.metrics if self.telemetry.enabled else None
+        if metrics is not None:
+            metrics.inc(
+                "resilience.retries",
+                description="Attempts retried by a RetryPolicy",
+            )
+        _log.warning(
+            "pipelined dispatch falling back to blocking retry",
+            node=node.node_id, shard=shard_index, error=repr(error),
+        )
+
+    def _phase3_remote_prefetch(self, flows: Sequence) -> int:
+        """Ship Phase 3's distance work to the shards; absorb the answers.
+
+        Enumerates the same lower-bound-surviving endpoint pairs local
+        refinement would search (same enumerator, same order), cuts them
+        into contiguous :func:`~repro.distributed.shardmap.partition_slices`
+        across healthy distance-capable nodes, pipelines one wire call
+        per node (chunked through ``batch`` frames for large slices) and
+        merges the answers into the coordinator engine's memo tables.
+        ``refine_flow_clusters`` then finds every pair pre-answered and
+        runs zero local searches.
+
+        A slice whose pipelined call fails is retried once with a
+        blocking call on the same node; if that fails too the slice is
+        *dropped* — not absorbed — and refinement computes those pairs
+        locally (``coordinator.phase3_local_fallbacks``).  Either way the
+        clusters are byte-identical: bounded distances are exact values,
+        and an unanswered pair is answered by the same search serial NEAT
+        would run.
+
+        Returns the shard-side search count, to be folded into the
+        refinement stats.
+        """
+        from ..core.refinement import _surviving_endpoint_pairs
+
+        metrics = self.telemetry.metrics if self.telemetry.enabled else None
+        capable = [
+            node for node in self.nodes
+            if node.healthy and hasattr(node, "start_distances")
+        ]
+        if not capable:
+            return 0
+        eps = self.config.eps
+        llb = None
+        if self.config.use_llb and not self.engine.directed:
+            llb = self.engine.landmark_bounds(self.config.llb_landmarks)
+        pairs = _surviving_endpoint_pairs(
+            self.network, list(flows), eps, self.config.use_elb, llb=llb
+        )
+        # Skip pairs the engine already knows (exact hit, or proven
+        # farther than eps) — a warm coordinator re-run ships only the
+        # genuinely new work.  Reaches into the memo tables directly;
+        # the filter must mirror the one in ``prefetch_grouped``.
+        todo = [
+            key for key in pairs
+            if key not in self.engine._cache
+            and self.engine._bounded.get(key, -1.0) < eps
+        ]
+        if not todo:
+            return 0
+
+        slices = partition_slices(len(todo), [n.node_id for n in capable])
+        by_id = {node.node_id: node for node in capable}
+        started: list[tuple[int, int, int, object]] = []
+        for node_id, start, stop in slices:
+            if start == stop:
+                continue
+            try:
+                call = by_id[node_id].start_distances(
+                    todo[start:stop], cutoff=eps
+                )
+            except Exception as error:
+                self._count_pipeline_retry(by_id[node_id], -1, error)
+                call = _PIPELINE_FAILED
+            started.append((node_id, start, stop, call))
+
+        exact: dict[tuple[int, int], float] = {}
+        bounded: dict[tuple[int, int], float] = {}
+        computations = 0
+        absorbed = 0
+        for node_id, start, stop, call in started:
+            node = by_id[node_id]
+            chunk = todo[start:stop]
+            values = None
+            count = 0
+            if call is not _PIPELINE_FAILED:
+                try:
+                    values, count = node.finish_distances(call)
+                except Exception as error:
+                    self._count_pipeline_retry(node, -1, error)
+                    values = None
+            if values is None:
+                try:
+                    values, count = node.distances(chunk, cutoff=eps)
+                except Exception as error:
+                    values = None
+                    if metrics is not None:
+                        metrics.inc(
+                            "coordinator.phase3_local_fallbacks",
+                            description="Phase 3 pair slices computed "
+                                        "locally after a node failed them",
+                        )
+                    _log.warning(
+                        "phase3 slice falling back to local compute",
+                        node=node_id, pairs=len(chunk), error=repr(error),
+                    )
+            if values is None or len(values) != len(chunk):
+                continue
+            computations += count
+            absorbed += len(chunk)
+            for key, value in zip(chunk, values):
+                if value is None:
+                    # Farther than eps: record the bounded verdict, the
+                    # exact analogue of a local cutoff search's INFINITY.
+                    bounded[key] = eps
+                else:
+                    exact[key] = float(value)
+        if exact or bounded:
+            self.engine.absorb_cache(exact, bounded, mark_warm=False)
+        if metrics is not None and absorbed:
+            metrics.inc(
+                "coordinator.phase3_remote_pairs",
+                amount=absorbed,
+                description="Phase 3 endpoint pairs answered by shard nodes",
+            )
+        return computations
 
     # ------------------------------------------------------------------
     def _dispatch(

@@ -41,7 +41,12 @@ from ..core.model import Trajectory
 from ..errors import ConfigError
 from ..roadnet.network import RoadNetwork
 
-__all__ = ["HashRing", "RegionShardMap", "boundary_sids"]
+__all__ = [
+    "HashRing",
+    "RegionShardMap",
+    "boundary_sids",
+    "partition_slices",
+]
 
 
 def _hash64(token: str) -> int:
@@ -155,6 +160,16 @@ class RegionShardMap:
         node_ids: Shard-node members seeding the ring.
         grid: Cells per axis (``grid**2`` regions).
         virtual_nodes: Ring smoothing factor (see :class:`HashRing`).
+        route: Routing key scheme.  ``"region"`` (the default) routes a
+            trajectory by its first sample's grid cell — maximal map
+            locality, but datasets whose trips start from a few hotspots
+            pile onto whichever nodes own the hot cells.  ``"trid"``
+            routes by trajectory id through the same ring — near-uniform
+            shard *load*, which is what the ingest-scaling benchmark
+            needs: an unbalanced split caps the parallel speedup at the
+            largest shard's share.  Either scheme keeps the ring's
+            deterministic rebalance-on-death semantics, and results are
+            byte-identical under any partition.
     """
 
     def __init__(
@@ -163,10 +178,16 @@ class RegionShardMap:
         node_ids: Iterable[int],
         grid: int = 8,
         virtual_nodes: int = 64,
+        route: str = "region",
     ) -> None:
         if grid < 1:
             raise ConfigError(f"grid must be >= 1, got {grid}")
+        if route not in ("region", "trid"):
+            raise ConfigError(
+                f"route must be 'region' or 'trid', got {route!r}"
+            )
         self.grid = grid
+        self.route = route
         self.ring = HashRing(node_ids, virtual_nodes=virtual_nodes)
         if not len(self.ring):
             raise ConfigError("a shard map needs at least one node")
@@ -188,7 +209,13 @@ class RegionShardMap:
         return f"cell:{row}:{col}"
 
     def trajectory_key(self, trajectory: Trajectory) -> str:
-        """The ring key a trajectory is routed by (its first sample's cell)."""
+        """The ring key a trajectory is routed by.
+
+        The first sample's grid cell under ``route="region"``, the
+        trajectory id under ``route="trid"``.
+        """
+        if self.route == "trid":
+            return f"trid:{trajectory.trid}"
         start = trajectory.locations[0]
         return self.cell_key(start.x, start.y)
 
@@ -249,3 +276,31 @@ def boundary_sids(
         boundary.update(partial_sids & seen)
         seen.update(partial_sids)
     return boundary
+
+
+def partition_slices(
+    count: int, node_ids: Sequence[int]
+) -> list[tuple[int, int, int]]:
+    """Cut ``range(count)`` into contiguous near-even per-node slices.
+
+    Returns ``(node_id, start, stop)`` triples in ``node_ids`` order;
+    the first ``count % len(node_ids)`` nodes get one extra item.  The
+    split is a pure function of ``(count, node_ids)`` — the shard-side
+    Phase 3 fan-out relies on that determinism: two identical runs send
+    identical pair slices to identical nodes, so every downstream
+    counter matches byte-for-byte.  Nodes past ``count`` come back with
+    empty slices (``start == stop``) rather than being dropped, keeping
+    the triple list aligned with its input.
+    """
+    if not node_ids:
+        raise ValueError("node_ids must be non-empty")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    base, extra = divmod(count, len(node_ids))
+    slices: list[tuple[int, int, int]] = []
+    start = 0
+    for position, node_id in enumerate(node_ids):
+        size = base + (1 if position < extra else 0)
+        slices.append((node_id, start, start + size))
+        start += size
+    return slices

@@ -19,9 +19,29 @@ accepts or rejects with its own version.  A mismatch raises
 
 **RPCs** are JSON objects (``sort_keys=True`` end to end, so two
 identical runs put byte-identical frames on the wire): ``ping``,
-``preprocess`` (Phase 1 over shipped trajectories), ``stats`` and
-``shutdown``.  Trajectories and base clusters travel in the location-row
-schema of :mod:`repro.core.serialize`.
+``preprocess`` (Phase 1 over shipped trajectories), ``distances``
+(eps-bounded shortest-path distances against the shard's local engine —
+the shard-side half of Phase 3), ``batch`` (several requests in one
+frame), ``stats``, ``reset`` (server closes the connection after
+replying) and ``shutdown``.  Trajectories and base clusters travel
+either in the location-row schema of :mod:`repro.core.serialize` or —
+the hot path — as packed columnar arrays
+(:func:`trajectories_to_packed` / :func:`clusters_to_packed`: flat
+little-endian typed columns, base64-wrapped in the JSON envelope;
+exact, deterministic, and several times cheaper to encode than nested
+number lists).
+
+**Connections are persistent**: a :class:`TransportClient` keeps its
+socket open across calls behind a small per-node
+:class:`ConnectionPool` (handshake once per connection, idle timeout,
+LIFO reuse).  A stale pooled socket — the server closed it between
+calls — triggers exactly one transparent reconnect-and-resend, counted
+in ``transport.reconnects``; injected faults never retry transparently,
+so chaos schedules land at the same deterministic 1-based call indexes
+they did with one-connection-per-call.  :meth:`TransportClient.start` /
+:meth:`TransportClient.finish` split a call into its request and
+response halves so a coordinator can *pipeline* — write requests to
+every node before reading any response.
 
 **Fault injection** is scheduled by the ordinary
 :class:`~repro.resilience.FaultPlan` connection-fault fields and
@@ -42,6 +62,7 @@ Every wire call and failure is counted in the ``transport.*`` family
 
 from __future__ import annotations
 
+import base64
 import json
 import os
 import socket
@@ -53,7 +74,11 @@ import tempfile
 import threading
 import time
 import zlib
+import contextlib
+import gc
+from array import array
 from dataclasses import dataclass
+from itertools import repeat
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
@@ -66,24 +91,31 @@ from ..roadnet.network import RoadNetwork
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "ConnectionPool",
     "RemoteDataNode",
     "ShardNodeServer",
     "ShardProcess",
     "TransportClient",
+    "clusters_from_packed",
     "clusters_from_wire",
+    "clusters_to_packed",
     "clusters_to_wire",
     "decode_frame",
     "encode_frame",
     "spawn_local_shards",
     "stop_shards",
+    "trajectories_from_packed",
     "trajectories_from_wire",
+    "trajectories_to_packed",
     "trajectories_to_wire",
 ]
 
 _log = get_logger("distributed.transport")
 
 #: Wire protocol version; bumped on any frame- or message-schema change.
-PROTOCOL_VERSION = 1
+#: v2 added ``batch``, ``distances`` and ``reset`` plus persistent
+#: connections (the framing itself is unchanged).
+PROTOCOL_VERSION = 2
 
 #: Frame header: magic (4) | payload length u32 BE (4) | crc32 u32 BE (4).
 FRAME_MAGIC = b"RPW1"
@@ -181,13 +213,263 @@ def read_frame(rfile: Any) -> bytes | None:
 
 def _encode_message(message: dict[str, Any]) -> bytes:
     return encode_frame(
-        json.dumps(message, sort_keys=True).encode("utf-8")
+        json.dumps(
+            message, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
     )
 
 
 # ----------------------------------------------------------------------
 # Payload schemas (the location-row format of repro.core.serialize)
 # ----------------------------------------------------------------------
+def _pack_array(values: array, byteswap: bool = sys.byteorder == "big") -> str:
+    """A typed array as base64 of its little-endian bytes.
+
+    Fixed little-endian layout keeps the wire bytes identical across
+    hosts; IEEE-754 doubles round-trip exactly, so packed floats are
+    bit-identical on arrival — stronger than the shortest-repr JSON
+    round trip, and an order of magnitude cheaper to produce.
+    """
+    if byteswap:
+        values = array(values.typecode, values)
+        values.byteswap()
+    return base64.b64encode(values.tobytes()).decode("ascii")
+
+
+def _unpack_array(typecode: str, data: str) -> array:
+    values = array(typecode)
+    values.frombytes(base64.b64decode(data.encode("ascii")))
+    if sys.byteorder == "big":
+        values.byteswap()
+    return values
+
+
+class _LocationColumns:
+    """Flat per-location columns shared by the packed payload schemas."""
+
+    __slots__ = ("sids", "nodes", "xs", "ys", "ts")
+
+    def __init__(self) -> None:
+        self.sids = array("q")
+        self.nodes = array("q")
+        self.xs = array("d")
+        self.ys = array("d")
+        self.ts = array("d")
+
+    def add(self, locations: Sequence[Location]) -> None:
+        # Five C-level extends instead of one Python-level loop doing
+        # five appends per location: the encode half of the wire cost.
+        self.sids.extend(location.sid for location in locations)
+        self.nodes.extend(
+            -1 if location.node_id is None else location.node_id
+            for location in locations
+        )
+        self.xs.extend(location.x for location in locations)
+        self.ys.extend(location.y for location in locations)
+        self.ts.extend(location.t for location in locations)
+
+    def to_payload(self) -> dict[str, str]:
+        return {
+            "sids": _pack_array(self.sids),
+            "nodes": _pack_array(self.nodes),
+            "xs": _pack_array(self.xs),
+            "ys": _pack_array(self.ys),
+            "ts": _pack_array(self.ts),
+        }
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Cyclic GC paused for a bounded bulk-allocation region.
+
+    Decoding a dataset-sized packed payload allocates hundreds of
+    thousands of small immutable objects in a tight loop; with a large
+    live heap (the road network, the coordinator's own state) the
+    generational collector triggers every ~700 allocations and scans
+    that heap each time — measured at half the decode wall time.  None
+    of the freshly built tuples can be cyclic garbage, so collection is
+    deferred until the region ends.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _node_ids(nodes: array) -> list[int | None]:
+    """The packed node column back to ``node_id`` values (-1 -> None)."""
+    # dict.get(n, n) at map() speed: -1 -> None, anything else unchanged.
+    sentinel: dict[int, None] = {-1: None}
+    return list(map(sentinel.get, nodes, nodes))
+
+
+def _trusted_fragment(
+    trid: int, sid: int, locations: tuple[Location, ...]
+) -> TFragment:
+    """A t-fragment without the per-location ``__post_init__`` sid scan.
+
+    Only for wire decoding: the CRC-framed payload was encoded from real
+    :class:`TFragment` objects, so the every-location-on-this-segment
+    invariant holds by construction (the packed cluster schema doesn't
+    even carry per-location sids — they are re-derived from the cluster
+    sid).  Re-validating ~4 locations x ~30k fragments per reply was a
+    measurable slice of coordinator decode time.
+    """
+    fragment = object.__new__(TFragment)
+    object.__setattr__(fragment, "trid", trid)
+    object.__setattr__(fragment, "sid", sid)
+    object.__setattr__(fragment, "locations", locations)
+    return fragment
+
+
+def trajectories_to_packed(
+    trajectories: Iterable[Trajectory],
+) -> dict[str, str]:
+    """Trajectories as packed columnar arrays (the hot-path schema).
+
+    The row schema of :func:`trajectories_to_wire` spends most of a
+    dispatch inside ``json.dumps``/``json.loads`` walking nested lists
+    of numbers; at bench scale that serialization alone outweighed the
+    Phase 1 compute being distributed.  This packs the same values into
+    five flat typed columns (sid / node / x / y / t) plus per-trajectory
+    offsets, base64-wrapped into an ordinary JSON envelope — exact,
+    deterministic, and ~6x faster to encode.
+    """
+    trids = array("q")
+    counts = array("I")
+    columns = _LocationColumns()
+    for trajectory in trajectories:
+        trids.append(trajectory.trid)
+        counts.append(len(trajectory.locations))
+        columns.add(trajectory.locations)
+    payload = columns.to_payload()
+    payload["trids"] = _pack_array(trids)
+    payload["counts"] = _pack_array(counts)
+    return payload
+
+
+def trajectories_from_packed(payload: dict[str, Any]) -> list[Trajectory]:
+    """Trajectories rebuilt from :func:`trajectories_to_packed` output."""
+    trids = _unpack_array("q", payload["trids"])
+    counts = _unpack_array("I", payload["counts"])
+    with _gc_paused():
+        # One C-speed map over the whole column set, then cheap list
+        # slices per trajectory — not a Python loop with per-index
+        # array access.
+        locations = list(map(
+            Location,
+            _unpack_array("q", payload["sids"]),
+            _unpack_array("d", payload["xs"]),
+            _unpack_array("d", payload["ys"]),
+            _unpack_array("d", payload["ts"]),
+            _node_ids(_unpack_array("q", payload["nodes"])),
+        ))
+        trajectories: list[Trajectory] = []
+        offset = 0
+        for trid, count in zip(trids, counts):
+            end = offset + count
+            trajectories.append(
+                Trajectory(trid, tuple(locations[offset:end]))
+            )
+            offset = end
+    return trajectories
+
+
+def clusters_to_packed(clusters: Iterable[BaseCluster]) -> dict[str, str]:
+    """Base clusters as packed columnar arrays (hot-path reply schema).
+
+    Leaner than the trajectory schema: every fragment in a base cluster
+    shares the cluster's sid, and every location in a fragment shares the
+    fragment's sid — so the reply carries *no* sid columns at all beyond
+    one sid per cluster.  The decoder re-derives the rest, which both
+    shrinks the reply (8 bytes per location + 8 per fragment) and makes
+    decode-side re-validation unnecessary.
+    """
+    cluster_sids = array("q")
+    fragment_counts = array("I")
+    fragment_trids = array("q")
+    location_counts = array("I")
+    nodes = array("q")
+    xs = array("d")
+    ys = array("d")
+    ts = array("d")
+    for cluster in clusters:
+        cluster_sids.append(cluster.sid)
+        fragment_counts.append(len(cluster.fragments))
+        for fragment in cluster.fragments:
+            locations = fragment.locations
+            fragment_trids.append(fragment.trid)
+            location_counts.append(len(locations))
+            nodes.extend(
+                -1 if location.node_id is None else location.node_id
+                for location in locations
+            )
+            xs.extend(location.x for location in locations)
+            ys.extend(location.y for location in locations)
+            ts.extend(location.t for location in locations)
+    return {
+        "cluster_sids": _pack_array(cluster_sids),
+        "fragment_counts": _pack_array(fragment_counts),
+        "fragment_trids": _pack_array(fragment_trids),
+        "location_counts": _pack_array(location_counts),
+        "nodes": _pack_array(nodes),
+        "xs": _pack_array(xs),
+        "ys": _pack_array(ys),
+        "ts": _pack_array(ts),
+    }
+
+
+def clusters_from_packed(payload: dict[str, Any]) -> list[BaseCluster]:
+    """Base clusters rebuilt from :func:`clusters_to_packed` output.
+
+    The coordinator decodes one of these per shard per run, each roughly
+    dataset-sized — this is the hottest deserialization path in the
+    distributed tier, so everything bulk happens at C speed: sids are
+    expanded per cluster with ``repeat``, the full location list is built
+    by a single ``map`` over the flat columns, and fragments take cheap
+    list slices of it (see :func:`_trusted_fragment` for why the
+    per-fragment sid scan is skipped).
+    """
+    cluster_sids = _unpack_array("q", payload["cluster_sids"])
+    fragment_counts = _unpack_array("I", payload["fragment_counts"])
+    fragment_trids = _unpack_array("q", payload["fragment_trids"])
+    location_counts = _unpack_array("I", payload["location_counts"])
+    with _gc_paused():
+        sids: list[int] = []
+        fragment_index = 0
+        for sid, count in zip(cluster_sids, fragment_counts):
+            total = 0
+            for _ in range(count):
+                total += location_counts[fragment_index]
+                fragment_index += 1
+            sids.extend(repeat(sid, total))
+        locations = list(map(
+            Location,
+            sids,
+            _unpack_array("d", payload["xs"]),
+            _unpack_array("d", payload["ys"]),
+            _unpack_array("d", payload["ts"]),
+            _node_ids(_unpack_array("q", payload["nodes"])),
+        ))
+        clusters: list[BaseCluster] = []
+        fragment_index = 0
+        offset = 0
+        for sid, count in zip(cluster_sids, fragment_counts):
+            fragments: list[TFragment] = []
+            for _ in range(count):
+                end = offset + location_counts[fragment_index]
+                fragments.append(_trusted_fragment(
+                    fragment_trids[fragment_index],
+                    sid,
+                    tuple(locations[offset:end]),
+                ))
+                offset = end
+                fragment_index += 1
+            clusters.append(BaseCluster(sid, fragments))
+    return clusters
 def trajectories_to_wire(
     trajectories: Iterable[Trajectory],
 ) -> list[dict[str, Any]]:
@@ -271,10 +553,17 @@ class _ShardTCPServer(socketserver.ThreadingTCPServer):
 
 
 class _ShardHandler(socketserver.StreamRequestHandler):
-    """One connection: hello handshake, then request frames until EOF."""
+    """One connection: hello handshake, then request frames until EOF.
+
+    Connections are long-lived — a well-behaved client sends many
+    request frames over one handshake.  The loop only ends on EOF, a
+    torn/garbled frame, a rejected hello, or a ``reset``/``shutdown``
+    op.
+    """
 
     def handle(self) -> None:  # noqa: D102 - socketserver contract
         shard = self.server.shard  # type: ignore[attr-defined]
+        shard.connections += 1
         greeted = False
         while True:
             try:
@@ -343,16 +632,61 @@ class _ShardHandler(socketserver.StreamRequestHandler):
             # past the client's read deadline so its timeout fires for
             # real.  Bounded so a bad plan cannot wedge the thread.
             time.sleep(min(float(stall_s), MAX_STALL_S))
+        response, action = self._execute(shard, message, allow_batch=True)
+        self._reply(response)
+        if action == "shutdown":
+            shard.request_shutdown()
+            return False
+        return action != "close"
+
+    def _execute(
+        self, shard: "ShardNodeServer", message: dict, allow_batch: bool
+    ) -> tuple[dict[str, Any], str]:
+        """One op's response plus the connection action it implies.
+
+        The action is ``"keep"`` (serve the next frame), ``"close"``
+        (reply, then end the connection — ``reset``) or ``"shutdown"``
+        (reply, then stop the whole server).  ``batch`` executes its
+        sub-requests in order through this same method and aggregates
+        the strongest action.
+        """
         op = message.get("op")
-        shard.requests += 1
         try:
-            if op == "ping":
-                self._reply({"ok": True, "result": {"node_id": shard.node_id}})
-            elif op == "preprocess":
+            if op == "batch":
+                if not allow_batch:
+                    return {
+                        "ok": False, "kind": "protocol",
+                        "error": "batch ops cannot nest",
+                    }, "keep"
+                shard.batched_requests += 1
                 payload = message.get("payload") or {}
-                trajectories = trajectories_from_wire(
-                    payload.get("trajectories", [])
-                )
+                responses: list[dict[str, Any]] = []
+                action = "keep"
+                for request in payload.get("requests", []):
+                    response, sub_action = self._execute(
+                        shard, request, allow_batch=False
+                    )
+                    responses.append(response)
+                    if sub_action == "shutdown":
+                        action = "shutdown"
+                    elif sub_action == "close" and action == "keep":
+                        action = "close"
+                return {"ok": True, "result": {"responses": responses}}, action
+            shard.requests += 1
+            if op == "ping":
+                return {"ok": True, "result": {"node_id": shard.node_id}}, "keep"
+            if op == "preprocess":
+                payload = message.get("payload") or {}
+                # Hot path: the packed columnar schema.  The row schema
+                # stays accepted (and answered in kind) for hand-rolled
+                # clients and the protocol tests.
+                packed = payload.get("trajectories_packed")
+                if packed is not None:
+                    trajectories = trajectories_from_packed(packed)
+                else:
+                    trajectories = trajectories_from_wire(
+                        payload.get("trajectories", [])
+                    )
                 clusters = form_base_clusters(
                     shard.network,
                     trajectories,
@@ -362,28 +696,48 @@ class _ShardHandler(socketserver.StreamRequestHandler):
                 )
                 shard.preprocess_calls += 1
                 shard.trajectories_processed += len(trajectories)
-                self._reply({
+                result = (
+                    {"clusters_packed": clusters_to_packed(clusters)}
+                    if packed is not None
+                    else {"clusters": clusters_to_wire(clusters)}
+                )
+                return {"ok": True, "result": result}, "keep"
+            if op == "distances":
+                payload = message.get("payload") or {}
+                return {
                     "ok": True,
-                    "result": {"clusters": clusters_to_wire(clusters)},
-                })
-            elif op == "stats":
-                self._reply({"ok": True, "result": shard.stats()})
-            elif op == "shutdown":
-                self._reply({"ok": True, "result": {"stopping": True}})
-                shard.request_shutdown()
-                return False
-            else:
-                self._reply({
-                    "ok": False, "kind": "protocol",
-                    "error": f"unknown op {op!r}",
-                })
+                    "result": shard.compute_distances(
+                        [
+                            (int(source), int(target))
+                            for source, target in payload.get("pairs", [])
+                        ],
+                        payload.get("cutoff"),
+                    ),
+                }, "keep"
+            if op == "stats":
+                return {"ok": True, "result": shard.stats()}, "keep"
+            if op == "reset":
+                # Drop warm per-run state (the lazily-built distance
+                # engine), then a server-initiated connection close: the
+                # reply goes out, then the connection ends.  A pooled
+                # client discovers the close on its next reuse and
+                # reconnects.  Benches use this between rounds so every
+                # round is cold on both sides of the wire.
+                with shard._engine_lock:
+                    shard._engine = None
+                return {"ok": True, "result": {"closing": True}}, "close"
+            if op == "shutdown":
+                return {"ok": True, "result": {"stopping": True}}, "shutdown"
+            return {
+                "ok": False, "kind": "protocol",
+                "error": f"unknown op {op!r}",
+            }, "keep"
         except Exception as error:  # surface, never kill the connection loop
             _log.error("request failed", op=op, error=repr(error))
-            self._reply({
+            return {
                 "ok": False, "kind": "protocol",
                 "error": f"{type(error).__name__}: {error}",
-            })
-        return True
+            }, "keep"
 
     def _reply(self, message: dict[str, Any]) -> None:
         try:
@@ -415,12 +769,18 @@ class ShardNodeServer:
         self.requests = 0
         self.preprocess_calls = 0
         self.trajectories_processed = 0
+        self.distance_calls = 0
+        self.distance_pairs = 0
+        self.batched_requests = 0
+        self.connections = 0
         self.bad_frames = 0
         self.torn_frames = 0
         self._server = _ShardTCPServer((host, port), _ShardHandler)
         self._server.shard = self
         self._thread: threading.Thread | None = None
         self._shutdown_requested = threading.Event()
+        self._engine = None
+        self._engine_lock = threading.Lock()
 
     # -- address --------------------------------------------------------
     @property
@@ -493,16 +853,174 @@ class ShardNodeServer:
             "requests": self.requests,
             "preprocess_calls": self.preprocess_calls,
             "trajectories_processed": self.trajectories_processed,
+            "distance_calls": self.distance_calls,
+            "distance_pairs": self.distance_pairs,
+            "batched_requests": self.batched_requests,
+            "connections": self.connections,
             "bad_frames": self.bad_frames,
             "torn_frames": self.torn_frames,
         }
+
+    # -- shard-side Phase 3 ---------------------------------------------
+    def compute_distances(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        cutoff: float | None = None,
+    ) -> dict[str, Any]:
+        """Eps-bounded shortest-path distances over the local network.
+
+        The shard-side half of Phase 3: the coordinator ships the
+        endpoint pairs that survived its lower-bound tiers and this node
+        answers them against its *own* replicated network through the
+        same batched multi-target kernels a serial run uses — so every
+        value is bit-identical to what the coordinator would have
+        computed itself.  A distance beyond ``cutoff`` is reported as
+        ``None`` ("farther than cutoff", the only verdict an eps region
+        query needs).
+
+        The per-node engine memoizes across calls, so repeated
+        benchmarks rounds hit the warm cache.  ``computations`` in the
+        reply is this call's fresh-search delta, letting the coordinator
+        keep honest Figure-7 accounting for work done remotely.
+        """
+        from ..roadnet.shortest_path import INFINITY, ShortestPathEngine
+
+        with self._engine_lock:
+            if self._engine is None:
+                self._engine = ShortestPathEngine(self.network, directed=False)
+            engine = self._engine
+            limit = None if cutoff is None else float(cutoff)
+            before = engine.computations
+            engine.prefetch_grouped(pairs, cutoff=limit)
+            values: list[float | None] = []
+            for source, target in pairs:
+                distance = engine.distance(source, target, cutoff=limit)
+                values.append(None if distance == INFINITY else distance)
+            computations = engine.computations - before
+        self.distance_calls += 1
+        self.distance_pairs += len(pairs)
+        return {"distances": values, "computations": computations}
 
 
 # ----------------------------------------------------------------------
 # Client
 # ----------------------------------------------------------------------
+class _Connection:
+    """One established, handshaken socket to a shard node."""
+
+    __slots__ = ("sock", "rfile", "last_used")
+
+    def __init__(self, sock: socket.socket, rfile: Any) -> None:
+        self.sock = sock
+        self.rfile = rfile
+        self.last_used = time.monotonic()
+
+    def close(self) -> None:
+        try:
+            self.rfile.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ConnectionPool:
+    """Idle handshaken connections for one shard node (LIFO reuse).
+
+    Args:
+        size: Maximum idle connections kept (``0`` disables pooling —
+            every call pays a fresh connect + handshake, the pre-pool
+            behavior).
+        idle_timeout_s: A connection idle longer than this is closed on
+            checkout instead of reused (servers and middleboxes reap
+            quiet sockets; reusing one would surface as a spurious
+            error).
+    """
+
+    def __init__(self, size: int = 1, idle_timeout_s: float = 30.0) -> None:
+        if size < 0:
+            raise ValueError(f"pool size must be >= 0, got {size}")
+        if idle_timeout_s <= 0:
+            raise ValueError(
+                f"idle_timeout_s must be > 0, got {idle_timeout_s}"
+            )
+        self.size = size
+        self.idle_timeout_s = idle_timeout_s
+        self._idle: list[_Connection] = []
+
+    def __len__(self) -> int:
+        return len(self._idle)
+
+    def checkout(self) -> tuple[_Connection | None, int]:
+        """The most recently used live idle connection, if any.
+
+        Returns ``(connection, expired)`` where ``expired`` counts idle
+        connections discarded for outliving the idle timeout.
+        """
+        now = time.monotonic()
+        expired = 0
+        while self._idle:
+            connection = self._idle.pop()
+            if now - connection.last_used > self.idle_timeout_s:
+                connection.close()
+                expired += 1
+                continue
+            return connection, expired
+        return None, expired
+
+    def checkin(self, connection: _Connection) -> bool:
+        """Return a healthy connection; False when the pool is full."""
+        if len(self._idle) >= self.size:
+            connection.close()
+            return False
+        connection.last_used = time.monotonic()
+        self._idle.append(connection)
+        return True
+
+    def close_all(self) -> None:
+        """Close every idle connection (idempotent)."""
+        while self._idle:
+            self._idle.pop().close()
+
+
+class _PendingCall:
+    """An in-flight pipelined RPC: request written, response unread."""
+
+    __slots__ = ("op", "connection", "reused", "fault", "frame", "batched")
+
+    def __init__(
+        self,
+        op: str,
+        connection: _Connection,
+        reused: bool,
+        fault: str | None,
+        frame: bytes,
+        batched: bool = False,
+    ) -> None:
+        self.op = op
+        self.connection = connection
+        self.reused = reused
+        self.fault = fault
+        self.frame = frame
+        self.batched = batched
+
+
 class TransportClient:
-    """A wire client for one shard node (one connection per call).
+    """A wire client for one shard node, with persistent connections.
+
+    The client keeps its socket open across calls behind a small
+    :class:`ConnectionPool` — the versioned handshake runs once per
+    *connection*, not once per call.  When a pooled socket turns out to
+    be dead (the server closed it between calls) the client reconnects
+    exactly once and resends, counting the event in
+    ``transport.reconnects``; a call carrying an injected fault never
+    retries transparently, so chaos schedules stay deterministic.
+
+    :meth:`start` / :meth:`finish` split a call into its write and read
+    halves for pipelined dispatch; :meth:`call` is the blocking
+    composition of the two.
 
     Args:
         host: Shard node address.
@@ -515,9 +1033,13 @@ class TransportClient:
         fault_operation: The injection-point name for this client
             (convention: ``transport.node{id}``).
         metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
-            receiving the ``transport.*`` counters.
+            receiving the ``transport.*`` and ``pool.connections_*``
+            counters.
         proto: Protocol version offered in the handshake (overridable
             only to test mismatch handling).
+        pool_size: Idle connections kept per node (``0`` disables
+            reuse: one connection per call, the pre-pool behavior).
+        idle_timeout_s: Idle expiry for pooled connections.
     """
 
     def __init__(
@@ -529,6 +1051,8 @@ class TransportClient:
         fault_operation: str | None = None,
         metrics: Any = None,
         proto: int = PROTOCOL_VERSION,
+        pool_size: int = 1,
+        idle_timeout_s: float = 30.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -538,10 +1062,24 @@ class TransportClient:
         self.metrics = metrics
         self.proto = proto
         self.calls = 0
+        self.pool = ConnectionPool(pool_size, idle_timeout_s=idle_timeout_s)
+        # True when an established connection has been discarded since
+        # the last connect — the next connect is then a *reconnect*.
+        self._dirty = False
 
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Close every pooled connection (the client stays usable)."""
+        self.pool.close_all()
+
+    def __enter__(self) -> "TransportClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _inc(self, name: str, description: str, amount: float = 1.0) -> None:
@@ -560,8 +1098,70 @@ class TransportClient:
             self._inc(counter, f"Wire calls that failed as {kind!r}")
         return TransportError(self.address, kind, detail)
 
+    # -- connection management ------------------------------------------
+    def _connect(self) -> _Connection:
+        """A fresh handshaken connection (counted, reconnect-aware)."""
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        except OSError as error:
+            raise self._fail("refused", str(error)) from error
+        rfile = sock.makefile("rb")
+        try:
+            self._handshake(sock, rfile)
+        except BaseException:
+            try:
+                rfile.close()
+                sock.close()
+            except OSError:
+                pass
+            raise
+        self._inc(
+            "pool.connections_opened",
+            "Shard connections established (one handshake each)",
+        )
+        if self._dirty:
+            self._dirty = False
+            self._inc(
+                "transport.reconnects",
+                "Connections re-established after a pooled one was lost",
+            )
+        return _Connection(sock, rfile)
+
+    def _acquire(self) -> tuple[_Connection, bool]:
+        """A connection to run one call on: pooled when possible."""
+        connection, expired = self.pool.checkout()
+        if expired:
+            self._inc(
+                "pool.idle_closed",
+                "Pooled connections closed for outliving the idle timeout",
+                amount=expired,
+            )
+            self._dirty = True
+        if connection is not None:
+            self._inc(
+                "pool.connections_reused",
+                "Wire calls served over an already-open connection",
+            )
+            return connection, True
+        return self._connect(), False
+
+    def _discard(self, connection: _Connection) -> None:
+        """Drop a connection that failed or that the server closed."""
+        connection.close()
+        self._dirty = True
+
+    def _release(self, connection: _Connection) -> None:
+        """Give a healthy connection back to the pool."""
+        if not self.pool.checkin(connection):
+            # Pool full (or pooling disabled): closing a *healthy*
+            # surplus connection is not a loss, so no dirty flag.
+            pass
+
+    # -- calls ----------------------------------------------------------
     def call(self, op: str, payload: dict[str, Any] | None = None) -> Any:
-        """One RPC: connect, handshake, request, response.
+        """One RPC: request then response (handshake only on connect).
 
         Returns the response's ``result`` value.
 
@@ -569,6 +1169,29 @@ class TransportClient:
             HandshakeFailed: Version mismatch or a rejected hello.
             TransportError: Any socket-level or protocol failure, with
                 ``kind`` naming the failure mode.
+        """
+        return self.finish(self.start(op, payload))
+
+    def call_batch(
+        self, requests: Sequence[tuple[str, dict[str, Any] | None]]
+    ) -> list[Any]:
+        """Several RPCs in one ``batch`` frame (one call index, one RTT).
+
+        Returns the ``result`` values in request order.  Raises on the
+        first sub-request the server rejected.
+        """
+        return self.finish_batch(self.start_batch(requests))
+
+    def start(
+        self, op: str, payload: dict[str, Any] | None = None
+    ) -> _PendingCall:
+        """Write one request and return without reading the response.
+
+        The pipelining half-call: a coordinator starts a call on every
+        node, then :meth:`finish` es them in order — requests overlap
+        with remote compute instead of serializing call-and-wait.
+        Connection faults are scheduled here (the 1-based call index
+        advances per started call, exactly as it did per blocking call).
         """
         self.calls += 1
         fault = None
@@ -581,58 +1204,164 @@ class TransportClient:
 
         if fault == "refuse":
             # Never reaches the peer — indistinguishable from a dead
-            # process as far as the caller can tell.
+            # process as far as the caller can tell.  The pooled
+            # connection (if any) is untouched.
             raise self._fail(
                 "refused", f"connection refused (injected, call #{self.calls})"
             )
+        connection, reused = self._acquire()
+        request: dict[str, Any] = {"op": op}
+        if payload is not None:
+            request["payload"] = payload
+        if fault == "stall":
+            request["_stall_s"] = plan.stall_s
+        frame = _encode_message(request)
+        wire = frame
+        if fault == "garble":
+            # Flip one payload bit: the header stays parseable, the CRC
+            # check fails server-side.
+            damaged = bytearray(frame)
+            damaged[FRAME_HEADER.size] ^= 0x01
+            wire = bytes(damaged)
+        pending = _PendingCall(op, connection, reused, fault, frame)
         try:
-            sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout_s
-            )
+            if fault == "drop":
+                # Half a frame, then a close: the server reads a torn
+                # frame, this client reads EOF where the response
+                # should be.
+                half = max(1, len(wire) // 2)
+                connection.sock.sendall(wire[:half])
+                self._inc(
+                    "transport.bytes_sent",
+                    "Payload bytes written to the wire",
+                    amount=half,
+                )
+                connection.sock.shutdown(socket.SHUT_WR)
+            else:
+                connection.sock.sendall(wire)
+                self._inc(
+                    "transport.bytes_sent",
+                    "Payload bytes written to the wire",
+                    amount=len(wire),
+                )
         except OSError as error:
-            raise self._fail("refused", str(error)) from error
-
-        try:
-            with sock:
-                rfile = sock.makefile("rb")
-                self._handshake(sock, rfile)
-                request: dict[str, Any] = {"op": op}
-                if payload is not None:
-                    request["payload"] = payload
-                if fault == "stall":
-                    request["_stall_s"] = plan.stall_s
-                frame = _encode_message(request)
-                if fault == "garble":
-                    # Flip one payload bit: the header stays parseable,
-                    # the CRC check fails server-side.
-                    damaged = bytearray(frame)
-                    damaged[FRAME_HEADER.size] ^= 0x01
-                    frame = bytes(damaged)
-                if fault == "drop":
-                    # Half a frame, then a close: the server reads a torn
-                    # frame, this client reads EOF where the response
-                    # should be.
-                    sock.sendall(frame[: max(1, len(frame) // 2)])
+            self._discard(connection)
+            if reused and fault is None:
+                # The pooled socket died between calls; one transparent
+                # reconnect-and-resend (the request never reached the
+                # peer, so the retry is safe and exact).
+                connection = self._connect()
+                pending.connection = connection
+                pending.reused = False
+                try:
+                    connection.sock.sendall(frame)
                     self._inc(
-                        "transport.bytes_sent", "Payload bytes written to the wire",
-                        amount=max(1, len(frame) // 2),
-                    )
-                    sock.shutdown(socket.SHUT_WR)
-                else:
-                    sock.sendall(frame)
-                    self._inc(
-                        "transport.bytes_sent", "Payload bytes written to the wire",
+                        "transport.bytes_sent",
+                        "Payload bytes written to the wire",
                         amount=len(frame),
                     )
-                return self._read_response(rfile)
-        except TransportError:
-            raise
+                except OSError as retry_error:
+                    self._discard(connection)
+                    raise self._fail(
+                        "dropped", str(retry_error)
+                    ) from retry_error
+            else:
+                raise self._fail("dropped", str(error)) from error
+        return pending
+
+    def start_batch(
+        self, requests: Sequence[tuple[str, dict[str, Any] | None]]
+    ) -> _PendingCall:
+        """Write one ``batch`` frame carrying several requests."""
+        wrapped = []
+        for op, payload in requests:
+            request: dict[str, Any] = {"op": op}
+            if payload is not None:
+                request["payload"] = payload
+            wrapped.append(request)
+        self._inc(
+            "transport.batched_calls",
+            "Batch frames carrying multiple requests",
+        )
+        pending = self.start("batch", {"requests": wrapped})
+        pending.batched = True
+        return pending
+
+    def finish(self, pending: _PendingCall) -> Any:
+        """Read one started call's response; recycle the connection."""
+        connection = pending.connection
+        try:
+            payload = read_frame(connection.rfile)
         except socket.timeout as error:
+            self._discard(connection)
             raise self._fail(
                 "stalled", f"no response within {self.timeout_s}s"
             ) from error
-        except OSError as error:
+        except FrameError as error:
+            self._discard(connection)
+            raise self._fail("garbled", str(error)) from error
+        except (TornFrame, OSError) as error:
+            self._discard(connection)
+            if pending.reused and pending.fault is None:
+                return self._finish_retry(pending)
             raise self._fail("dropped", str(error)) from error
+        if payload is None:
+            self._discard(connection)
+            if pending.reused and pending.fault is None:
+                return self._finish_retry(pending)
+            raise self._fail("dropped", "connection closed before the response")
+        self._inc(
+            "transport.bytes_received", "Payload bytes read from the wire",
+            amount=len(payload),
+        )
+        message = json.loads(payload.decode("utf-8"))
+        if message.get("ok"):
+            self._release(connection)
+            return message.get("result")
+        kind = str(message.get("kind", "protocol"))
+        detail = str(message.get("error", "request rejected"))
+        if kind not in ("refused", "dropped", "stalled", "garbled"):
+            kind = "protocol"
+        if kind == "garbled":
+            # The server closes the connection after rejecting a frame;
+            # reusing it would read EOF on the next call.
+            self._discard(connection)
+        else:
+            self._release(connection)
+        raise self._fail(kind, detail)
+
+    def finish_batch(self, pending: _PendingCall) -> list[Any]:
+        """Unwrap a ``batch`` response into per-request results."""
+        result = self.finish(pending)
+        results: list[Any] = []
+        for index, message in enumerate(result.get("responses", [])):
+            if not message.get("ok"):
+                kind = str(message.get("kind", "protocol"))
+                if kind not in ("refused", "dropped", "stalled", "garbled"):
+                    kind = "protocol"
+                raise self._fail(
+                    kind,
+                    f"batch item {index}: "
+                    f"{message.get('error', 'request rejected')}",
+                )
+            results.append(message.get("result"))
+        return results
+
+    def _finish_retry(self, pending: _PendingCall) -> Any:
+        """Resend a clean call whose reused connection turned out dead."""
+        connection = self._connect()
+        try:
+            connection.sock.sendall(pending.frame)
+            self._inc(
+                "transport.bytes_sent", "Payload bytes written to the wire",
+                amount=len(pending.frame),
+            )
+        except OSError as error:
+            self._discard(connection)
+            raise self._fail("dropped", str(error)) from error
+        pending.connection = connection
+        pending.reused = False
+        return self.finish(pending)
 
     # ------------------------------------------------------------------
     def _handshake(self, sock: socket.socket, rfile: Any) -> None:
@@ -665,32 +1394,6 @@ class TransportClient:
                 self.address, str(message.get("error", "rejected"))
             )
         self._inc("transport.handshakes", "Versioned handshakes completed")
-
-    def _read_response(self, rfile: Any) -> Any:
-        try:
-            payload = read_frame(rfile)
-        except socket.timeout as error:
-            raise self._fail(
-                "stalled", f"no response within {self.timeout_s}s"
-            ) from error
-        except (TornFrame, OSError) as error:
-            raise self._fail("dropped", str(error)) from error
-        except FrameError as error:
-            raise self._fail("garbled", str(error)) from error
-        if payload is None:
-            raise self._fail("dropped", "connection closed before the response")
-        self._inc(
-            "transport.bytes_received", "Payload bytes read from the wire",
-            amount=len(payload),
-        )
-        message = json.loads(payload.decode("utf-8"))
-        if message.get("ok"):
-            return message.get("result")
-        kind = str(message.get("kind", "protocol"))
-        detail = str(message.get("error", "request rejected"))
-        if kind not in ("refused", "dropped", "stalled", "garbled"):
-            kind = "protocol"
-        raise self._fail(kind, detail)
 
 
 # ----------------------------------------------------------------------
@@ -736,16 +1439,96 @@ class RemoteDataNode:
         keep_interior_points: bool = False,
     ) -> list[BaseCluster]:
         """Phase 1 over ``trajectories``, executed in the shard process."""
+        return self.finish_preprocess(
+            self.start_preprocess(trajectories, keep_interior_points)
+        )
+
+    def start_preprocess(
+        self,
+        trajectories: Sequence[Trajectory],
+        keep_interior_points: bool = False,
+    ) -> _PendingCall:
+        """Write a ``preprocess`` request without waiting for the reply.
+
+        The pipelining half of :meth:`preprocess_batch`: the coordinator
+        starts Phase 1 on every shard, then collects with
+        :meth:`finish_preprocess` — shards compute concurrently instead
+        of one-at-a-time behind a blocking call.
+        """
         if not self.healthy:
             raise NodeDown(self.node_id)
-        result = self.client.call(
+        return self.client.start(
             "preprocess",
             {
-                "trajectories": trajectories_to_wire(trajectories),
+                "trajectories_packed": trajectories_to_packed(trajectories),
                 "keep_interior_points": bool(keep_interior_points),
             },
         )
-        return clusters_from_wire(result["clusters"])
+
+    def finish_preprocess(self, pending: _PendingCall) -> list[BaseCluster]:
+        """Collect a started ``preprocess`` call's base clusters."""
+        result = self.client.finish(pending)
+        return clusters_from_packed(result["clusters_packed"])
+
+    #: Pairs per ``distances`` sub-request inside one batch frame.  Small
+    #: enough that a single reply frame stays in the low megabytes, large
+    #: enough that the per-message overhead is noise.
+    DISTANCE_CHUNK = 2048
+
+    def distances(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        cutoff: float | None = None,
+    ) -> tuple[list[float | None], int]:
+        """Eps-bounded distances computed against the shard's engine."""
+        return self.finish_distances(self.start_distances(pairs, cutoff))
+
+    def start_distances(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        cutoff: float | None = None,
+    ) -> _PendingCall:
+        """Write a ``distances`` request (chunked through ``batch``).
+
+        A slice small enough to fit one chunk goes out as a plain
+        ``distances`` call; larger slices ride one ``batch`` frame of
+        chunk-sized sub-requests — still a single wire call (one fault
+        index, one round trip).
+        """
+        if not self.healthy:
+            raise NodeDown(self.node_id)
+        chunks = [
+            [[s, t] for s, t in pairs[i:i + self.DISTANCE_CHUNK]]
+            for i in range(0, len(pairs), self.DISTANCE_CHUNK)
+        ] or [[]]
+        if len(chunks) == 1:
+            return self.client.start(
+                "distances", {"pairs": chunks[0], "cutoff": cutoff}
+            )
+        return self.client.start_batch([
+            ("distances", {"pairs": chunk, "cutoff": cutoff})
+            for chunk in chunks
+        ])
+
+    def finish_distances(
+        self, pending: _PendingCall
+    ) -> tuple[list[float | None], int]:
+        """Collect ``(distances, computations)`` from a started call.
+
+        Unreachable pairs come back as ``None`` (infinity does not
+        survive JSON); ``computations`` is the shard-side search count,
+        folded into the coordinator's Phase 3 stats.
+        """
+        if pending.batched:
+            results = self.client.finish_batch(pending)
+        else:
+            results = [self.client.finish(pending)]
+        values: list[float | None] = []
+        computations = 0
+        for result in results:
+            values.extend(result["distances"])
+            computations += int(result.get("computations", 0))
+        return values, computations
 
 
 # ----------------------------------------------------------------------
@@ -854,10 +1637,17 @@ def spawn_local_shards(
                         f"{shard.process.returncode} before binding",
                     )
                 if time.monotonic() > deadline:
+                    log_hint = (
+                        f"; its log is {shard.log_path}"
+                        if shard.log_path is not None
+                        else ""
+                    )
                     raise TransportError(
                         f"{host}:?", "stalled",
-                        f"shard {node_id} did not report a port within "
-                        f"{startup_timeout_s}s",
+                        f"shard {node_id} (pid {shard.process.pid}, still "
+                        f"running) never wrote its port file {port_file} "
+                        f"within startup_timeout_s={startup_timeout_s}s"
+                        f"{log_hint}",
                     )
                 time.sleep(0.05)
         # Write pid files after the rendezvous so a supervisor (or a

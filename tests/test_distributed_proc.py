@@ -128,7 +128,9 @@ class TestKilledShardMidRun:
             ]
             victim = nodes[1]
             victim_process = shards[1].process
-            original = victim.preprocess_batch
+            # The pipelined coordinator opens with start_preprocess, so
+            # the kill hook rides the request half of the first call.
+            original = victim.start_preprocess
             kills = {"count": 0}
 
             def kill_then_call(*args, **kwargs):
@@ -140,7 +142,7 @@ class TestKilledShardMidRun:
                     victim_process.wait(timeout=10)
                 return original(*args, **kwargs)
 
-            victim.preprocess_batch = kill_then_call
+            victim.start_preprocess = kill_then_call
 
             network = workload["network"]
             shardmap = RegionShardMap(network, [0, 1, 2])
